@@ -1,0 +1,47 @@
+//! Connected components for the GraphChi-class engine.
+
+use graphz_baselines::graphchi::{ChiContext, ChiProgram, OutEdgeSlot};
+use graphz_types::VertexId;
+
+/// Minimum-label propagation over static edge values. An edge value of `0`
+/// means "no label yet", otherwise it encodes `label + 1`. Run on a
+/// symmetrized graph for undirected semantics.
+pub struct ChiCc;
+
+const NONE: u32 = 0;
+
+impl ChiProgram for ChiCc {
+    type VertexValue = u32; // current label
+    type EdgeValue = u32;
+
+    fn init(&self, vid: VertexId, _out_degree: u32) -> u32 {
+        vid
+    }
+
+    fn update(
+        &self,
+        _vid: VertexId,
+        value: &mut u32,
+        in_edges: &[(VertexId, u32)],
+        out_edges: &mut [OutEdgeSlot<u32>],
+        ctx: &mut ChiContext,
+    ) {
+        let offer = in_edges
+            .iter()
+            .filter(|(_, v)| *v != NONE)
+            .map(|(_, v)| v - 1)
+            .min()
+            .unwrap_or(u32::MAX);
+        let mut announce = ctx.iteration() == 0;
+        if offer < *value {
+            *value = offer;
+            announce = true;
+        }
+        if announce {
+            ctx.mark_changed();
+            for e in out_edges.iter_mut() {
+                e.value = *value + 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! The six benchmarks written against the GraphChi edge-value model.
+//! One file per algorithm; Table IX counts these files.
+
+pub mod bfs;
+pub mod bp;
+pub mod cc;
+pub mod pagerank;
+pub mod random_walk;
+pub mod sssp;
+
+pub use bfs::ChiBfs;
+pub use bp::ChiBp;
+pub use cc::ChiCc;
+pub use pagerank::ChiPageRank;
+pub use random_walk::ChiRandomWalk;
+pub use sssp::ChiSssp;

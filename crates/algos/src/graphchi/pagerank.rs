@@ -1,0 +1,47 @@
+//! PageRank for the GraphChi-class engine.
+
+use graphz_baselines::graphchi::{ChiContext, ChiProgram, OutEdgeSlot};
+use graphz_types::VertexId;
+
+use crate::common::pr_rank;
+
+/// PageRank over static edge values: every update writes `rank / deg` on
+/// its out-edges; the next update of each neighbor reads them as in-edges.
+pub struct ChiPageRank {
+    pub tolerance: f32,
+}
+
+impl ChiProgram for ChiPageRank {
+    type VertexValue = f32;
+    type EdgeValue = f32;
+
+    fn init(&self, _vid: VertexId, _out_degree: u32) -> f32 {
+        1.0
+    }
+
+    fn update(
+        &self,
+        _vid: VertexId,
+        value: &mut f32,
+        in_edges: &[(VertexId, f32)],
+        out_edges: &mut [OutEdgeSlot<f32>],
+        ctx: &mut ChiContext,
+    ) {
+        if ctx.iteration() == 0 {
+            ctx.mark_changed();
+        } else {
+            let votes: f32 = in_edges.iter().map(|(_, v)| *v).sum();
+            let new = pr_rank(votes);
+            if (new - *value).abs() > self.tolerance {
+                ctx.mark_changed();
+            }
+            *value = new;
+        }
+        if !out_edges.is_empty() {
+            let share = *value / out_edges.len() as f32;
+            for e in out_edges.iter_mut() {
+                e.value = share;
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Random-walk visit mass for the GraphChi-class engine.
+
+use graphz_baselines::graphchi::{ChiContext, ChiProgram, OutEdgeSlot};
+use graphz_types::VertexId;
+
+/// Walker-mass diffusion over static edge values with parity
+/// double-buffering (see [`super::bp::ChiBp`] for the slot discipline):
+/// slot `k % 2` holds the mass arriving at round `k`.
+pub struct ChiRandomWalk {
+    pub rounds: u32,
+}
+
+impl ChiProgram for ChiRandomWalk {
+    type VertexValue = f32; // accumulated visits
+    type EdgeValue = [f32; 2]; // mass by round parity
+
+    fn update(
+        &self,
+        _vid: VertexId,
+        value: &mut f32,
+        in_edges: &[(VertexId, [f32; 2])],
+        out_edges: &mut [OutEdgeSlot<[f32; 2]>],
+        ctx: &mut ChiContext,
+    ) {
+        let k = ctx.iteration();
+        if k >= self.rounds {
+            return;
+        }
+        ctx.mark_changed();
+        let read = (k % 2) as usize;
+        let mass: f32 = if k == 0 {
+            1.0 // every vertex starts one walker
+        } else {
+            in_edges.iter().map(|(_, ev)| ev[read]).sum()
+        };
+        *value += mass;
+        if !out_edges.is_empty() {
+            let share = mass / out_edges.len() as f32;
+            let write = ((k + 1) % 2) as usize;
+            for e in out_edges.iter_mut() {
+                e.value[write] = share;
+            }
+        }
+    }
+}

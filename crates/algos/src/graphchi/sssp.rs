@@ -1,0 +1,59 @@
+//! Single-source shortest paths for the GraphChi-class engine.
+
+use graphz_baselines::graphchi::{ChiContext, ChiProgram, OutEdgeSlot};
+use graphz_types::VertexId;
+
+use crate::common::sssp_weight;
+
+/// Bellman–Ford over static edge values. An edge value of `0.0` means "no
+/// offer"; otherwise it is the tentative distance *through* that edge
+/// (derived weights are >= 1, so offers are always positive).
+pub struct ChiSssp {
+    /// Source vertex (original id).
+    pub source: VertexId,
+}
+
+const NONE: f32 = 0.0;
+
+impl ChiProgram for ChiSssp {
+    type VertexValue = f32; // distance, +inf = unreached
+    type EdgeValue = f32;
+
+    fn init(&self, vid: VertexId, _out_degree: u32) -> f32 {
+        if vid == self.source {
+            0.0
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    fn update(
+        &self,
+        vid: VertexId,
+        value: &mut f32,
+        in_edges: &[(VertexId, f32)],
+        out_edges: &mut [OutEdgeSlot<f32>],
+        ctx: &mut ChiContext,
+    ) {
+        let offer = in_edges
+            .iter()
+            .filter(|(_, v)| *v != NONE)
+            .map(|(_, v)| *v)
+            .fold(f32::INFINITY, f32::min);
+        let mut announce = false;
+        if offer < *value {
+            *value = offer;
+            ctx.mark_changed();
+            announce = true;
+        }
+        if ctx.iteration() == 0 && value.is_finite() {
+            ctx.mark_changed();
+            announce = true;
+        }
+        if announce {
+            for e in out_edges.iter_mut() {
+                e.value = *value + sssp_weight(vid, e.dst);
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The six benchmarks written as GraphZ `update()` / `apply_message()`
+//! programs (paper §IV). One file per algorithm; the Table IX LOC
+//! comparison counts these files.
+
+pub mod bfs;
+pub mod bp;
+pub mod cc;
+pub mod pagerank;
+pub mod random_walk;
+pub mod sssp;
+
+pub use bfs::Bfs;
+pub use bp::Bp;
+pub use cc::Cc;
+pub use pagerank::PageRank;
+pub use random_walk::RandomWalk;
+pub use sssp::Sssp;

@@ -1,0 +1,283 @@
+//! In-memory reference implementations over a [`CsrGraph`].
+//!
+//! These play two roles from the paper:
+//!
+//! 1. the "plain C" competitor of Tables I–II — straightforward single-node
+//!    implementations with no out-of-core machinery, fastest when the graph
+//!    fits in memory;
+//! 2. ground truth for the engine tests: every out-of-core engine's output
+//!    is checked against these.
+
+use graphz_storage::CsrGraph;
+use graphz_types::VertexId;
+
+use crate::common::{
+    bp_combine, bp_message, bp_prior, canonicalize_labels, pr_rank, sssp_weight,
+};
+
+/// PageRank by power iteration to the fixed point of
+/// `r = 0.15 + 0.85 * sum(in-votes)` (paper Eq. 2, non-normalized form).
+/// Returns `(ranks, iterations)`.
+pub fn pagerank(g: &CsrGraph, tolerance: f32, max_iterations: u32) -> (Vec<f32>, u32) {
+    let n = g.num_vertices();
+    let mut ranks = vec![1.0f32; n];
+    let mut votes = vec![0.0f32; n];
+    let mut iterations = 0;
+    for _ in 0..max_iterations {
+        iterations += 1;
+        votes.iter_mut().for_each(|v| *v = 0.0);
+        for u in 0..n as VertexId {
+            let neighbors = g.neighbors(u);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let share = ranks[u as usize] / neighbors.len() as f32;
+            for &v in neighbors {
+                votes[v as usize] += share;
+            }
+        }
+        let mut changed = false;
+        for (r, &vt) in ranks.iter_mut().zip(&votes) {
+            let new = pr_rank(vt);
+            if (new - *r).abs() > tolerance {
+                changed = true;
+            }
+            *r = new;
+        }
+        if !changed {
+            break;
+        }
+    }
+    (ranks, iterations)
+}
+
+/// Hop distance from `source` along out-edges (`u32::MAX` = unreachable).
+pub fn bfs(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut frontier = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    frontier.push_back(source);
+    while let Some(u) = frontier.pop_front() {
+        let next = dist[u as usize] + 1;
+        for &v in g.neighbors(u) {
+            if next < dist[v as usize] {
+                dist[v as usize] = next;
+                frontier.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components over out-edges (callers symmetrize for undirected
+/// semantics); labels canonicalized to the minimum member id.
+pub fn cc(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in 0..n as VertexId {
+            for &v in g.neighbors(u) {
+                let (lu, lv) = (label[u as usize], label[v as usize]);
+                let min = lu.min(lv);
+                if lu != min {
+                    label[u as usize] = min;
+                    changed = true;
+                }
+                if lv != min {
+                    label[v as usize] = min;
+                    changed = true;
+                }
+            }
+        }
+    }
+    canonicalize_labels(&label)
+}
+
+/// Bellman–Ford shortest paths from `source` over derived weights.
+pub fn sssp(g: &CsrGraph, source: VertexId) -> Vec<f32> {
+    let n = g.num_vertices();
+    let mut dist = vec![f32::INFINITY; n];
+    dist[source as usize] = 0.0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in 0..n as VertexId {
+            let du = dist[u as usize];
+            if du.is_infinite() {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                let cand = du + sssp_weight(u, v);
+                if cand < dist[v as usize] {
+                    dist[v as usize] = cand;
+                    changed = true;
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Bulk-synchronous two-state loopy belief propagation for exactly
+/// `rounds` message exchanges.
+pub fn bp(g: &CsrGraph, rounds: u32) -> Vec<[f32; 2]> {
+    let n = g.num_vertices();
+    let mut belief: Vec<[f32; 2]> = (0..n as u32).map(bp_prior).collect();
+    let mut acc = vec![[0.0f32; 2]; n];
+    for _ in 0..rounds {
+        acc.iter_mut().for_each(|a| *a = [0.0; 2]);
+        for u in 0..n as VertexId {
+            let m = bp_message(belief[u as usize]);
+            for &v in g.neighbors(u) {
+                acc[v as usize][0] += m[0];
+                acc[v as usize][1] += m[1];
+            }
+        }
+        for v in 0..n {
+            belief[v] = bp_combine(bp_prior(v as u32), acc[v]);
+        }
+    }
+    belief
+}
+
+/// Random-walk visit mass: one unit of walker mass starts at every vertex
+/// and splits uniformly over out-edges each round (dead ends absorb);
+/// `visits[v]` sums the mass present at `v` over rounds `0..rounds`.
+pub fn random_walk(g: &CsrGraph, rounds: u32) -> Vec<f32> {
+    let n = g.num_vertices();
+    let mut current = vec![1.0f32; n];
+    let mut visits = vec![0.0f32; n];
+    let mut next = vec![0.0f32; n];
+    for _ in 0..rounds {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n as VertexId {
+            let mass = current[u as usize];
+            visits[u as usize] += mass;
+            let neighbors = g.neighbors(u);
+            if neighbors.is_empty() || mass == 0.0 {
+                continue;
+            }
+            let share = mass / neighbors.len() as f32;
+            for &v in neighbors {
+                next[v as usize] += share;
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+    visits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphz_types::Edge;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0 <-> 1 <-> 2 <-> 0 triangle; 2 -> 3 tail; 4 isolated.
+        CsrGraph::from_edges(
+            5,
+            &[
+                Edge::new(0, 1),
+                Edge::new(1, 0),
+                Edge::new(1, 2),
+                Edge::new(2, 1),
+                Edge::new(2, 0),
+                Edge::new(0, 2),
+                Edge::new(2, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let g = triangle_plus_tail();
+        assert_eq!(bfs(&g, 0), vec![0, 1, 1, 2, u32::MAX]);
+        assert_eq!(bfs(&g, 3), vec![u32::MAX, u32::MAX, u32::MAX, 0, u32::MAX]);
+    }
+
+    #[test]
+    fn cc_components() {
+        let g = triangle_plus_tail();
+        // 3 reachable via 2->3; treated as connected through directed edge
+        // scan (symmetric relaxation in the loop). 4 isolated.
+        assert_eq!(cc(&g), vec![0, 0, 0, 0, 4]);
+    }
+
+    #[test]
+    fn sssp_matches_bfs_structure() {
+        let g = triangle_plus_tail();
+        let d = sssp(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert!(d[1] >= 1.0 && d[1] < 2.0); // one hop, weight in [1,2)
+        assert!(d[3] > d[2]);
+        assert!(d[4].is_infinite());
+    }
+
+    #[test]
+    fn pagerank_fixed_point() {
+        let g = triangle_plus_tail();
+        let (ranks, iters) = pagerank(&g, 1e-6, 200);
+        assert!(iters < 200, "should converge");
+        // Verify the fixed point equation at every vertex.
+        let mut votes = [0.0f32; 5];
+        for u in 0..5u32 {
+            let nb = g.neighbors(u);
+            if nb.is_empty() {
+                continue;
+            }
+            for &v in nb {
+                votes[v as usize] += ranks[u as usize] / nb.len() as f32;
+            }
+        }
+        for v in 0..5 {
+            assert!((ranks[v] - pr_rank(votes[v])).abs() < 1e-4, "vertex {v}");
+        }
+        // Isolated vertex keeps the base rank.
+        assert!((ranks[4] - 0.15).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bp_beliefs_are_distributions() {
+        let g = triangle_plus_tail();
+        let beliefs = bp(&g, 5);
+        for b in &beliefs {
+            assert!((b[0] + b[1] - 1.0).abs() < 1e-5);
+            assert!(b[0] > 0.0 && b[1] > 0.0);
+        }
+        // Vertex 4 has no in-edges: belief equals its prior.
+        let prior = bp_prior(4);
+        assert!((beliefs[4][0] - prior[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_walk_mass_is_conserved_without_dead_ends() {
+        // A 4-ring has no dead ends: total mass per round stays 4, so
+        // visits total 4 * rounds.
+        let ring = CsrGraph::from_edges(
+            4,
+            &[Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 0)],
+        );
+        let visits = random_walk(&ring, 6);
+        let total: f32 = visits.iter().sum();
+        assert!((total - 24.0).abs() < 1e-4, "{total}");
+    }
+
+    #[test]
+    fn random_walk_dead_ends_absorb() {
+        let g = triangle_plus_tail();
+        let visits = random_walk(&g, 3);
+        // Vertex 3 accumulates mass but never forwards it.
+        assert!(visits[3] > 1.0);
+        // An isolated vertex counts only its own initial mass, once.
+        assert!((visits[4] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_rounds_means_zero_visits() {
+        let g = triangle_plus_tail();
+        assert!(random_walk(&g, 0).iter().all(|&v| v == 0.0));
+    }
+}

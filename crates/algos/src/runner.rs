@@ -1,0 +1,548 @@
+//! Uniform harness layer: prepare a graph for any engine, run any of the
+//! six algorithms on it, and get back comparable values plus run metrics.
+//!
+//! The benchmark binaries in `graphz-bench` drive everything through this
+//! module so that every engine is measured through exactly the same code
+//! path and IO accounting.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphz_baselines::graphchi::{ChiEngine, ChiEngineConfig, ChiShards, ShardingConfig};
+use graphz_baselines::gridgraph::{GridEngine, GridEngineConfig, GridPartitions};
+use graphz_baselines::xstream::{XsEngine, XsEngineConfig, XsPartitions};
+use graphz_baselines::BaselineRun;
+use graphz_core::{DenseStore, DosStore, Engine, EngineConfig, GraphStore, VertexProgram};
+use graphz_io::{IoSnapshot, IoStats};
+use graphz_storage::{CsrFiles, CsrGraph, DosConverter, DosGraph, EdgeListFile};
+use graphz_types::{EngineOptions, MemoryBudget, Result, VertexId};
+
+use crate::common::{canonicalize_labels, AlgoParams, Algorithm, AlgoValues};
+use crate::{graphchi as chi, graphz as gz, reference, xstream as xs};
+
+/// Which system executes the algorithm (paper Fig. 5–7 series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Full GraphZ: degree-ordered storage + dynamic messages.
+    GraphZ,
+    /// Fig. 7 ablation: GraphZ engine, dense-indexed original order, DM on.
+    GraphZNoDos,
+    /// Fig. 7 ablation: dense-indexed original order, DM off (all messages
+    /// buffered like a static-message system).
+    GraphZNoDosNoDm,
+    /// GraphChi-class parallel sliding windows.
+    GraphChi,
+    /// X-Stream-class edge-centric streaming.
+    XStream,
+    /// GridGraph-class 2-level grid streaming (extension beyond the paper's
+    /// comparisons — see `graphz_baselines::gridgraph`).
+    GridGraph,
+    /// Plain in-memory implementation (Tables I–II's "C" rows).
+    Reference,
+}
+
+impl EngineKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::GraphZ => "GraphZ",
+            EngineKind::GraphZNoDos => "GraphZ w/o DOS",
+            EngineKind::GraphZNoDosNoDm => "GraphZ w/o DOS and DM",
+            EngineKind::GraphChi => "GraphChi",
+            EngineKind::XStream => "X-Stream",
+            EngineKind::GridGraph => "GridGraph",
+            EngineKind::Reference => "C (in-memory)",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything a benchmark needs to report about one run.
+#[derive(Debug, Clone)]
+pub struct AlgoOutcome {
+    pub engine: EngineKind,
+    pub algorithm: Algorithm,
+    pub iterations: u32,
+    pub converged: bool,
+    pub partitions: u32,
+    /// Messages / updates / edge-writes that crossed the engine's
+    /// communication layer.
+    pub messages: u64,
+    pub io: IoSnapshot,
+    pub wall: Duration,
+    /// Per-vertex results indexed by original id.
+    pub values: AlgoValues,
+}
+
+// ---------------------------------------------------------------------------
+// Preparation (the Table XII "preprocessing" steps).
+// ---------------------------------------------------------------------------
+
+/// Convert to degree-ordered storage (GraphZ preprocessing).
+pub fn prepare_dos(
+    input: &EdgeListFile,
+    dir: &Path,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<DosGraph> {
+    DosConverter::new(budget, stats).convert(input, dir)
+}
+
+/// Convert to on-disk CSR (substrate for the w/o-DOS ablations).
+pub fn prepare_csr(
+    input: &EdgeListFile,
+    dir: &Path,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<CsrFiles> {
+    CsrFiles::convert(input, dir, stats, budget)
+}
+
+/// Shard for the GraphChi-class engine.
+pub fn prepare_chi(
+    input: &EdgeListFile,
+    dir: &Path,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<ChiShards> {
+    ChiShards::convert(input, dir, ShardingConfig::new(budget), stats)
+}
+
+/// Bucket into the 2-level grid for the GridGraph-class engine.
+pub fn prepare_grid(
+    input: &EdgeListFile,
+    dir: &Path,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<GridPartitions> {
+    GridPartitions::convert(input, dir, budget, stats)
+}
+
+/// Bucket into streaming partitions for the X-Stream-class engine.
+pub fn prepare_xs(
+    input: &EdgeListFile,
+    dir: &Path,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<XsPartitions> {
+    XsPartitions::convert(input, dir, budget, stats)
+}
+
+// ---------------------------------------------------------------------------
+// GraphZ runs (full and ablated).
+// ---------------------------------------------------------------------------
+
+/// Run on the full GraphZ configuration (DOS + dynamic messages).
+pub fn run_graphz(
+    dos: &DosGraph,
+    params: &AlgoParams,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<AlgoOutcome> {
+    run_graphz_with(
+        Box::new(DosStore::new(dos.clone())),
+        EngineKind::GraphZ,
+        params,
+        budget,
+        EngineOptions::full(),
+        stats,
+    )
+}
+
+/// Run a GraphZ ablation over a dense-indexed CSR store
+/// (`EngineKind::GraphZNoDos` / `GraphZNoDosNoDm`).
+pub fn run_graphz_dense(
+    csr: &CsrFiles,
+    params: &AlgoParams,
+    budget: MemoryBudget,
+    dynamic_messages: bool,
+    stats: Arc<IoStats>,
+) -> Result<AlgoOutcome> {
+    let store = DenseStore::new(csr.clone(), budget, Arc::clone(&stats))?;
+    let (kind, options) = if dynamic_messages {
+        (EngineKind::GraphZNoDos, EngineOptions::without_dos())
+    } else {
+        (EngineKind::GraphZNoDosNoDm, EngineOptions::without_dos_and_dm())
+    };
+    run_graphz_with(Box::new(store), kind, params, budget, options, stats)
+}
+
+fn run_graphz_with(
+    store: Box<dyn GraphStore>,
+    kind: EngineKind,
+    params: &AlgoParams,
+    budget: MemoryBudget,
+    options: EngineOptions,
+    stats: Arc<IoStats>,
+) -> Result<AlgoOutcome> {
+    let config = EngineConfig::new(budget).with_options(options);
+    let max = effective_max_iterations(params);
+
+    fn finish<P, F>(
+        mut engine: Engine<P>,
+        kind: EngineKind,
+        params: &AlgoParams,
+        max: u32,
+        extract: F,
+    ) -> Result<AlgoOutcome>
+    where
+        P: VertexProgram,
+        F: FnOnce(Vec<P::VertexData>) -> AlgoValues,
+    {
+        let run = engine.run(max)?;
+        let values = extract(engine.values_by_original_id()?);
+        Ok(AlgoOutcome {
+            engine: kind,
+            algorithm: params.algorithm,
+            iterations: run.iterations,
+            converged: run.converged,
+            partitions: run.partitions,
+            messages: run.messages_sent,
+            io: run.io,
+            wall: run.wall,
+            values,
+        })
+    }
+
+    match params.algorithm {
+        Algorithm::PageRank => {
+            let program = gz::PageRank { tolerance: params.pr_tolerance };
+            let engine = Engine::new(store, program, config, stats)?;
+            finish(engine, kind, params, max, |vals| {
+                AlgoValues::Ranks(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+        Algorithm::Bfs => {
+            let source = store.to_storage_id(params.source, &stats)?;
+            let engine = Engine::new(store, gz::Bfs { source }, config, stats)?;
+            finish(engine, kind, params, max, |vals| {
+                AlgoValues::Hops(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+        Algorithm::Cc => {
+            let engine = Engine::new(store, gz::Cc, config, stats)?;
+            finish(engine, kind, params, max, |vals| {
+                let raw: Vec<u32> = vals.into_iter().map(|v| v.0).collect();
+                AlgoValues::Labels(canonicalize_labels(&raw))
+            })
+        }
+        Algorithm::Sssp => {
+            let source = store.to_storage_id(params.source, &stats)?;
+            let new2old = Arc::new(store.original_ids(&stats)?);
+            let engine = Engine::new(store, gz::Sssp { source, new2old }, config, stats)?;
+            finish(engine, kind, params, max, |vals| {
+                AlgoValues::Costs(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+        Algorithm::Bp => {
+            let new2old = Arc::new(store.original_ids(&stats)?);
+            let program = gz::Bp { rounds: params.rounds, new2old };
+            let engine = Engine::new(store, program, config, stats)?;
+            finish(engine, kind, params, max, |vals| {
+                AlgoValues::Beliefs(vals.into_iter().map(|v| v.belief).collect())
+            })
+        }
+        Algorithm::RandomWalk => {
+            let program = gz::RandomWalk { rounds: params.rounds };
+            let engine = Engine::new(store, program, config, stats)?;
+            finish(engine, kind, params, max, |vals| {
+                AlgoValues::Visits(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GraphChi runs.
+// ---------------------------------------------------------------------------
+
+/// Run on the GraphChi-class engine. Fails with
+/// [`graphz_types::GraphError::IndexExceedsMemory`] when the dense vertex
+/// index cannot fit — the paper's xlarge failure mode.
+pub fn run_graphchi(
+    shards: &ChiShards,
+    params: &AlgoParams,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<AlgoOutcome> {
+    let config = ChiEngineConfig::new(budget);
+    let max = effective_max_iterations(params);
+
+    fn finish<P, F>(
+        mut engine: ChiEngine<P>,
+        params: &AlgoParams,
+        max: u32,
+        extract: F,
+    ) -> Result<AlgoOutcome>
+    where
+        P: graphz_baselines::graphchi::ChiProgram,
+        F: FnOnce(Vec<P::VertexValue>) -> AlgoValues,
+    {
+        let run = engine.run(max)?;
+        let values = extract(engine.values()?);
+        Ok(baseline_outcome(EngineKind::GraphChi, params, run, values))
+    }
+
+    match params.algorithm {
+        Algorithm::PageRank => {
+            let program = chi::ChiPageRank { tolerance: params.pr_tolerance };
+            let engine = ChiEngine::new(shards.clone(), program, config, stats)?;
+            finish(engine, params, max, AlgoValues::Ranks)
+        }
+        Algorithm::Bfs => {
+            let program = chi::ChiBfs { source: params.source };
+            let engine = ChiEngine::new(shards.clone(), program, config, stats)?;
+            finish(engine, params, max, AlgoValues::Hops)
+        }
+        Algorithm::Cc => {
+            let engine = ChiEngine::new(shards.clone(), chi::ChiCc, config, stats)?;
+            finish(engine, params, max, |raw| AlgoValues::Labels(canonicalize_labels(&raw)))
+        }
+        Algorithm::Sssp => {
+            let program = chi::ChiSssp { source: params.source };
+            let engine = ChiEngine::new(shards.clone(), program, config, stats)?;
+            finish(engine, params, max, AlgoValues::Costs)
+        }
+        Algorithm::Bp => {
+            let program = chi::ChiBp { rounds: params.rounds };
+            let engine = ChiEngine::new(shards.clone(), program, config, stats)?;
+            finish(engine, params, max, AlgoValues::Beliefs)
+        }
+        Algorithm::RandomWalk => {
+            let program = chi::ChiRandomWalk { rounds: params.rounds };
+            let engine = ChiEngine::new(shards.clone(), program, config, stats)?;
+            finish(engine, params, max, AlgoValues::Visits)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// X-Stream runs.
+// ---------------------------------------------------------------------------
+
+/// Run on the X-Stream-class engine.
+pub fn run_xstream(
+    parts: &XsPartitions,
+    params: &AlgoParams,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<AlgoOutcome> {
+    let config = XsEngineConfig::new(budget);
+    let max = effective_max_iterations(params);
+
+    fn finish<P, F>(
+        mut engine: XsEngine<P>,
+        params: &AlgoParams,
+        max: u32,
+        extract: F,
+    ) -> Result<AlgoOutcome>
+    where
+        P: graphz_baselines::xstream::XsProgram,
+        F: FnOnce(Vec<P::VertexValue>) -> AlgoValues,
+    {
+        let run = engine.run(max)?;
+        let values = extract(engine.values()?);
+        Ok(baseline_outcome(EngineKind::XStream, params, run, values))
+    }
+
+    match params.algorithm {
+        Algorithm::PageRank => {
+            let program = xs::XsPageRank { tolerance: params.pr_tolerance };
+            let engine = XsEngine::new(parts.clone(), program, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Ranks(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+        Algorithm::Bfs => {
+            let engine =
+                XsEngine::new(parts.clone(), xs::XsBfs { source: params.source }, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Hops(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+        Algorithm::Cc => {
+            let engine = XsEngine::new(parts.clone(), xs::XsCc, config, stats)?;
+            finish(engine, params, max, |vals| {
+                let raw: Vec<u32> = vals.into_iter().map(|v| v.0).collect();
+                AlgoValues::Labels(canonicalize_labels(&raw))
+            })
+        }
+        Algorithm::Sssp => {
+            let engine =
+                XsEngine::new(parts.clone(), xs::XsSssp { source: params.source }, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Costs(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+        Algorithm::Bp => {
+            let engine =
+                XsEngine::new(parts.clone(), xs::XsBp { rounds: params.rounds }, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Beliefs(vals.into_iter().map(|v| v.belief).collect())
+            })
+        }
+        Algorithm::RandomWalk => {
+            let program = xs::XsRandomWalk { rounds: params.rounds };
+            let engine = XsEngine::new(parts.clone(), program, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Visits(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GridGraph runs (extension).
+// ---------------------------------------------------------------------------
+
+/// Run on the GridGraph-class engine. Reuses the X-Stream programs — the
+/// grid engine's programming model is the same edge-centric scatter/gather.
+pub fn run_gridgraph(
+    grid: &GridPartitions,
+    params: &AlgoParams,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<AlgoOutcome> {
+    let config = GridEngineConfig::new(budget);
+    let max = effective_max_iterations(params);
+
+    fn finish<P, F>(
+        mut engine: GridEngine<P>,
+        params: &AlgoParams,
+        max: u32,
+        extract: F,
+    ) -> Result<AlgoOutcome>
+    where
+        P: graphz_baselines::xstream::XsProgram,
+        F: FnOnce(Vec<P::VertexValue>) -> AlgoValues,
+    {
+        let run = engine.run(max)?;
+        let values = extract(engine.values()?);
+        Ok(baseline_outcome(EngineKind::GridGraph, params, run, values))
+    }
+
+    match params.algorithm {
+        Algorithm::PageRank => {
+            let program = xs::XsPageRank { tolerance: params.pr_tolerance };
+            let engine = GridEngine::new(grid.clone(), program, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Ranks(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+        Algorithm::Bfs => {
+            let engine =
+                GridEngine::new(grid.clone(), xs::XsBfs { source: params.source }, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Hops(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+        Algorithm::Cc => {
+            let engine = GridEngine::new(grid.clone(), xs::XsCc, config, stats)?;
+            finish(engine, params, max, |vals| {
+                let raw: Vec<u32> = vals.into_iter().map(|v| v.0).collect();
+                AlgoValues::Labels(canonicalize_labels(&raw))
+            })
+        }
+        Algorithm::Sssp => {
+            let engine =
+                GridEngine::new(grid.clone(), xs::XsSssp { source: params.source }, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Costs(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+        Algorithm::Bp => {
+            let engine =
+                GridEngine::new(grid.clone(), xs::XsBp { rounds: params.rounds }, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Beliefs(vals.into_iter().map(|v| v.belief).collect())
+            })
+        }
+        Algorithm::RandomWalk => {
+            let program = xs::XsRandomWalk { rounds: params.rounds };
+            let engine = GridEngine::new(grid.clone(), program, config, stats)?;
+            finish(engine, params, max, |vals| {
+                AlgoValues::Visits(vals.into_iter().map(|v| v.0).collect())
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory reference runs.
+// ---------------------------------------------------------------------------
+
+/// Run the plain in-memory implementation (ground truth; the "C" rows of
+/// Tables I–II).
+pub fn run_reference(g: &CsrGraph, params: &AlgoParams) -> Result<AlgoOutcome> {
+    let start = Instant::now();
+    let (values, iterations) = match params.algorithm {
+        Algorithm::PageRank => {
+            let (ranks, iters) = reference::pagerank(g, params.pr_tolerance, params.max_iterations);
+            (AlgoValues::Ranks(ranks), iters)
+        }
+        Algorithm::Bfs => (AlgoValues::Hops(reference::bfs(g, params.source)), 0),
+        Algorithm::Cc => (AlgoValues::Labels(reference::cc(g)), 0),
+        Algorithm::Sssp => (AlgoValues::Costs(reference::sssp(g, params.source)), 0),
+        Algorithm::Bp => (AlgoValues::Beliefs(reference::bp(g, params.rounds)), params.rounds),
+        Algorithm::RandomWalk => {
+            (AlgoValues::Visits(reference::random_walk(g, params.rounds)), params.rounds)
+        }
+    };
+    Ok(AlgoOutcome {
+        engine: EngineKind::Reference,
+        algorithm: params.algorithm,
+        iterations,
+        converged: true,
+        partitions: 1,
+        messages: 0,
+        io: IoSnapshot::default(),
+        wall: start.elapsed(),
+        values,
+    })
+}
+
+// ---------------------------------------------------------------------------
+
+fn baseline_outcome(
+    kind: EngineKind,
+    params: &AlgoParams,
+    run: BaselineRun,
+    values: AlgoValues,
+) -> AlgoOutcome {
+    AlgoOutcome {
+        engine: kind,
+        algorithm: params.algorithm,
+        iterations: run.iterations,
+        converged: run.converged,
+        partitions: run.partitions,
+        messages: run.updates_sent,
+        io: run.io,
+        wall: run.wall,
+        values,
+    }
+}
+
+/// Fixed-round algorithms (BP, RW) need `rounds + 1` engine iterations to
+/// flush the final exchange; cap everything at the caller's maximum.
+fn effective_max_iterations(params: &AlgoParams) -> u32 {
+    match params.algorithm {
+        Algorithm::Bp | Algorithm::RandomWalk => params.max_iterations.max(params.rounds + 2),
+        _ => params.max_iterations,
+    }
+}
+
+/// Convenience for tests and examples: the source vertex must exist.
+pub fn validate_source(num_vertices: u64, source: VertexId) -> Result<()> {
+    if (source as u64) < num_vertices {
+        Ok(())
+    } else {
+        Err(graphz_types::GraphError::Algorithm(format!(
+            "source vertex {source} out of range (graph has {num_vertices} vertices)"
+        )))
+    }
+}

@@ -1,0 +1,50 @@
+//! Breadth-first search for the X-Stream-class engine.
+
+use graphz_baselines::xstream::XsProgram;
+use graphz_types::VertexId;
+
+/// Bulk-synchronous frontier BFS. The activity field choreographs phases:
+/// `1` = in the current frontier (scatter this iteration), `2` = improved
+/// by this iteration's gather, `0` = settled. The post-gather pass demotes
+/// `2 -> 1 -> 0`.
+pub struct XsBfs {
+    /// Source vertex (original id).
+    pub source: VertexId,
+}
+
+impl XsProgram for XsBfs {
+    type VertexValue = (u32, u32); // (distance, activity)
+    type Update = u32;
+
+    fn init(&self, vid: VertexId, _out_degree: u32) -> (u32, u32) {
+        if vid == self.source {
+            (0, 1)
+        } else {
+            (u32::MAX, 0)
+        }
+    }
+
+    fn scatter(&self, _src: VertexId, v: &(u32, u32), _dst: VertexId, _it: u32) -> Option<u32> {
+        // `.then` (lazy), not `.then_some`: `v.0 + 1` would overflow for
+        // unreached vertices whose distance is still u32::MAX.
+        (v.1 == 1).then(|| v.0 + 1)
+    }
+
+    fn gather(&self, _dst: VertexId, v: &mut (u32, u32), upd: &u32) -> bool {
+        if *upd < v.0 {
+            v.0 = *upd;
+            v.1 = 2;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn post_gather(&self, _vid: VertexId, v: &mut (u32, u32), _it: u32) -> bool {
+        v.1 = match v.1 {
+            2 => 1,
+            _ => 0,
+        };
+        false
+    }
+}

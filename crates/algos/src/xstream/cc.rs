@@ -1,0 +1,40 @@
+//! Connected components for the X-Stream-class engine.
+
+use graphz_baselines::xstream::XsProgram;
+use graphz_types::VertexId;
+
+/// Bulk-synchronous minimum-label propagation with the same activity
+/// choreography as [`super::bfs::XsBfs`]; every vertex starts in the
+/// frontier announcing its own label. Run on a symmetrized graph.
+pub struct XsCc;
+
+impl XsProgram for XsCc {
+    type VertexValue = (u32, u32); // (label, activity)
+    type Update = u32;
+
+    fn init(&self, vid: VertexId, _out_degree: u32) -> (u32, u32) {
+        (vid, 1)
+    }
+
+    fn scatter(&self, _src: VertexId, v: &(u32, u32), _dst: VertexId, _it: u32) -> Option<u32> {
+        (v.1 == 1).then_some(v.0)
+    }
+
+    fn gather(&self, _dst: VertexId, v: &mut (u32, u32), upd: &u32) -> bool {
+        if *upd < v.0 {
+            v.0 = *upd;
+            v.1 = 2;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn post_gather(&self, _vid: VertexId, v: &mut (u32, u32), _it: u32) -> bool {
+        v.1 = match v.1 {
+            2 => 1,
+            _ => 0,
+        };
+        false
+    }
+}

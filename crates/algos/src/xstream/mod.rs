@@ -1,0 +1,19 @@
+//! The six benchmarks written as X-Stream edge-centric scatter/gather
+//! programs. One file per algorithm; Table IX counts these files — note how
+//! the bulk-synchronous activity choreography (active flags, phase
+//! demotion) makes these uniformly longer than their GraphZ counterparts,
+//! matching the paper's LOC observations.
+
+pub mod bfs;
+pub mod bp;
+pub mod cc;
+pub mod pagerank;
+pub mod random_walk;
+pub mod sssp;
+
+pub use bfs::XsBfs;
+pub use bp::XsBp;
+pub use cc::XsCc;
+pub use pagerank::XsPageRank;
+pub use random_walk::XsRandomWalk;
+pub use sssp::XsSssp;

@@ -1,0 +1,47 @@
+//! PageRank for the X-Stream-class engine.
+
+use graphz_baselines::xstream::XsProgram;
+use graphz_types::VertexId;
+
+use crate::common::pr_rank;
+
+/// Bulk-synchronous PageRank: scatter streams every edge every iteration
+/// (X-Stream's edge-centric contract), gather accumulates votes, and the
+/// post-gather pass folds votes into the next rank.
+pub struct XsPageRank {
+    pub tolerance: f32,
+}
+
+impl XsProgram for XsPageRank {
+    type VertexValue = (f32, f32, u32); // (rank, votes, out-degree)
+    type Update = f32;
+
+    fn init(&self, _vid: VertexId, out_degree: u32) -> (f32, f32, u32) {
+        (1.0, 0.0, out_degree)
+    }
+
+    fn scatter(
+        &self,
+        _src: VertexId,
+        v: &(f32, f32, u32),
+        _dst: VertexId,
+        _iteration: u32,
+    ) -> Option<f32> {
+        // Degree is never 0 here: a vertex with no out-edges scatters
+        // nothing because it owns no edges to stream.
+        Some(v.0 / v.2 as f32)
+    }
+
+    fn gather(&self, _dst: VertexId, v: &mut (f32, f32, u32), upd: &f32) -> bool {
+        v.1 += upd;
+        false // change is judged after the fold, in post_gather
+    }
+
+    fn post_gather(&self, _vid: VertexId, v: &mut (f32, f32, u32), _iteration: u32) -> bool {
+        let new = pr_rank(v.1);
+        let changed = (new - v.0).abs() > self.tolerance;
+        v.0 = new;
+        v.1 = 0.0;
+        changed
+    }
+}

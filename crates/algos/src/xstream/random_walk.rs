@@ -1,0 +1,48 @@
+//! Random-walk visit mass for the X-Stream-class engine.
+
+use graphz_baselines::xstream::XsProgram;
+use graphz_types::VertexId;
+
+/// Bulk-synchronous walker-mass diffusion: scatter splits the current mass
+/// over out-edges, gather collects next round's mass, post-gather banks the
+/// visit count and rotates the buffers.
+pub struct XsRandomWalk {
+    pub rounds: u32,
+}
+
+impl XsProgram for XsRandomWalk {
+    type VertexValue = (f32, f32, f32, u32); // (visits, current, gathering, out-degree)
+    type Update = f32;
+
+    fn init(&self, _vid: VertexId, out_degree: u32) -> (f32, f32, f32, u32) {
+        (0.0, 1.0, 0.0, out_degree)
+    }
+
+    fn scatter(
+        &self,
+        _src: VertexId,
+        v: &(f32, f32, f32, u32),
+        _dst: VertexId,
+        iteration: u32,
+    ) -> Option<f32> {
+        if iteration >= self.rounds || v.1 == 0.0 {
+            return None;
+        }
+        Some(v.1 / v.3 as f32)
+    }
+
+    fn gather(&self, _dst: VertexId, v: &mut (f32, f32, f32, u32), upd: &f32) -> bool {
+        v.2 += upd;
+        false
+    }
+
+    fn post_gather(&self, _vid: VertexId, v: &mut (f32, f32, f32, u32), iteration: u32) -> bool {
+        if iteration >= self.rounds {
+            return false;
+        }
+        v.0 += v.1; // bank this round's mass as visits
+        v.1 = v.2; // next round's arriving mass
+        v.2 = 0.0;
+        iteration + 1 < self.rounds
+    }
+}

@@ -1,0 +1,48 @@
+//! Single-source shortest paths for the X-Stream-class engine.
+
+use graphz_baselines::xstream::XsProgram;
+use graphz_types::VertexId;
+
+use crate::common::sssp_weight;
+
+/// Bulk-synchronous Bellman–Ford over derived edge weights, with the
+/// standard frontier/activity choreography.
+pub struct XsSssp {
+    /// Source vertex (original id).
+    pub source: VertexId,
+}
+
+impl XsProgram for XsSssp {
+    type VertexValue = (f32, u32); // (distance, activity)
+    type Update = f32;
+
+    fn init(&self, vid: VertexId, _out_degree: u32) -> (f32, u32) {
+        if vid == self.source {
+            (0.0, 1)
+        } else {
+            (f32::INFINITY, 0)
+        }
+    }
+
+    fn scatter(&self, src: VertexId, v: &(f32, u32), dst: VertexId, _it: u32) -> Option<f32> {
+        (v.1 == 1).then(|| v.0 + sssp_weight(src, dst))
+    }
+
+    fn gather(&self, _dst: VertexId, v: &mut (f32, u32), upd: &f32) -> bool {
+        if *upd < v.0 {
+            v.0 = *upd;
+            v.1 = 2;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn post_gather(&self, _vid: VertexId, v: &mut (f32, u32), _it: u32) -> bool {
+        v.1 = match v.1 {
+            2 => 1,
+            _ => 0,
+        };
+        false
+    }
+}

@@ -1,0 +1,467 @@
+//! The parallel-sliding-windows execution engine.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use graphz_io::{IoStats, RecordWriter, ScratchDir, TrackedFile};
+use graphz_types::{Edge, FixedCodec, GraphError, MemoryBudget, Result, VertexId};
+
+use super::program::{ChiContext, ChiProgram, OutEdgeSlot};
+use super::shards::ChiShards;
+use crate::BaselineRun;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct ChiEngineConfig {
+    pub budget: MemoryBudget,
+    /// Fraction of the budget the dense vertex index may occupy; beyond it
+    /// the engine refuses to run. The default (1.0) matches the paper's
+    /// failure condition verbatim — "GraphChi's vertex index does not fit
+    /// into memory" (§VI-C) — i.e. the engine gives the index whatever it
+    /// needs and only fails when the index alone exceeds the budget.
+    pub index_fraction: f64,
+    pub scratch_base: Option<PathBuf>,
+}
+
+impl ChiEngineConfig {
+    pub fn new(budget: MemoryBudget) -> Self {
+        ChiEngineConfig { budget, index_fraction: 1.0, scratch_base: None }
+    }
+}
+
+/// One sliding window of another shard, resident during an interval.
+struct Window {
+    shard: u32,
+    start: u64,
+    edges: Vec<Edge>,
+    vals_bytes: Vec<u8>,
+}
+
+/// A GraphChi-class engine bound to a shard directory and a program.
+pub struct ChiEngine<P: ChiProgram> {
+    shards: ChiShards,
+    program: P,
+    config: ChiEngineConfig,
+    stats: Arc<IoStats>,
+    scratch: ScratchDir,
+    vertices_path: PathBuf,
+    /// Resident dense vertex index (out-degrees).
+    degrees: Vec<u64>,
+    initialized: bool,
+}
+
+impl<P: ChiProgram> ChiEngine<P> {
+    /// Fails with [`GraphError::IndexExceedsMemory`] when the dense vertex
+    /// index does not fit its budget share — GraphChi cannot process such a
+    /// graph (paper §VI-C).
+    pub fn new(
+        shards: ChiShards,
+        program: P,
+        config: ChiEngineConfig,
+        stats: Arc<IoStats>,
+    ) -> Result<Self> {
+        let index_bytes = shards.index_bytes();
+        let allowance = (config.budget.bytes() as f64 * config.index_fraction) as u64;
+        if index_bytes > allowance {
+            return Err(GraphError::IndexExceedsMemory {
+                index_bytes,
+                budget_bytes: allowance,
+            });
+        }
+        let degrees =
+            graphz_io::record::read_records::<u64>(&shards.degrees_path(), Arc::clone(&stats))?;
+        if degrees.len() as u64 != shards.meta().num_vertices {
+            return Err(GraphError::Corrupt("degrees.bin length mismatch".into()));
+        }
+        let scratch = match &config.scratch_base {
+            Some(base) => ScratchDir::new_in(base, "graphchi-engine")?,
+            None => ScratchDir::new("graphchi-engine")?,
+        };
+        let vertices_path = scratch.file("vertices.bin");
+        Ok(ChiEngine { shards, program, config, stats, scratch, vertices_path, degrees, initialized: false })
+    }
+
+    pub fn shards(&self) -> &ChiShards {
+        &self.shards
+    }
+
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    pub fn config(&self) -> &ChiEngineConfig {
+        &self.config
+    }
+
+    fn values_path(&self, q: u32) -> PathBuf {
+        self.scratch.file(&format!("edge-values-{q:04}.bin"))
+    }
+
+    /// Write initial vertex values and zeroed edge-value files.
+    pub fn initialize(&mut self) -> Result<()> {
+        let mut w =
+            RecordWriter::<P::VertexValue>::create(&self.vertices_path, Arc::clone(&self.stats))?;
+        for (v, &d) in self.degrees.iter().enumerate() {
+            w.push(&self.program.init(v as VertexId, d as u32))?;
+        }
+        w.finish()?;
+        for q in 0..self.shards.num_intervals() {
+            let mut w = RecordWriter::<P::EdgeValue>::create(
+                &self.values_path(q),
+                Arc::clone(&self.stats),
+            )?;
+            let default = P::EdgeValue::default();
+            for _ in 0..self.shards.shard_len(q) {
+                w.push(&default)?;
+            }
+            w.finish()?;
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Run up to `max_iterations`, stopping after a quiet iteration.
+    pub fn run(&mut self, max_iterations: u32) -> Result<BaselineRun> {
+        let start = Instant::now();
+        let io_before = self.stats.snapshot();
+        if !self.initialized {
+            self.initialize()?;
+        }
+        let p_count = self.shards.num_intervals();
+        let num_vertices = self.shards.meta().num_vertices;
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut updates_sent: u64 = 0;
+        let esize = P::EdgeValue::SIZE;
+        let vsize = P::VertexValue::SIZE;
+
+        let mut vfile = TrackedFile::open_rw(&self.vertices_path, Arc::clone(&self.stats))?;
+
+        for iter in 0..max_iterations {
+            iterations = iter + 1;
+            let mut changed: u64 = 0;
+
+            for p in 0..p_count {
+                let (lo, hi) = self.shards.interval_range(p);
+                let count = (hi - lo) as usize;
+                if count == 0 {
+                    continue;
+                }
+
+                // Interval vertex values.
+                let mut slab_bytes = vec![0u8; count * vsize];
+                vfile.seek(SeekFrom::Start(lo as u64 * vsize as u64))?;
+                vfile.read_exact(&mut slab_bytes)?;
+                let mut slab: Vec<P::VertexValue> =
+                    graphz_types::codec::decode_slice(&slab_bytes);
+
+                // Shard p in full: the interval's in-edges...
+                let shard_edges: Vec<Edge> = graphz_io::record::read_records(
+                    &self.shards.shard_path(p),
+                    Arc::clone(&self.stats),
+                )?;
+                let mut shard_vals_bytes =
+                    std::fs::read(self.values_path(p)).map_err(GraphError::Io)?;
+                self.stats.record_read(shard_vals_bytes.len() as u64);
+                // ...with a permutation grouping them by destination.
+                let mut perm: Vec<u32> = (0..shard_edges.len() as u32).collect();
+                perm.sort_unstable_by_key(|&i| {
+                    let e = shard_edges[i as usize];
+                    (e.dst, e.src)
+                });
+
+                // Sliding windows of every other shard: the out-edges.
+                let mut windows: Vec<Window> = Vec::new();
+                for q in 0..p_count {
+                    if q == p {
+                        continue;
+                    }
+                    let (a, b) = self.shards.window(q, p);
+                    if a == b {
+                        continue;
+                    }
+                    let n = (b - a) as usize;
+                    let mut ef = TrackedFile::open(&self.shards.shard_path(q), Arc::clone(&self.stats))?;
+                    ef.seek(SeekFrom::Start(a * Edge::SIZE as u64))?;
+                    let mut ebuf = vec![0u8; n * Edge::SIZE];
+                    ef.read_exact(&mut ebuf)?;
+                    let mut vf = TrackedFile::open(&self.values_path(q), Arc::clone(&self.stats))?;
+                    vf.seek(SeekFrom::Start(a * esize as u64))?;
+                    let mut vbuf = vec![0u8; n * esize];
+                    vf.read_exact(&mut vbuf)?;
+                    windows.push(Window {
+                        shard: q,
+                        start: a,
+                        edges: graphz_types::codec::decode_slice(&ebuf),
+                        vals_bytes: vbuf,
+                    });
+                }
+
+                // The interval's own out-edges living inside shard p.
+                let (own_a, own_b) = self.shards.window(p, p);
+
+                // Cursors: in-edge permutation, own-window, one per window.
+                let mut pk = 0usize;
+                let mut own_c = own_a as usize;
+                let mut wc: Vec<usize> = vec![0; windows.len()];
+                let mut in_edges: Vec<(VertexId, P::EdgeValue)> = Vec::new();
+                let mut out_slots: Vec<OutEdgeSlot<P::EdgeValue>> = Vec::new();
+                // (buffer id, index): buffer 0 = shard p itself, i+1 = windows[i].
+                let mut out_locs: Vec<(usize, usize)> = Vec::new();
+
+                for v in lo..hi {
+                    in_edges.clear();
+                    while pk < perm.len() && shard_edges[perm[pk] as usize].dst == v {
+                        let idx = perm[pk] as usize;
+                        let val = P::EdgeValue::read_from(&shard_vals_bytes[idx * esize..]);
+                        in_edges.push((shard_edges[idx].src, val));
+                        pk += 1;
+                    }
+
+                    out_slots.clear();
+                    out_locs.clear();
+                    while own_c < own_b as usize && shard_edges[own_c].src == v {
+                        let val = P::EdgeValue::read_from(&shard_vals_bytes[own_c * esize..]);
+                        out_slots.push(OutEdgeSlot { dst: shard_edges[own_c].dst, value: val });
+                        out_locs.push((0, own_c));
+                        own_c += 1;
+                    }
+                    for (wi, w) in windows.iter().enumerate() {
+                        while wc[wi] < w.edges.len() && w.edges[wc[wi]].src == v {
+                            let val = P::EdgeValue::read_from(&w.vals_bytes[wc[wi] * esize..]);
+                            out_slots.push(OutEdgeSlot { dst: w.edges[wc[wi]].dst, value: val });
+                            out_locs.push((wi + 1, wc[wi]));
+                            wc[wi] += 1;
+                        }
+                    }
+
+                    let mut ctx = ChiContext { iteration: iter, num_vertices, changed: false };
+                    self.program.update(
+                        v,
+                        &mut slab[(v - lo) as usize],
+                        &in_edges,
+                        &mut out_slots,
+                        &mut ctx,
+                    );
+                    if ctx.changed {
+                        changed += 1;
+                    }
+                    updates_sent += out_slots.len() as u64;
+
+                    // Copy edge values back into their buffers; writes to
+                    // shard p are visible to later in-edge reads this very
+                    // interval — the asynchronous model.
+                    for (slot, &(buf, idx)) in out_slots.iter().zip(&out_locs) {
+                        if buf == 0 {
+                            slot.value.write_to(&mut shard_vals_bytes[idx * esize..]);
+                        } else {
+                            slot.value.write_to(&mut windows[buf - 1].vals_bytes[idx * esize..]);
+                        }
+                    }
+                }
+
+                // Persist edge values: shard p wholesale, windows at range.
+                {
+                    let mut vf =
+                        TrackedFile::open_rw(&self.values_path(p), Arc::clone(&self.stats))?;
+                    vf.write_all(&shard_vals_bytes)?;
+                }
+                for w in &windows {
+                    let mut vf =
+                        TrackedFile::open_rw(&self.values_path(w.shard), Arc::clone(&self.stats))?;
+                    vf.seek(SeekFrom::Start(w.start * esize as u64))?;
+                    vf.write_all(&w.vals_bytes)?;
+                }
+
+                // Persist interval vertex values.
+                for (i, v) in slab.iter().enumerate() {
+                    v.write_to(&mut slab_bytes[i * vsize..]);
+                }
+                vfile.seek(SeekFrom::Start(lo as u64 * vsize as u64))?;
+                vfile.write_all(&slab_bytes)?;
+            }
+
+            if changed == 0 {
+                converged = true;
+                break;
+            }
+        }
+        vfile.flush()?;
+
+        Ok(BaselineRun {
+            iterations,
+            converged,
+            partitions: p_count,
+            updates_sent,
+            io: self.stats.snapshot() - io_before,
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Final vertex values (already in original id order).
+    pub fn values(&self) -> Result<Vec<P::VertexValue>> {
+        if !self.initialized {
+            return Err(GraphError::InvalidConfig("engine has not run yet".into()));
+        }
+        graphz_io::record::read_records(&self.vertices_path, Arc::clone(&self.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::shards::ShardingConfig;
+    use graphz_io::ScratchDir;
+    use graphz_storage::EdgeListFile;
+
+    /// Every vertex writes `1` on each out-edge each iteration; vertices sum
+    /// their in-edge values. After the run each vertex holds
+    /// `rounds * in_degree` (first iteration reads zeroed edges).
+    struct EdgeCounter {
+        rounds: u32,
+    }
+
+    impl ChiProgram for EdgeCounter {
+        type VertexValue = u64;
+        type EdgeValue = u32;
+
+        fn update(
+            &self,
+            _vid: VertexId,
+            value: &mut u64,
+            in_edges: &[(VertexId, u32)],
+            out_edges: &mut [OutEdgeSlot<u32>],
+            ctx: &mut ChiContext,
+        ) {
+            *value += in_edges.iter().map(|(_, v)| *v as u64).sum::<u64>();
+            if ctx.iteration() < self.rounds {
+                ctx.mark_changed();
+                for e in out_edges.iter_mut() {
+                    e.value = 1;
+                }
+            } else {
+                for e in out_edges.iter_mut() {
+                    e.value = 0;
+                }
+            }
+        }
+    }
+
+    fn sample() -> Vec<Edge> {
+        vec![
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(0, 3),
+            Edge::new(1, 2),
+            Edge::new(2, 0),
+            Edge::new(3, 0),
+            Edge::new(3, 1),
+        ]
+    }
+
+    fn engine(budget: MemoryBudget, rounds: u32) -> (ScratchDir, ChiEngine<EdgeCounter>) {
+        let dir = ScratchDir::new("chi-engine").unwrap();
+        let stats = IoStats::new();
+        let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), sample()).unwrap();
+        let shards = ChiShards::convert(
+            &el,
+            &dir.path().join("chi"),
+            ShardingConfig::new(budget),
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        let cfg = ChiEngineConfig::new(budget);
+        let e = ChiEngine::new(shards, EdgeCounter { rounds }, cfg, stats).unwrap();
+        (dir, e)
+    }
+
+    #[test]
+    fn counts_in_degrees_one_interval() {
+        let (_d, mut e) = engine(MemoryBudget::from_mib(4), 2);
+        let run = e.run(10).unwrap();
+        assert!(run.converged);
+        assert_eq!(run.partitions, 1);
+        // In-degrees 0<-{2,3}=2, 1<-{0,3}=2, 2<-{0,1}=2, 3<-{0}=1.
+        // With the async model within a single interval, writes from earlier
+        // vertices are visible, so the exact totals depend on ordering; the
+        // final stable sum after enough quiet iterations is rounds * indeg
+        // counted over full propagation. Verify against a directly simulated
+        // sequential execution instead of a closed form.
+        let vals = e.values().unwrap();
+        let reference = simulate(sample(), 4, 2, 10);
+        assert_eq!(vals, reference);
+    }
+
+    /// Sequential in-memory simulation of the same async semantics: vertices
+    /// updated in ascending id order, edge writes immediately visible.
+    fn simulate(edges: Vec<Edge>, n: usize, rounds: u32, max_iters: u32) -> Vec<u64> {
+        let mut vals = vec![0u64; n];
+        let mut evals: std::collections::HashMap<(u32, u32), u32> =
+            edges.iter().map(|e| ((e.src, e.dst), 0)).collect();
+        for iter in 0..max_iters {
+            let mut changed = false;
+            for v in 0..n as u32 {
+                let inc: u64 = edges
+                    .iter()
+                    .filter(|e| e.dst == v)
+                    .map(|e| evals[&(e.src, e.dst)] as u64)
+                    .sum();
+                vals[v as usize] += inc;
+                let out_val = if iter < rounds { changed = true; 1 } else { 0 };
+                for e in edges.iter().filter(|e| e.src == v) {
+                    *evals.get_mut(&(e.src, e.dst)).unwrap() = out_val;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        vals
+    }
+
+    #[test]
+    fn multi_interval_matches_single_interval() {
+        let (_d1, mut one) = engine(MemoryBudget::from_mib(4), 3);
+        let (_d2, mut many) = engine(MemoryBudget(96), 3);
+        let r1 = one.run(10).unwrap();
+        let r2 = many.run(10).unwrap();
+        assert_eq!(r1.partitions, 1);
+        assert!(r2.partitions > 1, "expected multiple intervals");
+        // NOTE: async visibility differs across interval layouts (writes to
+        // later intervals land earlier), so iterate to the common fixed
+        // point and compare final values.
+        assert_eq!(one.values().unwrap(), many.values().unwrap());
+    }
+
+    #[test]
+    fn index_exceeds_memory_fails_like_the_paper() {
+        let dir = ScratchDir::new("chi-fail").unwrap();
+        let stats = IoStats::new();
+        let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), sample()).unwrap();
+        let shards = ChiShards::convert(
+            &el,
+            &dir.path().join("chi"),
+            ShardingConfig::new(MemoryBudget(64)),
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        // Index = 5 * 8 = 40 bytes > the entire 32-byte budget.
+        let err = ChiEngine::new(
+            shards,
+            EdgeCounter { rounds: 1 },
+            ChiEngineConfig::new(MemoryBudget(32)),
+            stats,
+        )
+        .err()
+        .expect("construction must fail");
+        assert!(matches!(err, GraphError::IndexExceedsMemory { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn values_before_run_is_an_error() {
+        let (_d, e) = engine(MemoryBudget::from_mib(4), 1);
+        assert!(e.values().is_err());
+    }
+}

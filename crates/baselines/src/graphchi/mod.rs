@@ -1,0 +1,26 @@
+//! A GraphChi-class out-of-core engine (Kyrola et al., OSDI'12), the
+//! paper's primary comparison system.
+//!
+//! Key design points reproduced here:
+//!
+//! * the vertex space is split into **intervals**; each interval owns a
+//!   **shard** holding every edge whose destination is in the interval,
+//!   sorted by source;
+//! * processing interval `p` loads shard `p` completely (the in-edges) plus
+//!   a **sliding window** of every other shard (the interval's out-edges) —
+//!   the "parallel sliding windows" method;
+//! * programs communicate through **static edge values** stored in the
+//!   shards: an update writes its out-edges, a later update reads them as
+//!   in-edges (asynchronous model — values written earlier in the same
+//!   iteration are visible);
+//! * a **dense per-vertex index** (8 bytes/vertex) locates vertex data;
+//!   when that index cannot fit in memory the engine cannot run — the
+//!   failure the paper observes on the xlarge graph (§VI-C).
+
+mod engine;
+mod program;
+mod shards;
+
+pub use engine::{ChiEngine, ChiEngineConfig};
+pub use program::{ChiContext, ChiProgram, OutEdgeSlot};
+pub use shards::{ChiShards, ShardingConfig};

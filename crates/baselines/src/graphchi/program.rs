@@ -1,0 +1,80 @@
+//! The GraphChi programming model: vertex updates over in/out edge values.
+
+use graphz_types::{FixedCodec, VertexId};
+
+/// A writable out-edge presented to `update()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutEdgeSlot<E> {
+    pub dst: VertexId,
+    pub value: E,
+}
+
+/// Per-update context and change tracking.
+pub struct ChiContext {
+    pub(crate) iteration: u32,
+    pub(crate) num_vertices: u64,
+    pub(crate) changed: bool,
+}
+
+impl ChiContext {
+    #[inline]
+    pub fn iteration(&self) -> u32 {
+        self.iteration
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Declare that this vertex's state changed; the engine stops after an
+    /// iteration in which nothing changed.
+    #[inline]
+    pub fn mark_changed(&mut self) {
+        self.changed = true;
+    }
+}
+
+/// A GraphChi-style vertex program.
+///
+/// `update()` receives the values its in-neighbors last wrote on the in-edges
+/// and may overwrite the values on its out-edges; the engine persists edge
+/// values in the shards between invocations. This is the *static message*
+/// model GraphZ's dynamic messages replace: note how every communicated value
+/// occupies shard storage until its destination interval is next processed.
+pub trait ChiProgram: Send + Sync + 'static {
+    type VertexValue: FixedCodec + Default;
+    /// Value stored on every edge.
+    type EdgeValue: FixedCodec + Default + Copy;
+
+    /// Initial vertex value.
+    fn init(&self, _vid: VertexId, _out_degree: u32) -> Self::VertexValue {
+        Self::VertexValue::default()
+    }
+
+    /// The GraphChi `update()`: read `in_edges` (source id + stored value),
+    /// adjust the vertex value, and rewrite `out_edges` values in place.
+    fn update(
+        &self,
+        vid: VertexId,
+        value: &mut Self::VertexValue,
+        in_edges: &[(VertexId, Self::EdgeValue)],
+        out_edges: &mut [OutEdgeSlot<Self::EdgeValue>],
+        ctx: &mut ChiContext,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_change_tracking() {
+        let mut ctx = ChiContext { iteration: 3, num_vertices: 7, changed: false };
+        assert_eq!(ctx.iteration(), 3);
+        assert_eq!(ctx.num_vertices(), 7);
+        assert!(!ctx.changed);
+        ctx.mark_changed();
+        assert!(ctx.changed);
+    }
+}

@@ -1,0 +1,45 @@
+//! The two state-of-the-art out-of-core systems the paper compares GraphZ
+//! against, reimplemented from their published designs so every comparison
+//! in the evaluation is reproducible:
+//!
+//! * [`graphchi`] — a GraphChi-class engine (Kyrola et al., OSDI'12):
+//!   parallel sliding windows over per-interval shards, static edge values,
+//!   a dense per-vertex index, asynchronous execution.
+//! * [`xstream`] — an X-Stream-class engine (Roy et al., SOSP'13):
+//!   edge-centric scatter/gather over streaming partitions, bulk-synchronous
+//!   execution, no vertex index at all.
+//!
+//! As an extension, [`gridgraph`] implements the GridGraph engine
+//! (Zhu et al., ATC'15) that the paper discusses but could not compare
+//! (§VI: runtime failures on large graphs, only three benchmarks shipped).
+//!
+//! All engines run their IO through the same instrumented layer as GraphZ
+//! (`graphz-io`), which makes the paper's IO and energy comparisons (Figs.
+//! 8–9) an apples-to-apples measurement rather than an artifact of different
+//! IO stacks.
+
+pub mod graphchi;
+pub mod gridgraph;
+pub mod xstream;
+
+use std::time::Duration;
+
+use graphz_io::IoSnapshot;
+
+/// Uniform result record shared by both baselines (GraphZ's richer summary
+/// lives in `graphz-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineRun {
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Stopped because an iteration changed nothing.
+    pub converged: bool,
+    /// Number of intervals / streaming partitions used.
+    pub partitions: u32,
+    /// Messages or edge-updates that crossed the engine's buffering layer.
+    pub updates_sent: u64,
+    /// IO charged to the run.
+    pub io: IoSnapshot,
+    /// Wall-clock duration.
+    pub wall: Duration,
+}

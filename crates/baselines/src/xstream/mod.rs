@@ -1,0 +1,26 @@
+//! An X-Stream-class engine (Roy et al., SOSP'13), the paper's second
+//! comparison system.
+//!
+//! X-Stream's bet is that edges vastly outnumber vertices, so edge access
+//! should be purely sequential and *unordered*: edges are never sorted, only
+//! bucketed by source into **streaming partitions**. Each iteration is
+//! strictly bulk-synchronous and edge-centric:
+//!
+//! * **scatter** — stream every partition's edge file; for each edge,
+//!   produce an *update* from the source vertex's (pre-iteration) state,
+//!   appended to the destination partition's update file;
+//! * **gather** — stream every partition's update file, folding updates into
+//!   destination vertex state.
+//!
+//! There is no vertex index at all (Table XI's "X-Stream does not require a
+//! vertex index"), but the BSP model needs more iterations to converge than
+//! the asynchronous engines (Table XIV), and every update is materialized to
+//! storage — the IO the paper's Fig. 9 measures.
+
+mod engine;
+mod partitions;
+mod program;
+
+pub use engine::{XsEngine, XsEngineConfig};
+pub use partitions::XsPartitions;
+pub use program::XsProgram;

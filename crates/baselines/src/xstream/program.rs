@@ -1,0 +1,44 @@
+//! The X-Stream programming model: edge-centric scatter / gather.
+
+use graphz_types::{FixedCodec, VertexId};
+
+/// An edge-centric X-Stream program.
+///
+/// Contrast with GraphZ (vertex-centric `update` + `apply_message`) and
+/// GraphChi (vertex-centric over edge values): here *the edge* is the unit
+/// of computation, which keeps all IO sequential but forces bulk-synchronous
+/// semantics — `scatter` only ever sees vertex state from the previous
+/// iteration.
+pub trait XsProgram: Send + Sync + 'static {
+    type VertexValue: FixedCodec + Default;
+    /// The update record streamed from scatter to gather.
+    type Update: FixedCodec;
+
+    /// Initial vertex state. X-Stream has no vertex index, so the engine
+    /// derives `out_degree` with one counting pass before the first
+    /// iteration.
+    fn init(&self, _vid: VertexId, _out_degree: u32) -> Self::VertexValue {
+        Self::VertexValue::default()
+    }
+
+    /// Edge phase: given the source's (previous-iteration) state, optionally
+    /// emit an update addressed to the edge's destination.
+    fn scatter(
+        &self,
+        src: VertexId,
+        src_value: &Self::VertexValue,
+        dst: VertexId,
+        iteration: u32,
+    ) -> Option<Self::Update>;
+
+    /// Fold an update into the destination's state; return `true` iff the
+    /// state changed (drives convergence detection).
+    fn gather(&self, dst: VertexId, value: &mut Self::VertexValue, update: &Self::Update) -> bool;
+
+    /// Called once per vertex after the gather phase; lets programs finish
+    /// an iteration (e.g. fold accumulated votes into a rank). Return `true`
+    /// iff the state changed.
+    fn post_gather(&self, _vid: VertexId, _value: &mut Self::VertexValue, _iteration: u32) -> bool {
+        false
+    }
+}

@@ -1,0 +1,249 @@
+//! Criterion micro-benchmarks for the substrate pieces whose costs the
+//! paper's design arguments rest on: vertex-index lookups (DOS Eq. 1 vs. a
+//! dense offset array), external sorting (the preprocessing workhorse),
+//! message buffering, and adjacency streaming.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use graphz_core::msgmanager::MsgManager;
+use graphz_core::sio;
+use graphz_extsort::ExternalSorter;
+use graphz_gen::rmat_edges;
+use graphz_io::{record, IoStats, ScratchDir};
+use graphz_storage::{DosConverter, EdgeListFile};
+use graphz_types::{Edge, MemoryBudget};
+
+fn build_dos(edges_n: u64) -> (ScratchDir, graphz_storage::DosGraph) {
+    let dir = ScratchDir::new("bench-dos").unwrap();
+    let stats = IoStats::new();
+    let el = EdgeListFile::create(
+        &dir.file("g.bin"),
+        Arc::clone(&stats),
+        rmat_edges(14, edges_n, Default::default(), 9),
+    )
+    .unwrap();
+    let dos = DosConverter::new(MemoryBudget::from_mib(8), stats)
+        .convert(&el, &dir.path().join("dos"))
+        .unwrap();
+    (dir, dos)
+}
+
+/// DOS Eq. 1 lookup (binary search over unique degrees) vs. a dense offset
+/// array (direct indexing): the paper's trade of computation for memory.
+fn bench_index_lookup(c: &mut Criterion) {
+    let (_dir, dos) = build_dos(100_000);
+    let index = dos.index().clone();
+    let n = dos.meta().num_vertices as u32;
+    // Dense equivalent.
+    let dense: Vec<u64> = (0..n).map(|v| index.offset_of(v)).collect();
+
+    let mut group = c.benchmark_group("index_lookup");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("dos_eq1", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u32 {
+                let v = (i * 2654435761) % n;
+                acc = acc.wrapping_add(index.offset_of(v));
+            }
+            acc
+        })
+    });
+    group.bench_function("dense_array", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u32 {
+                let v = (i * 2654435761) % n;
+                acc = acc.wrapping_add(dense[v as usize]);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// External sort throughput at an out-of-core budget (many runs + merge).
+fn bench_extsort(c: &mut Criterion) {
+    let edges: Vec<Edge> = rmat_edges(14, 50_000, Default::default(), 4).collect();
+    let mut group = c.benchmark_group("extsort");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("sort_50k_edges_64k_budget", |b| {
+        b.iter_batched(
+            || {
+                let dir = ScratchDir::new("bench-sort").unwrap();
+                let stats = IoStats::new();
+                record::write_records(&dir.file("in.bin"), Arc::clone(&stats), &edges).unwrap();
+                (dir, stats)
+            },
+            |(dir, stats)| {
+                let scratch = ScratchDir::new("bench-sort-scratch").unwrap();
+                ExternalSorter::new(
+                    |e: &Edge| (e.src, e.dst),
+                    MemoryBudget::from_kib(64),
+                    stats,
+                )
+                .sort_file(&dir.file("in.bin"), &dir.file("out.bin"), &scratch)
+                .unwrap();
+                dir
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// MsgManager enqueue + spill + drain cycle (the dynamic-message slow path).
+fn bench_msgmanager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msgmanager");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("enqueue_drain_10k_spilling", |b| {
+        b.iter_batched(
+            || ScratchDir::new("bench-msg").unwrap(),
+            |dir| {
+                let mut m: MsgManager<f32> =
+                    MsgManager::new(dir.path().join("m"), 4, 4096, IoStats::new()).unwrap();
+                for i in 0..10_000u32 {
+                    m.enqueue(i % 4, i, i as f32).unwrap();
+                }
+                let mut acc = 0f32;
+                for p in 0..4 {
+                    m.drain(p, |_, v| acc += v).unwrap();
+                }
+                (dir, acc)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Sio + Dispatcher streaming over a partition, inline vs. pipelined.
+fn bench_sio(c: &mut Criterion) {
+    let (_dir, dos) = build_dos(200_000);
+    let stats = IoStats::new();
+    let n = dos.meta().num_vertices as u32;
+    let degrees: Vec<u32> = (0..n).map(|v| dos.index().degree_of(v)).collect();
+    let edges_path = dos.edges_path();
+
+    let mut group = c.benchmark_group("sio_stream");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(dos.meta().num_edges));
+    for (label, pipelined) in [("inline", false), ("pipelined", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let stream = sio::stream_partition(
+                    &edges_path,
+                    0,
+                    0,
+                    degrees.clone(),
+                    sio::DEFAULT_BATCH_EDGES,
+                    Arc::clone(&stats),
+                    pipelined,
+                )
+                .unwrap();
+                let mut acc = 0u64;
+                for batch in stream {
+                    let batch = batch.unwrap();
+                    acc += batch.edges.len() as u64;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DOS conversion cost per pass count (Table XII's GraphZ column is three
+/// external sorts; this isolates the total conversion throughput).
+fn bench_dos_conversion(c: &mut Criterion) {
+    let edges: Vec<Edge> = rmat_edges(13, 30_000, Default::default(), 6).collect();
+    let mut group = c.benchmark_group("dos_conversion");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("convert_30k_edges", |b| {
+        b.iter_batched(
+            || {
+                let dir = ScratchDir::new("bench-dosconv").unwrap();
+                let stats = IoStats::new();
+                let el =
+                    EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges.clone())
+                        .unwrap();
+                (dir, el, stats)
+            },
+            |(dir, el, stats)| {
+                DosConverter::new(MemoryBudget::from_kib(256), stats)
+                    .convert(&el, &dir.path().join("dos"))
+                    .unwrap();
+                dir
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Weighted vs unweighted adjacency streaming: what the parallel weight
+/// file costs per edge.
+fn bench_weighted_stream(c: &mut Criterion) {
+    let dir = ScratchDir::new("bench-wstream").unwrap();
+    let stats = IoStats::new();
+    let el = EdgeListFile::create(
+        &dir.file("g.bin"),
+        Arc::clone(&stats),
+        rmat_edges(14, 100_000, Default::default(), 12),
+    )
+    .unwrap();
+    let plain = DosConverter::new(MemoryBudget::from_mib(4), Arc::clone(&stats))
+        .convert(&el, &dir.path().join("dos"))
+        .unwrap();
+    let weighted = DosConverter::new(MemoryBudget::from_mib(4), Arc::clone(&stats))
+        .with_weights(graphz_types::derive_weight)
+        .convert(&el, &dir.path().join("dos-w"))
+        .unwrap();
+    let n = plain.meta().num_vertices as u32;
+    let degrees: Vec<u32> = (0..n).map(|v| plain.index().degree_of(v)).collect();
+
+    let mut group = c.benchmark_group("adjacency_stream");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(plain.meta().num_edges));
+    for (label, graph) in [("unweighted", &plain), ("weighted", &weighted)] {
+        let weights_path = graph.weights_path();
+        let edges_path = graph.edges_path();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let stream = sio::stream_partition_weighted(
+                    &edges_path,
+                    weights_path.as_deref(),
+                    0,
+                    0,
+                    degrees.clone(),
+                    sio::DEFAULT_BATCH_EDGES,
+                    Arc::clone(&stats),
+                    false,
+                )
+                .unwrap();
+                let mut acc = 0u64;
+                for batch in stream {
+                    let batch = batch.unwrap();
+                    acc += batch.edges.len() as u64 + batch.weights.len() as u64;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_lookup,
+    bench_extsort,
+    bench_msgmanager,
+    bench_sio,
+    bench_dos_conversion,
+    bench_weighted_stream
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Design-choice ablations: block size, pipelining, fast path, selective
+//! scheduling. Not a paper figure; see DESIGN.md §5.
+fn main() {
+    let harness = graphz_bench::Harness::new();
+    match graphz_bench::experiments::ablations::report(&harness) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

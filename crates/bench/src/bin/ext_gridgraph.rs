@@ -1,0 +1,11 @@
+//! Extension experiment: the GridGraph comparison the paper could not run.
+fn main() {
+    let harness = graphz_bench::Harness::new();
+    match graphz_bench::experiments::ext_gridgraph::report(&harness) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

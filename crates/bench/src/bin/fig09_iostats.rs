@@ -1,0 +1,11 @@
+//! Regenerates one paper experiment; see the module docs for details.
+fn main() {
+    let harness = graphz_bench::Harness::new();
+    match graphz_bench::experiments::fig09_iostats::report(&harness) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

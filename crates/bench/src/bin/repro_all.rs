@@ -1,0 +1,71 @@
+//! Runs the complete evaluation — every table and figure of the paper — and
+//! writes the combined report to `EXPERIMENTS_RESULTS.txt` in the current
+//! directory (stdout gets a copy as it goes).
+//!
+//! ```sh
+//! cargo run --release -p graphz-bench --bin repro_all
+//! ```
+//!
+//! Environment knobs: `GRAPHZ_BUDGET_MIB` (default 8) sets the memory
+//! budget standing in for the paper machine's RAM; `GRAPHZ_QUICK=1` shrinks
+//! every graph 8x for a fast smoke run; `GRAPHZ_CACHE` relocates the
+//! generated-graph cache.
+
+use std::io::Write;
+use std::time::Instant;
+
+use graphz_bench::{experiments as exp, Harness};
+use graphz_types::Result;
+
+fn main() {
+    let start = Instant::now();
+    let harness = Harness::new();
+    type Section = (&'static str, Box<dyn Fn(&Harness) -> Result<String>>);
+    let sections: Vec<Section> = vec![
+        ("Table I", Box::new(|_| exp::loc::table01())),
+        ("Table II", Box::new(exp::table02_pr_time::report)),
+        ("Table VIII", Box::new(exp::table08_unique_degrees::report)),
+        ("Table IX", Box::new(|_| exp::loc::table09())),
+        ("Table X", Box::new(exp::table10_graphs::report)),
+        ("Table XI", Box::new(exp::table11_index_size::report)),
+        ("Table XII", Box::new(exp::table12_preprocessing::report)),
+        ("Fig. 2", Box::new(exp::fig02_inpartition_cdf::report)),
+        ("Fig. 5", Box::new(exp::fig05_xlarge::report)),
+        ("Fig. 6", Box::new(exp::fig06_runtimes::report)),
+        ("Fig. 7", Box::new(exp::fig07_breakdown::report)),
+        ("Fig. 8 / Table XIII", Box::new(exp::fig08_energy::report)),
+        ("Fig. 9", Box::new(exp::fig09_iostats::report)),
+        ("Table XIV", Box::new(exp::table14_iterations::report)),
+        ("Extension: GridGraph", Box::new(exp::ext_gridgraph::report)),
+        ("Ablations", Box::new(exp::ablations::report)),
+    ];
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "GraphZ reproduction — full evaluation run\nbudget: {}\n",
+        graphz_bench::default_budget()
+    ));
+    let mut failures = 0;
+    for (name, f) in sections {
+        eprintln!(">>> {name} ({:.0?} elapsed)", start.elapsed());
+        match f(&harness) {
+            Ok(section) => {
+                println!("{section}");
+                report.push_str(&section);
+            }
+            Err(e) => {
+                failures += 1;
+                let msg = format!("\n== {name} FAILED: {e} ==\n");
+                eprintln!("{msg}");
+                report.push_str(&msg);
+            }
+        }
+    }
+    report.push_str(&format!("\nTotal evaluation time: {:.1?}\n", start.elapsed()));
+    let mut out = std::fs::File::create("EXPERIMENTS_RESULTS.txt").expect("create report file");
+    out.write_all(report.as_bytes()).expect("write report");
+    eprintln!("report written to EXPERIMENTS_RESULTS.txt ({:.1?})", start.elapsed());
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table I (LOC to implement PageRank).
+fn main() {
+    print!("{}", graphz_bench::experiments::loc::table01().unwrap());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table IX (LOC per benchmark per engine).
+fn main() {
+    print!("{}", graphz_bench::experiments::loc::table09().unwrap());
+}

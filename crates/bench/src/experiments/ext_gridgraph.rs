@@ -1,0 +1,78 @@
+//! Extension experiment (not a paper figure): the GridGraph comparison the
+//! paper could not run (§VI: "GridGraph produces a runtime failure when it
+//! tries to ingest our largest graphs; and GridGraph's open source release
+//! only contains three of the six benchmarks").
+//!
+//! Our GridGraph-class engine ingests every graph and runs all six
+//! benchmarks, so both of the paper's blockers are lifted. The headline
+//! comparison below covers the three benchmarks the original release
+//! shipped (BFS, PR, CC) on the large and xlarge graphs, plus the other
+//! three for completeness.
+
+use graphz_algos::Algorithm;
+use graphz_gen::GraphSize;
+use graphz_io::DeviceKind;
+use graphz_types::{GraphError, Result};
+
+use crate::{default_budget, fmt_duration, harmonic_mean, modeled_time, Harness, Table};
+use graphz_algos::runner::EngineKind;
+
+pub fn report(h: &Harness) -> Result<String> {
+    let budget = default_budget();
+    let mut out = String::new();
+    for size in [GraphSize::Large, GraphSize::XLarge] {
+        let mut t = Table::new(
+            &format!("Extension ({size}): GridGraph vs the paper's systems (modeled HDD)"),
+            &["Benchmark", "GraphChi", "X-Stream", "GridGraph", "GraphZ", "GraphZ / GridGraph"],
+        );
+        let mut speedups = Vec::new();
+        for algo in Algorithm::all() {
+            let mut cells = vec![algo.to_string()];
+            let mut grid_time = None;
+            let mut gz_time = None;
+            for engine in [
+                EngineKind::GraphChi,
+                EngineKind::XStream,
+                EngineKind::GridGraph,
+                EngineKind::GraphZ,
+            ] {
+                match h.run(engine, size, algo, budget) {
+                    Ok(o) => {
+                        let time = modeled_time(&o, DeviceKind::Hdd);
+                        if engine == EngineKind::GridGraph {
+                            grid_time = Some(time);
+                        }
+                        if engine == EngineKind::GraphZ {
+                            gz_time = Some(time);
+                        }
+                        cells.push(fmt_duration(time));
+                    }
+                    Err(GraphError::IndexExceedsMemory { .. }) => cells.push("fails".into()),
+                    Err(e) => return Err(e),
+                }
+            }
+            match (grid_time, gz_time) {
+                (Some(g), Some(z)) => {
+                    let s = g.as_secs_f64() / z.as_secs_f64();
+                    speedups.push(s);
+                    cells.push(format!("{s:.2}x"));
+                }
+                _ => cells.push("-".into()),
+            }
+            t.row(cells);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "Harmonic-mean GraphZ speedup over GridGraph: {:.2}x.\n",
+            harmonic_mean(&speedups)
+        ));
+    }
+    out.push_str(
+        "\nGridGraph materializes no update files (unlike X-Stream) and skips quiet\n\
+         blocks, but re-streams source vertex chunks per grid column and still has no\n\
+         answer to the vertex-index problem GraphZ's DOS removes. The original release's\n\
+         ingest failure and 3-of-6 benchmark coverage (the paper's reasons for skipping\n\
+         it) do not apply to this reimplementation.\n",
+    );
+    Ok(out)
+}

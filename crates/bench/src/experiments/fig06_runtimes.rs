@@ -1,0 +1,84 @@
+//! Fig. 6: run times for the large, medium, and small graphs across the
+//! memory-budget sweep ("RAM" axis), per benchmark and engine, with both
+//! device models derived from each run's single measured IO trace.
+
+use graphz_algos::runner::{AlgoOutcome, EngineKind};
+use graphz_algos::Algorithm;
+use graphz_gen::GraphSize;
+use graphz_io::DeviceKind;
+use graphz_types::{GraphError, MemoryBudget, Result};
+
+use crate::{budget_sweep, fmt_duration, harmonic_mean, modeled_time, Harness, Table};
+
+const ENGINES: [EngineKind; 3] = [EngineKind::GraphChi, EngineKind::XStream, EngineKind::GraphZ];
+
+pub fn report(h: &Harness) -> Result<String> {
+    let mut out = String::new();
+    for size in [GraphSize::Large, GraphSize::Medium, GraphSize::Small] {
+        out.push_str(&report_for(h, size, &budget_sweep())?);
+    }
+    Ok(out)
+}
+
+pub fn report_for(h: &Harness, size: GraphSize, budgets: &[MemoryBudget]) -> Result<String> {
+    let mut t = Table::new(
+        &format!("Fig. 6 ({size}): run time, modeled HDD / modeled SSD"),
+        &["Benchmark", "Budget", "GraphChi", "X-Stream", "GraphZ", "GraphZ speedup (chi, xs @HDD)"],
+    );
+    // Speedups at the largest budget, for the harmonic-mean summary.
+    let top_budget = *budgets.last().expect("need at least one budget");
+    let mut chi_speedups = Vec::new();
+    let mut xs_speedups = Vec::new();
+
+    for algo in Algorithm::all() {
+        for &budget in budgets {
+            let mut cells = vec![algo.to_string(), budget.to_string()];
+            let runs: Vec<std::result::Result<AlgoOutcome, GraphError>> =
+                ENGINES.iter().map(|&e| h.run(e, size, algo, budget)).collect();
+            for run in &runs {
+                cells.push(match run {
+                    Ok(o) => format!(
+                        "{} / {}",
+                        fmt_duration(modeled_time(o, DeviceKind::Hdd)),
+                        fmt_duration(modeled_time(o, DeviceKind::Ssd))
+                    ),
+                    Err(GraphError::IndexExceedsMemory { .. }) => "fails".into(),
+                    Err(e) => format!("error: {e}"),
+                });
+            }
+            let gz = runs[2].as_ref().ok().map(|o| modeled_time(o, DeviceKind::Hdd));
+            let mut speedup_cell = String::from("-");
+            if let (Some(gz_t), Ok(xs)) = (gz, &runs[1]) {
+                let xs_speed = modeled_time(xs, DeviceKind::Hdd).as_secs_f64() / gz_t.as_secs_f64();
+                let chi_part = match &runs[0] {
+                    Ok(chi) => {
+                        let s =
+                            modeled_time(chi, DeviceKind::Hdd).as_secs_f64() / gz_t.as_secs_f64();
+                        if budget == top_budget {
+                            chi_speedups.push(s);
+                        }
+                        format!("{s:.2}x")
+                    }
+                    Err(_) => "-".into(),
+                };
+                if budget == top_budget {
+                    xs_speedups.push(xs_speed);
+                }
+                speedup_cell = format!("{chi_part}, {xs_speed:.2}x");
+            }
+            cells.push(speedup_cell);
+            t.row(cells);
+        }
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nHarmonic-mean GraphZ speedup at {top_budget} (HDD model): {} vs GraphChi, {:.2}x vs X-Stream.\n",
+        if chi_speedups.is_empty() {
+            "n/a (GraphChi failed)".to_string()
+        } else {
+            format!("{:.2}x", harmonic_mean(&chi_speedups))
+        },
+        harmonic_mean(&xs_speedups),
+    ));
+    Ok(out)
+}

@@ -1,0 +1,65 @@
+//! Fig. 9: explicit IO statistics — reads and writes for PageRank and BFS
+//! on the large graph, per engine. This is the direct evidence for the
+//! paper's thesis that DOS + dynamic messages reduce the IO burden.
+
+use graphz_algos::Algorithm;
+use graphz_gen::GraphSize;
+use graphz_types::{GraphError, Result};
+
+use crate::{default_budget, fmt_bytes, fmt_count, Harness, Table};
+use graphz_algos::runner::EngineKind;
+
+pub fn report(h: &Harness) -> Result<String> {
+    let budget = default_budget();
+    let mut t = Table::new(
+        "Fig. 9: IO statistics, large graph",
+        &["Benchmark", "Engine", "Read ops", "Bytes read", "Write ops", "Bytes written", "Seeks"],
+    );
+    let mut ratios = String::new();
+    for algo in [Algorithm::PageRank, Algorithm::Bfs] {
+        let mut gz_reads = 0u64;
+        let mut others: Vec<(EngineKind, u64)> = Vec::new();
+        for engine in [EngineKind::GraphChi, EngineKind::XStream, EngineKind::GraphZ] {
+            match h.run(engine, GraphSize::Large, algo, budget) {
+                Ok(o) => {
+                    if engine == EngineKind::GraphZ {
+                        gz_reads = o.io.bytes_read;
+                    } else {
+                        others.push((engine, o.io.bytes_read));
+                    }
+                    t.row(vec![
+                        algo.to_string(),
+                        engine.to_string(),
+                        fmt_count(o.io.read_ops),
+                        fmt_bytes(o.io.bytes_read),
+                        fmt_count(o.io.write_ops),
+                        fmt_bytes(o.io.bytes_written),
+                        fmt_count(o.io.seeks),
+                    ]);
+                }
+                Err(GraphError::IndexExceedsMemory { .. }) => {
+                    t.row(vec![
+                        algo.to_string(),
+                        engine.to_string(),
+                        "fails".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for (engine, reads) in others {
+            ratios.push_str(&format!(
+                "{algo}: GraphZ reads {:.2}x fewer bytes than {engine}\n",
+                reads as f64 / gz_reads.max(1) as f64
+            ));
+        }
+    }
+    let mut out = t.render();
+    out.push('\n');
+    out.push_str(&ratios);
+    Ok(out)
+}

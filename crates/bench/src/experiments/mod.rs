@@ -1,0 +1,41 @@
+//! One module per paper table/figure. Every module exposes
+//! `report(&Harness) -> Result<String>` producing the experiment's tables;
+//! the `src/bin/*` wrappers print a single experiment and `repro-all`
+//! composes them into EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod ext_gridgraph;
+pub mod fig02_inpartition_cdf;
+pub mod fig05_xlarge;
+pub mod fig06_runtimes;
+pub mod fig07_breakdown;
+pub mod fig08_energy;
+pub mod fig09_iostats;
+pub mod loc;
+pub mod table02_pr_time;
+pub mod table08_unique_degrees;
+pub mod table10_graphs;
+pub mod table11_index_size;
+pub mod table12_preprocessing;
+pub mod table14_iterations;
+
+/// Lines of code the way the paper counts them: non-blank, non-comment
+/// source lines.
+pub fn loc_of(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && !l.starts_with('*'))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_skips_blanks_and_comments() {
+        let src = "// comment\n\nfn main() {\n    //! doc\n    let x = 1;\n}\n";
+        assert_eq!(loc_of(src), 3);
+    }
+}

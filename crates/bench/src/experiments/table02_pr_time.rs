@@ -1,0 +1,66 @@
+//! Table II: time to execute PageRank — plain in-memory implementation vs.
+//! GraphChi vs. GraphZ, for a graph that fits in memory and one that does
+//! not. Reproduces §II-B's McSherry-style comparison: frameworks lose
+//! in-core but win decisively out-of-core.
+
+use graphz_algos::Algorithm;
+use graphz_gen::GraphSize;
+use graphz_io::DeviceKind;
+use graphz_types::Result;
+
+use crate::{default_budget, fmt_duration, modeled_time, Harness, Table};
+use graphz_algos::runner::EngineKind;
+
+pub fn report(h: &Harness) -> Result<String> {
+    let budget = default_budget();
+    let mut t = Table::new(
+        "Table II: Time to Execute PageRank (wall | modeled SSD)",
+        &["Graph", "plain (in-memory)", "GraphChi", "GraphZ"],
+    );
+    for (label, size) in [("in memory (small)", GraphSize::Small), ("out-of-core (large)", GraphSize::Large)]
+    {
+        let mut cells = vec![label.to_string()];
+        for engine in [EngineKind::Reference, EngineKind::GraphChi, EngineKind::GraphZ] {
+            let cell = match h.run(engine, size, Algorithm::PageRank, budget) {
+                Ok(o) => {
+                    let mut cell = format!(
+                        "{} | {}",
+                        fmt_duration(o.wall),
+                        fmt_duration(modeled_time(&o, DeviceKind::Ssd))
+                    );
+                    if engine == EngineKind::Reference {
+                        // The plain implementation holds the whole graph in
+                        // RAM; flag when that exceeds the machine's budget
+                        // (it literally could not run on the paper's setup).
+                        let resident = h.edgelist(size)?.meta().edge_bytes();
+                        if resident > budget.bytes() {
+                            cell.push_str(&format!(
+                                " (needs {} resident > budget!)",
+                                crate::fmt_bytes(resident)
+                            ));
+                        }
+                    }
+                    cell
+                }
+                Err(e) => short_err(&e),
+            };
+            cells.push(cell);
+        }
+        t.row(cells);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "\nNote: the plain implementation pays no out-of-core book-keeping and wins\n\
+         in-memory (paper: ~3x), but on the large graph it silently assumes RAM the\n\
+         machine does not have — the paper's hand-written out-of-core C (500 LOC) was\n\
+         ~1.9x slower than GraphZ. The frameworks are what make out-of-core tractable.\n",
+    );
+    Ok(out)
+}
+
+pub(crate) fn short_err(e: &graphz_types::GraphError) -> String {
+    match e {
+        graphz_types::GraphError::IndexExceedsMemory { .. } => "fails (index > memory)".into(),
+        other => format!("error: {other}"),
+    }
+}

@@ -1,0 +1,37 @@
+//! Table VIII: unique out-degrees are orders of magnitude fewer than
+//! vertices on natural graphs. The SNAP datasets cannot be redistributed,
+//! so each row is a scaled R-MAT analogue with the original's density
+//! (DESIGN.md §3); Claim 1's bound is checked alongside.
+
+use std::sync::Arc;
+
+use graphz_gen::GraphSpec;
+use graphz_storage::dos::unique_degree_bound;
+use graphz_types::Result;
+
+use crate::{fmt_count, Harness, Table};
+
+pub fn report(h: &Harness) -> Result<String> {
+    let mut t = Table::new(
+        "Table VIII: SNAP graph analogues — unique degrees vs. vertices",
+        &["Graph (analogue)", "Vertices", "Edges", "Unique degrees", "Claim-1 bound 2*sqrt(E)", "V / UD"],
+    );
+    for spec in GraphSpec::snap_analogues() {
+        let el = spec.ensure(h.cache_dir(), Arc::clone(&h.stats))?;
+        let m = el.meta();
+        assert!(
+            m.unique_degrees <= unique_degree_bound(m.num_edges),
+            "Claim 1 violated on {}",
+            spec.name
+        );
+        t.row(vec![
+            spec.name.into(),
+            fmt_count(m.num_vertices),
+            fmt_count(m.num_edges),
+            fmt_count(m.unique_degrees),
+            fmt_count(unique_degree_bound(m.num_edges)),
+            format!("{:.0}x", m.num_vertices as f64 / m.unique_degrees as f64),
+        ]);
+    }
+    Ok(t.render())
+}

@@ -1,0 +1,30 @@
+//! Table X: properties of the evaluation graphs, including how far each
+//! exceeds the memory budget (the paper's in-memory / 1.5x / 4x / 12x
+//! ladder).
+
+use graphz_gen::GraphSize;
+use graphz_types::Result;
+
+use crate::{default_budget, fmt_bytes, fmt_count, Harness, Table};
+
+pub fn report(h: &Harness) -> Result<String> {
+    let budget = default_budget();
+    let mut t = Table::new(
+        &format!("Table X: Graph Properties (budget = {budget})"),
+        &["Graph", "Analogue", "Vertices", "Edges", "Edge bytes", "x budget", "Unique degrees"],
+    );
+    for size in GraphSize::all() {
+        let el = h.edgelist(size)?;
+        let m = el.meta();
+        t.row(vec![
+            size.name().into(),
+            size.analogue().into(),
+            fmt_count(m.num_vertices),
+            fmt_count(m.num_edges),
+            fmt_bytes(m.edge_bytes()),
+            format!("{:.1}x", m.edge_bytes() as f64 / budget.bytes() as f64),
+            fmt_count(m.unique_degrees),
+        ]);
+    }
+    Ok(t.render())
+}

@@ -1,0 +1,536 @@
+//! Implementation of the `graphz` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `graphz generate <out.bin> --scale N --edges M [--seed S]` — emit a
+//!   deterministic R-MAT edge list.
+//! * `graphz import <edges.txt> <out.bin>` — convert SNAP-style text.
+//! * `graphz convert <edges.bin> <dos-dir>` — build degree-ordered storage.
+//! * `graphz info <dos-dir | edges.bin>` — print metadata and index sizes.
+//! * `graphz run <algo> <dos-dir> [--budget-mib B] [--source V]
+//!   [--iterations N] [--top K]` — run an algorithm out-of-core and print
+//!   the top-K vertices.
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy keeps
+//! clap out of the runtime tree); see [`parse`] for the grammar.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use graphz_algos::runner;
+use graphz_algos::{AlgoParams, Algorithm, AlgoValues};
+use graphz_io::IoStats;
+use graphz_storage::{DosGraph, EdgeListFile};
+use graphz_types::{GraphError, MemoryBudget, Result};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Generate { out: PathBuf, scale: u32, edges: u64, seed: u64 },
+    Import { text: PathBuf, out: PathBuf },
+    Convert { edges: PathBuf, dos_dir: PathBuf, budget_mib: u64, weighted: bool },
+    Info { path: PathBuf },
+    Verify { dos_dir: PathBuf },
+    Stats { edges: PathBuf },
+    Run {
+        algo: Algorithm,
+        dos_dir: PathBuf,
+        budget_mib: u64,
+        source: u32,
+        iterations: u32,
+        top: usize,
+    },
+    Help,
+}
+
+pub const USAGE: &str = "graphz — out-of-core graph analytics (GraphZ, ICDE'18)
+
+USAGE:
+  graphz generate <out.bin> --scale N --edges M [--seed S]
+  graphz import   <edges.txt | matrix.mtx> <out.bin>
+  graphz convert  <edges.bin> <dos-dir> [--budget-mib B] [--weighted]
+  graphz info     <dos-dir | edges.bin>
+  graphz verify   <dos-dir>
+  graphz stats    <edges.bin>
+  graphz run      <pr|bfs|cc|sssp|bp|rw> <dos-dir>
+                  [--budget-mib B] [--source V] [--iterations N] [--top K]
+  graphz help
+";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| GraphError::InvalidConfig(format!("bad value for {flag}: `{raw}`"))),
+    }
+}
+
+fn positional(args: &[String], idx: usize, what: &str) -> Result<PathBuf> {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // Skip flag values: an arg immediately following a --flag.
+            let pos = args.iter().position(|x| x == *a).unwrap();
+            pos == 0 || !args[pos - 1].starts_with("--")
+        })
+        .nth(idx)
+        .map(PathBuf::from)
+        .ok_or_else(|| GraphError::InvalidConfig(format!("missing argument: {what}")))
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => Ok(Command::Generate {
+            out: positional(rest, 0, "<out.bin>")?,
+            scale: parse_flag(rest, "--scale", 14)?,
+            edges: parse_flag(rest, "--edges", 100_000)?,
+            seed: parse_flag(rest, "--seed", 42)?,
+        }),
+        "import" => Ok(Command::Import {
+            text: positional(rest, 0, "<edges.txt>")?,
+            out: positional(rest, 1, "<out.bin>")?,
+        }),
+        "convert" => Ok(Command::Convert {
+            edges: positional(rest, 0, "<edges.bin>")?,
+            dos_dir: positional(rest, 1, "<dos-dir>")?,
+            budget_mib: parse_flag(rest, "--budget-mib", 8)?,
+            weighted: rest.iter().any(|a| a == "--weighted"),
+        }),
+        "info" => Ok(Command::Info { path: positional(rest, 0, "<path>")? }),
+        "verify" => Ok(Command::Verify { dos_dir: positional(rest, 0, "<dos-dir>")? }),
+        "stats" => Ok(Command::Stats { edges: positional(rest, 0, "<edges.bin>")? }),
+        "run" => {
+            let algo_raw = positional(rest, 0, "<algorithm>")?;
+            let algo = match algo_raw.to_string_lossy().to_lowercase().as_str() {
+                "pr" | "pagerank" => Algorithm::PageRank,
+                "bfs" => Algorithm::Bfs,
+                "cc" => Algorithm::Cc,
+                "sssp" => Algorithm::Sssp,
+                "bp" => Algorithm::Bp,
+                "rw" | "randomwalk" => Algorithm::RandomWalk,
+                other => {
+                    return Err(GraphError::InvalidConfig(format!("unknown algorithm `{other}`")))
+                }
+            };
+            Ok(Command::Run {
+                algo,
+                dos_dir: positional(rest, 1, "<dos-dir>")?,
+                budget_mib: parse_flag(rest, "--budget-mib", 8)?,
+                source: parse_flag(rest, "--source", 0)?,
+                iterations: parse_flag(rest, "--iterations", 100)?,
+                top: parse_flag(rest, "--top", 10)?,
+            })
+        }
+        other => Err(GraphError::InvalidConfig(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Execute a parsed command; returns the text to print.
+pub fn execute(cmd: Command) -> Result<String> {
+    let stats = IoStats::new();
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate { out, scale, edges, seed } => {
+            let el = EdgeListFile::create(
+                &out,
+                Arc::clone(&stats),
+                graphz_gen::rmat_edges(scale, edges, Default::default(), seed),
+            )?;
+            let m = el.meta();
+            Ok(format!(
+                "wrote {}: {} vertices, {} edges, {} unique degrees\n",
+                out.display(),
+                m.num_vertices,
+                m.num_edges,
+                m.unique_degrees
+            ))
+        }
+        Command::Import { text, out } => {
+            // `.mtx` files go through the Matrix Market reader; anything
+            // else is treated as SNAP-style `src dst` text.
+            let el = if text.extension().is_some_and(|e| e == "mtx") {
+                EdgeListFile::import_matrix_market(&text, &out, Arc::clone(&stats))?
+            } else {
+                EdgeListFile::import_text(&text, &out, Arc::clone(&stats))?
+            };
+            Ok(format!(
+                "imported {} edges over {} vertices into {}\n",
+                el.meta().num_edges,
+                el.meta().num_vertices,
+                out.display()
+            ))
+        }
+        Command::Convert { edges, dos_dir, budget_mib, weighted } => {
+            let el = EdgeListFile::open(&edges)?;
+            let mut converter = graphz_storage::DosConverter::new(
+                MemoryBudget::from_mib(budget_mib),
+                Arc::clone(&stats),
+            );
+            if weighted {
+                // Deterministic weights derived from original endpoint ids.
+                converter = converter.with_weights(graphz_types::derive_weight);
+            }
+            let dos = converter.convert(&el, &dos_dir)?;
+            Ok(format!(
+                "converted to degree-ordered storage at {}\n\
+                 index: {} bytes for {} unique degrees (dense CSR would need {} bytes)\n",
+                dos_dir.display(),
+                dos.index().index_bytes(),
+                dos.index().unique_degrees(),
+                (dos.meta().num_vertices + 1) * 8
+            ))
+        }
+        Command::Info { path } => {
+            if path.is_dir() {
+                let dos = DosGraph::open(&path, Arc::clone(&stats))?;
+                let m = dos.meta();
+                Ok(format!(
+                    "degree-ordered storage at {}\n\
+                     vertices: {}\nedges: {}\nunique degrees: {}\nmax degree: {}\n\
+                     index bytes: {}\n",
+                    path.display(),
+                    m.num_vertices,
+                    m.num_edges,
+                    m.unique_degrees,
+                    m.max_degree,
+                    dos.index().index_bytes()
+                ))
+            } else {
+                let el = EdgeListFile::open(&path)?;
+                let m = el.meta();
+                Ok(format!(
+                    "edge list at {}\nvertices: {}\nedges: {}\nunique degrees: {}\nmax degree: {}\n",
+                    path.display(),
+                    m.num_vertices,
+                    m.num_edges,
+                    m.unique_degrees,
+                    m.max_degree
+                ))
+            }
+        }
+        Command::Verify { dos_dir } => {
+            let report = graphz_storage::verify_dos(&dos_dir, Arc::clone(&stats))?;
+            if report.is_clean() {
+                Ok(format!("{}: OK\n", dos_dir.display()))
+            } else {
+                let mut out = format!(
+                    "{}: {} violation(s)\n",
+                    dos_dir.display(),
+                    report.violations.len()
+                );
+                for v in &report.violations {
+                    out.push_str(&format!("  {v}\n"));
+                }
+                Err(GraphError::Corrupt(out))
+            }
+        }
+        Command::Stats { edges } => {
+            let el = EdgeListFile::open(&edges)?;
+            Ok(degree_stats(&el, &stats)?)
+        }
+        Command::Run { algo, dos_dir, budget_mib, source, iterations, top } => {
+            let dos = DosGraph::open(&dos_dir, Arc::clone(&stats))?;
+            let params = AlgoParams::new(algo)
+                .with_source(source)
+                .with_max_iterations(iterations);
+            let budget = MemoryBudget::from_mib(budget_mib);
+            let outcome = runner::run_graphz(&dos, &params, budget, Arc::clone(&stats))?;
+            let mut out = format!(
+                "{algo} on {}: {} iterations ({}), {} partitions, {} messages\n\
+                 io: {} read / {} written / {} seeks, wall {:?}\n",
+                dos_dir.display(),
+                outcome.iterations,
+                if outcome.converged { "converged" } else { "hit iteration cap" },
+                outcome.partitions,
+                outcome.messages,
+                outcome.io.bytes_read,
+                outcome.io.bytes_written,
+                outcome.io.seeks,
+                outcome.wall,
+            );
+            out.push_str(&render_top(&outcome.values, top));
+            Ok(out)
+        }
+    }
+}
+
+/// The §III-D analysis as a tool: degree distribution, unique-degree count
+/// against Claim 1's bound, and a rough power-law tail exponent.
+fn degree_stats(el: &EdgeListFile, stats: &Arc<IoStats>) -> Result<String> {
+    use std::collections::HashMap;
+    let meta = el.meta();
+    let mut degrees: HashMap<u32, u64> = HashMap::new();
+    for e in el.reader(Arc::clone(stats))? {
+        *degrees.entry(e?.src).or_default() += 1;
+    }
+    // Histogram: degree -> number of vertices with that degree.
+    let mut histogram: HashMap<u64, u64> = HashMap::new();
+    for &d in degrees.values() {
+        *histogram.entry(d).or_default() += 1;
+    }
+    let zero_degree = meta.num_vertices - degrees.len() as u64;
+    if zero_degree > 0 {
+        histogram.insert(0, zero_degree);
+    }
+    let bound = graphz_storage::dos::unique_degree_bound(meta.num_edges);
+    let mut out = format!(
+        "{}
+vertices: {}
+edges: {}
+unique out-degrees: {} (Claim-1 bound 2*sqrt(E) = {})
+         max out-degree: {}
+zero-out-degree vertices: {}
+",
+        el.path().display(),
+        meta.num_vertices,
+        meta.num_edges,
+        histogram.len(),
+        bound,
+        meta.max_degree,
+        zero_degree,
+    );
+    // Least-squares slope of log(count) over log(degree) for degree >= 1 —
+    // a quick power-law tail exponent estimate (natural graphs: ~2-3).
+    let points: Vec<(f64, f64)> = histogram
+        .iter()
+        .filter(|&(&d, _)| d >= 1)
+        .map(|(&d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if points.len() >= 3 {
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        out.push_str(&format!("power-law tail exponent (least squares): {:.2}
+", -slope));
+    }
+    let mut buckets: Vec<(u64, u64)> = histogram.into_iter().collect();
+    buckets.sort();
+    out.push_str("degree histogram (first 10 buckets):
+");
+    for (d, c) in buckets.iter().take(10) {
+        out.push_str(&format!("  degree {d:>6}: {c} vertices
+"));
+    }
+    Ok(out)
+}
+
+/// The `--top K` listing: the K most interesting vertices for the value
+/// kind (highest rank/visits, lowest distances, largest components...).
+fn render_top(values: &AlgoValues, k: usize) -> String {
+    let mut out = String::new();
+    match values {
+        AlgoValues::Ranks(v) => {
+            out.push_str("top vertices by rank:\n");
+            for (id, val) in top_by(v, k, |a, b| b.total_cmp(a)) {
+                out.push_str(&format!("  {id:>8}  {val:.4}\n"));
+            }
+        }
+        AlgoValues::Visits(v) => {
+            out.push_str("top vertices by visit mass:\n");
+            for (id, val) in top_by(v, k, |a, b| b.total_cmp(a)) {
+                out.push_str(&format!("  {id:>8}  {val:.4}\n"));
+            }
+        }
+        AlgoValues::Hops(v) => {
+            let reached = v.iter().filter(|&&d| d != u32::MAX).count();
+            out.push_str(&format!("reached {reached} of {} vertices; nearest:\n", v.len()));
+            for (id, val) in
+                top_by(&v.iter().map(|&d| d as f64).collect::<Vec<_>>(), k, |a, b| a.total_cmp(b))
+            {
+                if val == u32::MAX as f64 {
+                    break;
+                }
+                out.push_str(&format!("  {id:>8}  {val:.0} hops\n"));
+            }
+        }
+        AlgoValues::Costs(v) => {
+            let reached = v.iter().filter(|d| d.is_finite()).count();
+            out.push_str(&format!("reached {reached} of {} vertices; nearest:\n", v.len()));
+            for (id, val) in top_by(v, k, |a, b| a.total_cmp(b)) {
+                if !val.is_finite() {
+                    break;
+                }
+                out.push_str(&format!("  {id:>8}  {val:.3}\n"));
+            }
+        }
+        AlgoValues::Labels(v) => {
+            let mut sizes: std::collections::HashMap<u32, u64> = Default::default();
+            for &l in v {
+                *sizes.entry(l).or_default() += 1;
+            }
+            let mut by_size: Vec<(u32, u64)> = sizes.into_iter().collect();
+            by_size.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            out.push_str(&format!("{} components; largest:\n", by_size.len()));
+            for (label, n) in by_size.into_iter().take(k) {
+                out.push_str(&format!("  component {label:>8}: {n} vertices\n"));
+            }
+        }
+        AlgoValues::Beliefs(v) => {
+            out.push_str("most state-0-confident vertices:\n");
+            let confidences: Vec<f32> = v.iter().map(|b| b[0]).collect();
+            for (id, val) in top_by(&confidences, k, |a, b| b.total_cmp(a)) {
+                out.push_str(&format!("  {id:>8}  P(state 0) = {val:.4}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn top_by<T: Copy + Into<f64>>(
+    values: &[T],
+    k: usize,
+    cmp: impl Fn(&f64, &f64) -> std::cmp::Ordering,
+) -> Vec<(usize, f64)> {
+    let mut pairs: Vec<(usize, f64)> =
+        values.iter().enumerate().map(|(i, &v)| (i, v.into())).collect();
+    pairs.sort_by(|a, b| cmp(&a.1, &b.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate_with_flags() {
+        let cmd = parse(&args("generate g.bin --scale 12 --edges 5000 --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate { out: "g.bin".into(), scale: 12, edges: 5000, seed: 7 }
+        );
+    }
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cmd = parse(&args("run pr dos-dir")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                algo: Algorithm::PageRank,
+                dos_dir: "dos-dir".into(),
+                budget_mib: 8,
+                source: 0,
+                iterations: 100,
+                top: 10,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_algorithm() {
+        assert!(parse(&args("frobnicate x")).is_err());
+        assert!(parse(&args("run dijkstra dos")).is_err());
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert!(execute(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn bad_flag_value_is_config_error() {
+        let err = parse(&args("generate g.bin --scale banana")).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn end_to_end_generate_convert_info_run() {
+        let dir = graphz_io::ScratchDir::new("cli").unwrap();
+        let g = dir.file("g.bin").display().to_string();
+        let dos = dir.path().join("dos").display().to_string();
+        let out = execute(
+            parse(&args(&format!("generate {g} --scale 10 --edges 4000"))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("4000 edges"), "{out}");
+        let out = execute(parse(&args(&format!("convert {g} {dos}"))).unwrap()).unwrap();
+        assert!(out.contains("degree-ordered storage"));
+        let out = execute(parse(&args(&format!("info {dos}"))).unwrap()).unwrap();
+        assert!(out.contains("edges: 4000"));
+        let out = execute(
+            parse(&args(&format!("run bfs {dos} --budget-mib 1 --source 0 --top 3"))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("reached"), "{out}");
+        let out =
+            execute(parse(&args(&format!("run pr {dos} --iterations 20"))).unwrap()).unwrap();
+        assert!(out.contains("top vertices by rank"), "{out}");
+    }
+
+    #[test]
+    fn import_dispatches_on_extension() {
+        let dir = graphz_io::ScratchDir::new("cli-import").unwrap();
+        let mtx = dir.file("m.mtx");
+        std::fs::write(&mtx, "%%MatrixMarket matrix coordinate
+2 2 1
+1 2
+").unwrap();
+        let out = execute(
+            parse(&args(&format!(
+                "import {} {}",
+                mtx.display(),
+                dir.file("m.bin").display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("imported 1 edges"), "{out}");
+    }
+
+    #[test]
+    fn stats_command_reports_distribution() {
+        let dir = graphz_io::ScratchDir::new("cli-stats").unwrap();
+        let g = dir.file("g.bin").display().to_string();
+        execute(parse(&args(&format!("generate {g} --scale 10 --edges 8000"))).unwrap())
+            .unwrap();
+        let out = execute(parse(&args(&format!("stats {g}"))).unwrap()).unwrap();
+        assert!(out.contains("unique out-degrees"), "{out}");
+        assert!(out.contains("power-law tail exponent"), "{out}");
+        assert!(out.contains("degree histogram"), "{out}");
+    }
+
+    #[test]
+    fn verify_command_reports_ok_and_corruption() {
+        let dir = graphz_io::ScratchDir::new("cli-verify").unwrap();
+        let g = dir.file("g.bin").display().to_string();
+        let dos = dir.path().join("dos");
+        let dos_s = dos.display().to_string();
+        execute(parse(&args(&format!("generate {g} --scale 8 --edges 500"))).unwrap()).unwrap();
+        execute(parse(&args(&format!("convert {g} {dos_s}"))).unwrap()).unwrap();
+        let out = execute(parse(&args(&format!("verify {dos_s}"))).unwrap()).unwrap();
+        assert!(out.contains("OK"));
+        // Corrupt and re-verify.
+        let edges = dos.join("edges.bin");
+        let len = std::fs::metadata(&edges).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&edges).unwrap().set_len(len - 4).unwrap();
+        let err = execute(parse(&args(&format!("verify {dos_s}"))).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("violation"), "{err}");
+    }
+
+    #[test]
+    fn top_by_orders_and_truncates() {
+        let v = [3.0f32, 1.0, 2.0];
+        let top = top_by(&v, 2, |a, b| b.total_cmp(a));
+        assert_eq!(top, vec![(0, 3.0), (2, 2.0)]);
+    }
+}

@@ -1,0 +1,19 @@
+//! The `graphz` binary: see [`graphz_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match graphz_cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", graphz_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match graphz_cli::execute(cmd) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

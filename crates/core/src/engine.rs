@@ -1,0 +1,897 @@
+//! The GraphZ engine: partition-at-a-time asynchronous execution with
+//! ordered dynamic messages (paper §IV-B, §V).
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphz_io::{IoSnapshot, IoStats, RecordWriter, ScratchDir, TrackedFile};
+use graphz_storage::{PartitionSet, Partitioner};
+use graphz_types::{EngineOptions, FixedCodec, MemoryBudget, Result, VertexId};
+
+use crate::msgmanager::MsgManager;
+use crate::program::{UpdateContext, VertexProgram};
+use crate::sio;
+use crate::store::GraphStore;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Memory the engine may use for resident vertex state and message
+    /// buffers — the "RAM" knob of the paper's evaluation.
+    pub budget: MemoryBudget,
+    /// Ablation switches (DOS / dynamic messages / pipelining), Fig. 7.
+    pub options: EngineOptions,
+    /// Edges per Sio block.
+    pub batch_edges: usize,
+    /// Where spill files live; defaults to the system temp dir.
+    pub scratch_base: Option<PathBuf>,
+}
+
+impl EngineConfig {
+    pub fn new(budget: MemoryBudget) -> Self {
+        EngineConfig {
+            budget,
+            options: EngineOptions::default(),
+            batch_edges: sio::DEFAULT_BATCH_EDGES,
+            scratch_base: None,
+        }
+    }
+
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    pub fn with_batch_edges(mut self, batch_edges: usize) -> Self {
+        assert!(batch_edges > 0);
+        self.batch_edges = batch_edges;
+        self
+    }
+}
+
+/// Per-iteration progress record (convergence analysis, debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationStats {
+    /// 0-based iteration number.
+    pub iteration: u32,
+    /// Vertices that [`UpdateContext::mark_changed`]-ed.
+    pub changed: u64,
+    /// Messages emitted by `update()` calls this iteration.
+    pub messages_sent: u64,
+    /// Messages applied via the dynamic fast path this iteration.
+    pub dynamic_applied: u64,
+}
+
+/// What one [`Engine::run`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Iterations executed (including the final quiet one).
+    pub iterations: u32,
+    /// Whether the run stopped because an iteration changed nothing.
+    pub converged: bool,
+    /// Number of partitions the vertex space was split into.
+    pub partitions: u32,
+    /// Messages emitted by `update()` calls.
+    pub messages_sent: u64,
+    /// Messages applied immediately because the destination was resident
+    /// (the dynamic-message fast path).
+    pub dynamic_applied: u64,
+    /// Messages buffered for non-resident partitions.
+    pub buffered: u64,
+    /// Buffered messages that overflowed to spill files.
+    pub spilled: u64,
+    /// Buffered messages replayed at partition loads.
+    pub replayed: u64,
+    /// IO charged to this run (engine traffic only).
+    pub io: IoSnapshot,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Per-iteration progress (one entry per executed iteration).
+    pub per_iteration: Vec<IterationStats>,
+}
+
+/// The GraphZ engine, generic over the vertex program.
+pub struct Engine<P: VertexProgram> {
+    store: Box<dyn GraphStore>,
+    program: P,
+    config: EngineConfig,
+    stats: Arc<IoStats>,
+    scratch: ScratchDir,
+    partitions: PartitionSet,
+    vertices_path: PathBuf,
+    msgs: MsgManager<P::Message>,
+    initialized: bool,
+    /// Global iteration counter: persists across `run` calls (and through
+    /// checkpoint/restore) so iteration-dependent programs stay correct when
+    /// a long computation is resumed.
+    next_iteration: u32,
+}
+
+impl<P: VertexProgram> Engine<P> {
+    pub fn new(
+        store: Box<dyn GraphStore>,
+        program: P,
+        config: EngineConfig,
+        stats: Arc<IoStats>,
+    ) -> Result<Self> {
+        let scratch = match &config.scratch_base {
+            Some(base) => ScratchDir::new_in(base, "graphz-engine")?,
+            None => ScratchDir::new("graphz-engine")?,
+        };
+        let partitions = Partitioner::new(config.budget)
+            .layout(store.num_vertices(), P::VertexData::SIZE);
+        let mut msgs = MsgManager::new(
+            scratch.file("msgs"),
+            partitions.num_partitions(),
+            config.budget.bytes() / 4,
+            Arc::clone(&stats),
+        )?;
+        if config.options.background_spill {
+            msgs = msgs.with_background_writer()?;
+        }
+        let vertices_path = scratch.file("vertices.bin");
+        Ok(Engine {
+            store,
+            program,
+            config,
+            stats,
+            scratch,
+            partitions,
+            vertices_path,
+            msgs,
+            initialized: false,
+            next_iteration: 0,
+        })
+    }
+
+    pub fn store(&self) -> &dyn GraphStore {
+        self.store.as_ref()
+    }
+
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    pub fn num_partitions(&self) -> u32 {
+        self.partitions.num_partitions()
+    }
+
+    pub fn scratch_dir(&self) -> &ScratchDir {
+        &self.scratch
+    }
+
+    /// Translate an original vertex id into the engine's storage id (needed
+    /// for algorithm parameters like a BFS source).
+    pub fn to_storage_id(&self, original: VertexId) -> Result<VertexId> {
+        self.store.to_storage_id(original, &self.stats)
+    }
+
+    /// Write the initial vertex array (called automatically by `run`).
+    pub fn initialize(&mut self) -> Result<()> {
+        let mut w = RecordWriter::<P::VertexData>::create(&self.vertices_path, Arc::clone(&self.stats))?;
+        for (_, a, b) in self.partitions.iter() {
+            let (_, degrees) = self.store.partition_index(a, b, &self.stats)?;
+            for (i, &d) in degrees.iter().enumerate() {
+                w.push(&self.program.init(a + i as VertexId, d))?;
+            }
+        }
+        w.finish()?;
+        self.initialized = true;
+        self.next_iteration = 0;
+        Ok(())
+    }
+
+    /// Run up to `max_iterations` *further* iterations, stopping early after
+    /// any iteration in which no vertex
+    /// [`UpdateContext::mark_changed`]-ed. Consecutive `run` calls continue
+    /// the global iteration count, so `run(3)` followed by `run(7)` is
+    /// equivalent to one `run(10)` (checkpointable long computations rely on
+    /// this).
+    pub fn run(&mut self, max_iterations: u32) -> Result<RunSummary> {
+        let start = Instant::now();
+        let io_before = self.stats.snapshot();
+        if !self.initialized {
+            self.initialize()?;
+        }
+        let num_vertices = self.store.num_vertices();
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut messages_sent: u64 = 0;
+        let mut dynamic_applied: u64 = 0;
+        let mut per_iteration: Vec<IterationStats> = Vec::new();
+
+        if num_vertices > 0 {
+            let mut vfile = TrackedFile::open_rw(&self.vertices_path, Arc::clone(&self.stats))?;
+            let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
+            let mut slab_bytes: Vec<u8> = Vec::new();
+
+            // §VI-E future work, opt-in: when the whole graph is a single
+            // partition, keep the vertex array resident across iterations
+            // instead of spilling and reloading it every pass.
+            let fast_path = self.config.options.in_memory_fast_path
+                && self.partitions.num_partitions() == 1;
+            let mut resident: Option<Vec<P::VertexData>> = if fast_path {
+                slab_bytes.resize(num_vertices as usize * P::VertexData::SIZE, 0);
+                vfile.seek(SeekFrom::Start(0))?;
+                vfile.read_exact(&mut slab_bytes)?;
+                Some(graphz_types::codec::decode_slice(&slab_bytes))
+            } else {
+                None
+            };
+
+            for step in 0..max_iterations {
+                let iter = self.next_iteration + step;
+                iterations = step + 1;
+                let mut changed: u64 = 0;
+                let sent_before = messages_sent;
+                let dynamic_before = dynamic_applied;
+
+                for (part, a, b) in self.partitions.iter() {
+                    let count = (b - a) as usize;
+                    let (start_edge, degrees) = self.store.partition_index(a, b, &self.stats)?;
+
+                    // MsgManager phase A: load the partition's vertices
+                    // (or reuse the resident array on the fast path)...
+                    let mut slab: Vec<P::VertexData> = match resident.take() {
+                        Some(s) => s,
+                        None => {
+                            slab_bytes.resize(count * P::VertexData::SIZE, 0);
+                            vfile.seek(SeekFrom::Start(a as u64 * P::VertexData::SIZE as u64))?;
+                            vfile.read_exact(&mut slab_bytes)?;
+                            graphz_types::codec::decode_slice(&slab_bytes)
+                        }
+                    };
+
+                    // ...and replay pending messages in send order. With
+                    // multiple pipeline threads the replay is parallelized
+                    // across disjoint vertex sub-ranges (paper §V-C: "To
+                    // accelerate this process, it is parallelized"); order
+                    // per destination vertex is preserved, so results are
+                    // identical to the sequential replay.
+                    let program = &self.program;
+                    let replay_threads = self.config.options.pipeline_threads;
+                    if replay_threads > 1 && count >= replay_threads * 2 {
+                        let chunk = count.div_ceil(replay_threads);
+                        let mut groups: Vec<Vec<(VertexId, P::Message)>> =
+                            (0..replay_threads).map(|_| Vec::new()).collect();
+                        self.msgs.drain(part, |dst, msg| {
+                            groups[(dst - a) as usize / chunk].push((dst, msg));
+                        })?;
+                        std::thread::scope(|scope| {
+                            let mut rest: &mut [P::VertexData] = &mut slab;
+                            let mut base = a;
+                            for group in groups {
+                                let take = chunk.min(rest.len());
+                                let (head, tail) = rest.split_at_mut(take);
+                                rest = tail;
+                                let start = base;
+                                base += take as VertexId;
+                                if group.is_empty() {
+                                    continue;
+                                }
+                                scope.spawn(move || {
+                                    for (dst, msg) in group {
+                                        program.apply_message(
+                                            dst,
+                                            &mut head[(dst - start) as usize],
+                                            &msg,
+                                        );
+                                    }
+                                });
+                            }
+                        });
+                    } else {
+                        self.msgs.drain(part, |dst, msg| {
+                            program.apply_message(dst, &mut slab[(dst - a) as usize], &msg);
+                        })?;
+                    }
+
+                    // Sio/Dispatcher stream feeding the Worker.
+                    let stream = sio::stream_partition_weighted(
+                        &self.store.edges_path(),
+                        self.store.weights_path().as_deref(),
+                        start_edge,
+                        a,
+                        degrees,
+                        self.config.batch_edges,
+                        Arc::clone(&self.stats),
+                        self.config.options.pipeline_threads > 1,
+                    )?;
+                    for batch in stream {
+                        let batch = batch?;
+                        for (v, neighbors, weights) in batch.vertices_weighted() {
+                            let mut ctx = UpdateContext {
+                                iteration: iter,
+                                num_vertices,
+                                neighbors,
+                                weights,
+                                outbox: &mut outbox,
+                                changed: false,
+                            };
+                            self.program.update(v, &mut slab[(v - a) as usize], &mut ctx);
+                            if ctx.changed {
+                                changed += 1;
+                            }
+                            // Message interception (paper Alg. 7): resident
+                            // destinations are applied before the next
+                            // update; the rest go to the MsgManager.
+                            messages_sent += outbox.len() as u64;
+                            for (dst, msg) in outbox.drain(..) {
+                                if self.config.options.dynamic_messages && dst >= a && dst < b {
+                                    self.program.apply_message(
+                                        dst,
+                                        &mut slab[(dst - a) as usize],
+                                        &msg,
+                                    );
+                                    dynamic_applied += 1;
+                                } else {
+                                    self.msgs.enqueue(self.partitions.partition_of(dst), dst, msg)?;
+                                }
+                            }
+                        }
+                    }
+
+                    // Flush the partition's vertices back to disk, or keep
+                    // them resident on the fast path.
+                    if fast_path {
+                        resident = Some(slab);
+                    } else {
+                        for (i, v) in slab.iter().enumerate() {
+                            v.write_to(&mut slab_bytes[i * P::VertexData::SIZE..]);
+                        }
+                        vfile.seek(SeekFrom::Start(a as u64 * P::VertexData::SIZE as u64))?;
+                        vfile.write_all(&slab_bytes)?;
+                    }
+                }
+
+                per_iteration.push(IterationStats {
+                    iteration: iter,
+                    changed,
+                    messages_sent: messages_sent - sent_before,
+                    dynamic_applied: dynamic_applied - dynamic_before,
+                });
+                if changed == 0 {
+                    converged = true;
+                    break;
+                }
+            }
+            self.next_iteration += iterations;
+            // The fast path writes the final state exactly once.
+            if let Some(slab) = resident {
+                slab_bytes.resize(slab.len() * P::VertexData::SIZE, 0);
+                for (i, v) in slab.iter().enumerate() {
+                    v.write_to(&mut slab_bytes[i * P::VertexData::SIZE..]);
+                }
+                vfile.seek(SeekFrom::Start(0))?;
+                vfile.write_all(&slab_bytes)?;
+            }
+            vfile.flush()?;
+        } else {
+            converged = true;
+        }
+
+        let mc = self.msgs.counters();
+        Ok(RunSummary {
+            iterations,
+            converged,
+            partitions: self.partitions.num_partitions(),
+            messages_sent,
+            dynamic_applied,
+            buffered: mc.buffered,
+            spilled: mc.spilled,
+            replayed: mc.replayed,
+            io: self.stats.snapshot() - io_before,
+            wall: start.elapsed(),
+            per_iteration,
+        })
+    }
+
+    /// Checkpoint the engine's whole computation state — vertex values,
+    /// pending messages, iteration counter — into `dir`. The engine can
+    /// continue running afterwards; a fresh engine over the same graph and
+    /// program can [`restore`](Self::restore) and continue where this one
+    /// left off.
+    pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
+        if !self.initialized {
+            return Err(graphz_types::GraphError::InvalidConfig(
+                "cannot checkpoint before the engine has initialized".into(),
+            ));
+        }
+        std::fs::create_dir_all(dir)?;
+        self.msgs.flush()?;
+        std::fs::copy(&self.vertices_path, dir.join("vertices.bin"))?;
+        let msg_dir = dir.join("msgs");
+        std::fs::create_dir_all(&msg_dir)?;
+        // Clear stale files from any previous checkpoint into this dir.
+        for entry in std::fs::read_dir(&msg_dir)? {
+            let _ = std::fs::remove_file(entry?.path());
+        }
+        for entry in std::fs::read_dir(self.msgs.dir())? {
+            let entry = entry?;
+            std::fs::copy(entry.path(), msg_dir.join(entry.file_name()))?;
+        }
+        let counters = self.msgs.counters();
+        let mut mf = graphz_storage::meta::MetaFile::new();
+        mf.set("format", "graphz-checkpoint")
+            .set("next_iteration", self.next_iteration)
+            .set("partitions", self.partitions.num_partitions())
+            .set("msg_buffered", counters.buffered)
+            .set("msg_spilled", counters.spilled)
+            .set("msg_replayed", counters.replayed);
+        mf.save(&dir.join("state.txt"))?;
+        Ok(())
+    }
+
+    /// Restore a computation previously saved with
+    /// [`checkpoint`](Self::checkpoint). The engine must have been built
+    /// over the same graph, program, and budget (partition layout is
+    /// verified).
+    pub fn restore(&mut self, dir: &Path) -> Result<()> {
+        let mf = graphz_storage::meta::MetaFile::load(&dir.join("state.txt"))?;
+        if mf.get("format") != Some("graphz-checkpoint") {
+            return Err(graphz_types::GraphError::Corrupt(format!(
+                "{} is not a GraphZ checkpoint",
+                dir.display()
+            )));
+        }
+        let partitions = mf.get_u64("partitions")? as u32;
+        if partitions != self.partitions.num_partitions() {
+            return Err(graphz_types::GraphError::InvalidConfig(format!(
+                "checkpoint has {partitions} partitions, engine has {} —                  graph or budget mismatch",
+                self.partitions.num_partitions()
+            )));
+        }
+        std::fs::copy(dir.join("vertices.bin"), &self.vertices_path)?;
+        // Replace the spill directory contents wholesale.
+        for entry in std::fs::read_dir(self.msgs.dir())? {
+            let _ = std::fs::remove_file(entry?.path());
+        }
+        let msg_dir = dir.join("msgs");
+        if msg_dir.is_dir() {
+            for entry in std::fs::read_dir(&msg_dir)? {
+                let entry = entry?;
+                std::fs::copy(entry.path(), self.msgs.dir().join(entry.file_name()))?;
+            }
+        }
+        self.msgs.restore(crate::msgmanager::MsgCounters {
+            buffered: mf.get_u64("msg_buffered")?,
+            spilled: mf.get_u64("msg_spilled")?,
+            replayed: mf.get_u64("msg_replayed")?,
+        });
+        self.next_iteration = mf.get_u64("next_iteration")? as u32;
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Final vertex values in storage order.
+    pub fn values(&self) -> Result<Vec<P::VertexData>> {
+        if !self.initialized {
+            return Err(graphz_types::GraphError::InvalidConfig(
+                "engine has not run yet".into(),
+            ));
+        }
+        graphz_io::record::read_records(&self.vertices_path, Arc::clone(&self.stats))
+    }
+
+    /// Final vertex values re-ordered by *original* vertex id, for
+    /// comparison with other engines.
+    pub fn values_by_original_id(&self) -> Result<Vec<P::VertexData>> {
+        let storage_values = self.values()?;
+        let originals = self.store.original_ids(&self.stats)?;
+        let mut out: Vec<P::VertexData> =
+            vec![P::VertexData::default(); storage_values.len()];
+        for (storage, value) in storage_values.into_iter().enumerate() {
+            out[originals[storage] as usize] = value;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{DenseStore, DosStore};
+    use graphz_storage::{CsrFiles, DosConverter, EdgeListFile};
+    use graphz_types::Edge;
+
+    /// Counts, at every vertex, how many messages it has received; each
+    /// iteration every vertex sends `1` to each out-neighbor. After k
+    /// full iterations vertex v holds (approximately) k * in_degree(v).
+    struct InDegreeCounter {
+        rounds: u32,
+    }
+
+    impl VertexProgram for InDegreeCounter {
+        type VertexData = u64;
+        type Message = u64;
+
+        fn update(&self, _vid: VertexId, _data: &mut u64, ctx: &mut UpdateContext<'_, u64>) {
+            if ctx.iteration() < self.rounds {
+                ctx.mark_changed();
+                for &n in ctx.neighbors() {
+                    ctx.send(n, 1);
+                }
+            }
+        }
+
+        fn apply_message(&self, _vid: VertexId, data: &mut u64, msg: &u64) {
+            *data += msg;
+        }
+    }
+
+    fn test_graph() -> Vec<Edge> {
+        vec![
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(0, 3),
+            Edge::new(1, 2),
+            Edge::new(2, 0),
+            Edge::new(3, 0),
+            Edge::new(3, 1),
+        ]
+    }
+
+    fn dos_engine(
+        edges: Vec<Edge>,
+        budget: MemoryBudget,
+        options: EngineOptions,
+        rounds: u32,
+    ) -> (graphz_io::ScratchDir, Engine<InDegreeCounter>) {
+        let dir = graphz_io::ScratchDir::new("engine-test").unwrap();
+        let stats = IoStats::new();
+        let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges).unwrap();
+        let dos = DosConverter::new(MemoryBudget::from_kib(64), Arc::clone(&stats))
+            .convert(&el, &dir.path().join("dos"))
+            .unwrap();
+        let engine = Engine::new(
+            Box::new(DosStore::new(dos)),
+            InDegreeCounter { rounds },
+            EngineConfig::new(budget).with_options(options),
+            stats,
+        )
+        .unwrap();
+        (dir, engine)
+    }
+
+    #[test]
+    fn counts_in_degrees_single_partition() {
+        let (_dir, mut engine) = dos_engine(
+            test_graph(),
+            MemoryBudget::from_mib(1),
+            EngineOptions::full(),
+            1,
+        );
+        assert_eq!(engine.num_partitions(), 1);
+        let summary = engine.run(10).unwrap();
+        assert!(summary.converged);
+        assert_eq!(summary.iterations, 2); // 1 active + 1 quiet
+        assert_eq!(summary.messages_sent, 7);
+        let by_orig = engine.values_by_original_id().unwrap();
+        // in-degrees: 0<-{2,3}=2, 1<-{0,3}=2, 2<-{0,1}=2, 3<-{0}=1
+        assert_eq!(by_orig, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn many_partitions_give_identical_results() {
+        let (_d1, mut e1) = dos_engine(
+            test_graph(),
+            MemoryBudget::from_mib(1),
+            EngineOptions::full(),
+            3,
+        );
+        // 16-byte budget for vertex slabs => 1 vertex per partition.
+        let (_d2, mut e2) =
+            dos_engine(test_graph(), MemoryBudget(16), EngineOptions::full(), 3);
+        assert!(e2.num_partitions() > 1);
+        let s1 = e1.run(10).unwrap();
+        let s2 = e2.run(10).unwrap();
+        assert_eq!(s1.iterations, s2.iterations);
+        assert_eq!(
+            e1.values_by_original_id().unwrap(),
+            e2.values_by_original_id().unwrap()
+        );
+        assert!(s2.buffered > 0, "multi-partition run must buffer messages");
+    }
+
+    #[test]
+    fn ablations_change_io_not_results() {
+        // 32-byte budget => 2 u64 vertices per partition, so some messages
+        // are partition-local (DM fast path) and some cross partitions.
+        let budget = MemoryBudget(32);
+        let (_d1, mut full) = dos_engine(test_graph(), budget, EngineOptions::full(), 3);
+        let (_d2, mut nodm) = dos_engine(
+            test_graph(),
+            budget,
+            EngineOptions { dynamic_messages: false, ..EngineOptions::full() },
+            3,
+        );
+        let s_full = full.run(10).unwrap();
+        let s_nodm = nodm.run(10).unwrap();
+        assert_eq!(
+            full.values_by_original_id().unwrap(),
+            nodm.values_by_original_id().unwrap()
+        );
+        // Without DM every message is buffered; with DM some apply directly.
+        assert_eq!(s_nodm.dynamic_applied, 0);
+        assert!(s_full.dynamic_applied > 0, "expected partition-local messages");
+        assert!(s_nodm.buffered > s_full.buffered);
+        assert_eq!(s_full.messages_sent, s_full.dynamic_applied + s_full.buffered);
+    }
+
+    #[test]
+    fn pipelined_matches_single_threaded() {
+        let (_d1, mut st) = dos_engine(
+            test_graph(),
+            MemoryBudget(16),
+            EngineOptions { pipeline_threads: 1, ..EngineOptions::full() },
+            3,
+        );
+        let (_d2, mut mt) = dos_engine(
+            test_graph(),
+            MemoryBudget(16),
+            EngineOptions { pipeline_threads: 4, ..EngineOptions::full() },
+            3,
+        );
+        st.run(10).unwrap();
+        mt.run(10).unwrap();
+        assert_eq!(
+            st.values_by_original_id().unwrap(),
+            mt.values_by_original_id().unwrap()
+        );
+    }
+
+    #[test]
+    fn dense_store_matches_dos_store() {
+        let dir = graphz_io::ScratchDir::new("engine-dense").unwrap();
+        let stats = IoStats::new();
+        let el =
+            EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), test_graph()).unwrap();
+        let csr = CsrFiles::convert(
+            &el,
+            &dir.path().join("csr"),
+            Arc::clone(&stats),
+            MemoryBudget::from_kib(64),
+        )
+        .unwrap();
+        let dense =
+            DenseStore::new(csr, MemoryBudget::from_mib(1), Arc::clone(&stats)).unwrap();
+        let mut engine = Engine::new(
+            Box::new(dense),
+            InDegreeCounter { rounds: 2 },
+            EngineConfig::new(MemoryBudget::from_mib(1)),
+            stats,
+        )
+        .unwrap();
+        engine.run(10).unwrap();
+        let dense_vals = engine.values_by_original_id().unwrap();
+
+        let (_d, mut dos_engine) = dos_engine(
+            test_graph(),
+            MemoryBudget::from_mib(1),
+            EngineOptions::full(),
+            2,
+        );
+        dos_engine.run(10).unwrap();
+        assert_eq!(dense_vals, dos_engine.values_by_original_id().unwrap());
+    }
+
+    #[test]
+    fn values_before_run_is_an_error() {
+        let (_dir, engine) = dos_engine(
+            test_graph(),
+            MemoryBudget::from_mib(1),
+            EngineOptions::full(),
+            1,
+        );
+        assert!(engine.values().is_err());
+    }
+
+    #[test]
+    fn empty_graph_runs_trivially() {
+        let (_dir, mut engine) =
+            dos_engine(vec![Edge::new(0, 0)], MemoryBudget::from_mib(1), EngineOptions::full(), 0);
+        let s = engine.run(5).unwrap();
+        assert!(s.converged);
+    }
+
+    #[test]
+    fn in_memory_fast_path_same_results_less_io() {
+        let budget = MemoryBudget::from_mib(1); // single partition
+        let (_d1, mut slow) = dos_engine(test_graph(), budget, EngineOptions::full(), 4);
+        let (_d2, mut fast) = dos_engine(
+            test_graph(),
+            budget,
+            EngineOptions::with_in_memory_fast_path(),
+            4,
+        );
+        let s_slow = slow.run(10).unwrap();
+        let s_fast = fast.run(10).unwrap();
+        assert_eq!(s_slow.iterations, s_fast.iterations);
+        assert_eq!(
+            slow.values_by_original_id().unwrap(),
+            fast.values_by_original_id().unwrap()
+        );
+        assert!(
+            s_fast.io.bytes_read < s_slow.io.bytes_read,
+            "fast path must skip per-iteration reloads: {} vs {}",
+            s_fast.io.bytes_read,
+            s_slow.io.bytes_read
+        );
+        assert!(s_fast.io.bytes_written < s_slow.io.bytes_written);
+    }
+
+    #[test]
+    fn fast_path_is_inert_when_multi_partition() {
+        // With several partitions the option must not change behaviour.
+        let budget = MemoryBudget(32);
+        let (_d1, mut a) = dos_engine(test_graph(), budget, EngineOptions::full(), 3);
+        let (_d2, mut b) = dos_engine(
+            test_graph(),
+            budget,
+            EngineOptions { in_memory_fast_path: true, ..EngineOptions::full() },
+            3,
+        );
+        let ra = a.run(10).unwrap();
+        let rb = b.run(10).unwrap();
+        assert!(rb.partitions > 1);
+        assert_eq!(ra.io, rb.io);
+        assert_eq!(
+            a.values_by_original_id().unwrap(),
+            b.values_by_original_id().unwrap()
+        );
+    }
+
+    #[test]
+    fn background_spill_matches_synchronous() {
+        // Dense cross-partition traffic with a tiny budget forces constant
+        // spilling; the background writer must produce identical results.
+        let edges: Vec<Edge> = (0..48u32)
+            .flat_map(|i| (0..5u32).map(move |j| Edge::new(i, (i * 11 + j * 17) % 48)))
+            .collect();
+        let budget = MemoryBudget(64);
+        let mut results = Vec::new();
+        let mut spilled = Vec::new();
+        for background in [false, true] {
+            let (_d, mut engine) = dos_engine(
+                edges.clone(),
+                budget,
+                EngineOptions { background_spill: background, ..EngineOptions::full() },
+                5,
+            );
+            let s = engine.run(12).unwrap();
+            assert!(s.spilled > 0, "tiny budget must force spills");
+            spilled.push(s.spilled);
+            results.push(engine.values_by_original_id().unwrap());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(spilled[0], spilled[1]);
+    }
+
+    #[test]
+    fn parallel_message_replay_matches_sequential() {
+        // Many partitions + many cross-partition messages force the replay
+        // path; compare 1 thread (sequential) against 8 (parallel groups).
+        let edges: Vec<Edge> = (0..64u32)
+            .flat_map(|i| (0..4u32).map(move |j| Edge::new(i, (i * 7 + j * 13) % 64)))
+            .collect();
+        let budget = MemoryBudget(128); // 8 u64 vertices per partition
+        let mut results = Vec::new();
+        for threads in [1usize, 8] {
+            let (_d, mut engine) = dos_engine(
+                edges.clone(),
+                budget,
+                EngineOptions { pipeline_threads: threads, ..EngineOptions::full() },
+                4,
+            );
+            let summary = engine.run(10).unwrap();
+            assert!(summary.replayed > 0, "replay path must be exercised");
+            results.push(engine.values_by_original_id().unwrap());
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn per_iteration_stats_account_for_totals() {
+        let (_dir, mut engine) = dos_engine(
+            test_graph(),
+            MemoryBudget::from_mib(1),
+            EngineOptions::full(),
+            3,
+        );
+        let s = engine.run(10).unwrap();
+        assert_eq!(s.per_iteration.len() as u32, s.iterations);
+        assert_eq!(
+            s.per_iteration.iter().map(|i| i.messages_sent).sum::<u64>(),
+            s.messages_sent
+        );
+        assert_eq!(
+            s.per_iteration.iter().map(|i| i.dynamic_applied).sum::<u64>(),
+            s.dynamic_applied
+        );
+        // The final (converged) iteration is quiet.
+        assert_eq!(s.per_iteration.last().unwrap().changed, 0);
+        // Earlier iterations were active.
+        assert!(s.per_iteration[0].changed > 0);
+    }
+
+    #[test]
+    fn split_runs_equal_one_long_run() {
+        let budget = MemoryBudget(32); // several partitions
+        let (_d1, mut whole) = dos_engine(test_graph(), budget, EngineOptions::full(), 6);
+        let (_d2, mut split) = dos_engine(test_graph(), budget, EngineOptions::full(), 6);
+        let s_whole = whole.run(20).unwrap();
+        let a = split.run(3).unwrap();
+        assert_eq!(a.iterations, 3);
+        assert!(!a.converged);
+        let b = split.run(20).unwrap();
+        assert_eq!(a.iterations + b.iterations, s_whole.iterations);
+        assert_eq!(
+            whole.values_by_original_id().unwrap(),
+            split.values_by_original_id().unwrap()
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_exactly() {
+        let budget = MemoryBudget(32);
+        let ckpt_dir = graphz_io::ScratchDir::new("engine-ckpt").unwrap();
+
+        // Reference: one uninterrupted run.
+        let (_d1, mut reference) = dos_engine(test_graph(), budget, EngineOptions::full(), 6);
+        reference.run(20).unwrap();
+
+        // Interrupted run: 2 iterations, checkpoint, drop the engine.
+        let (_d2, mut first) = dos_engine(test_graph(), budget, EngineOptions::full(), 6);
+        first.run(2).unwrap();
+        first.checkpoint(ckpt_dir.path()).unwrap();
+        drop(first);
+
+        // Fresh engine restores and finishes.
+        let (_d3, mut resumed) = dos_engine(test_graph(), budget, EngineOptions::full(), 6);
+        resumed.restore(ckpt_dir.path()).unwrap();
+        let tail = resumed.run(20).unwrap();
+        assert!(tail.converged);
+        assert_eq!(
+            resumed.values_by_original_id().unwrap(),
+            reference.values_by_original_id().unwrap()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_layout_mismatch() {
+        let ckpt_dir = graphz_io::ScratchDir::new("engine-ckpt-bad").unwrap();
+        let (_d1, mut a) =
+            dos_engine(test_graph(), MemoryBudget(32), EngineOptions::full(), 2);
+        a.run(1).unwrap();
+        a.checkpoint(ckpt_dir.path()).unwrap();
+        // Different budget => different partition layout => refused.
+        let (_d2, mut b) =
+            dos_engine(test_graph(), MemoryBudget::from_mib(1), EngineOptions::full(), 2);
+        b.initialize().unwrap();
+        let err = b.restore(ckpt_dir.path()).unwrap_err();
+        assert!(matches!(err, graphz_types::GraphError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn checkpoint_before_init_is_an_error() {
+        let ckpt_dir = graphz_io::ScratchDir::new("engine-ckpt-early").unwrap();
+        let (_d, mut e) =
+            dos_engine(test_graph(), MemoryBudget::from_mib(1), EngineOptions::full(), 1);
+        assert!(e.checkpoint(ckpt_dir.path()).is_err());
+    }
+
+    #[test]
+    fn max_iterations_caps_run() {
+        let (_dir, mut engine) = dos_engine(
+            test_graph(),
+            MemoryBudget::from_mib(1),
+            EngineOptions::full(),
+            u32::MAX, // never stops on its own
+        );
+        let s = engine.run(3).unwrap();
+        assert_eq!(s.iterations, 3);
+        assert!(!s.converged);
+    }
+}

@@ -1,0 +1,370 @@
+//! Sio + Dispatcher (paper §V-A): sequential block IO turned into adjacency
+//! batches.
+//!
+//! Sio reads raw blocks of the adjacency file in file order — "vertices
+//! within a partition are always read in order, taking advantage of
+//! system-level prefetching" — and the Dispatcher slices each block into
+//! per-vertex adjacency lists using the (memory-resident) degree run for the
+//! partition. With `pipeline_threads > 1` the two stages run on their own
+//! thread connected to the Worker by a bounded queue, overlapping IO with
+//! computation exactly as the paper's Fig. 4 pipeline does; results are
+//! bit-identical either way.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver};
+use graphz_io::{IoStats, TrackedFile};
+use graphz_types::{GraphError, Result, VertexId};
+
+/// A parsed block: consecutive vertices with their concatenated adjacency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjBatch {
+    /// Storage id of the first vertex in the batch.
+    pub first_vertex: VertexId,
+    /// Out-degrees of the batch's vertices.
+    pub degrees: Vec<u32>,
+    /// Concatenated out-neighbor lists (`degrees` gives the split points).
+    pub edges: Vec<VertexId>,
+    /// Per-edge weights parallel to `edges`; empty when the graph store
+    /// carries no weights.
+    pub weights: Vec<f32>,
+}
+
+impl AdjBatch {
+    /// Iterate `(vertex, neighbors)` pairs.
+    pub fn vertices(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> {
+        let mut cursor = 0usize;
+        self.degrees.iter().enumerate().map(move |(i, &d)| {
+            let slice = &self.edges[cursor..cursor + d as usize];
+            cursor += d as usize;
+            (self.first_vertex + i as VertexId, slice)
+        })
+    }
+
+    /// Iterate `(vertex, neighbors, weights)`; the weights slice is empty
+    /// for unweighted graphs.
+    pub fn vertices_weighted(&self) -> impl Iterator<Item = (VertexId, &[VertexId], &[f32])> {
+        let weighted = !self.weights.is_empty();
+        let mut cursor = 0usize;
+        self.degrees.iter().enumerate().map(move |(i, &d)| {
+            let edges = &self.edges[cursor..cursor + d as usize];
+            let ws: &[f32] =
+                if weighted { &self.weights[cursor..cursor + d as usize] } else { &[] };
+            cursor += d as usize;
+            (self.first_vertex + i as VertexId, edges, ws)
+        })
+    }
+}
+
+/// How many edges a batch targets; 64 Ki edges = 256 KiB per block, a few
+/// blocks in flight keeps the pipeline fed without denting the budget.
+pub const DEFAULT_BATCH_EDGES: usize = 64 * 1024;
+
+/// Stream the adjacency lists of `degrees.len()` vertices starting at
+/// storage id `first_vertex`, whose edges begin at record `start_edge` of
+/// `edges_path`.
+pub fn stream_partition(
+    edges_path: &Path,
+    start_edge: u64,
+    first_vertex: VertexId,
+    degrees: Vec<u32>,
+    batch_edges: usize,
+    stats: Arc<IoStats>,
+    pipelined: bool,
+) -> Result<AdjacencyStream> {
+    stream_partition_weighted(
+        edges_path, None, start_edge, first_vertex, degrees, batch_edges, stats, pipelined,
+    )
+}
+
+/// [`stream_partition`] with an optional parallel per-edge weight file.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_partition_weighted(
+    edges_path: &Path,
+    weights_path: Option<&Path>,
+    start_edge: u64,
+    first_vertex: VertexId,
+    degrees: Vec<u32>,
+    batch_edges: usize,
+    stats: Arc<IoStats>,
+    pipelined: bool,
+) -> Result<AdjacencyStream> {
+    let inner = InlineStream::open(
+        edges_path,
+        weights_path,
+        start_edge,
+        first_vertex,
+        degrees,
+        batch_edges,
+        stats,
+    )?;
+    if pipelined {
+        let (tx, rx) = bounded::<Result<AdjBatch>>(2);
+        let handle = std::thread::Builder::new()
+            .name("graphz-sio".into())
+            .spawn(move || {
+                let mut inner = inner;
+                while let Some(batch) = inner.next_batch().transpose() {
+                    let stop = batch.is_err();
+                    if tx.send(batch).is_err() || stop {
+                        break; // worker hung up or the stream failed
+                    }
+                }
+            })
+            .map_err(std::io::Error::other)?;
+        Ok(AdjacencyStream::Piped { rx, handle: Some(handle) })
+    } else {
+        Ok(AdjacencyStream::Inline(inner))
+    }
+}
+
+/// Iterator over a partition's [`AdjBatch`]es (inline or pipelined).
+pub enum AdjacencyStream {
+    Inline(InlineStream),
+    Piped { rx: Receiver<Result<AdjBatch>>, handle: Option<std::thread::JoinHandle<()>> },
+}
+
+impl Iterator for AdjacencyStream {
+    type Item = Result<AdjBatch>;
+
+    fn next(&mut self) -> Option<Result<AdjBatch>> {
+        match self {
+            AdjacencyStream::Inline(s) => s.next_batch().transpose(),
+            AdjacencyStream::Piped { rx, handle } => match rx.recv() {
+                Ok(item) => Some(item),
+                Err(_) => {
+                    if let Some(h) = handle.take() {
+                        let _ = h.join();
+                    }
+                    None
+                }
+            },
+        }
+    }
+}
+
+impl Drop for AdjacencyStream {
+    fn drop(&mut self) {
+        if let AdjacencyStream::Piped { rx, handle } = self {
+            // Unblock the producer if the consumer bailed early, then join.
+            while rx.try_recv().is_ok() {}
+            drop(std::mem::replace(rx, bounded(0).1));
+            if let Some(h) = handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The single-threaded Sio + Dispatcher.
+pub struct InlineStream {
+    file: TrackedFile,
+    weights_file: Option<TrackedFile>,
+    degrees: Vec<u32>,
+    next_index: usize,
+    next_vertex: VertexId,
+    batch_edges: usize,
+}
+
+impl InlineStream {
+    fn open(
+        edges_path: &Path,
+        weights_path: Option<&Path>,
+        start_edge: u64,
+        first_vertex: VertexId,
+        degrees: Vec<u32>,
+        batch_edges: usize,
+        stats: Arc<IoStats>,
+    ) -> Result<Self> {
+        assert!(batch_edges > 0);
+        let mut file = TrackedFile::open(edges_path, Arc::clone(&stats))?;
+        file.seek(SeekFrom::Start(start_edge * 4))?;
+        let weights_file = match weights_path {
+            Some(p) => {
+                let mut f = TrackedFile::open(p, stats)?;
+                f.seek(SeekFrom::Start(start_edge * 4))?;
+                Some(f)
+            }
+            None => None,
+        };
+        Ok(InlineStream {
+            file,
+            weights_file,
+            degrees,
+            next_index: 0,
+            next_vertex: first_vertex,
+            batch_edges,
+        })
+    }
+
+    fn next_batch(&mut self) -> Result<Option<AdjBatch>> {
+        if self.next_index >= self.degrees.len() {
+            return Ok(None);
+        }
+        // Dispatcher: pick a vertex range whose edges fill one block. A
+        // vertex's adjacency never splits across batches, so a single hub
+        // vertex may exceed the target size.
+        let first_vertex = self.next_vertex;
+        let start = self.next_index;
+        let mut edge_count = 0usize;
+        while self.next_index < self.degrees.len() {
+            let d = self.degrees[self.next_index] as usize;
+            if edge_count > 0 && edge_count + d > self.batch_edges {
+                break;
+            }
+            edge_count += d;
+            self.next_index += 1;
+            self.next_vertex += 1;
+            if edge_count >= self.batch_edges {
+                break;
+            }
+        }
+        let degrees = self.degrees[start..self.next_index].to_vec();
+        // Sio: one sequential read for the whole block.
+        let mut buf = vec![0u8; edge_count * 4];
+        self.file.read_exact(&mut buf).map_err(|e| {
+            GraphError::Corrupt(format!("adjacency file ended early at vertex {first_vertex}: {e}"))
+        })?;
+        let edges = graphz_types::codec::decode_slice(&buf);
+        let weights = match &mut self.weights_file {
+            Some(wf) => {
+                let mut wbuf = vec![0u8; edge_count * 4];
+                wf.read_exact(&mut wbuf).map_err(|e| {
+                    GraphError::Corrupt(format!(
+                        "weight file ended early at vertex {first_vertex}: {e}"
+                    ))
+                })?;
+                graphz_types::codec::decode_slice(&wbuf)
+            }
+            None => Vec::new(),
+        };
+        Ok(Some(AdjBatch { first_vertex, degrees, edges, weights }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphz_io::record::write_records;
+    use graphz_io::ScratchDir;
+
+    /// Adjacency file for vertices with degrees [2, 0, 3, 1]:
+    /// edges are 10,11 | | 20,21,22 | 30.
+    fn setup() -> (ScratchDir, Arc<IoStats>) {
+        let dir = ScratchDir::new("sio").unwrap();
+        let stats = IoStats::new();
+        let edges: Vec<u32> = vec![10, 11, 20, 21, 22, 30];
+        write_records(&dir.file("edges.bin"), Arc::clone(&stats), &edges).unwrap();
+        (dir, stats)
+    }
+
+    fn collect(stream: AdjacencyStream) -> Vec<(VertexId, Vec<VertexId>)> {
+        let mut out = Vec::new();
+        for batch in stream {
+            let batch = batch.unwrap();
+            for (v, adj) in batch.vertices() {
+                out.push((v, adj.to_vec()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn inline_stream_parses_adjacency() {
+        let (dir, stats) = setup();
+        let s = stream_partition(
+            &dir.file("edges.bin"),
+            0,
+            100,
+            vec![2, 0, 3, 1],
+            1000,
+            stats,
+            false,
+        )
+        .unwrap();
+        assert_eq!(
+            collect(s),
+            vec![
+                (100, vec![10, 11]),
+                (101, vec![]),
+                (102, vec![20, 21, 22]),
+                (103, vec![30]),
+            ]
+        );
+    }
+
+    #[test]
+    fn pipelined_stream_matches_inline() {
+        let (dir, stats) = setup();
+        let inline = stream_partition(
+            &dir.file("edges.bin"), 0, 0, vec![2, 0, 3, 1], 2, Arc::clone(&stats), false,
+        )
+        .unwrap();
+        let piped = stream_partition(
+            &dir.file("edges.bin"), 0, 0, vec![2, 0, 3, 1], 2, stats, true,
+        )
+        .unwrap();
+        assert_eq!(collect(inline), collect(piped));
+    }
+
+    #[test]
+    fn tiny_batch_size_never_splits_a_vertex() {
+        let (dir, stats) = setup();
+        let s = stream_partition(
+            &dir.file("edges.bin"), 0, 0, vec![2, 0, 3, 1], 1, stats, false,
+        )
+        .unwrap();
+        let mut n_batches = 0;
+        for batch in s {
+            let batch = batch.unwrap();
+            let total: usize = batch.degrees.iter().map(|&d| d as usize).sum();
+            assert_eq!(batch.edges.len(), total);
+            n_batches += 1;
+        }
+        // Degrees [2,0,3,1] with batch_edges=1: [2] is its own batch, [0,3]
+        // groups the empty vertex with the next, [1] finishes.
+        assert_eq!(n_batches, 3);
+    }
+
+    #[test]
+    fn offset_streaming_skips_earlier_partitions() {
+        let (dir, stats) = setup();
+        // Second "partition": vertices 2..4 whose edges start at record 2.
+        let s = stream_partition(
+            &dir.file("edges.bin"), 2, 2, vec![3, 1], 1000, stats, false,
+        )
+        .unwrap();
+        assert_eq!(collect(s), vec![(2, vec![20, 21, 22]), (3, vec![30])]);
+    }
+
+    #[test]
+    fn truncated_file_reports_corruption() {
+        let dir = ScratchDir::new("sio-trunc").unwrap();
+        let stats = IoStats::new();
+        write_records(&dir.file("edges.bin"), Arc::clone(&stats), &[1u32, 2]).unwrap();
+        // Claims degree 5 but only 2 edges exist.
+        let s = stream_partition(&dir.file("edges.bin"), 0, 0, vec![5], 10, stats, false).unwrap();
+        let results: Vec<_> = s.collect();
+        assert!(matches!(results[0], Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn zero_vertices_is_empty_stream() {
+        let (dir, stats) = setup();
+        let s = stream_partition(&dir.file("edges.bin"), 0, 0, vec![], 10, stats, false).unwrap();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn early_drop_of_pipelined_stream_joins_producer() {
+        let (dir, stats) = setup();
+        let mut s = stream_partition(
+            &dir.file("edges.bin"), 0, 0, vec![2, 0, 3, 1], 1, stats, true,
+        )
+        .unwrap();
+        let _first = s.next().unwrap().unwrap();
+        drop(s); // must not hang or leak the producer thread
+    }
+}

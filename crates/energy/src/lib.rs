@@ -1,0 +1,160 @@
+//! Full-system power and energy model (substitutes for the paper's WattsUp
+//! meter — Fig. 8 and Table XIII).
+//!
+//! The paper measures wall power of a desktop (Intel i7-7700K class) while
+//! each engine runs, and finds that GraphZ's reduced IO shows up twice: as
+//! shorter runtime *and* as lower average power (idle components draw less;
+//! §V notes the runtime "sleeps the threads" during heavy IO, saving
+//! power). We reproduce that coupling analytically:
+//!
+//! ```text
+//! runtime(device)  = max(cpu_time, device.model_time(io))      (pipelined overlap)
+//! cpu_utilization  = cpu_time / runtime
+//! io_duty          = io_time  / runtime
+//! average_power    = P_idle + P_cpu * cpu_utilization + P_device * io_duty
+//! energy           = average_power * runtime
+//! ```
+//!
+//! The same model is applied to every engine, so relative energy — the
+//! quantity Table XIII reports — depends only on each engine's measured CPU
+//! time and IO trace.
+
+use std::time::Duration;
+
+use graphz_io::{DeviceModel, IoSnapshot};
+
+/// One engine run, reduced to what the model needs.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeledRun {
+    /// Compute time (the measured wall time of the run, which on our
+    /// page-cached files is effectively pure compute).
+    pub cpu: Duration,
+    /// The run's IO trace.
+    pub io: IoSnapshot,
+}
+
+impl ModeledRun {
+    pub fn new(cpu: Duration, io: IoSnapshot) -> Self {
+        ModeledRun { cpu, io }
+    }
+
+    /// Modeled wall-clock time on `device`: compute and IO overlap (every
+    /// engine here pipelines), so the slower of the two dominates.
+    pub fn runtime(&self, device: &DeviceModel) -> Duration {
+        self.cpu.max(device.model_time(self.io))
+    }
+}
+
+/// Machine power parameters (desktop i7 class, matching the paper's rig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Baseline draw with the machine on and idle, watts.
+    pub idle_watts: f64,
+    /// Additional draw at full CPU utilization, watts.
+    pub cpu_watts: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // WattsUp-style full-system numbers: ~35 W idle, ~55 W extra at
+        // full tilt — a ~90 W loaded desktop.
+        PowerModel { idle_watts: 35.0, cpu_watts: 55.0 }
+    }
+}
+
+/// Power/energy estimate for one run on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Modeled runtime.
+    pub runtime: Duration,
+    /// Average full-system power, watts.
+    pub average_watts: f64,
+    /// Total energy, joules.
+    pub joules: f64,
+}
+
+impl PowerModel {
+    /// Estimate power and energy for `run` executing against `device`.
+    pub fn estimate(&self, run: &ModeledRun, device: &DeviceModel) -> EnergyReport {
+        let runtime = run.runtime(device);
+        let rt = runtime.as_secs_f64();
+        if rt == 0.0 {
+            return EnergyReport { runtime, average_watts: self.idle_watts, joules: 0.0 };
+        }
+        let cpu_util = (run.cpu.as_secs_f64() / rt).min(1.0);
+        let io_duty = (device.model_time(run.io).as_secs_f64() / rt).min(1.0);
+        let average_watts =
+            self.idle_watts + self.cpu_watts * cpu_util + device.active_watts * io_duty;
+        EnergyReport { runtime, average_watts, joules: average_watts * rt }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io(bytes: u64, seeks: u64) -> IoSnapshot {
+        IoSnapshot {
+            read_ops: bytes / 65536 + 1,
+            write_ops: 0,
+            bytes_read: bytes,
+            bytes_written: 0,
+            seeks,
+        }
+    }
+
+    #[test]
+    fn runtime_is_max_of_cpu_and_io() {
+        let hdd = DeviceModel::hdd();
+        // CPU-bound: tiny IO.
+        let cpu_bound = ModeledRun::new(Duration::from_secs(10), io(1000, 0));
+        assert_eq!(cpu_bound.runtime(&hdd), Duration::from_secs(10));
+        // IO-bound: 10 GB off a 120 MB/s disk takes > 80 s.
+        let io_bound = ModeledRun::new(Duration::from_secs(1), io(10_000_000_000, 0));
+        assert!(io_bound.runtime(&hdd) > Duration::from_secs(80));
+    }
+
+    #[test]
+    fn less_io_means_less_energy_and_less_power() {
+        let pm = PowerModel::default();
+        let hdd = DeviceModel::hdd();
+        let cpu = Duration::from_secs(5);
+        let heavy = pm.estimate(&ModeledRun::new(cpu, io(20_000_000_000, 10_000)), &hdd);
+        let light = pm.estimate(&ModeledRun::new(cpu, io(1_000_000_000, 100)), &hdd);
+        assert!(light.joules < heavy.joules, "reduced IO must reduce energy");
+        assert!(light.runtime < heavy.runtime);
+        // The heavy run is IO-bound: its CPU idles, so its *average power*
+        // is lower per second, but its energy is still far higher — exactly
+        // the shape of the paper's Fig. 8.
+        assert!(heavy.joules / light.joules > 2.0);
+    }
+
+    #[test]
+    fn ssd_beats_hdd_for_the_same_run() {
+        let pm = PowerModel::default();
+        let run = ModeledRun::new(Duration::from_secs(2), io(5_000_000_000, 5_000));
+        let on_hdd = pm.estimate(&run, &DeviceModel::hdd());
+        let on_ssd = pm.estimate(&run, &DeviceModel::ssd());
+        assert!(on_ssd.runtime < on_hdd.runtime);
+        assert!(on_ssd.joules < on_hdd.joules);
+    }
+
+    #[test]
+    fn zero_runtime_is_safe() {
+        let pm = PowerModel::default();
+        let run = ModeledRun::new(Duration::ZERO, IoSnapshot::default());
+        let report = pm.estimate(&run, &DeviceModel::ssd());
+        assert_eq!(report.joules, 0.0);
+        assert_eq!(report.average_watts, pm.idle_watts);
+    }
+
+    #[test]
+    fn power_is_bounded_by_component_sum() {
+        let pm = PowerModel::default();
+        let hdd = DeviceModel::hdd();
+        let run = ModeledRun::new(Duration::from_secs(3), io(50_000_000_000, 100_000));
+        let report = pm.estimate(&run, &hdd);
+        assert!(report.average_watts >= pm.idle_watts);
+        assert!(report.average_watts <= pm.idle_watts + pm.cpu_watts + hdd.active_watts + 1e-9);
+    }
+}

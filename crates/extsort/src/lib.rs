@@ -1,0 +1,333 @@
+//! External k-way merge sort over fixed-size records.
+//!
+//! The DOS conversion pipeline (paper §III-C) is built entirely from external
+//! sorts: "we use external k-way merge sort to sort it using deg as 1st key
+//! and src as 2nd key", then again by `dest`, then by `src`. The GraphChi
+//! baseline's shard construction and X-Stream's partition bucketing reuse the
+//! same substrate.
+//!
+//! The implementation is the classic two-phase algorithm:
+//!
+//! 1. **Run formation** — read records until the memory budget is full, sort
+//!    them in memory, and spill each sorted run to a scratch file.
+//! 2. **K-way merge** — stream every run through a min-heap, emitting records
+//!    in globally sorted order. If the number of runs exceeds the configured
+//!    fan-in, runs are merged in multiple passes.
+//!
+//! Sorting is stable across equal keys only within a run; engine code that
+//! needs total determinism (all of ours) uses keys that are total orders.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir};
+use graphz_types::{FixedCodec, MemoryBudget, Result};
+
+/// Maximum number of runs merged at once. 64 open files keeps well under any
+/// fd limit while making multi-pass merges rare for our graph sizes.
+pub const DEFAULT_FAN_IN: usize = 64;
+
+/// Configuration for an external sort.
+pub struct ExternalSorter<T, K, F>
+where
+    T: FixedCodec,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    key: F,
+    budget: MemoryBudget,
+    fan_in: usize,
+    stats: Arc<IoStats>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T, K, F> ExternalSorter<T, K, F>
+where
+    T: FixedCodec,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    /// Create a sorter ordering records by `key(record)` ascending.
+    pub fn new(key: F, budget: MemoryBudget, stats: Arc<IoStats>) -> Self {
+        ExternalSorter { key, budget, fan_in: DEFAULT_FAN_IN, stats, _marker: Default::default() }
+    }
+
+    /// Override the merge fan-in (mostly for tests exercising multi-pass
+    /// merges).
+    pub fn with_fan_in(mut self, fan_in: usize) -> Self {
+        assert!(fan_in >= 2, "fan-in must be at least 2");
+        self.fan_in = fan_in;
+        self
+    }
+
+    /// Sort the records in `input` into `output` (both files of `T` records).
+    ///
+    /// Returns the number of records sorted. `input` and `output` may be the
+    /// same path; the final merge writes through a scratch file in that case.
+    pub fn sort_file(&self, input: &Path, output: &Path, scratch: &ScratchDir) -> Result<u64> {
+        let reader = RecordReader::<T>::open(input, Arc::clone(&self.stats))?;
+        self.sort_iter(reader.map(|r| r.unwrap_or_else(|e| panic!("input read failed: {e}"))), output, scratch)
+    }
+
+    /// Sort records from an iterator into `output`.
+    pub fn sort_iter<I: IntoIterator<Item = T>>(
+        &self,
+        input: I,
+        output: &Path,
+        scratch: &ScratchDir,
+    ) -> Result<u64> {
+        let run_capacity = self.budget.records(T::SIZE) as usize;
+        let mut runs: Vec<PathBuf> = Vec::new();
+        let mut buf: Vec<T> = Vec::with_capacity(run_capacity.min(1 << 20));
+        let mut total: u64 = 0;
+
+        for record in input {
+            buf.push(record);
+            total += 1;
+            if buf.len() >= run_capacity {
+                runs.push(self.spill_run(&mut buf, scratch, runs.len())?);
+            }
+        }
+        if !buf.is_empty() {
+            runs.push(self.spill_run(&mut buf, scratch, runs.len())?);
+        }
+
+        match runs.len() {
+            0 => {
+                // Produce an empty output file.
+                RecordWriter::<T>::create(output, Arc::clone(&self.stats))?.finish()?;
+            }
+            1 => {
+                std::fs::rename(&runs[0], output)?;
+            }
+            _ => {
+                self.merge_runs(runs, output, scratch)?;
+            }
+        }
+        Ok(total)
+    }
+
+    fn spill_run(&self, buf: &mut Vec<T>, scratch: &ScratchDir, idx: usize) -> Result<PathBuf> {
+        buf.sort_by_key(|r| (self.key)(r));
+        let path = scratch.file(&format!("run-{idx:06}.bin"));
+        let mut w = RecordWriter::<T>::create(&path, Arc::clone(&self.stats))?;
+        w.push_all(buf.iter())?;
+        w.finish()?;
+        buf.clear();
+        Ok(path)
+    }
+
+    /// Merge `runs` (possibly in multiple passes) into `output`.
+    fn merge_runs(&self, mut runs: Vec<PathBuf>, output: &Path, scratch: &ScratchDir) -> Result<()> {
+        let mut pass = 0;
+        while runs.len() > self.fan_in {
+            let mut next: Vec<PathBuf> = Vec::new();
+            for (group_idx, group) in runs.chunks(self.fan_in).enumerate() {
+                let merged = scratch.file(&format!("merge-{pass}-{group_idx:06}.bin"));
+                self.merge_group(group, &merged)?;
+                for r in group {
+                    let _ = std::fs::remove_file(r);
+                }
+                next.push(merged);
+            }
+            runs = next;
+            pass += 1;
+        }
+        // Final merge. If the output overlaps an input run, go via scratch.
+        let overlaps = runs.iter().any(|r| r == output);
+        if overlaps {
+            let tmp = scratch.file("merge-final.bin");
+            self.merge_group(&runs, &tmp)?;
+            std::fs::rename(tmp, output)?;
+        } else {
+            self.merge_group(&runs, output)?;
+        }
+        for r in &runs {
+            let _ = std::fs::remove_file(r);
+        }
+        Ok(())
+    }
+
+    fn merge_group(&self, runs: &[PathBuf], output: &Path) -> Result<()> {
+        struct HeapEntry<K> {
+            key: K,
+            run: usize,
+            seq: u64,
+        }
+        impl<K: Ord> PartialEq for HeapEntry<K> {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == CmpOrdering::Equal
+            }
+        }
+        impl<K: Ord> Eq for HeapEntry<K> {}
+        impl<K: Ord> PartialOrd for HeapEntry<K> {
+            fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<K: Ord> Ord for HeapEntry<K> {
+            fn cmp(&self, other: &Self) -> CmpOrdering {
+                // BinaryHeap is a max-heap; reverse for a min-heap. Ties break
+                // by run index then sequence for a deterministic merge order.
+                other
+                    .key
+                    .cmp(&self.key)
+                    .then_with(|| other.run.cmp(&self.run))
+                    .then_with(|| other.seq.cmp(&self.seq))
+            }
+        }
+
+        let mut readers: Vec<RecordReader<T>> = runs
+            .iter()
+            .map(|r| RecordReader::<T>::open(r, Arc::clone(&self.stats)))
+            .collect::<Result<_>>()?;
+        let mut pending: Vec<Option<T>> = Vec::with_capacity(readers.len());
+        let mut heap: BinaryHeap<HeapEntry<K>> = BinaryHeap::with_capacity(readers.len());
+        let mut seq = 0u64;
+
+        for (i, r) in readers.iter_mut().enumerate() {
+            let rec = r.next_record()?;
+            if let Some(rec) = &rec {
+                heap.push(HeapEntry { key: (self.key)(rec), run: i, seq });
+                seq += 1;
+            }
+            pending.push(rec);
+        }
+
+        let mut w = RecordWriter::<T>::create(output, Arc::clone(&self.stats))?;
+        while let Some(top) = heap.pop() {
+            let run = top.run;
+            let rec = pending[run].take().expect("heap entry without pending record");
+            w.push(&rec)?;
+            if let Some(next) = readers[run].next_record()? {
+                heap.push(HeapEntry { key: (self.key)(&next), run, seq });
+                seq += 1;
+                pending[run] = Some(next);
+            }
+        }
+        w.finish()?;
+        Ok(())
+    }
+}
+
+/// One-call helper: sort the records of `input` into `output` by `key`.
+pub fn sort_file_by<T, K, F>(
+    input: &Path,
+    output: &Path,
+    key: F,
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<u64>
+where
+    T: FixedCodec,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let scratch = ScratchDir::new("extsort")?;
+    ExternalSorter::new(key, budget, stats).sort_file(input, output, &scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphz_io::record::{read_records, write_records};
+    use graphz_types::Edge;
+    use rand::prelude::*;
+
+    fn sort_roundtrip(values: Vec<u64>, budget: MemoryBudget, fan_in: usize) -> Vec<u64> {
+        let dir = ScratchDir::new("xs-test").unwrap();
+        let stats = IoStats::new();
+        let input = dir.file("in.bin");
+        let output = dir.file("out.bin");
+        write_records(&input, Arc::clone(&stats), &values).unwrap();
+        let sorter =
+            ExternalSorter::new(|v: &u64| *v, budget, Arc::clone(&stats)).with_fan_in(fan_in);
+        let scratch = ScratchDir::new("xs-scratch").unwrap();
+        let n = sorter.sort_file(&input, &output, &scratch).unwrap();
+        assert_eq!(n, values.len() as u64);
+        read_records(&output, stats).unwrap()
+    }
+
+    #[test]
+    fn sorts_small_in_single_run() {
+        let out = sort_roundtrip(vec![5, 3, 9, 1, 1, 7], MemoryBudget::from_mib(1), 8);
+        assert_eq!(out, vec![1, 1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn sorts_with_many_runs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let values: Vec<u64> = (0..10_000).map(|_| rng.random_range(0..1_000)).collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        // Budget of 512 bytes => 64 records per run => ~157 runs.
+        let out = sort_roundtrip(values, MemoryBudget(512), 8);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn multi_pass_merge_with_tiny_fan_in() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let values: Vec<u64> = (0..2_000).map(|_| rng.random()).collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        // 16 records per run, fan-in 2 => deep multi-pass merge tree.
+        let out = sort_roundtrip(values, MemoryBudget(128), 2);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let out = sort_roundtrip(vec![], MemoryBudget::from_kib(1), 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sorts_edges_by_composite_key() {
+        // The DOS first pass sorts by (degree desc, src asc).
+        let dir = ScratchDir::new("xs-edge").unwrap();
+        let stats = IoStats::new();
+        let input = dir.file("in.bin");
+        let output = dir.file("out.bin");
+        let recs: Vec<(u32, u32)> = vec![(2, 5), (3, 1), (2, 3), (3, 0), (1, 9)];
+        write_records(&input, Arc::clone(&stats), &recs).unwrap();
+        let scratch = ScratchDir::new("xs-edge-scratch").unwrap();
+        ExternalSorter::new(
+            |r: &(u32, u32)| (std::cmp::Reverse(r.0), r.1),
+            MemoryBudget(16),
+            Arc::clone(&stats),
+        )
+        .sort_file(&input, &output, &scratch)
+        .unwrap();
+        let out: Vec<(u32, u32)> = read_records(&output, stats).unwrap();
+        assert_eq!(out, vec![(3, 0), (3, 1), (2, 3), (2, 5), (1, 9)]);
+    }
+
+    #[test]
+    fn in_place_sort_same_input_output_path() {
+        let dir = ScratchDir::new("xs-inplace").unwrap();
+        let stats = IoStats::new();
+        let path = dir.file("data.bin");
+        write_records(&path, Arc::clone(&stats), &[3u64, 1, 2]).unwrap();
+        sort_file_by::<u64, _, _>(&path, &path, |v| *v, MemoryBudget(8), Arc::clone(&stats))
+            .unwrap();
+        assert_eq!(read_records::<u64>(&path, stats).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_iter_from_generator() {
+        let dir = ScratchDir::new("xs-iter").unwrap();
+        let stats = IoStats::new();
+        let output = dir.file("out.bin");
+        let scratch = ScratchDir::new("xs-iter-scratch").unwrap();
+        let edges = (0..100u32).rev().map(|i| Edge::new(i, 0));
+        ExternalSorter::new(|e: &Edge| e.src, MemoryBudget(64), Arc::clone(&stats))
+            .sort_iter(edges, &output, &scratch)
+            .unwrap();
+        let out: Vec<Edge> = read_records(&output, stats).unwrap();
+        assert_eq!(out.len(), 100);
+        assert!(out.windows(2).all(|w| w[0].src <= w[1].src));
+    }
+}

@@ -1,0 +1,16 @@
+//! Deterministic graph generators and the paper's scaled evaluation suite.
+//!
+//! The paper evaluates on LiveJournal, Friendster, YahooWeb, and a synthetic
+//! "Sim" graph "generated according to [R-MAT]". We cannot redistribute the
+//! SNAP/Yahoo datasets, so the whole suite is synthetic: R-MAT power-law
+//! graphs whose *size relative to the memory budget* matches the paper's
+//! graphs relative to its machine's RAM (DESIGN.md §3 and §6). R-MAT
+//! reproduces the property DOS exploits — a heavy-tailed degree distribution
+//! with few unique degrees — and, like real crawls, leaves many ids in the
+//! vertex space unused (paper §III-B: max id well above the vertex count).
+
+pub mod rmat;
+pub mod suite;
+
+pub use rmat::{erdos_renyi, rmat_edges, RmatParams};
+pub use suite::{ensure_generated, GraphSize, GraphSpec};

@@ -1,0 +1,156 @@
+//! R-MAT (recursive matrix) and Erdős–Rényi edge generators.
+
+use graphz_types::{Edge, VertexId};
+use rand::prelude::*;
+
+/// R-MAT quadrant probabilities. The defaults are the Graph500 parameters
+/// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`, which produce the power-law
+/// degree distributions natural graphs exhibit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+    /// Per-level probability perturbation; keeps the recursion from
+    /// producing an unnaturally smooth distribution.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, noise: 0.1 }
+    }
+}
+
+impl RmatParams {
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!((sum - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1, got {sum}");
+        assert!(self.a > 0.0 && self.b > 0.0 && self.c > 0.0 && self.d > 0.0);
+        assert!((0.0..1.0).contains(&self.noise));
+    }
+}
+
+/// Generate `num_edges` R-MAT edges over a `2^scale` vertex space.
+///
+/// Deterministic for a given `(scale, num_edges, params, seed)` — every
+/// engine and every bench run sees byte-identical graphs.
+pub fn rmat_edges(
+    scale: u32,
+    num_edges: u64,
+    params: RmatParams,
+    seed: u64,
+) -> impl Iterator<Item = Edge> {
+    params.validate();
+    assert!((1..=31).contains(&scale), "scale must be in 1..=31");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_edges).map(move |_| {
+        let mut src: VertexId = 0;
+        let mut dst: VertexId = 0;
+        for _ in 0..scale {
+            // Perturb the quadrant probabilities a little at each level.
+            let jitter = |p: f64, r: &mut StdRng| {
+                p * (1.0 - params.noise + 2.0 * params.noise * r.random::<f64>())
+            };
+            let a = jitter(params.a, &mut rng);
+            let b = jitter(params.b, &mut rng);
+            let c = jitter(params.c, &mut rng);
+            let d = jitter(params.d, &mut rng);
+            let total = a + b + c + d;
+            let roll = rng.random::<f64>() * total;
+            src <<= 1;
+            dst <<= 1;
+            if roll < a {
+                // top-left: no bits set
+            } else if roll < a + b {
+                dst |= 1;
+            } else if roll < a + b + c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        Edge::new(src, dst)
+    })
+}
+
+/// Generate `num_edges` uniform random edges over `num_vertices` vertices.
+///
+/// The near-uniform degree distribution is the *worst case* for
+/// degree-ordered storage (many vertices share few distinct degrees but
+/// there is no heavy head to pack into the first partition) — used by tests
+/// and the locality ablation.
+pub fn erdos_renyi(
+    num_vertices: u64,
+    num_edges: u64,
+    seed: u64,
+) -> impl Iterator<Item = Edge> {
+    assert!(num_vertices > 0 && num_vertices <= u32::MAX as u64 + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_edges).map(move |_| {
+        Edge::new(
+            rng.random_range(0..num_vertices) as VertexId,
+            rng.random_range(0..num_vertices) as VertexId,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a: Vec<Edge> = rmat_edges(10, 1000, RmatParams::default(), 7).collect();
+        let b: Vec<Edge> = rmat_edges(10, 1000, RmatParams::default(), 7).collect();
+        assert_eq!(a, b);
+        let c: Vec<Edge> = rmat_edges(10, 1000, RmatParams::default(), 8).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_ids_within_scale() {
+        for e in rmat_edges(8, 5000, RmatParams::default(), 1) {
+            assert!(e.src < 256 && e.dst < 256);
+        }
+    }
+
+    #[test]
+    fn rmat_degree_distribution_is_skewed() {
+        let mut deg: HashMap<VertexId, u64> = HashMap::new();
+        for e in rmat_edges(12, 40_000, RmatParams::default(), 3) {
+            *deg.entry(e.src).or_default() += 1;
+        }
+        let max = *deg.values().max().unwrap();
+        let mean = 40_000.0 / deg.len() as f64;
+        // Power-law head: the hub should dwarf the mean degree.
+        assert!(
+            max as f64 > mean * 10.0,
+            "expected a heavy head, max {max} vs mean {mean:.1}"
+        );
+        // And the number of unique degrees must be small vs vertices
+        // (the property Table VIII documents).
+        let unique: std::collections::HashSet<u64> = deg.values().copied().collect();
+        assert!(unique.len() * 10 < deg.len(), "{} unique / {} vertices", unique.len(), deg.len());
+    }
+
+    #[test]
+    fn erdos_renyi_covers_range() {
+        let edges: Vec<Edge> = erdos_renyi(100, 10_000, 9).collect();
+        assert_eq!(edges.len(), 10_000);
+        assert!(edges.iter().all(|e| e.src < 100 && e.dst < 100));
+        let distinct_srcs: std::collections::HashSet<u32> =
+            edges.iter().map(|e| e.src).collect();
+        assert!(distinct_srcs.len() > 90, "uniform sampling should hit most vertices");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_validates_probabilities() {
+        let bad = RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5, noise: 0.1 };
+        let _ = rmat_edges(4, 1, bad, 0).count();
+    }
+}

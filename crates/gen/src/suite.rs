@@ -1,0 +1,197 @@
+//! The scaled evaluation suite (DESIGN.md §6, standing in for paper
+//! Table X) and the Table VIII SNAP-graph analogues.
+//!
+//! Graph files are generated once into a cache directory and reused across
+//! benchmark binaries, mirroring how the paper converts each input graph
+//! once and amortizes it over many computations.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use graphz_io::IoStats;
+use graphz_storage::EdgeListFile;
+use graphz_types::Result;
+
+use crate::rmat::{rmat_edges, RmatParams};
+
+/// The paper's four evaluation sizes (Table X).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphSize {
+    /// Fits in the memory budget (LiveJournal analogue).
+    Small,
+    /// ~1.6x the budget (Friendster analogue).
+    Medium,
+    /// ~4x the budget (YahooWeb analogue).
+    Large,
+    /// ~12x the budget; its CSR vertex index alone exceeds the budget, which
+    /// is what makes GraphChi fail in Fig. 5 (Sim analogue).
+    XLarge,
+}
+
+impl GraphSize {
+    pub fn all() -> [GraphSize; 4] {
+        [GraphSize::Small, GraphSize::Medium, GraphSize::Large, GraphSize::XLarge]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphSize::Small => "small",
+            GraphSize::Medium => "medium",
+            GraphSize::Large => "large",
+            GraphSize::XLarge => "xlarge",
+        }
+    }
+
+    /// The paper graph each size stands in for.
+    pub fn analogue(self) -> &'static str {
+        match self {
+            GraphSize::Small => "LiveJournal",
+            GraphSize::Medium => "Friendster",
+            GraphSize::Large => "YahooWeb",
+            GraphSize::XLarge => "Sim",
+        }
+    }
+
+    pub fn spec(self) -> GraphSpec {
+        match self {
+            GraphSize::Small => GraphSpec::new("small", 16, 750_000, 1001),
+            GraphSize::Medium => GraphSpec::new("medium", 17, 1_600_000, 1002),
+            GraphSize::Large => GraphSpec::new("large", 19, 4_000_000, 1003),
+            GraphSize::XLarge => GraphSpec::new("xlarge", 21, 12_000_000, 1004),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, fully deterministic R-MAT graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    pub name: &'static str,
+    pub scale: u32,
+    pub num_edges: u64,
+    pub seed: u64,
+    pub params: RmatParams,
+}
+
+impl GraphSpec {
+    pub const fn new(name: &'static str, scale: u32, num_edges: u64, seed: u64) -> Self {
+        GraphSpec {
+            name,
+            scale,
+            num_edges,
+            seed,
+            params: RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, noise: 0.1 },
+        }
+    }
+
+    /// Scaled-down analogues of the five SNAP graphs in Table VIII, keeping
+    /// each graph's edges-per-vertex density so the unique-degree counts are
+    /// comparable in spirit.
+    pub fn snap_analogues() -> Vec<GraphSpec> {
+        vec![
+            // as-skitter: 1.7M v, 11M e (density ~6.5)
+            GraphSpec::new("as-skitter", 15, 210_000, 2001),
+            // cit-patents: 3.8M v, 16.5M e (density ~4.4)
+            GraphSpec::new("cit-patents", 16, 290_000, 2002),
+            // com-orkut: 3.1M v, 117M e (density ~38)
+            GraphSpec::new("com-orkut", 14, 620_000, 2003),
+            // higgs-twitter: 457K v, 15M e (density ~33)
+            GraphSpec::new("higgs-twitter", 13, 270_000, 2004),
+            // wiki-talk: 2.4M v, 5M e (density ~2.1)
+            GraphSpec::new("wiki-talk", 16, 140_000, 2005),
+        ]
+    }
+
+    /// Generate (or reuse) the binary edge list under `cache_dir`.
+    pub fn ensure(&self, cache_dir: &Path, stats: Arc<IoStats>) -> Result<EdgeListFile> {
+        ensure_generated(self, cache_dir, stats)
+    }
+
+    fn file_name(&self) -> String {
+        format!("{}-s{}-e{}-r{}.bin", self.name, self.scale, self.num_edges, self.seed)
+    }
+}
+
+/// Generate `spec` into `cache_dir` unless an up-to-date copy already exists.
+pub fn ensure_generated(
+    spec: &GraphSpec,
+    cache_dir: &Path,
+    stats: Arc<IoStats>,
+) -> Result<EdgeListFile> {
+    std::fs::create_dir_all(cache_dir)?;
+    let path: PathBuf = cache_dir.join(spec.file_name());
+    if path.exists() {
+        if let Ok(f) = EdgeListFile::open(&path) {
+            return Ok(f);
+        }
+        // Stale or corrupt cache entry: regenerate.
+    }
+    let edges = rmat_edges(spec.scale, spec.num_edges, spec.params, spec.seed);
+    EdgeListFile::create(&path, stats, edges)
+}
+
+/// Default on-disk cache used by benches and examples:
+/// `$GRAPHZ_CACHE` or `<temp>/graphz-graph-cache`.
+pub fn default_cache_dir() -> PathBuf {
+    std::env::var_os("GRAPHZ_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("graphz-graph-cache"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphz_io::ScratchDir;
+
+    #[test]
+    fn sizes_have_increasing_footprints() {
+        let specs: Vec<_> = GraphSize::all().iter().map(|s| s.spec()).collect();
+        for w in specs.windows(2) {
+            assert!(w[0].num_edges < w[1].num_edges);
+            assert!(w[0].scale <= w[1].scale);
+        }
+        assert_eq!(GraphSize::Small.name(), "small");
+        assert_eq!(GraphSize::Large.analogue(), "YahooWeb");
+        assert_eq!(GraphSize::Medium.to_string(), "medium");
+    }
+
+    #[test]
+    fn ensure_generates_then_reuses() {
+        let dir = ScratchDir::new("suite").unwrap();
+        let stats = IoStats::new();
+        let spec = GraphSpec::new("tiny", 8, 500, 1);
+        let f1 = spec.ensure(dir.path(), Arc::clone(&stats)).unwrap();
+        assert_eq!(f1.meta().num_edges, 500);
+        let mtime = std::fs::metadata(f1.path()).unwrap().modified().unwrap();
+        let f2 = spec.ensure(dir.path(), Arc::clone(&stats)).unwrap();
+        assert_eq!(std::fs::metadata(f2.path()).unwrap().modified().unwrap(), mtime);
+        assert_eq!(f1.meta(), f2.meta());
+    }
+
+    #[test]
+    fn corrupt_cache_regenerates() {
+        let dir = ScratchDir::new("suite-bad").unwrap();
+        let stats = IoStats::new();
+        let spec = GraphSpec::new("tiny2", 8, 100, 2);
+        let f1 = spec.ensure(dir.path(), Arc::clone(&stats)).unwrap();
+        // Clobber the sidecar so open() fails.
+        let mut meta_path = f1.path().as_os_str().to_owned();
+        meta_path.push(".meta.txt");
+        std::fs::write(&meta_path, "garbage").unwrap();
+        let f2 = spec.ensure(dir.path(), stats).unwrap();
+        assert_eq!(f2.meta().num_edges, 100);
+    }
+
+    #[test]
+    fn snap_analogues_are_distinct() {
+        let specs = GraphSpec::snap_analogues();
+        assert_eq!(specs.len(), 5);
+        let names: std::collections::HashSet<_> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

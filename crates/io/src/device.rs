@@ -1,0 +1,136 @@
+//! Storage-device models for converting IO traces into modeled device time.
+//!
+//! The paper runs on a physical 7200-rpm HDD and a Samsung 840 Pro SSD. Our
+//! scaled-down data sits in the OS page cache, so we *measure* IO traffic
+//! ([`IoSnapshot`]) and *model* how long the paper's devices would take to
+//! serve it. The model is applied identically to every engine, so relative
+//! results (who wins, by what factor, HDD/SSD crossovers) are preserved —
+//! see DESIGN.md §3.
+
+use std::time::Duration;
+
+use crate::stats::IoSnapshot;
+
+/// Device class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    Hdd,
+    Ssd,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceKind::Hdd => write!(f, "HDD"),
+            DeviceKind::Ssd => write!(f, "SSD"),
+        }
+    }
+}
+
+/// Analytic model of a secondary-storage device.
+///
+/// Service time of a trace =
+/// `seeks * seek_latency + ops * op_overhead + bytes / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceModel {
+    pub kind: DeviceKind,
+    /// Cost of a non-sequential access (head movement / FTL miss).
+    pub seek_latency: Duration,
+    /// Fixed per-operation overhead (request setup, command latency).
+    pub op_overhead: Duration,
+    /// Sequential read bandwidth, bytes/second.
+    pub read_bw: f64,
+    /// Sequential write bandwidth, bytes/second.
+    pub write_bw: f64,
+    /// Active power draw while serving IO, watts (feeds the energy model).
+    pub active_watts: f64,
+}
+
+impl DeviceModel {
+    /// A 7200-rpm consumer magnetic disk (the paper's internal 250 GB HDD
+    /// class): ~8.5 ms average seek, ~120 MB/s sequential.
+    pub fn hdd() -> Self {
+        DeviceModel {
+            kind: DeviceKind::Hdd,
+            seek_latency: Duration::from_micros(8500),
+            op_overhead: Duration::from_micros(60),
+            read_bw: 120.0e6,
+            write_bw: 115.0e6,
+            active_watts: 8.0,
+        }
+    }
+
+    /// A SATA consumer SSD (the paper's Samsung 840 Pro class): ~80 µs random
+    /// access, ~520/450 MB/s sequential read/write.
+    pub fn ssd() -> Self {
+        DeviceModel {
+            kind: DeviceKind::Ssd,
+            seek_latency: Duration::from_micros(80),
+            op_overhead: Duration::from_micros(15),
+            read_bw: 520.0e6,
+            write_bw: 450.0e6,
+            active_watts: 3.0,
+        }
+    }
+
+    pub fn by_kind(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::Hdd => Self::hdd(),
+            DeviceKind::Ssd => Self::ssd(),
+        }
+    }
+
+    /// Modeled time for this device to serve the IO trace.
+    pub fn model_time(&self, io: IoSnapshot) -> Duration {
+        let seek = self.seek_latency.as_secs_f64() * io.seeks as f64;
+        let overhead = self.op_overhead.as_secs_f64() * io.total_ops() as f64;
+        let xfer = io.bytes_read as f64 / self.read_bw + io.bytes_written as f64 / self.write_bw;
+        Duration::from_secs_f64(seek + overhead + xfer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(read_ops: u64, bytes_read: u64, seeks: u64) -> IoSnapshot {
+        IoSnapshot { read_ops, write_ops: 0, bytes_read, bytes_written: 0, seeks }
+    }
+
+    #[test]
+    fn ssd_is_faster_than_hdd_for_the_same_trace() {
+        let io = trace(1000, 64 * 1024 * 1000, 200);
+        assert!(DeviceModel::ssd().model_time(io) < DeviceModel::hdd().model_time(io));
+    }
+
+    #[test]
+    fn seeks_dominate_hdd_time() {
+        let hdd = DeviceModel::hdd();
+        let seeky = trace(100, 1_000_000, 100);
+        let sequential = trace(100, 1_000_000, 0);
+        let ratio = hdd.model_time(seeky).as_secs_f64() / hdd.model_time(sequential).as_secs_f64();
+        assert!(ratio > 10.0, "100 HDD seeks should dwarf 1MB of transfer (ratio {ratio})");
+    }
+
+    #[test]
+    fn seeks_barely_matter_on_ssd() {
+        let ssd = DeviceModel::ssd();
+        let seeky = trace(100, 100_000_000, 100);
+        let sequential = trace(100, 100_000_000, 0);
+        let ratio = ssd.model_time(seeky).as_secs_f64() / ssd.model_time(sequential).as_secs_f64();
+        assert!(ratio < 1.2, "SSD seek penalty should be small (ratio {ratio})");
+    }
+
+    #[test]
+    fn more_bytes_take_longer() {
+        let m = DeviceModel::hdd();
+        assert!(m.model_time(trace(10, 2_000_000, 0)) > m.model_time(trace(10, 1_000_000, 0)));
+    }
+
+    #[test]
+    fn by_kind_roundtrip() {
+        assert_eq!(DeviceModel::by_kind(DeviceKind::Hdd).kind, DeviceKind::Hdd);
+        assert_eq!(DeviceModel::by_kind(DeviceKind::Ssd).kind, DeviceKind::Ssd);
+        assert_eq!(DeviceKind::Hdd.to_string(), "HDD");
+    }
+}

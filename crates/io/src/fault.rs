@@ -1,0 +1,108 @@
+//! Fault injection for testing engine error paths.
+//!
+//! Out-of-core engines must fail cleanly (not corrupt state or hang) when the
+//! backing store misbehaves. [`FaultInjector`] wraps any reader/writer and
+//! injects an IO error after a configurable number of bytes, letting
+//! integration tests drive every spill/reload path into its error branch.
+
+use std::io::{self, Read, Write};
+
+/// Wraps a reader/writer and fails with [`io::ErrorKind::Other`] once
+/// `fail_after_bytes` bytes have passed through.
+pub struct FaultInjector<T> {
+    inner: T,
+    remaining: u64,
+    tripped: bool,
+}
+
+impl<T> FaultInjector<T> {
+    pub fn new(inner: T, fail_after_bytes: u64) -> Self {
+        FaultInjector { inner, remaining: fail_after_bytes, tripped: false }
+    }
+
+    /// Whether the fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn budget(&mut self, want: usize) -> io::Result<usize> {
+        if self.remaining == 0 {
+            self.tripped = true;
+            return Err(io::Error::other("injected fault"));
+        }
+        Ok(want.min(self.remaining as usize))
+    }
+
+    fn consume(&mut self, used: usize) {
+        self.remaining -= used as u64;
+    }
+}
+
+impl<T: Read> Read for FaultInjector<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let allowed = self.budget(buf.len())?;
+        let n = self.inner.read(&mut buf[..allowed])?;
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl<T: Write> Write for FaultInjector<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let allowed = self.budget(buf.len())?;
+        let n = self.inner.write(&buf[..allowed])?;
+        self.consume(n);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_fails_after_budget() {
+        let data = [1u8; 100];
+        let mut f = FaultInjector::new(&data[..], 10);
+        let mut buf = [0u8; 8];
+        assert_eq!(f.read(&mut buf).unwrap(), 8);
+        assert_eq!(f.read(&mut buf).unwrap(), 2); // clipped to remaining budget
+        let err = f.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(f.tripped());
+    }
+
+    #[test]
+    fn write_fails_after_budget() {
+        let mut out = Vec::new();
+        {
+            let mut f = FaultInjector::new(&mut out, 5);
+            assert_eq!(f.write(&[9u8; 3]).unwrap(), 3);
+            assert_eq!(f.write(&[9u8; 3]).unwrap(), 2);
+            assert!(f.write(&[9u8; 1]).is_err());
+        }
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn zero_len_ops_never_trip() {
+        let mut f = FaultInjector::new(std::io::empty(), 0);
+        let mut buf = [];
+        assert_eq!(f.read(&mut buf).unwrap(), 0);
+        assert!(!f.tripped());
+    }
+}

@@ -1,0 +1,26 @@
+//! Instrumented file IO for out-of-core graph engines.
+//!
+//! Every engine in this workspace (GraphZ and both baselines) performs its
+//! disk traffic through this crate so that:
+//!
+//! 1. reads, writes, bytes, and seeks are counted identically for all of
+//!    them ([`IoStats`]), reproducing the paper's Fig. 9 IO statistics, and
+//! 2. the recorded IO trace can be converted into *modeled* device time for
+//!    an HDD or SSD ([`DeviceModel`]), which substitutes for the paper's
+//!    physical disks (our scaled-down files sit in the OS page cache, so
+//!    wall-clock time alone cannot reproduce HDD/SSD effects; see DESIGN.md
+//!    §3).
+
+pub mod device;
+pub mod fault;
+pub mod record;
+pub mod scratch;
+pub mod stats;
+pub mod tracked;
+
+pub use device::{DeviceKind, DeviceModel};
+pub use fault::FaultInjector;
+pub use record::{RecordReader, RecordWriter};
+pub use scratch::ScratchDir;
+pub use stats::{IoSnapshot, IoStats};
+pub use tracked::{TrackedFile, TrackedReader, TrackedWriter};

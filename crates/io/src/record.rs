@@ -1,0 +1,252 @@
+//! Typed readers/writers for streams of fixed-size records.
+//!
+//! All on-disk structures in the workspace — edge lists, vertex arrays,
+//! message spills, index tables — are homogeneous streams of [`FixedCodec`]
+//! records. These adapters add the (de)serialization loop once so every
+//! format shares the same carefully buffered, instrumented IO path.
+
+use std::io::{self, Read, Write};
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::Arc;
+
+use graphz_types::{FixedCodec, GraphError, Result};
+
+use crate::stats::IoStats;
+use crate::tracked;
+
+/// Streaming reader of `T` records from a tracked file.
+pub struct RecordReader<T: FixedCodec, R: Read = tracked::TrackedReader> {
+    inner: R,
+    buf: Vec<u8>,
+    _marker: PhantomData<T>,
+}
+
+impl<T: FixedCodec> RecordReader<T> {
+    /// Open `path` with the default block size.
+    pub fn open(path: &Path, stats: Arc<IoStats>) -> Result<Self> {
+        Ok(Self::from_reader(tracked::reader(path, stats)?))
+    }
+
+    /// Open `path` with an explicit block size.
+    pub fn open_with_block(path: &Path, stats: Arc<IoStats>, block: usize) -> Result<Self> {
+        Ok(Self::from_reader(tracked::reader_with_block(path, stats, block)?))
+    }
+}
+
+impl<T: FixedCodec, R: Read> RecordReader<T, R> {
+    pub fn from_reader(inner: R) -> Self {
+        RecordReader { inner, buf: vec![0u8; T::SIZE], _marker: PhantomData }
+    }
+
+    /// Read the next record, or `None` at a clean end-of-stream.
+    ///
+    /// A partial trailing record is a corruption error, not EOF: every format
+    /// in this workspace writes whole records only.
+    pub fn next_record(&mut self) -> Result<Option<T>> {
+        match read_exact_or_eof(&mut self.inner, &mut self.buf)? {
+            FillResult::Full => Ok(Some(T::read_from(&self.buf))),
+            FillResult::Eof => Ok(None),
+            FillResult::Partial(n) => Err(GraphError::Corrupt(format!(
+                "truncated record: got {n} of {} bytes",
+                T::SIZE
+            ))),
+        }
+    }
+
+    /// Read up to `max` records into `out` (cleared first); returns how many
+    /// records were read.
+    pub fn read_batch(&mut self, out: &mut Vec<T>, max: usize) -> Result<usize> {
+        out.clear();
+        while out.len() < max {
+            match self.next_record()? {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        Ok(out.len())
+    }
+
+    /// Drain the remaining records into a vector.
+    pub fn read_all(mut self) -> Result<Vec<T>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: FixedCodec, R: Read> Iterator for RecordReader<T, R> {
+    type Item = Result<T>;
+
+    fn next(&mut self) -> Option<Result<T>> {
+        self.next_record().transpose()
+    }
+}
+
+enum FillResult {
+    Full,
+    Eof,
+    Partial(usize),
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<FillResult> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 { FillResult::Eof } else { FillResult::Partial(filled) })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FillResult::Full)
+}
+
+/// Streaming writer of `T` records to a tracked file.
+pub struct RecordWriter<T: FixedCodec, W: Write = tracked::TrackedWriter> {
+    inner: W,
+    buf: Vec<u8>,
+    written: u64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: FixedCodec> RecordWriter<T> {
+    /// Create/truncate `path` with the default block size.
+    pub fn create(path: &Path, stats: Arc<IoStats>) -> Result<Self> {
+        Ok(Self::from_writer(tracked::writer(path, stats)?))
+    }
+
+    /// Create/truncate `path` with an explicit block size.
+    pub fn create_with_block(path: &Path, stats: Arc<IoStats>, block: usize) -> Result<Self> {
+        Ok(Self::from_writer(tracked::writer_with_block(path, stats, block)?))
+    }
+}
+
+impl<T: FixedCodec, W: Write> RecordWriter<T, W> {
+    pub fn from_writer(inner: W) -> Self {
+        RecordWriter { inner, buf: vec![0u8; T::SIZE], written: 0, _marker: PhantomData }
+    }
+
+    pub fn push(&mut self, record: &T) -> Result<()> {
+        record.write_to(&mut self.buf);
+        self.inner.write_all(&self.buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    pub fn push_all<'a, I: IntoIterator<Item = &'a T>>(&mut self, records: I) -> Result<()>
+    where
+        T: 'a,
+    {
+        for r in records {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn count(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush buffered bytes and return the record count.
+    pub fn finish(mut self) -> Result<u64> {
+        self.inner.flush()?;
+        Ok(self.written)
+    }
+}
+
+/// Convenience: write a whole slice of records to `path`.
+pub fn write_records<T: FixedCodec>(path: &Path, stats: Arc<IoStats>, records: &[T]) -> Result<()> {
+    let mut w = RecordWriter::<T>::create(path, stats)?;
+    w.push_all(records)?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Convenience: read every record in `path`.
+pub fn read_records<T: FixedCodec>(path: &Path, stats: Arc<IoStats>) -> Result<Vec<T>> {
+    RecordReader::<T>::open(path, stats)?.read_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+    use graphz_types::Edge;
+
+    #[test]
+    fn roundtrip_edges() {
+        let dir = ScratchDir::new("rec").unwrap();
+        let stats = IoStats::new();
+        let path = dir.file("edges.bin");
+        let edges: Vec<Edge> = (0..1000).map(|i| Edge::new(i, i * 2 + 1)).collect();
+        write_records(&path, Arc::clone(&stats), &edges).unwrap();
+        let back: Vec<Edge> = read_records(&path, Arc::clone(&stats)).unwrap();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn truncated_record_is_corruption() {
+        let dir = ScratchDir::new("rec-trunc").unwrap();
+        let stats = IoStats::new();
+        let path = dir.file("bad.bin");
+        std::fs::write(&path, [1, 2, 3, 4, 5]).unwrap(); // 5 bytes, not a multiple of 8
+        let mut r = RecordReader::<Edge>::open(&path, stats).unwrap();
+        let err = r.next_record().unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn empty_file_yields_no_records() {
+        let dir = ScratchDir::new("rec-empty").unwrap();
+        let stats = IoStats::new();
+        let path = dir.file("empty.bin");
+        std::fs::write(&path, []).unwrap();
+        let recs: Vec<u64> = read_records(&path, stats).unwrap();
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn batched_reads_respect_max() {
+        let dir = ScratchDir::new("rec-batch").unwrap();
+        let stats = IoStats::new();
+        let path = dir.file("n.bin");
+        let vals: Vec<u32> = (0..10).collect();
+        write_records(&path, Arc::clone(&stats), &vals).unwrap();
+        let mut r = RecordReader::<u32>::open(&path, stats).unwrap();
+        let mut batch = Vec::new();
+        assert_eq!(r.read_batch(&mut batch, 4).unwrap(), 4);
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert_eq!(r.read_batch(&mut batch, 4).unwrap(), 4);
+        assert_eq!(r.read_batch(&mut batch, 4).unwrap(), 2);
+        assert_eq!(batch, vec![8, 9]);
+        assert_eq!(r.read_batch(&mut batch, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let dir = ScratchDir::new("rec-iter").unwrap();
+        let stats = IoStats::new();
+        let path = dir.file("i.bin");
+        write_records(&path, Arc::clone(&stats), &[10u64, 20, 30]).unwrap();
+        let r = RecordReader::<u64>::open(&path, stats).unwrap();
+        let vals: Result<Vec<u64>> = r.collect();
+        assert_eq!(vals.unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn writer_counts_records() {
+        let dir = ScratchDir::new("rec-count").unwrap();
+        let stats = IoStats::new();
+        let mut w = RecordWriter::<u32>::create(&dir.file("c.bin"), stats).unwrap();
+        w.push(&1).unwrap();
+        w.push(&2).unwrap();
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.finish().unwrap(), 2);
+    }
+}

@@ -1,0 +1,824 @@
+//! Degree-Ordered Storage (DOS) — the paper's first contribution (§III).
+//!
+//! Vertices are sorted by *descending out-degree* and relabeled in that
+//! order. Because every vertex with the same degree then occupies a
+//! contiguous id range with equal-length adjacency lists, the vertex index
+//! needs only one entry per **unique degree**:
+//!
+//! * `ids_table` — degree → smallest new id with that degree (paper
+//!   Table VI),
+//! * `id_offset_table` — degree → edge-file offset of that smallest id
+//!   (paper Table VII).
+//!
+//! The adjacency offset of any vertex `x` with degree `d` is then computed,
+//! not stored (paper Eq. 1):
+//!
+//! ```text
+//! offset = id_offset_table[d] + (x - ids_table[d]) * d
+//! ```
+//!
+//! Natural graphs have very few unique degrees (§III-D proves
+//! `|UD| <= 2*sqrt(|E|)`; see [`unique_degree_bound`]), so this index is
+//! orders of magnitude smaller than CSR's per-vertex offsets and always fits
+//! in memory — the property Table XI quantifies.
+//!
+//! Conversion (§III-C) uses only sequential passes and external sorts, so it
+//! runs in bounded memory no matter the graph size.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use graphz_extsort::ExternalSorter;
+use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir, TrackedFile};
+use graphz_types::{
+    Degree, Edge, FixedCodec, GraphError, GraphMeta, MemoryBudget, Result, VertexId,
+};
+
+use crate::edgelist::EdgeListFile;
+use crate::meta::MetaFile;
+
+/// Upper bound on the number of unique out-degrees (paper §III-D, Claim 1):
+/// `|UD| <= 2 * sqrt(|E|)`.
+pub fn unique_degree_bound(num_edges: u64) -> u64 {
+    2 * (num_edges as f64).sqrt().ceil() as u64
+}
+
+/// One row of the combined `ids_table` / `id_offset_table`: all vertices in
+/// `first_id .. next group's first_id` have out-degree `degree`, and the
+/// adjacency list of `first_id` starts at edge-record `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegreeGroup {
+    pub degree: Degree,
+    pub first_id: VertexId,
+    pub offset: u64,
+}
+
+impl FixedCodec for DegreeGroup {
+    const SIZE: usize = 16;
+
+    fn write_to(&self, buf: &mut [u8]) {
+        buf[..4].copy_from_slice(&self.degree.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.first_id.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.offset.to_le_bytes());
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        DegreeGroup {
+            degree: u32::from_le_bytes(buf[..4].try_into().unwrap()),
+            first_id: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            offset: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        }
+    }
+}
+
+/// The in-memory DOS vertex index: one [`DegreeGroup`] per unique degree,
+/// sorted by ascending `first_id` (equivalently descending `degree`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DosIndex {
+    groups: Vec<DegreeGroup>,
+    num_vertices: u64,
+    num_edges: u64,
+}
+
+impl DosIndex {
+    pub fn new(groups: Vec<DegreeGroup>, num_vertices: u64, num_edges: u64) -> Self {
+        debug_assert!(groups.windows(2).all(|w| w[0].first_id < w[1].first_id));
+        debug_assert!(groups.windows(2).all(|w| w[0].degree > w[1].degree));
+        DosIndex { groups, num_vertices, num_edges }
+    }
+
+    pub fn groups(&self) -> &[DegreeGroup] {
+        &self.groups
+    }
+
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Number of unique out-degrees.
+    pub fn unique_degrees(&self) -> u64 {
+        self.groups.len() as u64
+    }
+
+    /// Bytes this index occupies (16 per unique degree) — the "GraphZ" row
+    /// of Table XI.
+    pub fn index_bytes(&self) -> u64 {
+        (self.groups.len() * DegreeGroup::SIZE) as u64
+    }
+
+    #[inline]
+    fn group_of(&self, v: VertexId) -> &DegreeGroup {
+        debug_assert!((v as u64) < self.num_vertices, "vertex {v} out of range");
+        // Binary search on ids_table (paper §III-B): find d with
+        // ids_table[d] <= v < ids_table[d + 1].
+        let idx = self.groups.partition_point(|g| g.first_id <= v);
+        &self.groups[idx - 1]
+    }
+
+    /// Out-degree of new-id `v`.
+    #[inline]
+    pub fn degree_of(&self, v: VertexId) -> Degree {
+        self.group_of(v).degree
+    }
+
+    /// Edge-record offset of `v`'s adjacency list — paper Eq. 1.
+    #[inline]
+    pub fn offset_of(&self, v: VertexId) -> u64 {
+        let g = self.group_of(v);
+        g.offset + (v - g.first_id) as u64 * g.degree as u64
+    }
+
+    /// `(degree, offset)` with one search.
+    #[inline]
+    pub fn lookup(&self, v: VertexId) -> (Degree, u64) {
+        let g = self.group_of(v);
+        (g.degree, g.offset + (v - g.first_id) as u64 * g.degree as u64)
+    }
+
+    /// Total edges owned by vertices in `from..to` (new-id range).
+    pub fn edges_in_range(&self, from: VertexId, to: VertexId) -> u64 {
+        if from >= to {
+            return 0;
+        }
+        let end = if (to as u64) < self.num_vertices { self.offset_of(to) } else { self.num_edges };
+        end - self.offset_of(from)
+    }
+
+    pub fn save(&self, path: &Path, stats: Arc<IoStats>) -> Result<()> {
+        let mut w = RecordWriter::<DegreeGroup>::create(path, stats)?;
+        w.push_all(self.groups.iter())?;
+        w.finish()?;
+        Ok(())
+    }
+
+    pub fn load(path: &Path, stats: Arc<IoStats>, num_vertices: u64, num_edges: u64) -> Result<Self> {
+        let groups = RecordReader::<DegreeGroup>::open(path, stats)?.read_all()?;
+        if groups.windows(2).any(|w| w[0].first_id >= w[1].first_id || w[0].degree <= w[1].degree) {
+            return Err(GraphError::Corrupt("DOS index groups are not properly ordered".into()));
+        }
+        if let Some(first) = groups.first() {
+            if first.first_id != 0 || first.offset != 0 {
+                return Err(GraphError::Corrupt("DOS index must start at id 0, offset 0".into()));
+            }
+        }
+        Ok(DosIndex { groups, num_vertices, num_edges })
+    }
+}
+
+/// Converts an edge list into a DOS directory (paper §III-C).
+pub struct DosConverter {
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+    /// When set, a `weights.bin` file (one `f32` per edge, parallel to
+    /// `edges.bin`) is produced from the *original* endpoint ids, so weights
+    /// survive the relabeling unchanged.
+    weight_fn: Option<fn(VertexId, VertexId) -> f32>,
+}
+
+/// Triad record used by the conversion pipeline: `(degree, src, dst)` —
+/// paper §III-C's `EDGES` list of `<src, dest, deg>`.
+type Triad = (u32, u32, u32);
+
+impl DosConverter {
+    pub fn new(budget: MemoryBudget, stats: Arc<IoStats>) -> Self {
+        DosConverter { budget, stats, weight_fn: None }
+    }
+
+    /// Also emit per-edge weights computed by `f(original_src, original_dst)`.
+    pub fn with_weights(mut self, f: fn(VertexId, VertexId) -> f32) -> Self {
+        self.weight_fn = Some(f);
+        self
+    }
+
+    /// Run the full conversion, producing `edges.bin`, `index.tbl`,
+    /// `new2old.bin`, `old2new.bin`, and `meta.txt` under `dir`.
+    pub fn convert(&self, input: &EdgeListFile, dir: &Path) -> Result<DosGraph> {
+        std::fs::create_dir_all(dir)?;
+        let scratch = ScratchDir::new("dos-convert")?;
+        let meta = input.meta();
+        let num_vertices = meta.num_vertices;
+
+        // Pass 1: sort edges by (src, dst) so each vertex's out-edges are a
+        // contiguous run whose length is its degree.
+        let by_src = scratch.file("by-src.bin");
+        ExternalSorter::new(|e: &Edge| (e.src, e.dst), self.budget, Arc::clone(&self.stats))
+            .sort_file(input.path(), &by_src, &scratch)?;
+
+        // Pass 2: emit (deg, src, dst) triads, then sort by (deg desc, src).
+        let triads = scratch.file("triads.bin");
+        {
+            let mut w = RecordWriter::<Triad>::create(&triads, Arc::clone(&self.stats))?;
+            let mut run: Vec<Edge> = Vec::new();
+            let flush = |run: &mut Vec<Edge>, w: &mut RecordWriter<Triad>| -> Result<()> {
+                let deg = run.len() as u32;
+                for e in run.drain(..) {
+                    w.push(&(deg, e.src, e.dst))?;
+                }
+                Ok(())
+            };
+            for e in RecordReader::<Edge>::open(&by_src, Arc::clone(&self.stats))? {
+                let e = e?;
+                if run.last().is_some_and(|p| p.src != e.src) {
+                    flush(&mut run, &mut w)?;
+                }
+                run.push(e);
+            }
+            flush(&mut run, &mut w)?;
+            w.finish()?;
+        }
+        let by_deg = scratch.file("by-deg.bin");
+        ExternalSorter::new(
+            // Ties between equal degrees break by ascending old id — the
+            // paper breaks them "randomly"; a deterministic break makes runs
+            // reproducible, which §IV-C's ordering guarantee requires anyway.
+            |t: &Triad| (std::cmp::Reverse(t.0), t.1, t.2),
+            self.budget,
+            Arc::clone(&self.stats),
+        )
+        .sort_file(&triads, &by_deg, &scratch)?;
+        let _ = std::fs::remove_file(&triads);
+
+        // Pass 3: walk the degree-sorted triads assigning new ids, building
+        // the per-unique-degree groups, and emitting half-relabeled edges
+        // (new src, old dst).
+        let half = scratch.file("half-relabeled.bin");
+        let assign = scratch.file("assign.bin"); // (old_id, new_id) per vertex with deg > 0
+        let mut groups: Vec<DegreeGroup> = Vec::new();
+        let assigned: u64;
+        {
+            // (new src, old dst, old src) — the old source rides along so
+            // weights can be derived from original ids at the final pass.
+            let mut half_w =
+                RecordWriter::<(u32, u32, u32)>::create(&half, Arc::clone(&self.stats))?;
+            let mut assign_w =
+                RecordWriter::<(u32, u32)>::create(&assign, Arc::clone(&self.stats))?;
+            let mut cur_src: Option<u32> = None;
+            let mut next_new: u32 = 0;
+            for (edge_offset, t) in
+                (0u64..).zip(RecordReader::<Triad>::open(&by_deg, Arc::clone(&self.stats))?)
+            {
+                let (deg, src, dst) = t?;
+                if cur_src != Some(src) {
+                    cur_src = Some(src);
+                    let new_id = next_new;
+                    next_new += 1;
+                    assign_w.push(&(src, new_id))?;
+                    if groups.last().map(|g| g.degree) != Some(deg) {
+                        groups.push(DegreeGroup { degree: deg, first_id: new_id, offset: edge_offset });
+                    }
+                }
+                half_w.push(&(next_new - 1, dst, src))?;
+            }
+            assigned = next_new as u64;
+            half_w.finish()?;
+            assign_w.finish()?;
+        }
+        let _ = std::fs::remove_file(&by_deg);
+
+        // Pass 4: fill in zero-degree vertices (paper: "we need to fill in
+        // those vertices with 0 degrees") and materialize old2new.bin.
+        if assigned < num_vertices {
+            groups.push(DegreeGroup {
+                degree: 0,
+                first_id: assigned as u32,
+                offset: meta.num_edges,
+            });
+        }
+        let assign_by_old = scratch.file("assign-by-old.bin");
+        ExternalSorter::new(|p: &(u32, u32)| p.0, self.budget, Arc::clone(&self.stats))
+            .sort_file(&assign, &assign_by_old, &scratch)?;
+        let _ = std::fs::remove_file(&assign);
+        let old2new_path = dir.join("old2new.bin");
+        {
+            let mut r = RecordReader::<(u32, u32)>::open(&assign_by_old, Arc::clone(&self.stats))?;
+            let mut w = RecordWriter::<u32>::create(&old2new_path, Arc::clone(&self.stats))?;
+            let mut pending = r.next_record()?;
+            let mut next_zero: u32 = assigned as u32;
+            for old in 0..num_vertices as u32 {
+                match pending {
+                    Some((o, n)) if o == old => {
+                        w.push(&n)?;
+                        pending = r.next_record()?;
+                    }
+                    _ => {
+                        w.push(&next_zero)?;
+                        next_zero += 1;
+                    }
+                }
+            }
+            if pending.is_some() {
+                return Err(GraphError::Corrupt(
+                    "DOS conversion saw a source id beyond num_vertices".into(),
+                ));
+            }
+            w.finish()?;
+        }
+        let _ = std::fs::remove_file(&assign_by_old);
+
+        // Pass 5: new2old.bin = old2new inverted via one more external sort.
+        let pairs_by_new = scratch.file("pairs-by-new.bin");
+        {
+            let olds = RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?;
+            let pairs = olds.enumerate().map(|(old, new)| {
+                let new = new.expect("old2new.bin must be readable");
+                (new, old as u32)
+            });
+            ExternalSorter::new(|p: &(u32, u32)| p.0, self.budget, Arc::clone(&self.stats))
+                .sort_iter(pairs, &pairs_by_new, &scratch)?;
+        }
+        let new2old_path = dir.join("new2old.bin");
+        {
+            let mut w = RecordWriter::<u32>::create(&new2old_path, Arc::clone(&self.stats))?;
+            for p in RecordReader::<(u32, u32)>::open(&pairs_by_new, Arc::clone(&self.stats))? {
+                w.push(&p?.1)?;
+            }
+            w.finish()?;
+        }
+        let _ = std::fs::remove_file(&pairs_by_new);
+
+        // Pass 6: relabel destinations by sorting half-relabeled edges by old
+        // dst and co-scanning old2new.bin sequentially (paper: "with the
+        // mapping from oldid to newid, we sequentially relabel dests").
+        let half_by_dst = scratch.file("half-by-dst.bin");
+        ExternalSorter::new(
+            |p: &(u32, u32, u32)| (p.1, p.0, p.2),
+            self.budget,
+            Arc::clone(&self.stats),
+        )
+        .sort_file(&half, &half_by_dst, &scratch)?;
+        let _ = std::fs::remove_file(&half);
+        let relabeled = scratch.file("relabeled.bin");
+        {
+            let mut map = RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?;
+            let mut map_pos: u64 = 0;
+            let mut cur_new: Option<u32> = None;
+            // (new src, new dst, old src, old dst)
+            let mut w = RecordWriter::<(u32, u32, u32, u32)>::create(
+                &relabeled,
+                Arc::clone(&self.stats),
+            )?;
+            for p in RecordReader::<(u32, u32, u32)>::open(&half_by_dst, Arc::clone(&self.stats))? {
+                let (new_src, old_dst, old_src) = p?;
+                while map_pos <= old_dst as u64 {
+                    cur_new = map.next_record()?;
+                    map_pos += 1;
+                }
+                let new_dst = cur_new.ok_or_else(|| {
+                    GraphError::Corrupt("old2new.bin shorter than the id space".into())
+                })?;
+                w.push(&(new_src, new_dst, old_src, old_dst))?;
+            }
+            w.finish()?;
+        }
+        let _ = std::fs::remove_file(&half_by_dst);
+
+        // Pass 7: final sort by (new src, new dst) and write the adjacency
+        // file (destination ids only; offsets are computed by Eq. 1) plus,
+        // when requested, the parallel per-edge weight file.
+        let final_sorted = scratch.file("final.bin");
+        ExternalSorter::new(
+            |p: &(u32, u32, u32, u32)| (p.0, p.1, p.2, p.3),
+            self.budget,
+            Arc::clone(&self.stats),
+        )
+        .sort_file(&relabeled, &final_sorted, &scratch)?;
+        let _ = std::fs::remove_file(&relabeled);
+        let edges_path = dir.join("edges.bin");
+        let mut written: u64 = 0;
+        {
+            let mut w = RecordWriter::<u32>::create(&edges_path, Arc::clone(&self.stats))?;
+            let mut weights_w = match self.weight_fn {
+                Some(_) => Some(RecordWriter::<f32>::create(
+                    &dir.join("weights.bin"),
+                    Arc::clone(&self.stats),
+                )?),
+                None => None,
+            };
+            for p in
+                RecordReader::<(u32, u32, u32, u32)>::open(&final_sorted, Arc::clone(&self.stats))?
+            {
+                let (_, new_dst, old_src, old_dst) = p?;
+                w.push(&new_dst)?;
+                if let (Some(ww), Some(f)) = (&mut weights_w, self.weight_fn) {
+                    ww.push(&f(old_src, old_dst))?;
+                }
+                written += 1;
+            }
+            w.finish()?;
+            if let Some(ww) = weights_w {
+                ww.finish()?;
+            }
+        }
+        if written != meta.num_edges {
+            return Err(GraphError::Corrupt(format!(
+                "DOS conversion wrote {written} edges, expected {}",
+                meta.num_edges
+            )));
+        }
+
+        let index = DosIndex::new(groups, num_vertices, meta.num_edges);
+        index.save(&dir.join("index.tbl"), Arc::clone(&self.stats))?;
+        let dos_meta = GraphMeta {
+            num_vertices,
+            num_edges: meta.num_edges,
+            unique_degrees: index.unique_degrees(),
+            max_degree: index.groups().first().map_or(0, |g| g.degree as u64),
+        };
+        let mut mf = MetaFile::new();
+        mf.set("format", "dos")
+            .set("weighted", if self.weight_fn.is_some() { 1 } else { 0 })
+            .set_graph_meta(&dos_meta);
+        mf.save(&dir.join("meta.txt"))?;
+
+        Ok(DosGraph {
+            dir: dir.to_path_buf(),
+            index,
+            meta: dos_meta,
+            weighted: self.weight_fn.is_some(),
+        })
+    }
+}
+
+/// An opened DOS directory: the in-memory index plus paths to the data files.
+#[derive(Debug, Clone)]
+pub struct DosGraph {
+    dir: PathBuf,
+    index: DosIndex,
+    meta: GraphMeta,
+    weighted: bool,
+}
+
+impl DosGraph {
+    pub fn open(dir: &Path, stats: Arc<IoStats>) -> Result<Self> {
+        let mf = MetaFile::load(&dir.join("meta.txt"))?;
+        if mf.get("format") != Some("dos") {
+            return Err(GraphError::Corrupt(format!(
+                "{} is not a DOS directory (format={:?})",
+                dir.display(),
+                mf.get("format")
+            )));
+        }
+        let meta = mf.graph_meta()?;
+        let weighted = mf.get("weighted") == Some("1");
+        let index =
+            DosIndex::load(&dir.join("index.tbl"), stats, meta.num_vertices, meta.num_edges)?;
+        Ok(DosGraph { dir: dir.to_path_buf(), index, meta, weighted })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn index(&self) -> &DosIndex {
+        &self.index
+    }
+
+    pub fn meta(&self) -> GraphMeta {
+        self.meta
+    }
+
+    pub fn edges_path(&self) -> PathBuf {
+        self.dir.join("edges.bin")
+    }
+
+    /// Whether the conversion emitted per-edge weights.
+    pub fn has_weights(&self) -> bool {
+        self.weighted
+    }
+
+    /// Path of `weights.bin` (one `f32` per edge, parallel to `edges.bin`),
+    /// if the graph is weighted.
+    pub fn weights_path(&self) -> Option<PathBuf> {
+        self.weighted.then(|| self.dir.join("weights.bin"))
+    }
+
+    pub fn new2old_path(&self) -> PathBuf {
+        self.dir.join("new2old.bin")
+    }
+
+    pub fn old2new_path(&self) -> PathBuf {
+        self.dir.join("old2new.bin")
+    }
+
+    /// Random-access read of one vertex's adjacency list (new ids). One seek
+    /// plus one sequential read — the access pattern DOS is designed for.
+    pub fn adjacency(&self, v: VertexId, stats: Arc<IoStats>) -> Result<Vec<VertexId>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let (deg, offset) = self.index.lookup(v);
+        let mut f = TrackedFile::open(&self.edges_path(), stats)?;
+        f.seek(SeekFrom::Start(offset * 4))?;
+        let mut buf = vec![0u8; deg as usize * 4];
+        f.read_exact(&mut buf)?;
+        Ok(graphz_types::codec::decode_slice(&buf))
+    }
+
+    /// Random-access read of one vertex's adjacency list together with the
+    /// stored per-edge weights. Errors if the graph is unweighted.
+    pub fn adjacency_weighted(
+        &self,
+        v: VertexId,
+        stats: Arc<IoStats>,
+    ) -> Result<Vec<(VertexId, f32)>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let weights_path = self.weights_path().ok_or_else(|| {
+            GraphError::InvalidConfig("graph has no weights.bin; convert with_weights".into())
+        })?;
+        let (deg, offset) = self.index.lookup(v);
+        let mut ef = TrackedFile::open(&self.edges_path(), Arc::clone(&stats))?;
+        ef.seek(SeekFrom::Start(offset * 4))?;
+        let mut ebuf = vec![0u8; deg as usize * 4];
+        ef.read_exact(&mut ebuf)?;
+        let mut wf = TrackedFile::open(&weights_path, stats)?;
+        wf.seek(SeekFrom::Start(offset * 4))?;
+        let mut wbuf = vec![0u8; deg as usize * 4];
+        wf.read_exact(&mut wbuf)?;
+        let dsts: Vec<u32> = graphz_types::codec::decode_slice(&ebuf);
+        let ws: Vec<f32> = graphz_types::codec::decode_slice(&wbuf);
+        Ok(dsts.into_iter().zip(ws).collect())
+    }
+
+    /// Load the new→old id map (4 bytes per vertex).
+    pub fn load_new2old(&self, stats: Arc<IoStats>) -> Result<Vec<VertexId>> {
+        RecordReader::<u32>::open(&self.new2old_path(), stats)?.read_all()
+    }
+
+    /// Load the old→new id map (4 bytes per vertex).
+    pub fn load_old2new(&self, stats: Arc<IoStats>) -> Result<Vec<VertexId>> {
+        RecordReader::<u32>::open(&self.old2new_path(), stats)?.read_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn stats() -> Arc<IoStats> {
+        IoStats::new()
+    }
+
+    fn convert(edges: Vec<Edge>) -> (ScratchDir, DosGraph) {
+        let dir = ScratchDir::new("dos").unwrap();
+        let el = EdgeListFile::create(&dir.file("g.bin"), stats(), edges).unwrap();
+        let dos = DosConverter::new(MemoryBudget::from_kib(64), stats())
+            .convert(&el, &dir.path().join("dos"))
+            .unwrap();
+        (dir, dos)
+    }
+
+    /// The paper's running example (§III-B, Figure 1 / Tables III–VII): a
+    /// 7-vertex graph whose max id exceeds the vertex count. The OCR of the
+    /// published tables garbles the concrete ids, so this test pins down the
+    /// *construction* under our deterministic tie-break and verifies every
+    /// structural property the tables illustrate.
+    #[test]
+    fn paper_example() {
+        // Old ids: 0,1,2,3,5,7,11 (sparse, max id 11 > 7 vertices).
+        // Out-degrees: 0 -> {1,2,3,7}: 4;  1 -> {0}: 1;  2 -> {0,7}: 2;
+        //              3 -> {2,5}: 2;  7 -> {11}: 1;  5, 11 isolated.
+        let edges = vec![
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(0, 3),
+            Edge::new(0, 7),
+            Edge::new(1, 0),
+            Edge::new(2, 0),
+            Edge::new(2, 7),
+            Edge::new(3, 2),
+            Edge::new(3, 5),
+            Edge::new(7, 11),
+        ];
+        let (_dir, dos) = convert(edges);
+        let meta = dos.meta();
+        assert_eq!(meta.num_vertices, 12); // dense id space 0..=11
+        assert_eq!(meta.num_edges, 10);
+        assert_eq!(meta.max_degree, 4);
+        // Unique degrees: {4, 2, 1, 0}.
+        assert_eq!(meta.unique_degrees, 4);
+
+        let idx = dos.index();
+        // ids_table / id_offset_table (Tables VI & VII), deterministic
+        // tie-break by ascending old id:
+        //   new 0 = old 0 (deg 4), new 1 = old 2 (deg 2), new 2 = old 3
+        //   (deg 2), new 3 = old 1 (deg 1), new 4 = old 7 (deg 1), then
+        //   zero-degree fill: new 5 = old 4, new 6 = old 5, ... in old order.
+        assert_eq!(
+            idx.groups(),
+            &[
+                DegreeGroup { degree: 4, first_id: 0, offset: 0 },
+                DegreeGroup { degree: 2, first_id: 1, offset: 4 },
+                DegreeGroup { degree: 1, first_id: 3, offset: 8 },
+                DegreeGroup { degree: 0, first_id: 5, offset: 10 },
+            ]
+        );
+
+        // Eq. 1 walkthrough like the paper's "find the offset of vertex 2"
+        // narration: vertex 2 has degree 2; first id with degree 2 is 1 at
+        // offset 4; offset = 4 + (2 - 1) * 2 = 6.
+        assert_eq!(idx.lookup(2), (2, 6));
+        assert_eq!(idx.lookup(0), (4, 0));
+        assert_eq!(idx.lookup(4), (1, 9));
+        assert_eq!(idx.lookup(11), (0, 10));
+
+        let new2old = dos.load_new2old(stats()).unwrap();
+        assert_eq!(&new2old[..5], &[0, 2, 3, 1, 7]);
+        let old2new = dos.load_old2new(stats()).unwrap();
+        assert_eq!(old2new.len(), 12);
+        // Bijection check.
+        for (new, &old) in new2old.iter().enumerate() {
+            assert_eq!(old2new[old as usize] as usize, new);
+        }
+
+        // Adjacency of new id 0 (old 0) = {1,2,3,7} relabeled to new ids.
+        let adj: HashSet<u32> = dos.adjacency(0, stats()).unwrap().into_iter().collect();
+        let expect: HashSet<u32> =
+            [1u32, 2, 3, 7].iter().map(|&o| old2new[o as usize]).collect();
+        assert_eq!(adj, expect);
+    }
+
+    #[test]
+    fn relabeling_preserves_graph_structure() {
+        let mut edges = Vec::new();
+        // A deterministic pseudo-random graph with repeated degrees.
+        let mut x: u64 = 12345;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((x >> 33) % 50) as u32;
+            let dst = ((x >> 17) % 50) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        let (_dir, dos) = convert(edges.clone());
+        let old2new = dos.load_old2new(stats()).unwrap();
+
+        // Expected multiset of relabeled edges.
+        let mut expected: HashMap<(u32, u32), u32> = HashMap::new();
+        for e in &edges {
+            *expected
+                .entry((old2new[e.src as usize], old2new[e.dst as usize]))
+                .or_default() += 1;
+        }
+        // Actual: walk every vertex's adjacency via the index.
+        let mut actual: HashMap<(u32, u32), u32> = HashMap::new();
+        for v in 0..dos.meta().num_vertices as u32 {
+            for d in dos.adjacency(v, stats()).unwrap() {
+                *actual.entry((v, d)).or_default() += 1;
+            }
+        }
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn degrees_are_non_increasing_in_new_order() {
+        let edges: Vec<Edge> =
+            (0..200u32).flat_map(|i| (0..(i % 7)).map(move |j| Edge::new(i, j))).collect();
+        let (_dir, dos) = convert(edges);
+        let idx = dos.index();
+        let mut prev = u32::MAX;
+        for v in 0..dos.meta().num_vertices as u32 {
+            let d = idx.degree_of(v);
+            assert!(d <= prev, "degree increased at new id {v}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn offsets_match_cumulative_degrees() {
+        let edges: Vec<Edge> =
+            (0..100u32).flat_map(|i| (0..(i % 5)).map(move |j| Edge::new(i, j))).collect();
+        let (_dir, dos) = convert(edges);
+        let idx = dos.index();
+        let mut cum: u64 = 0;
+        for v in 0..dos.meta().num_vertices as u32 {
+            assert_eq!(idx.offset_of(v), cum, "offset mismatch at {v}");
+            cum += idx.degree_of(v) as u64;
+        }
+        assert_eq!(cum, dos.meta().num_edges);
+    }
+
+    #[test]
+    fn edges_in_range_sums_degrees() {
+        let edges: Vec<Edge> =
+            (0..50u32).flat_map(|i| (0..(i % 4)).map(move |j| Edge::new(i, j))).collect();
+        let (_dir, dos) = convert(edges);
+        let idx = dos.index();
+        let n = dos.meta().num_vertices as u32;
+        assert_eq!(idx.edges_in_range(0, n), dos.meta().num_edges);
+        assert_eq!(idx.edges_in_range(5, 5), 0);
+        let total: u64 = (3..17u32).map(|v| idx.degree_of(v) as u64).sum();
+        assert_eq!(idx.edges_in_range(3, 17), total);
+    }
+
+    #[test]
+    fn index_is_tiny_compared_to_csr() {
+        let edges: Vec<Edge> =
+            (0..2000u32).flat_map(|i| (0..(i % 10)).map(move |j| Edge::new(i, j))).collect();
+        let (_dir, dos) = convert(edges);
+        // CSR would need 8 * (V + 1) bytes; DOS needs 16 per unique degree.
+        let csr_bytes = (dos.meta().num_vertices + 1) * 8;
+        assert!(dos.index().index_bytes() * 50 < csr_bytes,
+            "DOS {} vs CSR {}", dos.index().index_bytes(), csr_bytes);
+    }
+
+    #[test]
+    fn unique_degree_claim_holds() {
+        let edges: Vec<Edge> =
+            (0..300u32).flat_map(|i| (0..(i % 20)).map(move |j| Edge::new(i, j))).collect();
+        let n_edges = edges.len() as u64;
+        let (_dir, dos) = convert(edges);
+        assert!(dos.meta().unique_degrees <= unique_degree_bound(n_edges));
+    }
+
+    #[test]
+    fn reopen_roundtrip() {
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0), Edge::new(0, 2)];
+        let (dir, dos) = convert(edges);
+        let reopened = DosGraph::open(&dir.path().join("dos"), stats()).unwrap();
+        assert_eq!(reopened.index(), dos.index());
+        assert_eq!(reopened.meta(), dos.meta());
+    }
+
+    #[test]
+    fn corrupt_index_rejected_on_open() {
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 2)];
+        let (dir, _dos) = convert(edges);
+        let idx_path = dir.path().join("dos").join("index.tbl");
+        // Write garbage groups: unsorted first_ids.
+        let bogus = [
+            DegreeGroup { degree: 1, first_id: 5, offset: 0 },
+            DegreeGroup { degree: 2, first_id: 1, offset: 3 },
+        ];
+        let bytes: Vec<u8> = bogus.iter().flat_map(|g| g.to_bytes()).collect();
+        std::fs::write(&idx_path, bytes).unwrap();
+        assert!(matches!(
+            DosGraph::open(&dir.path().join("dos"), stats()),
+            Err(GraphError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_and_single_edge_graphs() {
+        let (_d1, dos1) = convert(vec![Edge::new(0, 0)]);
+        assert_eq!(dos1.meta().num_vertices, 1);
+        assert_eq!(dos1.index().lookup(0), (1, 0));
+
+        let (_d2, dos2) = convert(vec![Edge::new(3, 3)]);
+        assert_eq!(dos2.meta().num_vertices, 4);
+        assert_eq!(dos2.index().degree_of(0), 1); // old 3 becomes new 0
+        assert_eq!(dos2.index().degree_of(1), 0);
+    }
+
+    #[test]
+    fn weighted_conversion_preserves_original_id_weights() {
+        let edges = vec![
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(2, 0),
+            Edge::new(1, 2),
+            Edge::new(2, 2),
+        ];
+        let dir = ScratchDir::new("dos-weighted").unwrap();
+        let el = EdgeListFile::create(&dir.file("g.bin"), stats(), edges.clone()).unwrap();
+        let dos = DosConverter::new(MemoryBudget::from_kib(64), stats())
+            .with_weights(graphz_types::derive_weight)
+            .convert(&el, &dir.path().join("dos"))
+            .unwrap();
+        assert!(dos.has_weights());
+        assert!(dos.weights_path().unwrap().exists());
+
+        let old2new = dos.load_old2new(stats()).unwrap();
+        let new2old = dos.load_new2old(stats()).unwrap();
+        // Every edge's stored weight must equal the weight derived from the
+        // ORIGINAL endpoints, regardless of relabeling.
+        let mut seen = 0;
+        for v in 0..dos.meta().num_vertices as u32 {
+            for (dst, w) in dos.adjacency_weighted(v, stats()).unwrap() {
+                let (os, od) = (new2old[v as usize], new2old[dst as usize]);
+                assert_eq!(w, graphz_types::derive_weight(os, od), "edge {os}->{od}");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, edges.len());
+        let _ = old2new;
+
+        // Unweighted graphs refuse weighted access.
+        let plain = DosConverter::new(MemoryBudget::from_kib(64), stats())
+            .convert(&el, &dir.path().join("dos-plain"))
+            .unwrap();
+        assert!(!plain.has_weights());
+        assert!(plain.adjacency_weighted(0, stats()).is_err());
+        // Reopen keeps the weighted flag.
+        let reopened = DosGraph::open(&dir.path().join("dos"), stats()).unwrap();
+        assert!(reopened.has_weights());
+    }
+
+    #[test]
+    fn unique_degree_bound_formula() {
+        assert_eq!(unique_degree_bound(100), 20);
+        assert_eq!(unique_degree_bound(0), 0);
+        assert!(unique_degree_bound(1_000_000) >= 2000);
+    }
+}

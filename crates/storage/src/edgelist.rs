@@ -1,0 +1,413 @@
+//! Binary edge-list files and SNAP-style text import/export.
+//!
+//! The edge list is the interchange format every converter starts from: a
+//! flat file of 8-byte `(src, dst)` records with a `meta.txt` sidecar, plus
+//! loaders for the whitespace-separated text format used by the SNAP
+//! repository graphs the paper evaluates (LiveJournal, as-skitter, ...).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir};
+use graphz_types::{Edge, GraphError, GraphMeta, MemoryBudget, Result, VertexId};
+
+use crate::meta::MetaFile;
+
+/// A binary edge-list file (`edges.bin`) with its metadata sidecar
+/// (`<stem>.meta.txt`).
+#[derive(Debug, Clone)]
+pub struct EdgeListFile {
+    path: PathBuf,
+    meta: GraphMeta,
+}
+
+impl EdgeListFile {
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn meta(&self) -> GraphMeta {
+        self.meta
+    }
+
+    fn meta_path(path: &Path) -> PathBuf {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".meta.txt");
+        PathBuf::from(os)
+    }
+
+    /// Write `edges` to `path` and compute metadata.
+    ///
+    /// `num_vertices` is `max id + 1` (the id space may be sparse — paper
+    /// §III-B notes real graphs routinely have a max ID far above the vertex
+    /// count; id `u` exists even if it has no edges below `num_vertices`).
+    pub fn create<I>(path: &Path, stats: Arc<IoStats>, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        let mut w = RecordWriter::<Edge>::create(path, Arc::clone(&stats))?;
+        let mut max_id: Option<VertexId> = None;
+        let mut degrees: HashMap<VertexId, u64> = HashMap::new();
+        for e in edges {
+            w.push(&e)?;
+            max_id = Some(max_id.map_or(e.src.max(e.dst), |m| m.max(e.src).max(e.dst)));
+            *degrees.entry(e.src).or_default() += 1;
+        }
+        let num_edges = w.finish()?;
+        let num_vertices = max_id.map_or(0, |m| m as u64 + 1);
+        let zero_degree = num_vertices - degrees.len() as u64;
+        let mut unique: std::collections::HashSet<u64> = degrees.values().copied().collect();
+        if zero_degree > 0 {
+            unique.insert(0);
+        }
+        let meta = GraphMeta {
+            num_vertices,
+            num_edges,
+            unique_degrees: unique.len() as u64,
+            max_degree: degrees.values().copied().max().unwrap_or(0),
+        };
+        let mut mf = MetaFile::new();
+        mf.set("format", "edgelist").set_graph_meta(&meta);
+        mf.save(&Self::meta_path(path))?;
+        Ok(EdgeListFile { path: path.to_path_buf(), meta })
+    }
+
+    /// Open an existing edge-list file.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mf = MetaFile::load(&Self::meta_path(path))?;
+        if mf.get("format") != Some("edgelist") {
+            return Err(GraphError::Corrupt(format!(
+                "{} is not an edge list (format={:?})",
+                path.display(),
+                mf.get("format")
+            )));
+        }
+        Ok(EdgeListFile { path: path.to_path_buf(), meta: mf.graph_meta()? })
+    }
+
+    /// Stream the edges.
+    pub fn reader(&self, stats: Arc<IoStats>) -> Result<RecordReader<Edge>> {
+        RecordReader::open(&self.path, stats)
+    }
+
+    /// Read every edge into memory (tests and small graphs only).
+    pub fn read_all(&self, stats: Arc<IoStats>) -> Result<Vec<Edge>> {
+        self.reader(stats)?.read_all()
+    }
+
+    /// Import a SNAP-style text file: whitespace-separated `src dst` pairs,
+    /// `#`-prefixed comment lines ignored.
+    pub fn import_text(text_path: &Path, bin_path: &Path, stats: Arc<IoStats>) -> Result<Self> {
+        let file = std::fs::File::open(text_path)?;
+        let reader = BufReader::new(file);
+        let mut edges = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let parse = |tok: Option<&str>| -> Result<VertexId> {
+                tok.ok_or_else(|| {
+                    GraphError::Corrupt(format!(
+                        "{}:{}: expected `src dst`",
+                        text_path.display(),
+                        lineno + 1
+                    ))
+                })?
+                .parse()
+                .map_err(|_| {
+                    GraphError::Corrupt(format!(
+                        "{}:{}: vertex id is not a u32",
+                        text_path.display(),
+                        lineno + 1
+                    ))
+                })
+            };
+            let src = parse(it.next())?;
+            let dst = parse(it.next())?;
+            edges.push(Edge::new(src, dst));
+        }
+        Self::create(bin_path, stats, edges)
+    }
+
+    /// Import a Matrix Market coordinate file (`%%MatrixMarket matrix
+    /// coordinate ...`): 1-based `row col [value]` entries become 0-based
+    /// directed edges; a `symmetric` header adds the mirrored edge.
+    pub fn import_matrix_market(
+        mm_path: &Path,
+        bin_path: &Path,
+        stats: Arc<IoStats>,
+    ) -> Result<Self> {
+        let file = std::fs::File::open(mm_path)?;
+        let reader = BufReader::new(file);
+        let mut lines = reader.lines();
+        let header = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| GraphError::Corrupt(format!("{}: empty file", mm_path.display())))?;
+        if !header.starts_with("%%MatrixMarket") {
+            return Err(GraphError::Corrupt(format!(
+                "{}: missing %%MatrixMarket header",
+                mm_path.display()
+            )));
+        }
+        let symmetric = header.to_lowercase().contains("symmetric");
+        let mut edges = Vec::new();
+        let mut saw_dims = false;
+        for (lineno, line) in lines.enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('%') {
+                continue;
+            }
+            if !saw_dims {
+                saw_dims = true; // "rows cols nnz" — counts recomputed below
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let parse = |tok: Option<&str>| -> Result<u64> {
+                tok.ok_or_else(|| {
+                    GraphError::Corrupt(format!(
+                        "{}:{}: expected `row col [value]`",
+                        mm_path.display(),
+                        lineno + 2
+                    ))
+                })?
+                .parse()
+                .map_err(|_| {
+                    GraphError::Corrupt(format!(
+                        "{}:{}: index is not an integer",
+                        mm_path.display(),
+                        lineno + 2
+                    ))
+                })
+            };
+            let row = parse(it.next())?;
+            let col = parse(it.next())?;
+            if row == 0 || col == 0 {
+                return Err(GraphError::Corrupt(format!(
+                    "{}:{}: Matrix Market indices are 1-based",
+                    mm_path.display(),
+                    lineno + 2
+                )));
+            }
+            let (src, dst) = ((row - 1) as VertexId, (col - 1) as VertexId);
+            edges.push(Edge::new(src, dst));
+            if symmetric && src != dst {
+                edges.push(Edge::new(dst, src));
+            }
+        }
+        Self::create(bin_path, stats, edges)
+    }
+
+    /// Export to SNAP-style text.
+    pub fn export_text(&self, text_path: &Path, stats: Arc<IoStats>) -> Result<()> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(text_path)?);
+        writeln!(out, "# GraphZ edge list: {} vertices, {} edges", self.meta.num_vertices, self.meta.num_edges)?;
+        for e in self.reader(stats)? {
+            let e = e?;
+            writeln!(out, "{}\t{}", e.src, e.dst)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Produce a symmetrized copy: for every edge `(u, v)` the output has
+    /// both `(u, v)` and `(v, u)`, deduplicated, self-loops removed.
+    ///
+    /// BFS/CC/SSSP treat graphs as undirected (as the paper's benchmark
+    /// suites do); the out-of-core dedup uses an external sort so the
+    /// operation scales past memory.
+    pub fn symmetrize(&self, out_path: &Path, stats: Arc<IoStats>, budget: MemoryBudget) -> Result<Self> {
+        let scratch = ScratchDir::new("symmetrize")?;
+        let doubled = scratch.file("doubled.bin");
+        {
+            let mut w = RecordWriter::<Edge>::create(&doubled, Arc::clone(&stats))?;
+            for e in self.reader(Arc::clone(&stats))? {
+                let e = e?;
+                if e.src == e.dst {
+                    continue;
+                }
+                w.push(&e)?;
+                w.push(&Edge::new(e.dst, e.src))?;
+            }
+            w.finish()?;
+        }
+        let sorted = scratch.file("sorted.bin");
+        graphz_extsort::ExternalSorter::new(
+            |e: &Edge| (e.src, e.dst),
+            budget,
+            Arc::clone(&stats),
+        )
+        .sort_file(&doubled, &sorted, &scratch)?;
+
+        let mut prev: Option<Edge> = None;
+        let deduped = RecordReader::<Edge>::open(&sorted, Arc::clone(&stats))?
+            .map(|e| e.expect("sorted run must be readable"))
+            .filter(move |e| {
+                let keep = prev != Some(*e);
+                prev = Some(*e);
+                keep
+            });
+        Self::create(out_path, stats, deduped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> Arc<IoStats> {
+        IoStats::new()
+    }
+
+    #[test]
+    fn create_and_open_roundtrip() {
+        let dir = ScratchDir::new("el").unwrap();
+        let path = dir.file("g.bin");
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(5, 0)];
+        let f = EdgeListFile::create(&path, stats(), edges.clone()).unwrap();
+        assert_eq!(f.meta().num_vertices, 6);
+        assert_eq!(f.meta().num_edges, 3);
+        assert_eq!(f.meta().max_degree, 1);
+        let f2 = EdgeListFile::open(&path).unwrap();
+        assert_eq!(f2.meta(), f.meta());
+        assert_eq!(f2.read_all(stats()).unwrap(), edges);
+    }
+
+    #[test]
+    fn meta_counts_unique_degrees_including_zero() {
+        let dir = ScratchDir::new("el-ud").unwrap();
+        let path = dir.file("g.bin");
+        // Vertex 0 has degree 2, vertex 1 degree 1, vertices 2 and 3 degree 0.
+        let edges = vec![Edge::new(0, 2), Edge::new(0, 3), Edge::new(1, 2)];
+        let f = EdgeListFile::create(&path, stats(), edges).unwrap();
+        assert_eq!(f.meta().unique_degrees, 3); // {2, 1, 0}
+    }
+
+    #[test]
+    fn empty_graph() {
+        let dir = ScratchDir::new("el-empty").unwrap();
+        let path = dir.file("g.bin");
+        let f = EdgeListFile::create(&path, stats(), vec![]).unwrap();
+        assert_eq!(f.meta().num_vertices, 0);
+        assert_eq!(f.meta().num_edges, 0);
+        assert_eq!(f.meta().unique_degrees, 0);
+    }
+
+    #[test]
+    fn text_import_export() {
+        let dir = ScratchDir::new("el-text").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "# comment\n0 1\n1\t2\n\n2 0\n").unwrap();
+        let f = EdgeListFile::import_text(&txt, &dir.file("g.bin"), stats()).unwrap();
+        assert_eq!(f.meta().num_edges, 3);
+        let out_txt = dir.file("out.txt");
+        f.export_text(&out_txt, stats()).unwrap();
+        let f2 =
+            EdgeListFile::import_text(&out_txt, &dir.file("g2.bin"), stats()).unwrap();
+        assert_eq!(f2.read_all(stats()).unwrap(), f.read_all(stats()).unwrap());
+    }
+
+    #[test]
+    fn matrix_market_import_general_and_symmetric() {
+        let dir = ScratchDir::new("el-mm").unwrap();
+        let mm = dir.file("g.mtx");
+        std::fs::write(
+            &mm,
+            "%%MatrixMarket matrix coordinate real general
+             % a comment
+             3 3 3
+             1 2 0.5
+             2 3 1.5
+             3 1 2.5
+",
+        )
+        .unwrap();
+        let f = EdgeListFile::import_matrix_market(&mm, &dir.file("g.bin"), stats()).unwrap();
+        assert_eq!(
+            f.read_all(stats()).unwrap(),
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0)]
+        );
+
+        let mm_sym = dir.file("s.mtx");
+        std::fs::write(
+            &mm_sym,
+            "%%MatrixMarket matrix coordinate pattern symmetric
+2 2 2
+1 2
+2 2
+",
+        )
+        .unwrap();
+        let f = EdgeListFile::import_matrix_market(&mm_sym, &dir.file("s.bin"), stats()).unwrap();
+        // Off-diagonal entries mirror; the self-loop does not duplicate.
+        assert_eq!(
+            f.read_all(stats()).unwrap(),
+            vec![Edge::new(0, 1), Edge::new(1, 0), Edge::new(1, 1)]
+        );
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_headers_and_indices() {
+        let dir = ScratchDir::new("el-mm-bad").unwrap();
+        let no_header = dir.file("nh.mtx");
+        std::fs::write(&no_header, "1 1 1
+1 1
+").unwrap();
+        assert!(matches!(
+            EdgeListFile::import_matrix_market(&no_header, &dir.file("nh.bin"), stats()),
+            Err(GraphError::Corrupt(_))
+        ));
+        let zero_based = dir.file("zb.mtx");
+        std::fs::write(&zero_based, "%%MatrixMarket matrix coordinate
+2 2 1
+0 1
+").unwrap();
+        assert!(matches!(
+            EdgeListFile::import_matrix_market(&zero_based, &dir.file("zb.bin"), stats()),
+            Err(GraphError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn text_import_rejects_garbage() {
+        let dir = ScratchDir::new("el-bad").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 notanumber\n").unwrap();
+        let err = EdgeListFile::import_text(&txt, &dir.file("g.bin"), stats()).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)));
+    }
+
+    #[test]
+    fn open_rejects_wrong_format() {
+        let dir = ScratchDir::new("el-fmt").unwrap();
+        let path = dir.file("g.bin");
+        std::fs::write(&path, []).unwrap();
+        let mut mf = MetaFile::new();
+        mf.set("format", "dos");
+        mf.save(&EdgeListFile::meta_path(&path)).unwrap();
+        assert!(matches!(EdgeListFile::open(&path), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges_and_dedups() {
+        let dir = ScratchDir::new("el-sym").unwrap();
+        let f = EdgeListFile::create(
+            &dir.file("g.bin"),
+            stats(),
+            vec![Edge::new(0, 1), Edge::new(1, 0), Edge::new(2, 2), Edge::new(1, 2)],
+        )
+        .unwrap();
+        let s = f.symmetrize(&dir.file("s.bin"), stats(), MemoryBudget::from_kib(64)).unwrap();
+        let edges = s.read_all(stats()).unwrap();
+        assert_eq!(
+            edges,
+            vec![Edge::new(0, 1), Edge::new(1, 0), Edge::new(1, 2), Edge::new(2, 1)]
+        );
+    }
+}

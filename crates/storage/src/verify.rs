@@ -1,0 +1,291 @@
+//! Integrity checking for on-disk graph directories (`fsck` for DOS).
+//!
+//! The paper advocates DOS "becoming a standard for distributing graphs"
+//! (§III-C); a distribution format needs a verifier. [`verify_dos`] checks
+//! every invariant of a DOS directory and reports all violations rather
+//! than stopping at the first.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use graphz_io::{IoStats, RecordReader};
+use graphz_types::{Result, VertexId};
+
+use crate::dos::DosGraph;
+use crate::meta::MetaFile;
+
+/// One integrity violation found by [`verify_dos`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `meta.txt` missing or malformed.
+    BadMeta(String),
+    /// `index.tbl` inconsistent with itself or the metadata.
+    BadIndex(String),
+    /// `edges.bin` length disagrees with the index.
+    BadEdges(String),
+    /// An edge points outside the vertex space.
+    DanglingEdge { vertex: VertexId, target: VertexId },
+    /// The id maps are not mutually inverse bijections.
+    BadIdMap(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::BadMeta(m) => write!(f, "meta: {m}"),
+            Violation::BadIndex(m) => write!(f, "index: {m}"),
+            Violation::BadEdges(m) => write!(f, "edges: {m}"),
+            Violation::DanglingEdge { vertex, target } => {
+                write!(f, "edges: vertex {vertex} has out-neighbor {target} outside the graph")
+            }
+            Violation::BadIdMap(m) => write!(f, "id map: {m}"),
+        }
+    }
+}
+
+/// A full integrity report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Check every invariant of a DOS directory:
+///
+/// 1. metadata parses and matches the index (vertex/edge/unique-degree
+///    counts, max degree);
+/// 2. index groups are strictly ordered, start at id 0 / offset 0, and their
+///    cumulative degrees equal the edge count;
+/// 3. `edges.bin` holds exactly `num_edges` records and every destination id
+///    is in range;
+/// 4. `old2new.bin` / `new2old.bin` are mutually inverse bijections over the
+///    full id space.
+pub fn verify_dos(dir: &Path, stats: Arc<IoStats>) -> Result<VerifyReport> {
+    let mut report = VerifyReport::default();
+
+    // 1. Metadata + index open (DosGraph::open already validates ordering).
+    let graph = match DosGraph::open(dir, Arc::clone(&stats)) {
+        Ok(g) => g,
+        Err(e) => {
+            // Distinguish "meta broken" from "index broken" for the report.
+            let detail = e.to_string();
+            let kind = if MetaFile::load(&dir.join("meta.txt"))
+                .and_then(|m| m.graph_meta())
+                .is_err()
+            {
+                Violation::BadMeta(detail)
+            } else {
+                Violation::BadIndex(detail)
+            };
+            report.violations.push(kind);
+            return Ok(report);
+        }
+    };
+    let meta = graph.meta();
+    let index = graph.index();
+
+    // 2. Index internal consistency.
+    if index.unique_degrees() != meta.unique_degrees {
+        report.violations.push(Violation::BadIndex(format!(
+            "index has {} groups, meta claims {}",
+            index.unique_degrees(),
+            meta.unique_degrees
+        )));
+    }
+    if let Some(first) = index.groups().first() {
+        if first.degree as u64 != meta.max_degree {
+            report.violations.push(Violation::BadIndex(format!(
+                "first group degree {} != meta max degree {}",
+                first.degree, meta.max_degree
+            )));
+        }
+    }
+    let mut cumulative: u64 = 0;
+    let groups = index.groups();
+    for (i, g) in groups.iter().enumerate() {
+        if g.offset != cumulative {
+            report.violations.push(Violation::BadIndex(format!(
+                "group {i} (degree {}) starts at offset {}, expected {cumulative}",
+                g.degree, g.offset
+            )));
+        }
+        let group_end = if i + 1 < groups.len() {
+            groups[i + 1].first_id as u64
+        } else {
+            meta.num_vertices
+        };
+        if group_end < g.first_id as u64 {
+            report.violations.push(Violation::BadIndex(format!(
+                "group {i} first id {} beyond the vertex space",
+                g.first_id
+            )));
+            break;
+        }
+        cumulative += (group_end - g.first_id as u64) * g.degree as u64;
+    }
+    if cumulative != meta.num_edges {
+        report.violations.push(Violation::BadIndex(format!(
+            "index degrees sum to {cumulative} edges, meta claims {}",
+            meta.num_edges
+        )));
+    }
+
+    // 3. Edge file: exact length, all targets in range.
+    match std::fs::metadata(graph.edges_path()) {
+        Ok(md) => {
+            let expected = meta.num_edges * 4;
+            if md.len() != expected {
+                report.violations.push(Violation::BadEdges(format!(
+                    "edges.bin is {} bytes, expected {expected}",
+                    md.len()
+                )));
+            }
+        }
+        Err(e) => report.violations.push(Violation::BadEdges(format!("cannot stat: {e}"))),
+    }
+    if report.is_clean() {
+        let mut v: VertexId = 0;
+        let mut remaining = if meta.num_vertices > 0 { index.degree_of(0) } else { 0 };
+        let reader = RecordReader::<u32>::open(&graph.edges_path(), Arc::clone(&stats))?;
+        for dst in reader {
+            let dst = dst?;
+            while remaining == 0 {
+                v += 1;
+                remaining = index.degree_of(v);
+            }
+            remaining -= 1;
+            if dst as u64 >= meta.num_vertices {
+                report.violations.push(Violation::DanglingEdge { vertex: v, target: dst });
+                if report.violations.len() > 16 {
+                    break; // enough evidence
+                }
+            }
+        }
+    }
+
+    // 4. Id maps: sizes and mutual inversion.
+    let old2new = graph.load_old2new(Arc::clone(&stats))?;
+    let new2old = graph.load_new2old(Arc::clone(&stats))?;
+    if old2new.len() as u64 != meta.num_vertices || new2old.len() as u64 != meta.num_vertices {
+        report.violations.push(Violation::BadIdMap(format!(
+            "map sizes {} / {} != {} vertices",
+            old2new.len(),
+            new2old.len(),
+            meta.num_vertices
+        )));
+    } else {
+        for (old, &new) in old2new.iter().enumerate() {
+            if new as usize >= new2old.len() || new2old[new as usize] as usize != old {
+                report.violations.push(Violation::BadIdMap(format!(
+                    "old {old} -> new {new} does not invert"
+                )));
+                if report.violations.len() > 16 {
+                    break;
+                }
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dos::DosConverter;
+    use crate::edgelist::EdgeListFile;
+    use graphz_io::ScratchDir;
+    use graphz_types::{Edge, FixedCodec, MemoryBudget};
+
+    fn stats() -> Arc<IoStats> {
+        IoStats::new()
+    }
+
+    fn build() -> (ScratchDir, std::path::PathBuf) {
+        let dir = ScratchDir::new("verify").unwrap();
+        let edges: Vec<Edge> =
+            (0..40u32).flat_map(|i| (0..(i % 5)).map(move |j| Edge::new(i, j))).collect();
+        let el = EdgeListFile::create(&dir.file("g.bin"), stats(), edges).unwrap();
+        let dos_dir = dir.path().join("dos");
+        DosConverter::new(MemoryBudget::from_kib(64), stats()).convert(&el, &dos_dir).unwrap();
+        (dir, dos_dir)
+    }
+
+    #[test]
+    fn fresh_conversion_is_clean() {
+        let (_dir, dos_dir) = build();
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn truncated_edges_are_detected() {
+        let (_dir, dos_dir) = build();
+        let edges = dos_dir.join("edges.bin");
+        let len = std::fs::metadata(&edges).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&edges).unwrap().set_len(len - 4).unwrap();
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::BadEdges(_))));
+    }
+
+    #[test]
+    fn out_of_range_destination_is_detected() {
+        let (_dir, dos_dir) = build();
+        // Overwrite the first destination with a bogus id.
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new().write(true).open(dos_dir.join("edges.bin")).unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        f.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DanglingEdge { .. })), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn corrupted_id_map_is_detected() {
+        let (_dir, dos_dir) = build();
+        // Swap two entries of new2old without touching old2new.
+        let path = dos_dir.join("new2old.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.swap(0, 4);
+        bytes.swap(1, 5);
+        bytes.swap(2, 6);
+        bytes.swap(3, 7);
+        std::fs::write(&path, bytes).unwrap();
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::BadIdMap(_))));
+    }
+
+    #[test]
+    fn garbage_meta_is_reported_as_meta() {
+        let (_dir, dos_dir) = build();
+        std::fs::write(dos_dir.join("meta.txt"), "format=dos\nnum_vertices=zork\n").unwrap();
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(report.violations[0], Violation::BadMeta(_)));
+    }
+
+    #[test]
+    fn tampered_index_is_reported_as_index() {
+        let (_dir, dos_dir) = build();
+        // Rewrite the index with a wrong offset in the second group.
+        let graph = DosGraph::open(&dos_dir, stats()).unwrap();
+        let mut groups = graph.index().groups().to_vec();
+        assert!(groups.len() >= 2);
+        groups[1].offset += 1;
+        let bytes: Vec<u8> = groups.iter().flat_map(|g| g.to_bytes()).collect();
+        std::fs::write(dos_dir.join("index.tbl"), bytes).unwrap();
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::BadIndex(_))));
+        // Display formatting sanity.
+        let text = report.violations[0].to_string();
+        assert!(text.contains("index:") || text.contains("edges:"), "{text}");
+    }
+}

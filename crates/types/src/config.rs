@@ -1,0 +1,166 @@
+//! Memory budgets and engine options.
+//!
+//! The paper evaluates every system as a function of how much RAM it may use
+//! (Fig. 6 sweeps the budget; Table X classifies graphs by how far they
+//! exceed it). [`MemoryBudget`] is the single knob that plays the role of
+//! "machine RAM" for every engine in this workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// How many bytes of vertex/message state an engine may keep resident.
+///
+/// This models the paper's RAM sizes. The budget covers the per-partition
+/// vertex array and message buffers — the things the engines deliberately
+/// size to memory — not transient block buffers, which are small constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemoryBudget(pub u64);
+
+impl MemoryBudget {
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    pub const fn from_mib(mib: u64) -> Self {
+        MemoryBudget(mib * 1024 * 1024)
+    }
+
+    pub const fn from_kib(kib: u64) -> Self {
+        MemoryBudget(kib * 1024)
+    }
+
+    /// How many records of `record_size` bytes fit in this budget (at least 1,
+    /// so degenerate budgets still make forward progress one record at a
+    /// time rather than deadlocking).
+    pub fn records(self, record_size: usize) -> u64 {
+        (self.0 / record_size as u64).max(1)
+    }
+
+    /// Number of partitions needed to process `total` records of
+    /// `record_size` bytes `fraction`-of-budget at a time.
+    pub fn partitions_for(self, total: u64, record_size: usize, fraction: f64) -> u32 {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let per_part = ((self.records(record_size) as f64 * fraction) as u64).max(1);
+        total.div_ceil(per_part).max(1) as u32
+    }
+}
+
+impl std::fmt::Display for MemoryBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
+            write!(f, "{}MiB", b / (1024 * 1024))
+        } else if b >= 1024 && b.is_multiple_of(1024) {
+            write!(f, "{}KiB", b / 1024)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+/// Feature switches for the GraphZ engine, used by the Fig. 7 ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineOptions {
+    /// Use degree-ordered storage (DOS). When off, the engine runs over the
+    /// original vertex order with a dense per-vertex index, like the
+    /// "GraphZ w/o DOS" configuration of Fig. 7.
+    pub use_dos: bool,
+    /// Apply messages to in-memory destinations immediately (ordered dynamic
+    /// messages). When off, *every* message is buffered and replayed at the
+    /// start of the destination partition's next load, emulating a
+    /// static-message system ("GraphZ w/o DOS and DM" in Fig. 7).
+    pub dynamic_messages: bool,
+    /// Number of pipeline worker threads for the Sio → Dispatcher → Worker
+    /// stages. `1` runs the deterministic single-threaded scheduler (results
+    /// are identical either way; the guarantee is tested).
+    pub pipeline_threads: usize,
+    /// Keep the vertex array resident across iterations when the whole graph
+    /// fits in one partition, skipping the per-iteration spill/reload.
+    /// Off by default: the paper's implementation "does not have many
+    /// in-memory optimizations" (§VI-E) and the reproduction benchmarks run
+    /// without it; this implements that future work as an opt-in.
+    pub in_memory_fast_path: bool,
+    /// Spill cross-partition messages on a dedicated MsgManager thread
+    /// (the paper's four-component pipeline, §V Fig. 4) instead of on the
+    /// Worker. Byte-identical spill files; only scheduling changes.
+    pub background_spill: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            use_dos: true,
+            dynamic_messages: true,
+            pipeline_threads: 2,
+            in_memory_fast_path: false,
+            background_spill: false,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The full-featured configuration (the "GraphZ" bars in the paper).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Fig. 7's "GraphZ w/o DOS" configuration.
+    pub fn without_dos() -> Self {
+        EngineOptions { use_dos: false, ..Self::default() }
+    }
+
+    /// Fig. 7's "GraphZ w/o DOS and DM" configuration.
+    pub fn without_dos_and_dm() -> Self {
+        EngineOptions { use_dos: false, dynamic_messages: false, ..Self::default() }
+    }
+
+    /// §VI-E future work: enable the in-memory fast path.
+    pub fn with_in_memory_fast_path() -> Self {
+        EngineOptions { in_memory_fast_path: true, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_units() {
+        assert_eq!(MemoryBudget::from_mib(2).bytes(), 2 * 1024 * 1024);
+        assert_eq!(MemoryBudget::from_kib(3).bytes(), 3 * 1024);
+        assert_eq!(MemoryBudget::from_mib(2).to_string(), "2MiB");
+        assert_eq!(MemoryBudget::from_kib(3).to_string(), "3KiB");
+        assert_eq!(MemoryBudget(100).to_string(), "100B");
+    }
+
+    #[test]
+    fn records_never_zero() {
+        assert_eq!(MemoryBudget(1).records(1024), 1);
+        assert_eq!(MemoryBudget::from_kib(1).records(4), 256);
+    }
+
+    #[test]
+    fn partition_count_covers_everything() {
+        let b = MemoryBudget::from_kib(1); // 256 4-byte records
+        assert_eq!(b.partitions_for(256, 4, 1.0), 1);
+        assert_eq!(b.partitions_for(257, 4, 1.0), 2);
+        assert_eq!(b.partitions_for(1024, 4, 0.5), 8);
+        assert_eq!(b.partitions_for(0, 4, 1.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn partition_fraction_validated() {
+        MemoryBudget::from_kib(1).partitions_for(10, 4, 0.0);
+    }
+
+    #[test]
+    fn ablation_presets() {
+        assert!(EngineOptions::full().use_dos);
+        assert!(!EngineOptions::without_dos().use_dos);
+        assert!(EngineOptions::without_dos().dynamic_messages);
+        let ab = EngineOptions::without_dos_and_dm();
+        assert!(!ab.use_dos && !ab.dynamic_messages);
+        assert!(!EngineOptions::full().in_memory_fast_path);
+        assert!(EngineOptions::with_in_memory_fast_path().in_memory_fast_path);
+    }
+}

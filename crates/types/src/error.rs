@@ -1,0 +1,80 @@
+//! Error type shared by all GraphZ crates.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced anywhere in the GraphZ stack.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying file IO failed.
+    Io(std::io::Error),
+    /// A stored file is malformed (bad magic, truncated record, ...).
+    Corrupt(String),
+    /// The requested entity (vertex, partition, file) does not exist.
+    NotFound(String),
+    /// The engine cannot satisfy its memory budget — e.g. GraphChi's dense
+    /// vertex index exceeding available memory on the xlarge graph (paper
+    /// §VI-C: "GraphChi does not work for such a large graph ... because
+    /// GraphChi's vertex index does not fit into memory").
+    IndexExceedsMemory { index_bytes: u64, budget_bytes: u64 },
+    /// An engine or converter was configured inconsistently.
+    InvalidConfig(String),
+    /// An algorithm-level failure (e.g. source vertex out of range).
+    Algorithm(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            GraphError::NotFound(m) => write!(f, "not found: {m}"),
+            GraphError::IndexExceedsMemory { index_bytes, budget_bytes } => write!(
+                f,
+                "vertex index ({index_bytes} bytes) exceeds the memory budget \
+                 ({budget_bytes} bytes); the engine cannot run out-of-core"
+            ),
+            GraphError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            GraphError::Algorithm(m) => write!(f, "algorithm error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GraphError::IndexExceedsMemory { index_bytes: 100, budget_bytes: 50 };
+        let s = e.to_string();
+        assert!(s.contains("100 bytes"));
+        assert!(s.contains("budget"));
+        assert!(GraphError::NotFound("x".into()).to_string().contains("not found"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,92 @@
+//! Social-network analysis scenario: community structure (connected
+//! components) and reachability (BFS) on a symmetrized friendship graph,
+//! processed out-of-core — the Friendster-class workload of the paper.
+//!
+//! ```sh
+//! cargo run --release --example social_reachability
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use graphz_algos::runner;
+use graphz_algos::{AlgoParams, Algorithm, AlgoValues};
+use graphz_io::{IoStats, ScratchDir};
+use graphz_storage::EdgeListFile;
+use graphz_types::{MemoryBudget, Result};
+
+fn main() -> Result<()> {
+    let workdir = ScratchDir::new("social")?;
+    let stats = IoStats::new();
+
+    println!("generating synthetic friendship graph...");
+    let edges = graphz_gen::rmat_edges(15, 400_000, Default::default(), 99);
+    let directed = EdgeListFile::create(&workdir.file("raw.bin"), Arc::clone(&stats), edges)?;
+    // Friendships are mutual: symmetrize before the analysis.
+    let friends = directed.symmetrize(
+        &workdir.file("friends.bin"),
+        Arc::clone(&stats),
+        MemoryBudget::from_mib(16),
+    )?;
+    println!(
+        "  {} members, {} friendship edges",
+        friends.meta().num_vertices,
+        friends.meta().num_edges
+    );
+
+    let dos = runner::prepare_dos(
+        &friends,
+        &workdir.path().join("dos"),
+        MemoryBudget::from_mib(16),
+        Arc::clone(&stats),
+    )?;
+    let budget = MemoryBudget::from_kib(128);
+
+    // Communities = connected components.
+    println!("\nfinding communities (CC, {} budget)...", budget.bytes());
+    let cc = runner::run_graphz(
+        &dos,
+        &AlgoParams::new(Algorithm::Cc).with_max_iterations(300),
+        budget,
+        Arc::clone(&stats),
+    )?;
+    let AlgoValues::Labels(labels) = &cc.values else { unreachable!() };
+    let mut sizes: HashMap<u32, u64> = HashMap::new();
+    for &l in labels {
+        *sizes.entry(l).or_default() += 1;
+    }
+    let mut by_size: Vec<(u32, u64)> = sizes.into_iter().collect();
+    by_size.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("  {} communities; largest five:", by_size.len());
+    for (label, n) in by_size.iter().take(5) {
+        println!("    community rooted at member {label:>6}: {n} members");
+    }
+
+    // Reachability from the most-connected member.
+    println!("\nmeasuring reachability from member 0 (BFS)...");
+    let bfs = runner::run_graphz(
+        &dos,
+        &AlgoParams::new(Algorithm::Bfs).with_source(0).with_max_iterations(300),
+        budget,
+        Arc::clone(&stats),
+    )?;
+    let AlgoValues::Hops(hops) = &bfs.values else { unreachable!() };
+    let mut histogram: HashMap<u32, u64> = HashMap::new();
+    for &h in hops.iter().filter(|&&h| h != u32::MAX) {
+        *histogram.entry(h).or_default() += 1;
+    }
+    let reachable: u64 = histogram.values().sum();
+    println!(
+        "  {} of {} members reachable ({} iterations, {} partitions)",
+        reachable,
+        hops.len(),
+        bfs.iterations,
+        bfs.partitions
+    );
+    let mut hop_counts: Vec<(u32, u64)> = histogram.into_iter().collect();
+    hop_counts.sort();
+    for (hop, n) in hop_counts.iter().take(8) {
+        println!("    {hop} hops: {n} members");
+    }
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! End-to-end integration: generate → import/export → convert → run →
+//! verify, spanning every crate in the workspace.
+
+use std::sync::Arc;
+
+use graphz_algos::runner;
+use graphz_algos::{AlgoParams, Algorithm, AlgoValues};
+use graphz_gen::{rmat_edges, GraphSize};
+use graphz_io::{IoStats, ScratchDir};
+use graphz_storage::{partition, EdgeListFile};
+use graphz_types::{MemoryBudget, Result};
+
+fn build_input(dir: &ScratchDir, stats: &Arc<IoStats>) -> EdgeListFile {
+    let edges = rmat_edges(12, 12_000, Default::default(), 2024);
+    EdgeListFile::create(&dir.file("g.bin"), Arc::clone(stats), edges).unwrap()
+}
+
+#[test]
+fn text_import_binary_convert_run() {
+    let dir = ScratchDir::new("pipe-text").unwrap();
+    let stats = IoStats::new();
+    // Export to SNAP text, re-import, and confirm the graphs agree.
+    let el = build_input(&dir, &stats);
+    el.export_text(&dir.file("g.txt"), Arc::clone(&stats)).unwrap();
+    let reimported =
+        EdgeListFile::import_text(&dir.file("g.txt"), &dir.file("g2.bin"), Arc::clone(&stats))
+            .unwrap();
+    assert_eq!(el.meta(), reimported.meta());
+    assert_eq!(
+        el.read_all(Arc::clone(&stats)).unwrap(),
+        reimported.read_all(Arc::clone(&stats)).unwrap()
+    );
+}
+
+#[test]
+fn every_engine_completes_the_full_matrix() {
+    // One modest out-of-core budget, all six algorithms, all engines.
+    let dir = ScratchDir::new("pipe-matrix").unwrap();
+    let stats = IoStats::new();
+    let el = build_input(&dir, &stats);
+    let sym = el
+        .symmetrize(&dir.file("sym.bin"), Arc::clone(&stats), MemoryBudget::from_mib(4))
+        .unwrap();
+    let budget = MemoryBudget::from_kib(16);
+    let prep = MemoryBudget::from_mib(4);
+
+    for algo in Algorithm::all() {
+        let input = if algo.wants_symmetrized() { &sym } else { &el };
+        let dos = runner::prepare_dos(
+            input,
+            &dir.path().join(format!("dos-{algo}")),
+            prep,
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        let chi = runner::prepare_chi(
+            input,
+            &dir.path().join(format!("chi-{algo}")),
+            budget,
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        let xsp = runner::prepare_xs(
+            input,
+            &dir.path().join(format!("xs-{algo}")),
+            budget,
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        let params = AlgoParams::new(algo).with_source(0).with_max_iterations(300).with_rounds(5);
+
+        let gz = runner::run_graphz(&dos, &params, budget, Arc::clone(&stats)).unwrap();
+        assert!(gz.converged, "GraphZ {algo} did not converge");
+        assert!(gz.partitions > 1, "budget should force multiple partitions");
+        assert_eq!(gz.values.len() as u64, input.meta().num_vertices);
+
+        // At this starved budget GraphChi's dense index cannot fit — the
+        // paper-faithful failure. Verify that, then check its *values* at a
+        // budget where it can run.
+        let chi_err =
+            runner::run_graphchi(&chi, &params, budget, Arc::clone(&stats)).unwrap_err();
+        assert!(
+            matches!(chi_err, graphz_types::GraphError::IndexExceedsMemory { .. }),
+            "{chi_err:?}"
+        );
+        let roomy = MemoryBudget::from_mib(2);
+        let chi_roomy = runner::prepare_chi(
+            input,
+            &dir.path().join(format!("chi-roomy-{algo}")),
+            roomy,
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        let chi_out =
+            runner::run_graphchi(&chi_roomy, &params, roomy, Arc::clone(&stats)).unwrap();
+        assert!(chi_out.converged, "GraphChi {algo} did not converge");
+        let err = gz.values.max_relative_error(&chi_out.values);
+        assert!(err < 2e-2, "GraphChi {algo} disagrees: {err}");
+
+        let xs = runner::run_xstream(&xsp, &params, budget, Arc::clone(&stats)).unwrap();
+        assert!(xs.converged, "X-Stream {algo} did not converge");
+        let err = gz.values.max_relative_error(&xs.values);
+        assert!(err < 2e-2, "X-Stream {algo} disagrees: {err}");
+    }
+}
+
+#[test]
+fn suite_specs_generate_and_partition_sanely() -> Result<()> {
+    // Use the real suite machinery at reduced scale: confirm a suite spec
+    // round-trips through the cache and that Fig. 2's CDF is monotone.
+    let dir = ScratchDir::new("pipe-suite").unwrap();
+    let stats = IoStats::new();
+    let mut spec = GraphSize::Small.spec();
+    spec.scale = 10;
+    spec.num_edges = 4_000;
+    let el = spec.ensure(dir.path(), Arc::clone(&stats))?;
+    let dos = runner::prepare_dos(
+        &el,
+        &dir.path().join("dos"),
+        MemoryBudget::from_mib(4),
+        Arc::clone(&stats),
+    )?;
+    let v = dos.meta().num_vertices;
+    let cutoffs: Vec<u64> = (1..=10).map(|i| v * i / 10).collect();
+    let cdf = partition::in_partition_message_cdf(&dos, &cutoffs, Arc::clone(&stats))?;
+    assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "CDF must be monotone: {cdf:?}");
+    assert!((cdf[9] - 1.0).abs() < 1e-9);
+    // The power-law head should capture a large share early: the top 30% of
+    // degree-ordered vertices should hold well over half the edges.
+    assert!(cdf[2] > 0.5, "degree ordering should concentrate edges, got {cdf:?}");
+    Ok(())
+}
+
+#[test]
+fn graphz_handles_budget_extremes() {
+    let dir = ScratchDir::new("pipe-extreme").unwrap();
+    let stats = IoStats::new();
+    let el = build_input(&dir, &stats);
+    let dos = runner::prepare_dos(
+        &el,
+        &dir.path().join("dos"),
+        MemoryBudget::from_mib(4),
+        Arc::clone(&stats),
+    )
+    .unwrap();
+    let params = AlgoParams::new(Algorithm::PageRank).with_max_iterations(40);
+
+    // Giant budget: single partition.
+    let roomy =
+        runner::run_graphz(&dos, &params, MemoryBudget::from_mib(64), Arc::clone(&stats)).unwrap();
+    assert_eq!(roomy.partitions, 1);
+    // Starved budget: hundreds of partitions, same results.
+    let starved =
+        runner::run_graphz(&dos, &params, MemoryBudget(1024), Arc::clone(&stats)).unwrap();
+    assert!(starved.partitions >= 8);
+    let (AlgoValues::Ranks(a), AlgoValues::Ranks(b)) = (&roomy.values, &starved.values) else {
+        panic!("wrong kinds")
+    };
+    for (x, y) in a.iter().zip(b) {
+        assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+    }
+}

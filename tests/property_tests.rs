@@ -1,0 +1,339 @@
+//! Property-based tests (proptest) over the core invariants:
+//! external sort, the DOS construction (paper §III), Claim 1's
+//! unique-degree bound, and cross-engine agreement on random graphs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use graphz_algos::runner;
+use graphz_algos::{AlgoParams, Algorithm};
+use graphz_extsort::ExternalSorter;
+use graphz_io::{record, IoStats, ScratchDir};
+use graphz_storage::dos::unique_degree_bound;
+use graphz_storage::EdgeListFile;
+use graphz_types::{Edge, MemoryBudget};
+use proptest::prelude::*;
+
+fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec((0..max_v, 0..max_v), 1..max_e)
+        .prop_map(|pairs| pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// External sort = std sort, for any record set and any (tiny) budget.
+    #[test]
+    fn extsort_matches_std_sort(
+        values in prop::collection::vec(any::<u64>(), 0..500),
+        budget in 16u64..512,
+    ) {
+        let dir = ScratchDir::new("prop-sort").unwrap();
+        let stats = IoStats::new();
+        record::write_records(&dir.file("in.bin"), Arc::clone(&stats), &values).unwrap();
+        let scratch = ScratchDir::new("prop-sort-scratch").unwrap();
+        ExternalSorter::new(|v: &u64| *v, MemoryBudget(budget), Arc::clone(&stats))
+            .with_fan_in(3)
+            .sort_file(&dir.file("in.bin"), &dir.file("out.bin"), &scratch)
+            .unwrap();
+        let out: Vec<u64> = record::read_records(&dir.file("out.bin"), stats).unwrap();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// DOS conversion is a bijective relabeling that preserves the edge
+    /// multiset, orders degrees non-increasingly, and satisfies Eq. 1.
+    #[test]
+    fn dos_construction_invariants(edges in arb_edges(64, 300)) {
+        let dir = ScratchDir::new("prop-dos").unwrap();
+        let stats = IoStats::new();
+        let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges.clone())
+            .unwrap();
+        let dos = runner::prepare_dos(
+            &el, &dir.path().join("dos"), MemoryBudget(256), Arc::clone(&stats),
+        ).unwrap();
+        let n = dos.meta().num_vertices as usize;
+
+        // Bijection between old and new ids.
+        let new2old = dos.load_new2old(Arc::clone(&stats)).unwrap();
+        let old2new = dos.load_old2new(Arc::clone(&stats)).unwrap();
+        prop_assert_eq!(new2old.len(), n);
+        prop_assert_eq!(old2new.len(), n);
+        for (new, &old) in new2old.iter().enumerate() {
+            prop_assert_eq!(old2new[old as usize] as usize, new);
+        }
+
+        // Degrees non-increasing in new order; Eq. 1 offsets match the
+        // cumulative degree scan; Claim 1 bound holds.
+        let idx = dos.index();
+        let mut cum = 0u64;
+        let mut prev = u32::MAX;
+        for v in 0..n as u32 {
+            let (deg, offset) = idx.lookup(v);
+            prop_assert!(deg <= prev);
+            prop_assert_eq!(offset, cum);
+            cum += deg as u64;
+            prev = deg;
+        }
+        prop_assert_eq!(cum, dos.meta().num_edges);
+        prop_assert!(dos.meta().unique_degrees <= unique_degree_bound(dos.meta().num_edges));
+
+        // Edge multiset is preserved under the relabeling.
+        let mut expected: HashMap<(u32, u32), u32> = HashMap::new();
+        for e in &edges {
+            *expected
+                .entry((old2new[e.src as usize], old2new[e.dst as usize]))
+                .or_default() += 1;
+        }
+        let mut actual: HashMap<(u32, u32), u32> = HashMap::new();
+        for v in 0..n as u32 {
+            for d in dos.adjacency(v, Arc::clone(&stats)).unwrap() {
+                *actual.entry((v, d)).or_default() += 1;
+            }
+        }
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// BFS agrees between GraphZ (async, out-of-core, relabeled) and the
+    /// in-memory reference on arbitrary graphs and arbitrary budgets.
+    #[test]
+    fn graphz_bfs_matches_reference(
+        edges in arb_edges(48, 200),
+        budget_kib in 1u64..16,
+        source in 0u32..48,
+    ) {
+        let dir = ScratchDir::new("prop-bfs").unwrap();
+        let stats = IoStats::new();
+        let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges).unwrap();
+        prop_assume!((source as u64) < el.meta().num_vertices);
+        let dos = runner::prepare_dos(
+            &el, &dir.path().join("dos"), MemoryBudget::from_mib(1), Arc::clone(&stats),
+        ).unwrap();
+        let csr = runner::prepare_csr(
+            &el, &dir.path().join("csr"), MemoryBudget::from_mib(1), Arc::clone(&stats),
+        ).unwrap();
+        let params = AlgoParams::new(Algorithm::Bfs)
+            .with_source(source)
+            .with_max_iterations(500);
+        let gz = runner::run_graphz(
+            &dos, &params, MemoryBudget::from_kib(budget_kib), Arc::clone(&stats),
+        ).unwrap();
+        let reference =
+            runner::run_reference(&csr.load(Arc::clone(&stats)).unwrap(), &params).unwrap();
+        prop_assert_eq!(gz.values, reference.values);
+    }
+
+    /// The message-CDF (Fig. 2) is monotone and normalized on any graph.
+    #[test]
+    fn message_cdf_properties(edges in arb_edges(40, 200)) {
+        let dir = ScratchDir::new("prop-cdf").unwrap();
+        let stats = IoStats::new();
+        let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges).unwrap();
+        let dos = runner::prepare_dos(
+            &el, &dir.path().join("dos"), MemoryBudget::from_mib(1), Arc::clone(&stats),
+        ).unwrap();
+        let v = dos.meta().num_vertices;
+        let cutoffs: Vec<u64> = (0..=4).map(|i| v * i / 4).collect();
+        let cdf = graphz_storage::partition::in_partition_message_cdf(
+            &dos, &cutoffs, Arc::clone(&stats),
+        ).unwrap();
+        prop_assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(cdf[0], 0.0);
+        prop_assert!((cdf[4] - 1.0).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// MsgManager replays messages in exact send order per partition, for
+    /// any interleaving of enqueues and any spill cap.
+    #[test]
+    fn msgmanager_preserves_order_under_any_interleaving(
+        sends in prop::collection::vec((0u32..4, any::<u32>()), 0..300),
+        cap_bytes in 8u64..256,
+    ) {
+        use graphz_core::msgmanager::MsgManager;
+        let dir = ScratchDir::new("prop-msg").unwrap();
+        let mut m: MsgManager<u32> =
+            MsgManager::new(dir.path().join("m"), 4, cap_bytes, IoStats::new()).unwrap();
+        let mut expected: Vec<Vec<(u32, u32)>> = vec![Vec::new(); 4];
+        for (i, &(part, payload)) in sends.iter().enumerate() {
+            m.enqueue(part, i as u32, payload).unwrap();
+            expected[part as usize].push((i as u32, payload));
+        }
+        for part in 0..4u32 {
+            let mut seen = Vec::new();
+            m.drain(part, |dst, msg| seen.push((dst, msg))).unwrap();
+            prop_assert_eq!(&seen, &expected[part as usize]);
+        }
+        prop_assert_eq!(m.pending(), 0);
+    }
+
+    /// Every vertex belongs to exactly one partition, for any layout.
+    #[test]
+    fn partitions_tile_the_vertex_space(
+        num_vertices in 0u64..5_000,
+        width in 1u64..600,
+    ) {
+        use graphz_storage::PartitionSet;
+        let p = PartitionSet::with_width(num_vertices, width);
+        let mut covered = 0u64;
+        for (idx, a, b) in p.iter() {
+            prop_assert!(a <= b);
+            covered += (b - a) as u64;
+            for v in a..b {
+                prop_assert_eq!(p.partition_of(v), idx);
+            }
+        }
+        prop_assert_eq!(covered, num_vertices);
+    }
+
+    /// Fixed-size codecs round-trip arbitrary values (the invariant every
+    /// on-disk format in the workspace rests on).
+    #[test]
+    fn codec_roundtrips(
+        a in any::<u64>(), b in any::<f32>(), c in any::<u32>(), d in any::<f64>(),
+    ) {
+        use graphz_types::FixedCodec;
+        prop_assert_eq!(u64::read_from(&a.to_bytes()), a);
+        prop_assert_eq!(<(u32, f64)>::read_from(&(c, d).to_bytes()), (c, d));
+        let tup = (a, b, c);
+        prop_assert_eq!(<(u64, f32, u32)>::read_from(&tup.to_bytes()), tup);
+        let arr = [b, b * 2.0, -b];
+        prop_assert_eq!(<[f32; 3]>::read_from(&arr.to_bytes()), arr);
+    }
+
+    /// Modeled device time and energy are monotone in IO volume.
+    #[test]
+    fn device_and_energy_models_are_monotone(
+        bytes in 0u64..10_000_000_000,
+        seeks in 0u64..10_000,
+    ) {
+        use graphz_io::{DeviceModel, IoSnapshot};
+        use graphz_energy::{ModeledRun, PowerModel};
+        let small = IoSnapshot { read_ops: 1, write_ops: 0, bytes_read: bytes, bytes_written: 0, seeks };
+        let big = IoSnapshot { read_ops: 2, write_ops: 0, bytes_read: bytes * 2 + 1, bytes_written: 0, seeks: seeks + 1 };
+        for dev in [DeviceModel::hdd(), DeviceModel::ssd()] {
+            prop_assert!(dev.model_time(small) <= dev.model_time(big));
+            let pm = PowerModel::default();
+            let cpu = std::time::Duration::from_millis(50);
+            let e_small = pm.estimate(&ModeledRun::new(cpu, small), &dev);
+            let e_big = pm.estimate(&ModeledRun::new(cpu, big), &dev);
+            prop_assert!(e_small.joules <= e_big.joules + 1e-9);
+        }
+    }
+}
+
+/// The locality claim behind Fig. 2, by contrast: degree ordering
+/// concentrates a power-law graph's edges into the head far more than a
+/// uniform graph's — DOS's locality benefit is a property of *natural*
+/// graphs, exactly as §III-E argues.
+#[test]
+fn degree_ordering_concentrates_power_law_graphs_only() {
+    use graphz_storage::partition::in_partition_message_cdf;
+    let dir = ScratchDir::new("locality").unwrap();
+    let stats = IoStats::new();
+    let budget = MemoryBudget::from_mib(1);
+
+    let cases = [
+        ("rmat", EdgeListFile::create(
+            &dir.file("rmat.bin"),
+            Arc::clone(&stats),
+            graphz_gen::rmat_edges(12, 30_000, Default::default(), 5),
+        )
+        .unwrap()),
+        ("uniform", EdgeListFile::create(
+            &dir.file("er.bin"),
+            Arc::clone(&stats),
+            graphz_gen::erdos_renyi(4096, 30_000, 5),
+        )
+        .unwrap()),
+    ];
+    let mut head_share = Vec::new();
+    for (name, el) in &cases {
+        let dos = runner::prepare_dos(
+            el,
+            &dir.path().join(format!("dos-{name}")),
+            budget,
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        let v = dos.meta().num_vertices;
+        let cdf =
+            in_partition_message_cdf(&dos, &[(v / 10).max(1)], Arc::clone(&stats)).unwrap();
+        head_share.push(cdf[0]);
+    }
+    let (rmat, uniform) = (head_share[0], head_share[1]);
+    assert!(
+        rmat > 2.0 * uniform,
+        "power-law head share {rmat:.3} should dwarf uniform {uniform:.3}"
+    );
+    assert!(uniform < 0.15, "uniform top-10% should hold few edges, got {uniform:.3}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// GridGraph blocks tile the edge multiset by (source chunk, dest chunk)
+    /// for any graph and any budget.
+    #[test]
+    fn grid_blocks_tile_the_edge_set(
+        edges in arb_edges(64, 250),
+        budget in 64u64..2048,
+    ) {
+        use graphz_baselines::gridgraph::GridPartitions;
+        let dir = ScratchDir::new("prop-grid").unwrap();
+        let stats = IoStats::new();
+        let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges.clone())
+            .unwrap();
+        let grid = GridPartitions::convert(
+            &el, &dir.path().join("grid"), MemoryBudget(budget), Arc::clone(&stats),
+        ).unwrap();
+        let mut seen: HashMap<(u32, u32), u32> = HashMap::new();
+        for i in 0..grid.num_chunks() {
+            let (slo, shi) = grid.range(i);
+            for j in 0..grid.num_chunks() {
+                let (dlo, dhi) = grid.range(j);
+                if let Some(reader) = grid.block_edges(i, j, Arc::clone(&stats)).unwrap() {
+                    for e in reader {
+                        let e = e.unwrap();
+                        prop_assert!(e.src >= slo && e.src < shi);
+                        prop_assert!(e.dst >= dlo && e.dst < dhi);
+                        *seen.entry((e.src, e.dst)).or_default() += 1;
+                    }
+                }
+            }
+        }
+        let mut expected: HashMap<(u32, u32), u32> = HashMap::new();
+        for e in &edges {
+            *expected.entry((e.src, e.dst)).or_default() += 1;
+        }
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// GridGraph BFS reaches the reference fixed point on arbitrary graphs.
+    #[test]
+    fn gridgraph_bfs_matches_reference(
+        edges in arb_edges(48, 200),
+        budget in 64u64..1024,
+    ) {
+        let dir = ScratchDir::new("prop-grid-bfs").unwrap();
+        let stats = IoStats::new();
+        let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges).unwrap();
+        let grid = runner::prepare_grid(
+            &el, &dir.path().join("grid"), MemoryBudget(budget), Arc::clone(&stats),
+        ).unwrap();
+        let csr = runner::prepare_csr(
+            &el, &dir.path().join("csr"), MemoryBudget::from_mib(1), Arc::clone(&stats),
+        ).unwrap();
+        let params = AlgoParams::new(Algorithm::Bfs).with_source(0).with_max_iterations(500);
+        let grid_out = runner::run_gridgraph(
+            &grid, &params, MemoryBudget(budget), Arc::clone(&stats),
+        ).unwrap();
+        let reference =
+            runner::run_reference(&csr.load(Arc::clone(&stats)).unwrap(), &params).unwrap();
+        prop_assert_eq!(grid_out.values, reference.values);
+    }
+}
