@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. Run from the repo root.
+#
+# The workspace builds fully offline (path-shimmed deps under shims/), so
+# --offline both documents and enforces that no network fetch is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== test =="
+cargo test -q --offline
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "CI gate passed."

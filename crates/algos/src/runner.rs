@@ -137,11 +137,47 @@ pub fn prepare_xs(
 // GraphZ runs (full and ablated).
 // ---------------------------------------------------------------------------
 
+/// Durability knobs for a GraphZ run, kept separate from the `Copy`-able
+/// [`AlgoParams`]: where to write checkpoint generations, how often, and
+/// whether to resume from the newest valid one before running.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointSpec {
+    /// Root directory for `gen-NNNNNNNN/` generations; `None` disables
+    /// checkpointing (and resuming).
+    pub dir: Option<std::path::PathBuf>,
+    /// Checkpoint after every `every` completed iterations (0 = only resume,
+    /// never write).
+    pub every: u32,
+    /// Scan `dir` for the newest valid generation and continue from it.
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// No checkpointing at all (the default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+}
+
 /// Run on the full GraphZ configuration (DOS + dynamic messages).
 pub fn run_graphz(
     dos: &DosGraph,
     params: &AlgoParams,
     budget: MemoryBudget,
+    stats: Arc<IoStats>,
+) -> Result<AlgoOutcome> {
+    run_graphz_checkpointed(dos, params, budget, &CheckpointSpec::disabled(), stats)
+}
+
+/// Run on the full GraphZ configuration with crash-safe checkpointing: write
+/// a generation under `ckpt.dir` every `ckpt.every` iterations and, when
+/// `ckpt.resume` is set, continue from the newest valid generation instead
+/// of starting over.
+pub fn run_graphz_checkpointed(
+    dos: &DosGraph,
+    params: &AlgoParams,
+    budget: MemoryBudget,
+    ckpt: &CheckpointSpec,
     stats: Arc<IoStats>,
 ) -> Result<AlgoOutcome> {
     run_graphz_with(
@@ -150,6 +186,7 @@ pub fn run_graphz(
         params,
         budget,
         EngineOptions::full(),
+        ckpt,
         stats,
     )
 }
@@ -169,7 +206,15 @@ pub fn run_graphz_dense(
     } else {
         (EngineKind::GraphZNoDosNoDm, EngineOptions::without_dos_and_dm())
     };
-    run_graphz_with(Box::new(store), kind, params, budget, options, stats)
+    run_graphz_with(
+        Box::new(store),
+        kind,
+        params,
+        budget,
+        options,
+        &CheckpointSpec::disabled(),
+        stats,
+    )
 }
 
 fn run_graphz_with(
@@ -178,9 +223,13 @@ fn run_graphz_with(
     params: &AlgoParams,
     budget: MemoryBudget,
     options: EngineOptions,
+    ckpt: &CheckpointSpec,
     stats: Arc<IoStats>,
 ) -> Result<AlgoOutcome> {
-    let config = EngineConfig::new(budget).with_options(options);
+    let mut config = EngineConfig::new(budget).with_options(options);
+    if let Some(dir) = &ckpt.dir {
+        config = config.checkpoint_every(dir, ckpt.every);
+    }
     let max = effective_max_iterations(params);
 
     fn finish<P, F>(
@@ -188,12 +237,18 @@ fn run_graphz_with(
         kind: EngineKind,
         params: &AlgoParams,
         max: u32,
+        ckpt: &CheckpointSpec,
         extract: F,
     ) -> Result<AlgoOutcome>
     where
         P: VertexProgram,
         F: FnOnce(Vec<P::VertexData>) -> AlgoValues,
     {
+        if ckpt.resume {
+            if let Some(dir) = &ckpt.dir {
+                engine.resume_latest(dir)?;
+            }
+        }
         let run = engine.run(max)?;
         let values = extract(engine.values_by_original_id()?);
         Ok(AlgoOutcome {
@@ -213,20 +268,20 @@ fn run_graphz_with(
         Algorithm::PageRank => {
             let program = gz::PageRank { tolerance: params.pr_tolerance };
             let engine = Engine::new(store, program, config, stats)?;
-            finish(engine, kind, params, max, |vals| {
+            finish(engine, kind, params, max, ckpt, |vals| {
                 AlgoValues::Ranks(vals.into_iter().map(|v| v.0).collect())
             })
         }
         Algorithm::Bfs => {
             let source = store.to_storage_id(params.source, &stats)?;
             let engine = Engine::new(store, gz::Bfs { source }, config, stats)?;
-            finish(engine, kind, params, max, |vals| {
+            finish(engine, kind, params, max, ckpt, |vals| {
                 AlgoValues::Hops(vals.into_iter().map(|v| v.0).collect())
             })
         }
         Algorithm::Cc => {
             let engine = Engine::new(store, gz::Cc, config, stats)?;
-            finish(engine, kind, params, max, |vals| {
+            finish(engine, kind, params, max, ckpt, |vals| {
                 let raw: Vec<u32> = vals.into_iter().map(|v| v.0).collect();
                 AlgoValues::Labels(canonicalize_labels(&raw))
             })
@@ -235,7 +290,7 @@ fn run_graphz_with(
             let source = store.to_storage_id(params.source, &stats)?;
             let new2old = Arc::new(store.original_ids(&stats)?);
             let engine = Engine::new(store, gz::Sssp { source, new2old }, config, stats)?;
-            finish(engine, kind, params, max, |vals| {
+            finish(engine, kind, params, max, ckpt, |vals| {
                 AlgoValues::Costs(vals.into_iter().map(|v| v.0).collect())
             })
         }
@@ -243,14 +298,14 @@ fn run_graphz_with(
             let new2old = Arc::new(store.original_ids(&stats)?);
             let program = gz::Bp { rounds: params.rounds, new2old };
             let engine = Engine::new(store, program, config, stats)?;
-            finish(engine, kind, params, max, |vals| {
+            finish(engine, kind, params, max, ckpt, |vals| {
                 AlgoValues::Beliefs(vals.into_iter().map(|v| v.belief).collect())
             })
         }
         Algorithm::RandomWalk => {
             let program = gz::RandomWalk { rounds: params.rounds };
             let engine = Engine::new(store, program, config, stats)?;
-            finish(engine, kind, params, max, |vals| {
+            finish(engine, kind, params, max, ckpt, |vals| {
                 AlgoValues::Visits(vals.into_iter().map(|v| v.0).collect())
             })
         }

@@ -1,11 +1,16 @@
-//! Criterion micro-benchmarks for the substrate pieces whose costs the
-//! paper's design arguments rest on: vertex-index lookups (DOS Eq. 1 vs. a
-//! dense offset array), external sorting (the preprocessing workhorse),
-//! message buffering, and adjacency streaming.
+//! Micro-benchmarks for the substrate pieces whose costs the paper's design
+//! arguments rest on: vertex-index lookups (DOS Eq. 1 vs. a dense offset
+//! array), external sorting (the preprocessing workhorse), message
+//! buffering, and adjacency streaming.
+//!
+//! The offline build has no criterion, so this is a plain `harness = false`
+//! binary: each benchmark runs a warmup pass and then a fixed number of
+//! timed repetitions, reporting min/mean per-iteration wall time. Run with
+//! `cargo bench --bench micro`.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use graphz_core::msgmanager::MsgManager;
 use graphz_core::sio;
 use graphz_extsort::ExternalSorter;
@@ -13,6 +18,27 @@ use graphz_gen::rmat_edges;
 use graphz_io::{record, IoStats, ScratchDir};
 use graphz_storage::{DosConverter, EdgeListFile};
 use graphz_types::{Edge, MemoryBudget};
+
+/// Time `f` over `reps` iterations (after one warmup) and print a row.
+/// `elements` scales the per-element throughput column.
+fn bench<F: FnMut() -> u64>(name: &str, reps: u32, elements: u64, mut f: F) {
+    let mut sink = f(); // warmup; keep the result so the work isn't dead code
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..reps {
+        let t = Instant::now();
+        sink = sink.wrapping_add(f());
+        let dt = t.elapsed();
+        total += dt;
+        best = best.min(dt);
+    }
+    let mean = total / reps;
+    let per_elem = mean.as_nanos() as f64 / elements.max(1) as f64;
+    println!(
+        "{name:<40} mean {mean:>12?}  best {best:>12?}  {per_elem:>9.1} ns/elem  (x{sink:08x})",
+        sink = sink & 0xffff_ffff
+    );
+}
 
 fn build_dos(edges_n: u64) -> (ScratchDir, graphz_storage::DosGraph) {
     let dir = ScratchDir::new("bench-dos").unwrap();
@@ -31,163 +57,114 @@ fn build_dos(edges_n: u64) -> (ScratchDir, graphz_storage::DosGraph) {
 
 /// DOS Eq. 1 lookup (binary search over unique degrees) vs. a dense offset
 /// array (direct indexing): the paper's trade of computation for memory.
-fn bench_index_lookup(c: &mut Criterion) {
+fn bench_index_lookup() {
     let (_dir, dos) = build_dos(100_000);
     let index = dos.index().clone();
     let n = dos.meta().num_vertices as u32;
-    // Dense equivalent.
     let dense: Vec<u64> = (0..n).map(|v| index.offset_of(v)).collect();
 
-    let mut group = c.benchmark_group("index_lookup");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("dos_eq1", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..1024u32 {
-                let v = (i * 2654435761) % n;
-                acc = acc.wrapping_add(index.offset_of(v));
-            }
-            acc
-        })
+    bench("index_lookup/dos_eq1", 200, 1024, || {
+        let mut acc = 0u64;
+        for i in 0..1024u32 {
+            let v = (i * 2654435761) % n;
+            acc = acc.wrapping_add(index.offset_of(v));
+        }
+        acc
     });
-    group.bench_function("dense_array", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..1024u32 {
-                let v = (i * 2654435761) % n;
-                acc = acc.wrapping_add(dense[v as usize]);
-            }
-            acc
-        })
+    bench("index_lookup/dense_array", 200, 1024, || {
+        let mut acc = 0u64;
+        for i in 0..1024u32 {
+            let v = (i * 2654435761) % n;
+            acc = acc.wrapping_add(dense[v as usize]);
+        }
+        acc
     });
-    group.finish();
 }
 
 /// External sort throughput at an out-of-core budget (many runs + merge).
-fn bench_extsort(c: &mut Criterion) {
+fn bench_extsort() {
     let edges: Vec<Edge> = rmat_edges(14, 50_000, Default::default(), 4).collect();
-    let mut group = c.benchmark_group("extsort");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(edges.len() as u64));
-    group.bench_function("sort_50k_edges_64k_budget", |b| {
-        b.iter_batched(
-            || {
-                let dir = ScratchDir::new("bench-sort").unwrap();
-                let stats = IoStats::new();
-                record::write_records(&dir.file("in.bin"), Arc::clone(&stats), &edges).unwrap();
-                (dir, stats)
-            },
-            |(dir, stats)| {
-                let scratch = ScratchDir::new("bench-sort-scratch").unwrap();
-                ExternalSorter::new(
-                    |e: &Edge| (e.src, e.dst),
-                    MemoryBudget::from_kib(64),
-                    stats,
-                )
-                .sort_file(&dir.file("in.bin"), &dir.file("out.bin"), &scratch)
-                .unwrap();
-                dir
-            },
-            BatchSize::LargeInput,
-        )
+    let n = edges.len() as u64;
+    bench("extsort/sort_50k_edges_64k_budget", 5, n, || {
+        let dir = ScratchDir::new("bench-sort").unwrap();
+        let stats = IoStats::new();
+        record::write_records(&dir.file("in.bin"), Arc::clone(&stats), &edges).unwrap();
+        let scratch = ScratchDir::new("bench-sort-scratch").unwrap();
+        ExternalSorter::new(|e: &Edge| (e.src, e.dst), MemoryBudget::from_kib(64), stats)
+            .sort_file(&dir.file("in.bin"), &dir.file("out.bin"), &scratch)
+            .unwrap();
+        n
     });
-    group.finish();
 }
 
 /// MsgManager enqueue + spill + drain cycle (the dynamic-message slow path).
-fn bench_msgmanager(c: &mut Criterion) {
-    let mut group = c.benchmark_group("msgmanager");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("enqueue_drain_10k_spilling", |b| {
-        b.iter_batched(
-            || ScratchDir::new("bench-msg").unwrap(),
-            |dir| {
-                let mut m: MsgManager<f32> =
-                    MsgManager::new(dir.path().join("m"), 4, 4096, IoStats::new()).unwrap();
-                for i in 0..10_000u32 {
-                    m.enqueue(i % 4, i, i as f32).unwrap();
-                }
-                let mut acc = 0f32;
-                for p in 0..4 {
-                    m.drain(p, |_, v| acc += v).unwrap();
-                }
-                (dir, acc)
-            },
-            BatchSize::LargeInput,
-        )
+fn bench_msgmanager() {
+    bench("msgmanager/enqueue_drain_10k_spilling", 10, 10_000, || {
+        let dir = ScratchDir::new("bench-msg").unwrap();
+        let mut m: MsgManager<f32> =
+            MsgManager::new(dir.path().join("m"), 4, 4096, IoStats::new()).unwrap();
+        for i in 0..10_000u32 {
+            m.enqueue(i % 4, i, i as f32).unwrap();
+        }
+        let mut acc = 0f32;
+        for p in 0..4 {
+            m.drain(p, |_, v| acc += v).unwrap();
+        }
+        acc as u64
     });
-    group.finish();
 }
 
 /// Sio + Dispatcher streaming over a partition, inline vs. pipelined.
-fn bench_sio(c: &mut Criterion) {
+fn bench_sio() {
     let (_dir, dos) = build_dos(200_000);
     let stats = IoStats::new();
     let n = dos.meta().num_vertices as u32;
     let degrees: Vec<u32> = (0..n).map(|v| dos.index().degree_of(v)).collect();
     let edges_path = dos.edges_path();
+    let num_edges = dos.meta().num_edges;
 
-    let mut group = c.benchmark_group("sio_stream");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(dos.meta().num_edges));
     for (label, pipelined) in [("inline", false), ("pipelined", true)] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let stream = sio::stream_partition(
-                    &edges_path,
-                    0,
-                    0,
-                    degrees.clone(),
-                    sio::DEFAULT_BATCH_EDGES,
-                    Arc::clone(&stats),
-                    pipelined,
-                )
-                .unwrap();
-                let mut acc = 0u64;
-                for batch in stream {
-                    let batch = batch.unwrap();
-                    acc += batch.edges.len() as u64;
-                }
-                acc
-            })
+        bench(&format!("sio_stream/{label}"), 10, num_edges, || {
+            let stream = sio::stream_partition(
+                &edges_path,
+                0,
+                0,
+                degrees.clone(),
+                sio::DEFAULT_BATCH_EDGES,
+                Arc::clone(&stats),
+                pipelined,
+            )
+            .unwrap();
+            let mut acc = 0u64;
+            for batch in stream {
+                let batch = batch.unwrap();
+                acc += batch.edges.len() as u64;
+            }
+            acc
         });
     }
-    group.finish();
 }
 
-/// DOS conversion cost per pass count (Table XII's GraphZ column is three
-/// external sorts; this isolates the total conversion throughput).
-fn bench_dos_conversion(c: &mut Criterion) {
+/// DOS conversion cost (Table XII's GraphZ column is three external sorts;
+/// this isolates the total conversion throughput).
+fn bench_dos_conversion() {
     let edges: Vec<Edge> = rmat_edges(13, 30_000, Default::default(), 6).collect();
-    let mut group = c.benchmark_group("dos_conversion");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(edges.len() as u64));
-    group.bench_function("convert_30k_edges", |b| {
-        b.iter_batched(
-            || {
-                let dir = ScratchDir::new("bench-dosconv").unwrap();
-                let stats = IoStats::new();
-                let el =
-                    EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges.clone())
-                        .unwrap();
-                (dir, el, stats)
-            },
-            |(dir, el, stats)| {
-                DosConverter::new(MemoryBudget::from_kib(256), stats)
-                    .convert(&el, &dir.path().join("dos"))
-                    .unwrap();
-                dir
-            },
-            BatchSize::LargeInput,
-        )
+    let n = edges.len() as u64;
+    bench("dos_conversion/convert_30k_edges", 5, n, || {
+        let dir = ScratchDir::new("bench-dosconv").unwrap();
+        let stats = IoStats::new();
+        let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges.clone())
+            .unwrap();
+        DosConverter::new(MemoryBudget::from_kib(256), stats)
+            .convert(&el, &dir.path().join("dos"))
+            .unwrap();
+        n
     });
-    group.finish();
 }
 
 /// Weighted vs unweighted adjacency streaming: what the parallel weight
 /// file costs per edge.
-fn bench_weighted_stream(c: &mut Criterion) {
+fn bench_weighted_stream() {
     let dir = ScratchDir::new("bench-wstream").unwrap();
     let stats = IoStats::new();
     let el = EdgeListFile::create(
@@ -205,45 +182,44 @@ fn bench_weighted_stream(c: &mut Criterion) {
         .unwrap();
     let n = plain.meta().num_vertices as u32;
     let degrees: Vec<u32> = (0..n).map(|v| plain.index().degree_of(v)).collect();
+    let num_edges = plain.meta().num_edges;
 
-    let mut group = c.benchmark_group("adjacency_stream");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(plain.meta().num_edges));
     for (label, graph) in [("unweighted", &plain), ("weighted", &weighted)] {
         let weights_path = graph.weights_path();
         let edges_path = graph.edges_path();
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let stream = sio::stream_partition_weighted(
-                    &edges_path,
-                    weights_path.as_deref(),
-                    0,
-                    0,
-                    degrees.clone(),
-                    sio::DEFAULT_BATCH_EDGES,
-                    Arc::clone(&stats),
-                    false,
-                )
-                .unwrap();
-                let mut acc = 0u64;
-                for batch in stream {
-                    let batch = batch.unwrap();
-                    acc += batch.edges.len() as u64 + batch.weights.len() as u64;
-                }
-                acc
-            })
+        bench(&format!("adjacency_stream/{label}"), 10, num_edges, || {
+            let stream = sio::stream_partition_weighted(
+                &edges_path,
+                weights_path.as_deref(),
+                0,
+                0,
+                degrees.clone(),
+                sio::DEFAULT_BATCH_EDGES,
+                Arc::clone(&stats),
+                false,
+            )
+            .unwrap();
+            let mut acc = 0u64;
+            for batch in stream {
+                let batch = batch.unwrap();
+                acc += batch.edges.len() as u64 + batch.weights.len() as u64;
+            }
+            acc
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_index_lookup,
-    bench_extsort,
-    bench_msgmanager,
-    bench_sio,
-    bench_dos_conversion,
-    bench_weighted_stream
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo test` runs `harness = false` benches with `--bench`/`--test`
+    // style flags; only do the full (slow) sweep when invoked bare or with
+    // `--bench`, and no-op under test runners asking for listings.
+    if std::env::args().any(|a| a == "--list") {
+        return;
+    }
+    bench_index_lookup();
+    bench_extsort();
+    bench_msgmanager();
+    bench_sio();
+    bench_dos_conversion();
+    bench_weighted_stream();
+}

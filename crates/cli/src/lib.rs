@@ -39,6 +39,9 @@ pub enum Command {
         source: u32,
         iterations: u32,
         top: usize,
+        checkpoint_dir: Option<PathBuf>,
+        checkpoint_every: u32,
+        resume: bool,
     },
     Help,
 }
@@ -54,7 +57,12 @@ USAGE:
   graphz stats    <edges.bin>
   graphz run      <pr|bfs|cc|sssp|bp|rw> <dos-dir>
                   [--budget-mib B] [--source V] [--iterations N] [--top K]
+                  [--checkpoint-dir D] [--checkpoint-every N] [--resume]
   graphz help
+
+Checkpointing: with --checkpoint-dir, a crash-safe generation is written
+under D after every N completed iterations (default 1); --resume continues
+from the newest valid generation, skipping any damaged by a crash.
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -130,6 +138,9 @@ pub fn parse(args: &[String]) -> Result<Command> {
                 source: parse_flag(rest, "--source", 0)?,
                 iterations: parse_flag(rest, "--iterations", 100)?,
                 top: parse_flag(rest, "--top", 10)?,
+                checkpoint_dir: flag_value(rest, "--checkpoint-dir").map(PathBuf::from),
+                checkpoint_every: parse_flag(rest, "--checkpoint-every", 1)?,
+                resume: rest.iter().any(|a| a == "--resume"),
             })
         }
         other => Err(GraphError::InvalidConfig(format!("unknown command `{other}`"))),
@@ -222,7 +233,12 @@ pub fn execute(cmd: Command) -> Result<String> {
         Command::Verify { dos_dir } => {
             let report = graphz_storage::verify_dos(&dos_dir, Arc::clone(&stats))?;
             if report.is_clean() {
-                Ok(format!("{}: OK\n", dos_dir.display()))
+                let checksums = if report.files_checksummed > 0 {
+                    format!("{} data files checksum-verified", report.files_checksummed)
+                } else {
+                    "no checksums.txt sidecar; structural checks only".to_string()
+                };
+                Ok(format!("{}: OK ({checksums})\n", dos_dir.display()))
             } else {
                 let mut out = format!(
                     "{}: {} violation(s)\n",
@@ -239,13 +255,29 @@ pub fn execute(cmd: Command) -> Result<String> {
             let el = EdgeListFile::open(&edges)?;
             Ok(degree_stats(&el, &stats)?)
         }
-        Command::Run { algo, dos_dir, budget_mib, source, iterations, top } => {
+        Command::Run {
+            algo,
+            dos_dir,
+            budget_mib,
+            source,
+            iterations,
+            top,
+            checkpoint_dir,
+            checkpoint_every,
+            resume,
+        } => {
             let dos = DosGraph::open(&dos_dir, Arc::clone(&stats))?;
             let params = AlgoParams::new(algo)
                 .with_source(source)
                 .with_max_iterations(iterations);
             let budget = MemoryBudget::from_mib(budget_mib);
-            let outcome = runner::run_graphz(&dos, &params, budget, Arc::clone(&stats))?;
+            let ckpt = runner::CheckpointSpec {
+                dir: checkpoint_dir,
+                every: checkpoint_every,
+                resume,
+            };
+            let outcome =
+                runner::run_graphz_checkpointed(&dos, &params, budget, &ckpt, Arc::clone(&stats))?;
             let mut out = format!(
                 "{algo} on {}: {} iterations ({}), {} partitions, {} messages\n\
                  io: {} read / {} written / {} seeks, wall {:?}\n",
@@ -431,8 +463,26 @@ mod tests {
                 source: 0,
                 iterations: 100,
                 top: 10,
+                checkpoint_dir: None,
+                checkpoint_every: 1,
+                resume: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_run_with_checkpoint_flags() {
+        let cmd =
+            parse(&args("run cc dos-dir --checkpoint-dir ckpts --checkpoint-every 5 --resume"))
+                .unwrap();
+        match cmd {
+            Command::Run { checkpoint_dir, checkpoint_every, resume, .. } => {
+                assert_eq!(checkpoint_dir, Some("ckpts".into()));
+                assert_eq!(checkpoint_every, 5);
+                assert!(resume);
+            }
+            other => panic!("parsed {other:?}"),
+        }
     }
 
     #[test]
@@ -519,12 +569,50 @@ mod tests {
         execute(parse(&args(&format!("convert {g} {dos_s}"))).unwrap()).unwrap();
         let out = execute(parse(&args(&format!("verify {dos_s}"))).unwrap()).unwrap();
         assert!(out.contains("OK"));
+        assert!(out.contains("checksum-verified"), "{out}");
         // Corrupt and re-verify.
         let edges = dos.join("edges.bin");
         let len = std::fs::metadata(&edges).unwrap().len();
         std::fs::OpenOptions::new().write(true).open(&edges).unwrap().set_len(len - 4).unwrap();
         let err = execute(parse(&args(&format!("verify {dos_s}"))).unwrap()).unwrap_err();
         assert!(err.to_string().contains("violation"), "{err}");
+    }
+
+    #[test]
+    fn run_writes_checkpoints_and_resumes() {
+        let dir = graphz_io::ScratchDir::new("cli-ckpt").unwrap();
+        let g = dir.file("g.bin").display().to_string();
+        let dos = dir.path().join("dos").display().to_string();
+        let ck = dir.path().join("ckpts");
+        let ck_s = ck.display().to_string();
+        execute(parse(&args(&format!("generate {g} --scale 9 --edges 2000"))).unwrap()).unwrap();
+        execute(parse(&args(&format!("convert {g} {dos}"))).unwrap()).unwrap();
+
+        let out = execute(
+            parse(&args(&format!(
+                "run pr {dos} --budget-mib 1 --iterations 30 --checkpoint-dir {ck_s}"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("top vertices by rank"), "{out}");
+        let generations = std::fs::read_dir(&ck)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().file_name().to_string_lossy().starts_with("gen-")
+            })
+            .count();
+        assert!(generations >= 2, "expected checkpoint generations, found {generations}");
+
+        let out = execute(
+            parse(&args(&format!(
+                "run pr {dos} --budget-mib 1 --iterations 30 --checkpoint-dir {ck_s} \
+                 --checkpoint-every 0 --resume"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("top vertices by rank"), "{out}");
     }
 
     #[test]

@@ -6,9 +6,77 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use graphz_io::{IoSnapshot, IoStats, RecordWriter, ScratchDir, TrackedFile};
+use graphz_io::{
+    Crc32, FaultState, FramedReader, FramedWriter, GatedWriter, IoSnapshot, IoStats, RecordWriter,
+    RetryPolicy, ScratchDir, StagedDir, TrackedFile,
+};
 use graphz_storage::{PartitionSet, Partitioner};
-use graphz_types::{EngineOptions, FixedCodec, MemoryBudget, Result, VertexId};
+use graphz_types::{
+    EngineOptions, FixedCodec, GraphError, IoCtx, MemoryBudget, Result, VertexId,
+};
+
+/// On-disk checkpoint layout version (`manifest.txt` + framed files).
+const CHECKPOINT_VERSION: u64 = 2;
+
+/// Copy `src` into `dst` wrapped in a checksummed frame, returning the
+/// payload length and CRC32 recorded in the checkpoint manifest. Writes pass
+/// through the optional fault gate *unbuffered* so chaos tests see a
+/// deterministic op sequence.
+fn copy_into_frame(
+    src: &Path,
+    dst: &Path,
+    stats: &Arc<IoStats>,
+    faults: &Option<Arc<FaultState>>,
+    retry: RetryPolicy,
+) -> Result<(u64, u32)> {
+    let mut reader = graphz_io::tracked::reader(src, Arc::clone(stats)).ctx("read", src)?;
+    let out = TrackedFile::create(dst, Arc::clone(stats)).ctx("create", dst)?;
+    let mut writer =
+        FramedWriter::new(GatedWriter::new(out, faults.clone(), retry)).ctx("write", dst)?;
+    let mut crc = Crc32::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let n = reader.read(&mut buf).ctx("read", src)?;
+        if n == 0 {
+            break;
+        }
+        crc.update(&buf[..n]);
+        writer.write_all(&buf[..n]).ctx("write", dst)?;
+    }
+    let len = writer.payload_len();
+    writer.finish().ctx("write", dst)?;
+    Ok((len, crc.finish()))
+}
+
+/// Unframe checkpoint file `src` into engine scratch file `dst`.
+fn copy_from_frame(src: &Path, dst: &Path, stats: &Arc<IoStats>) -> Result<()> {
+    let reader = graphz_io::tracked::reader(src, Arc::clone(stats)).ctx("read", src)?;
+    let mut framed = FramedReader::new(reader).map_err(GraphError::from).ctx("read", src)?;
+    let mut out = TrackedFile::create(dst, Arc::clone(stats)).ctx("create", dst)?;
+    std::io::copy(&mut framed, &mut out).map_err(GraphError::from).ctx("restore", src)?;
+    Ok(())
+}
+
+/// Parse a `file:<rel>` manifest value of the form `<len>,<crc-hex>`.
+fn parse_manifest_entry(rel: &str, value: &str) -> Result<(u64, u32)> {
+    value
+        .split_once(',')
+        .and_then(|(len, crc)| Some((len.parse().ok()?, u32::from_str_radix(crc, 16).ok()?)))
+        .ok_or_else(|| {
+            GraphError::Corrupt(format!("manifest entry for `{rel}` is malformed: `{value}`"))
+        })
+}
+
+/// Parse a `gen-NNNNNNNN` checkpoint directory name. Anything else — staging
+/// leftovers (`.tmp`), displaced old generations (`.old`), stray files —
+/// returns `None`.
+fn parse_generation_name(name: &str) -> Option<u32> {
+    let digits = name.strip_prefix("gen-")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
 
 use crate::msgmanager::MsgManager;
 use crate::program::{UpdateContext, VertexProgram};
@@ -27,6 +95,17 @@ pub struct EngineConfig {
     pub batch_edges: usize,
     /// Where spill files live; defaults to the system temp dir.
     pub scratch_base: Option<PathBuf>,
+    /// Root directory for periodic checkpoint generations (`gen-NNNNNNNN/`
+    /// subdirectories). `None` disables mid-run checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint after every `n` completed iterations (0 = never). Takes
+    /// effect only when `checkpoint_dir` is set.
+    pub checkpoint_every: u32,
+    /// Chaos-testing hook: fault gates applied to checkpoint IO. Production
+    /// code leaves this `None`.
+    pub checkpoint_faults: Option<Arc<graphz_io::FaultState>>,
+    /// Retry policy for transient checkpoint IO failures.
+    pub checkpoint_retry: graphz_io::RetryPolicy,
 }
 
 impl EngineConfig {
@@ -36,6 +115,10 @@ impl EngineConfig {
             options: EngineOptions::default(),
             batch_edges: sio::DEFAULT_BATCH_EDGES,
             scratch_base: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            checkpoint_faults: None,
+            checkpoint_retry: graphz_io::RetryPolicy::default(),
         }
     }
 
@@ -47,6 +130,25 @@ impl EngineConfig {
     pub fn with_batch_edges(mut self, batch_edges: usize) -> Self {
         assert!(batch_edges > 0);
         self.batch_edges = batch_edges;
+        self
+    }
+
+    /// Write a checkpoint generation under `dir` after every `n` completed
+    /// iterations.
+    pub fn checkpoint_every(mut self, dir: impl Into<PathBuf>, n: u32) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Route checkpoint IO through a fault gate (chaos tests only).
+    pub fn with_checkpoint_faults(
+        mut self,
+        faults: Arc<graphz_io::FaultState>,
+        retry: graphz_io::RetryPolicy,
+    ) -> Self {
+        self.checkpoint_faults = Some(faults);
+        self.checkpoint_retry = retry;
         self
     }
 }
@@ -352,6 +454,30 @@ impl<P: VertexProgram> Engine<P> {
                     messages_sent: messages_sent - sent_before,
                     dynamic_applied: dynamic_applied - dynamic_before,
                 });
+
+                // Periodic crash-safe checkpoint. The generation number is
+                // the iteration count a restored engine resumes at, so the
+                // sequence keeps ascending across crash/resume cycles.
+                if let Some(root) = self.config.checkpoint_dir.clone() {
+                    let every = self.config.checkpoint_every;
+                    if every > 0 && (step + 1) % every == 0 {
+                        // The fast path holds vertex state in memory only;
+                        // write it back so the on-disk array is current.
+                        if let Some(slab) = &resident {
+                            slab_bytes.resize(slab.len() * P::VertexData::SIZE, 0);
+                            for (i, v) in slab.iter().enumerate() {
+                                v.write_to(&mut slab_bytes[i * P::VertexData::SIZE..]);
+                            }
+                            vfile.seek(SeekFrom::Start(0))?;
+                            vfile.write_all(&slab_bytes)?;
+                        }
+                        vfile.flush()?;
+                        self.msgs.flush()?;
+                        let next = iter + 1;
+                        self.write_checkpoint(&Self::generation_path(&root, next), next)?;
+                    }
+                }
+
                 if changed == 0 {
                     converged = true;
                     break;
@@ -393,34 +519,74 @@ impl<P: VertexProgram> Engine<P> {
     /// continue running afterwards; a fresh engine over the same graph and
     /// program can [`restore`](Self::restore) and continue where this one
     /// left off.
+    ///
+    /// The write is crash-consistent: everything is staged into `dir.tmp/`,
+    /// each file is wrapped in a checksummed frame and listed with its
+    /// length and CRC32 in `manifest.txt`, the tree is fsynced, and the
+    /// staging directory is atomically renamed over `dir`. A crash at any
+    /// point leaves either the previous checkpoint or the new one.
     pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
         if !self.initialized {
-            return Err(graphz_types::GraphError::InvalidConfig(
+            return Err(GraphError::InvalidConfig(
                 "cannot checkpoint before the engine has initialized".into(),
             ));
         }
-        std::fs::create_dir_all(dir)?;
         self.msgs.flush()?;
-        std::fs::copy(&self.vertices_path, dir.join("vertices.bin"))?;
-        let msg_dir = dir.join("msgs");
-        std::fs::create_dir_all(&msg_dir)?;
-        // Clear stale files from any previous checkpoint into this dir.
-        for entry in std::fs::read_dir(&msg_dir)? {
-            let _ = std::fs::remove_file(entry?.path());
+        self.write_checkpoint(dir, self.next_iteration)
+    }
+
+    /// Write one checkpoint into `dest` recording `next_iteration` as the
+    /// resume point. Assumes message buffers are already flushed and the
+    /// on-disk vertex array is current.
+    fn write_checkpoint(&mut self, dest: &Path, next_iteration: u32) -> Result<()> {
+        let faults = self.config.checkpoint_faults.clone();
+        let retry = self.config.checkpoint_retry;
+        if let Some(parent) = dest.parent() {
+            std::fs::create_dir_all(parent).ctx("create-dir", parent)?;
         }
-        for entry in std::fs::read_dir(self.msgs.dir())? {
-            let entry = entry?;
-            std::fs::copy(entry.path(), msg_dir.join(entry.file_name()))?;
-        }
-        let counters = self.msgs.counters();
+        let staged = StagedDir::stage_with_faults(dest, faults.clone(), retry)
+            .ctx("stage", dest)?;
+
         let mut mf = graphz_storage::meta::MetaFile::new();
+        let counters = self.msgs.counters();
         mf.set("format", "graphz-checkpoint")
-            .set("next_iteration", self.next_iteration)
+            .set("version", CHECKPOINT_VERSION)
+            .set("next_iteration", next_iteration)
             .set("partitions", self.partitions.num_partitions())
             .set("msg_buffered", counters.buffered)
             .set("msg_spilled", counters.spilled)
             .set("msg_replayed", counters.replayed);
-        mf.save(&dir.join("state.txt"))?;
+
+        let (len, crc) = copy_into_frame(
+            &self.vertices_path,
+            &staged.path().join("vertices.bin"),
+            &self.stats,
+            &faults,
+            retry,
+        )?;
+        mf.set("file:vertices.bin", format!("{len},{crc:08x}"));
+
+        let msg_dst = staged.path().join("msgs");
+        std::fs::create_dir(&msg_dst).ctx("create-dir", &msg_dst)?;
+        let mut spill_names: Vec<std::ffi::OsString> = Vec::new();
+        for entry in std::fs::read_dir(self.msgs.dir()).ctx("read-dir", self.msgs.dir())? {
+            spill_names.push(entry.ctx("read-dir", self.msgs.dir())?.file_name());
+        }
+        // Deterministic order so fault-sweep op counts are reproducible.
+        spill_names.sort();
+        for name in spill_names {
+            let (len, crc) = copy_into_frame(
+                &self.msgs.dir().join(&name),
+                &msg_dst.join(&name),
+                &self.stats,
+                &faults,
+                retry,
+            )?;
+            mf.set(&format!("file:msgs/{}", name.to_string_lossy()), format!("{len},{crc:08x}"));
+        }
+
+        mf.save(&staged.path().join("manifest.txt"))?;
+        staged.commit().ctx("commit", dest)?;
         Ok(())
     }
 
@@ -428,33 +594,95 @@ impl<P: VertexProgram> Engine<P> {
     /// [`checkpoint`](Self::checkpoint). The engine must have been built
     /// over the same graph, program, and budget (partition layout is
     /// verified).
+    ///
+    /// Every file is verified against the manifest's length and CRC32
+    /// before any engine state is touched; damage surfaces as typed
+    /// [`GraphError::Corrupt`] (or [`GraphError::NotFound`] for a missing
+    /// checkpoint), never as silently wrong values.
     pub fn restore(&mut self, dir: &Path) -> Result<()> {
-        let mf = graphz_storage::meta::MetaFile::load(&dir.join("state.txt"))?;
+        let manifest_path = dir.join("manifest.txt");
+        if !manifest_path.is_file() {
+            return Err(GraphError::NotFound(format!(
+                "no checkpoint manifest at {}",
+                manifest_path.display()
+            )));
+        }
+        let mf = graphz_storage::meta::MetaFile::load(&manifest_path)?;
         if mf.get("format") != Some("graphz-checkpoint") {
-            return Err(graphz_types::GraphError::Corrupt(format!(
+            return Err(GraphError::Corrupt(format!(
                 "{} is not a GraphZ checkpoint",
                 dir.display()
             )));
         }
+        let version = mf.get_u64("version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(GraphError::Corrupt(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            )));
+        }
         let partitions = mf.get_u64("partitions")? as u32;
         if partitions != self.partitions.num_partitions() {
-            return Err(graphz_types::GraphError::InvalidConfig(format!(
-                "checkpoint has {partitions} partitions, engine has {} —                  graph or budget mismatch",
+            return Err(GraphError::InvalidConfig(format!(
+                "checkpoint has {partitions} partitions, engine has {} — graph or budget mismatch",
                 self.partitions.num_partitions()
             )));
         }
-        std::fs::copy(dir.join("vertices.bin"), &self.vertices_path)?;
-        // Replace the spill directory contents wholesale.
-        for entry in std::fs::read_dir(self.msgs.dir())? {
-            let _ = std::fs::remove_file(entry?.path());
+
+        // Verification pass: every manifest-listed file must exist and match
+        // its recorded length + checksum. Nothing is modified yet, so a
+        // corrupt generation leaves the engine untouched.
+        let mut files: Vec<(&str, u64, u32)> = Vec::new();
+        for (key, value) in mf.entries() {
+            let Some(rel) = key.strip_prefix("file:") else { continue };
+            let (len, crc) = parse_manifest_entry(rel, value)?;
+            files.push((rel, len, crc));
         }
-        let msg_dir = dir.join("msgs");
-        if msg_dir.is_dir() {
-            for entry in std::fs::read_dir(&msg_dir)? {
-                let entry = entry?;
-                std::fs::copy(entry.path(), self.msgs.dir().join(entry.file_name()))?;
+        if !files.iter().any(|(rel, _, _)| *rel == "vertices.bin") {
+            return Err(GraphError::Corrupt(format!(
+                "checkpoint manifest at {} lists no vertices.bin",
+                dir.display()
+            )));
+        }
+        for &(rel, want_len, want_crc) in &files {
+            let path = dir.join(rel);
+            let reader = graphz_io::tracked::reader(&path, Arc::clone(&self.stats))
+                .map_err(|e| match e.kind() {
+                    std::io::ErrorKind::NotFound => GraphError::Corrupt(format!(
+                        "checkpoint file {} listed in manifest is missing",
+                        path.display()
+                    )),
+                    _ => GraphError::Io(e),
+                })?;
+            let (len, crc) = graphz_io::framed::verify_stream(reader)
+                .map_err(GraphError::from)
+                .ctx("verify", &path)?;
+            if len != want_len || crc != want_crc {
+                return Err(GraphError::Corrupt(format!(
+                    "checkpoint file {} does not match its manifest entry: \
+                     len {len} vs {want_len}, crc {crc:08x} vs {want_crc:08x}",
+                    path.display()
+                )));
             }
         }
+
+        // Apply pass: unframe into engine scratch.
+        for entry in std::fs::read_dir(self.msgs.dir()).ctx("read-dir", self.msgs.dir())? {
+            let _ = std::fs::remove_file(entry.ctx("read-dir", self.msgs.dir())?.path());
+        }
+        for &(rel, _, _) in &files {
+            let src = dir.join(rel);
+            let dst = if rel == "vertices.bin" {
+                self.vertices_path.clone()
+            } else if let Some(name) = rel.strip_prefix("msgs/") {
+                self.msgs.dir().join(name)
+            } else {
+                return Err(GraphError::Corrupt(format!(
+                    "checkpoint manifest lists unexpected file `{rel}`"
+                )));
+            };
+            copy_from_frame(&src, &dst, &self.stats)?;
+        }
+
         self.msgs.restore(crate::msgmanager::MsgCounters {
             buffered: mf.get_u64("msg_buffered")?,
             spilled: mf.get_u64("msg_spilled")?,
@@ -463,6 +691,48 @@ impl<P: VertexProgram> Engine<P> {
         self.next_iteration = mf.get_u64("next_iteration")? as u32;
         self.initialized = true;
         Ok(())
+    }
+
+    /// Resume from the newest valid checkpoint generation under `root`
+    /// (as written by [`EngineConfig::checkpoint_every`]).
+    ///
+    /// Generations are scanned newest-first; a damaged one — torn rename,
+    /// truncated file, checksum mismatch — is skipped and the next older
+    /// generation is tried. Returns the `next_iteration` of the generation
+    /// resumed, or `None` if no usable generation exists (the caller starts
+    /// from scratch). Only crash damage is skipped: a generation from an
+    /// incompatible engine layout still fails with
+    /// [`GraphError::InvalidConfig`].
+    pub fn resume_latest(&mut self, root: &Path) -> Result<Option<u32>> {
+        let entries = match std::fs::read_dir(root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(GraphError::Io(e)).ctx("read-dir", root),
+        };
+        let mut gens: Vec<(u32, PathBuf)> = Vec::new();
+        for entry in entries {
+            let entry = entry.ctx("read-dir", root)?;
+            let name = entry.file_name();
+            let Some(gen) = parse_generation_name(&name.to_string_lossy()) else { continue };
+            gens.push((gen, entry.path()));
+        }
+        gens.sort_by_key(|g| std::cmp::Reverse(g.0));
+        for (gen, path) in gens {
+            match self.restore(&path) {
+                Ok(()) => return Ok(Some(gen)),
+                // Crash damage: skip to the next older generation.
+                Err(GraphError::Corrupt(_) | GraphError::NotFound(_) | GraphError::Io(_)) => {
+                    continue
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Path of generation `n` under the configured checkpoint root.
+    fn generation_path(root: &Path, next_iteration: u32) -> PathBuf {
+        root.join(format!("gen-{next_iteration:08}"))
     }
 
     /// Final vertex values in storage order.
@@ -539,6 +809,14 @@ mod tests {
         options: EngineOptions,
         rounds: u32,
     ) -> (graphz_io::ScratchDir, Engine<InDegreeCounter>) {
+        dos_engine_cfg(edges, EngineConfig::new(budget).with_options(options), rounds)
+    }
+
+    fn dos_engine_cfg(
+        edges: Vec<Edge>,
+        config: EngineConfig,
+        rounds: u32,
+    ) -> (graphz_io::ScratchDir, Engine<InDegreeCounter>) {
         let dir = graphz_io::ScratchDir::new("engine-test").unwrap();
         let stats = IoStats::new();
         let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges).unwrap();
@@ -548,7 +826,7 @@ mod tests {
         let engine = Engine::new(
             Box::new(DosStore::new(dos)),
             InDegreeCounter { rounds },
-            EngineConfig::new(budget).with_options(options),
+            config,
             stats,
         )
         .unwrap();
@@ -880,6 +1158,123 @@ mod tests {
         let (_d, mut e) =
             dos_engine(test_graph(), MemoryBudget::from_mib(1), EngineOptions::full(), 1);
         assert!(e.checkpoint(ckpt_dir.path()).is_err());
+    }
+
+    #[test]
+    fn layout_mismatch_message_names_both_counts() {
+        let ckpt_dir = graphz_io::ScratchDir::new("engine-ckpt-msg").unwrap();
+        let (_d1, mut a) = dos_engine(test_graph(), MemoryBudget(32), EngineOptions::full(), 2);
+        a.run(1).unwrap();
+        a.checkpoint(ckpt_dir.path()).unwrap();
+        let (_d2, mut b) =
+            dos_engine(test_graph(), MemoryBudget::from_mib(1), EngineOptions::full(), 2);
+        b.initialize().unwrap();
+        let msg = b.restore(ckpt_dir.path()).unwrap_err().to_string();
+        let expected = format!(
+            "checkpoint has {} partitions, engine has 1 — graph or budget mismatch",
+            a.num_partitions()
+        );
+        assert!(msg.contains(&expected), "got: {msg}");
+    }
+
+    #[test]
+    fn restore_missing_checkpoint_is_not_found() {
+        let dir = graphz_io::ScratchDir::new("engine-ckpt-missing").unwrap();
+        let (_d, mut e) =
+            dos_engine(test_graph(), MemoryBudget::from_mib(1), EngineOptions::full(), 2);
+        e.initialize().unwrap();
+        let err = e.restore(&dir.path().join("nope")).unwrap_err();
+        assert!(matches!(err, graphz_types::GraphError::NotFound(_)), "{err:?}");
+    }
+
+    #[test]
+    fn restore_rejects_corrupted_checkpoint_file() {
+        let ckpt_dir = graphz_io::ScratchDir::new("engine-ckpt-corrupt").unwrap();
+        let (_d1, mut a) = dos_engine(test_graph(), MemoryBudget(32), EngineOptions::full(), 4);
+        a.run(2).unwrap();
+        a.checkpoint(ckpt_dir.path()).unwrap();
+
+        // Flip one payload byte in the framed vertex file.
+        let vpath = ckpt_dir.path().join("vertices.bin");
+        let mut bytes = std::fs::read(&vpath).unwrap();
+        bytes[graphz_io::framed::HEADER_LEN] ^= 0xFF;
+        std::fs::write(&vpath, bytes).unwrap();
+
+        let (_d2, mut b) = dos_engine(test_graph(), MemoryBudget(32), EngineOptions::full(), 4);
+        b.initialize().unwrap();
+        let err = b.restore(ckpt_dir.path()).unwrap_err();
+        assert!(matches!(err, graphz_types::GraphError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn checkpoint_every_resume_latest_matches_uninterrupted_run() {
+        let budget = MemoryBudget(32);
+        let gens = graphz_io::ScratchDir::new("engine-gens").unwrap();
+
+        let (_d1, mut reference) = dos_engine(test_graph(), budget, EngineOptions::full(), 6);
+        reference.run(20).unwrap();
+
+        // Periodically-checkpointing run killed after 3 iterations.
+        let cfg = EngineConfig::new(budget)
+            .with_options(EngineOptions::full())
+            .checkpoint_every(gens.path(), 1);
+        let (_d2, mut first) = dos_engine_cfg(test_graph(), cfg, 6);
+        first.run(3).unwrap();
+        drop(first);
+
+        let (_d3, mut resumed) = dos_engine(test_graph(), budget, EngineOptions::full(), 6);
+        let gen = resumed.resume_latest(gens.path()).unwrap();
+        assert_eq!(gen, Some(3), "newest generation should be gen 3");
+        let tail = resumed.run(20).unwrap();
+        assert!(tail.converged);
+        assert_eq!(
+            resumed.values_by_original_id().unwrap(),
+            reference.values_by_original_id().unwrap()
+        );
+    }
+
+    #[test]
+    fn resume_latest_skips_truncated_newest_generation() {
+        let budget = MemoryBudget(32);
+        let gens = graphz_io::ScratchDir::new("engine-gens-trunc").unwrap();
+
+        let (_d1, mut reference) = dos_engine(test_graph(), budget, EngineOptions::full(), 6);
+        reference.run(20).unwrap();
+
+        let cfg = EngineConfig::new(budget)
+            .with_options(EngineOptions::full())
+            .checkpoint_every(gens.path(), 1);
+        let (_d2, mut first) = dos_engine_cfg(test_graph(), cfg, 6);
+        first.run(3).unwrap();
+        drop(first);
+
+        // Simulate a torn newest generation: chop the vertex file short.
+        let newest = gens.path().join("gen-00000003").join("vertices.bin");
+        let len = std::fs::metadata(&newest).unwrap().len();
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..len as usize / 2]).unwrap();
+
+        let (_d3, mut resumed) = dos_engine(test_graph(), budget, EngineOptions::full(), 6);
+        let gen = resumed.resume_latest(gens.path()).unwrap();
+        assert_eq!(gen, Some(2), "damaged gen 3 must be skipped for gen 2");
+        let tail = resumed.run(20).unwrap();
+        assert!(tail.converged);
+        assert_eq!(
+            resumed.values_by_original_id().unwrap(),
+            reference.values_by_original_id().unwrap()
+        );
+    }
+
+    #[test]
+    fn resume_latest_with_no_checkpoints_is_none() {
+        let gens = graphz_io::ScratchDir::new("engine-gens-none").unwrap();
+        let (_d, mut e) =
+            dos_engine(test_graph(), MemoryBudget::from_mib(1), EngineOptions::full(), 2);
+        // Root doesn't exist at all.
+        assert_eq!(e.resume_latest(&gens.path().join("missing")).unwrap(), None);
+        // Root exists but holds no generation directories.
+        std::fs::create_dir_all(gens.path().join("gen-bogus.tmp")).unwrap();
+        assert_eq!(e.resume_latest(gens.path()).unwrap(), None);
     }
 
     #[test]

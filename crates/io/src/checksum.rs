@@ -1,0 +1,126 @@
+//! Hand-rolled CRC32 (IEEE 802.3 polynomial, the zlib/gzip variant).
+//!
+//! The build environment is offline, so rather than pull in a checksum
+//! crate this implements the standard reflected table-driven algorithm:
+//! 256-entry table built at first use, bytes folded in LSB-first, initial
+//! value and final XOR of `0xFFFF_FFFF`. Output is bit-for-bit what
+//! `zlib.crc32` / `crc32fast` would produce, so checksummed files remain
+//! verifiable by external tooling.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320; // 0x04C11DB7 reflected
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Streaming CRC32 state; feed bytes with [`update`](Self::update), read the
+/// digest with [`finish`](Self::finish).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        let mut c = self.state;
+        for &b in bytes {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The digest of everything fed so far. Does not consume the state:
+    /// feeding more bytes afterwards continues the same stream.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// Length and CRC32 of everything remaining in `r`, streamed in 64 KiB
+/// chunks — for checksumming whole files without loading them.
+pub fn crc32_stream<R: std::io::Read>(mut r: R) -> std::io::Result<(u64, u32)> {
+    let mut crc = Crc32::new();
+    let mut len = 0u64;
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let n = r.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        crc.update(&buf[..n]);
+        len += n as u64;
+    }
+    Ok((len, crc.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0u32..10_000).map(|i| (i * 31 % 251) as u8).collect();
+        let whole = crc32(&data);
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), whole);
+        // finish() is non-destructive.
+        assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn sensitive_to_any_flip() {
+        let data = vec![0xA5u8; 64];
+        let base = crc32(&data);
+        for i in 0..64 {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit} undetected");
+            }
+        }
+    }
+}

@@ -1,11 +1,23 @@
 //! Fault injection for testing engine error paths.
 //!
 //! Out-of-core engines must fail cleanly (not corrupt state or hang) when the
-//! backing store misbehaves. [`FaultInjector`] wraps any reader/writer and
-//! injects an IO error after a configurable number of bytes, letting
-//! integration tests drive every spill/reload path into its error branch.
+//! backing store misbehaves. Two mechanisms live here:
+//!
+//! * [`FaultInjector`] wraps any reader/writer and injects an IO error after
+//!   a configurable number of *bytes*, letting integration tests drive every
+//!   spill/reload path into its error branch.
+//! * [`FaultPlan`]/[`FaultState`] model whole-operation failures for the
+//!   checkpoint chaos harness: hard failure at op N, a torn write (partial
+//!   bytes then error), or a transient fault that fails K times and then
+//!   succeeds — the case [`retry_transient`] exists for.
+//!
+//! Transient errors carry a [`TransientError`] payload so retry loops can
+//! distinguish "worth retrying" from a genuine failure via [`is_transient`].
 
 use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Wraps a reader/writer and fails with [`io::ErrorKind::Other`] once
 /// `fail_after_bytes` bytes have passed through.
@@ -70,6 +82,261 @@ impl<T: Write> Write for FaultInjector<T> {
     }
 }
 
+/// What a planned fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails outright; nothing reaches the underlying file.
+    Error,
+    /// A torn write: only the first `keep_bytes` of the buffer land before
+    /// the error — the on-disk result a power cut mid-`write` leaves behind.
+    Torn { keep_bytes: u64 },
+    /// The operation fails `failures` times, then succeeds: the retryable
+    /// class of error (EINTR-ish hiccups, momentary ENOSPC, ...).
+    Transient { failures: u32 },
+}
+
+/// A single planned fault: `kind` fires when the gated operation counter
+/// reaches `at_op` (0-based, counting every gated write/fsync/rename).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    pub at_op: u64,
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    pub fn fail_at(at_op: u64) -> Self {
+        FaultPlan { at_op, kind: FaultKind::Error }
+    }
+
+    pub fn torn_at(at_op: u64, keep_bytes: u64) -> Self {
+        FaultPlan { at_op, kind: FaultKind::Torn { keep_bytes } }
+    }
+
+    pub fn transient_at(at_op: u64, failures: u32) -> Self {
+        FaultPlan { at_op, kind: FaultKind::Transient { failures } }
+    }
+}
+
+/// Error payload marking an injected fault as transient (retry-worthy).
+#[derive(Debug)]
+pub struct TransientError;
+
+impl std::fmt::Display for TransientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected transient fault")
+    }
+}
+
+impl std::error::Error for TransientError {}
+
+/// Whether `e` is a transient fault worth retrying.
+pub fn is_transient(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<TransientError>())
+}
+
+/// Shared, thread-safe state executing a [`FaultPlan`].
+///
+/// Code under test threads an `Arc<FaultState>` through its IO layer and
+/// gates each operation: byte-carrying writes via [`write_gate`], metadata
+/// operations (fsync, rename) via [`op_gate`]. Successful operations advance
+/// a counter; when it reaches `plan.at_op` the fault fires. `Error` and
+/// `Torn` fire once and then pass everything through (the crashed process
+/// never retries); `Transient` holds the counter in place and fails
+/// `failures` consecutive attempts at the same operation before letting it
+/// succeed.
+///
+/// [`write_gate`]: Self::write_gate
+/// [`op_gate`]: Self::op_gate
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    op: AtomicU64,
+    transient_left: AtomicU32,
+    fired: AtomicBool,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        let transient_left = match plan.kind {
+            FaultKind::Transient { failures } => failures,
+            _ => 0,
+        };
+        Arc::new(FaultState {
+            plan,
+            op: AtomicU64::new(0),
+            transient_left: AtomicU32::new(transient_left),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    /// A plan that never fires — useful for counting the ops a workload
+    /// performs before sweeping faults across them.
+    pub fn counting() -> Arc<Self> {
+        Self::new(FaultPlan::fail_at(u64::MAX))
+    }
+
+    /// Operations that have passed through (successfully) so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.op.load(Ordering::SeqCst)
+    }
+
+    /// Whether the planned fault has fired at least once.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Returns `Some(kind)` if the fault should fire for the current op.
+    fn arm(&self) -> Option<FaultKind> {
+        if self.op.load(Ordering::SeqCst) != self.plan.at_op {
+            return None;
+        }
+        match self.plan.kind {
+            FaultKind::Transient { .. } => {
+                // Fail while failures remain; the op index does not advance,
+                // so a retry hits the same gate.
+                let left = self.transient_left.load(Ordering::SeqCst);
+                if left > 0 {
+                    self.transient_left.store(left - 1, Ordering::SeqCst);
+                    self.fired.store(true, Ordering::SeqCst);
+                    Some(self.plan.kind)
+                } else {
+                    None
+                }
+            }
+            kind => {
+                if self.fired.swap(true, Ordering::SeqCst) {
+                    None
+                } else {
+                    Some(kind)
+                }
+            }
+        }
+    }
+
+    fn advance(&self) {
+        self.op.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn injected(&self, what: &str) -> io::Error {
+        match self.plan.kind {
+            FaultKind::Transient { .. } => io::Error::other(TransientError),
+            _ => io::Error::other(format!("injected fault: {what} (op {})", self.plan.at_op)),
+        }
+    }
+
+    /// Gate a metadata operation (fsync, rename, create). On success the op
+    /// counter advances; a `Torn` plan degrades to `Error` here since
+    /// metadata ops have no byte stream to tear.
+    pub fn op_gate(&self, what: &str) -> io::Result<()> {
+        match self.arm() {
+            Some(_) => Err(self.injected(what)),
+            None => {
+                self.advance();
+                Ok(())
+            }
+        }
+    }
+
+    /// Gate a byte-carrying write of `buf` into `w`. A `Torn` plan writes
+    /// the planned prefix before failing, leaving real partial bytes behind.
+    pub fn write_gate<W: Write>(&self, w: &mut W, buf: &[u8]) -> io::Result<usize> {
+        match self.arm() {
+            Some(FaultKind::Torn { keep_bytes }) => {
+                let keep = (keep_bytes as usize).min(buf.len());
+                w.write_all(&buf[..keep])?;
+                Err(self.injected("write"))
+            }
+            Some(_) => Err(self.injected("write")),
+            None => {
+                self.advance();
+                w.write_all(buf)?;
+                Ok(buf.len())
+            }
+        }
+    }
+}
+
+/// A writer whose every `write` passes through a [`FaultState`] gate, with
+/// transient failures retried under a [`RetryPolicy`].
+///
+/// Each gated write is all-or-nothing from the caller's perspective except
+/// for `Torn` faults, which deliberately leave a prefix behind.
+pub struct GatedWriter<W: Write> {
+    inner: W,
+    faults: Option<Arc<FaultState>>,
+    retry: RetryPolicy,
+}
+
+impl<W: Write> GatedWriter<W> {
+    pub fn new(inner: W, faults: Option<Arc<FaultState>>, retry: RetryPolicy) -> Self {
+        GatedWriter { inner, faults, retry }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for GatedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match &self.faults {
+            None => self.inner.write(buf),
+            Some(faults) => {
+                let inner = &mut self.inner;
+                retry_transient(&self.retry, || faults.write_gate(inner, buf))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Bounded retry for transient IO faults: up to `max_retries` extra attempts
+/// with linearly growing backoff (`base_backoff * attempt`).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    pub max_retries: u32,
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 4, base_backoff: Duration::from_millis(1) }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every error is final.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, base_backoff: Duration::ZERO }
+    }
+}
+
+/// Run `f`, retrying transient failures per `policy`. Non-transient errors
+/// propagate immediately; exhausting the retry budget returns the last
+/// transient error.
+pub fn retry_transient<T>(
+    policy: &RetryPolicy,
+    mut f: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt < policy.max_retries => {
+                attempt += 1;
+                let backoff = policy.base_backoff * attempt;
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +371,93 @@ mod tests {
         let mut buf = [];
         assert_eq!(f.read(&mut buf).unwrap(), 0);
         assert!(!f.tripped());
+    }
+
+    #[test]
+    fn plan_fails_exactly_at_op() {
+        let faults = FaultState::new(FaultPlan::fail_at(2));
+        let mut sink = Vec::new();
+        assert!(faults.write_gate(&mut sink, b"aa").is_ok()); // op 0
+        assert!(faults.op_gate("fsync").is_ok()); // op 1
+        let err = faults.write_gate(&mut sink, b"bb").unwrap_err(); // op 2: boom
+        assert!(!is_transient(&err));
+        assert!(faults.fired());
+        assert_eq!(sink, b"aa", "failed write must not land");
+        // Fires once; later ops pass.
+        assert!(faults.write_gate(&mut sink, b"cc").is_ok());
+        assert_eq!(sink, b"aacc");
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix() {
+        let faults = FaultState::new(FaultPlan::torn_at(0, 3));
+        let mut sink = Vec::new();
+        assert!(faults.write_gate(&mut sink, b"abcdef").is_err());
+        assert_eq!(sink, b"abc", "torn write keeps exactly keep_bytes");
+    }
+
+    #[test]
+    fn transient_fails_k_times_then_succeeds() {
+        let faults = FaultState::new(FaultPlan::transient_at(1, 2));
+        let mut sink = Vec::new();
+        assert!(faults.op_gate("fsync").is_ok()); // op 0
+        let e1 = faults.write_gate(&mut sink, b"x").unwrap_err();
+        assert!(is_transient(&e1));
+        let e2 = faults.write_gate(&mut sink, b"x").unwrap_err();
+        assert!(is_transient(&e2));
+        assert!(faults.write_gate(&mut sink, b"x").is_ok(), "third attempt succeeds");
+        assert_eq!(sink, b"x");
+    }
+
+    #[test]
+    fn counting_state_never_fires() {
+        let faults = FaultState::counting();
+        let mut sink = Vec::new();
+        for _ in 0..100 {
+            faults.write_gate(&mut sink, b"y").unwrap();
+        }
+        assert_eq!(faults.ops_seen(), 100);
+        assert!(!faults.fired());
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_within_budget() {
+        let faults = FaultState::new(FaultPlan::transient_at(0, 3));
+        let policy = RetryPolicy { max_retries: 4, base_backoff: Duration::ZERO };
+        let mut sink = Vec::new();
+        retry_transient(&policy, || faults.write_gate(&mut sink, b"data")).unwrap();
+        assert_eq!(sink, b"data");
+    }
+
+    #[test]
+    fn retry_gives_up_past_budget_and_skips_hard_errors() {
+        let faults = FaultState::new(FaultPlan::transient_at(0, 5));
+        let policy = RetryPolicy { max_retries: 2, base_backoff: Duration::ZERO };
+        let mut sink = Vec::new();
+        let err = retry_transient(&policy, || faults.write_gate(&mut sink, b"d")).unwrap_err();
+        assert!(is_transient(&err), "last transient error is returned");
+
+        let hard = FaultState::new(FaultPlan::fail_at(0));
+        let mut calls = 0;
+        let err = retry_transient(&policy, || {
+            calls += 1;
+            hard.write_gate(&mut sink, b"d")
+        })
+        .unwrap_err();
+        assert!(!is_transient(&err));
+        assert_eq!(calls, 1, "hard errors must not be retried");
+    }
+
+    #[test]
+    fn gated_writer_retries_transparently() {
+        let faults = FaultState::new(FaultPlan::transient_at(1, 2));
+        let mut w = GatedWriter::new(
+            Vec::new(),
+            Some(faults),
+            RetryPolicy { max_retries: 3, base_backoff: Duration::ZERO },
+        );
+        w.write_all(b"one").unwrap();
+        w.write_all(b"two").unwrap(); // transient x2 under the hood
+        assert_eq!(w.into_inner(), b"onetwo");
     }
 }

@@ -11,15 +11,24 @@
 //!    wall-clock time alone cannot reproduce HDD/SSD effects; see DESIGN.md
 //!    §3).
 
+pub mod atomic;
+pub mod checksum;
 pub mod device;
 pub mod fault;
+pub mod framed;
 pub mod record;
 pub mod scratch;
 pub mod stats;
 pub mod tracked;
 
+pub use atomic::{write_atomic, AtomicFile, StagedDir};
+pub use checksum::{crc32, crc32_stream, Crc32};
 pub use device::{DeviceKind, DeviceModel};
-pub use fault::FaultInjector;
+pub use fault::{
+    is_transient, retry_transient, FaultInjector, FaultKind, FaultPlan, FaultState, GatedWriter,
+    RetryPolicy,
+};
+pub use framed::{FramedReader, FramedWriter};
 pub use record::{RecordReader, RecordWriter};
 pub use scratch::ScratchDir;
 pub use stats::{IoSnapshot, IoStats};

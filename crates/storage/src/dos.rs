@@ -434,6 +434,22 @@ impl DosConverter {
             .set_graph_meta(&dos_meta);
         mf.save(&dir.join("meta.txt"))?;
 
+        // Integrity sidecar: length + CRC32 of every data file, checked by
+        // `verify_dos`. Written last, so an interrupted conversion cannot
+        // leave a complete-looking sidecar over partial data.
+        let mut sums = MetaFile::new();
+        sums.set("format", "dos-checksums");
+        let mut data_files = vec!["edges.bin", "index.tbl", "old2new.bin", "new2old.bin"];
+        if self.weight_fn.is_some() {
+            data_files.push("weights.bin");
+        }
+        for name in data_files {
+            let reader = graphz_io::tracked::reader(&dir.join(name), Arc::clone(&self.stats))?;
+            let (len, crc) = graphz_io::crc32_stream(reader)?;
+            sums.set(&format!("file:{name}"), format!("{len},{crc:08x}"));
+        }
+        sums.save(&dir.join("checksums.txt"))?;
+
         Ok(DosGraph {
             dir: dir.to_path_buf(),
             index,

@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use graphz_types::{GraphError, GraphMeta, Result};
+use graphz_types::{GraphError, GraphMeta, IoCtx, Result};
 
 /// Ordered key → value map persisted as `key=value` lines.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -34,6 +34,11 @@ impl MetaFile {
         self.entries.get(key).map(String::as_str)
     }
 
+    /// All `(key, value)` pairs in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
     pub fn get_u64(&self, key: &str) -> Result<u64> {
         let raw = self
             .get(key)
@@ -42,6 +47,8 @@ impl MetaFile {
             .map_err(|_| GraphError::Corrupt(format!("meta key `{key}` is not a u64: `{raw}`")))
     }
 
+    /// Write atomically (tmp + fsync + rename): a crash mid-save leaves the
+    /// previous metadata, never a half-written file.
     pub fn save(&self, path: &Path) -> Result<()> {
         let mut out = String::from("# GraphZ metadata\n");
         for (k, v) in &self.entries {
@@ -50,12 +57,12 @@ impl MetaFile {
             out.push_str(v);
             out.push('\n');
         }
-        std::fs::write(path, out)?;
+        graphz_io::atomic::write_atomic(path, out.as_bytes()).ctx("write", path)?;
         Ok(())
     }
 
     pub fn load(path: &Path) -> Result<Self> {
-        let text = std::fs::read_to_string(path)?;
+        let text = std::fs::read_to_string(path).ctx("read", path)?;
         let mut entries = BTreeMap::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();

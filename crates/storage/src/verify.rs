@@ -27,6 +27,9 @@ pub enum Violation {
     DanglingEdge { vertex: VertexId, target: VertexId },
     /// The id maps are not mutually inverse bijections.
     BadIdMap(String),
+    /// A data file's content does not match the `checksums.txt` sidecar —
+    /// silent bitrot that passes every structural check.
+    BadChecksum(String),
 }
 
 impl std::fmt::Display for Violation {
@@ -39,6 +42,7 @@ impl std::fmt::Display for Violation {
                 write!(f, "edges: vertex {vertex} has out-neighbor {target} outside the graph")
             }
             Violation::BadIdMap(m) => write!(f, "id map: {m}"),
+            Violation::BadChecksum(m) => write!(f, "checksum: {m}"),
         }
     }
 }
@@ -47,6 +51,9 @@ impl std::fmt::Display for Violation {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VerifyReport {
     pub violations: Vec<Violation>,
+    /// Data files checked against the `checksums.txt` sidecar (0 when the
+    /// directory predates the sidecar and has none).
+    pub files_checksummed: u32,
 }
 
 impl VerifyReport {
@@ -191,7 +198,52 @@ pub fn verify_dos(dir: &Path, stats: Arc<IoStats>) -> Result<VerifyReport> {
         }
     }
 
+    // 5. Optional `checksums.txt` sidecar (written by DosConverter).
+    // Directories converted before the sidecar existed are still valid —
+    // absence is tolerated; presence means every listed file must match.
+    verify_checksums(dir, &mut report, &stats);
+
     Ok(report)
+}
+
+fn verify_checksums(dir: &Path, report: &mut VerifyReport, stats: &Arc<IoStats>) {
+    let sums_path = dir.join("checksums.txt");
+    if !sums_path.is_file() {
+        return;
+    }
+    let sums = match MetaFile::load(&sums_path) {
+        Ok(s) => s,
+        Err(e) => {
+            report.violations.push(Violation::BadChecksum(format!("checksums.txt: {e}")));
+            return;
+        }
+    };
+    for (key, value) in sums.entries() {
+        let Some(name) = key.strip_prefix("file:") else { continue };
+        let Some((want_len, want_crc)) = value
+            .split_once(',')
+            .and_then(|(l, c)| Some((l.parse::<u64>().ok()?, u32::from_str_radix(c, 16).ok()?)))
+        else {
+            report
+                .violations
+                .push(Violation::BadChecksum(format!("{name}: malformed entry `{value}`")));
+            continue;
+        };
+        let checked = graphz_io::tracked::reader(&dir.join(name), Arc::clone(stats))
+            .and_then(graphz_io::crc32_stream);
+        match checked {
+            Err(e) => report.violations.push(Violation::BadChecksum(format!("{name}: {e}"))),
+            Ok((len, crc)) => {
+                report.files_checksummed += 1;
+                if len != want_len || crc != want_crc {
+                    report.violations.push(Violation::BadChecksum(format!(
+                        "{name}: length {len} vs recorded {want_len}, \
+                         crc {crc:08x} vs recorded {want_crc:08x}"
+                    )));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +322,40 @@ mod tests {
         let report = verify_dos(&dos_dir, stats()).unwrap();
         assert_eq!(report.violations.len(), 1);
         assert!(matches!(report.violations[0], Violation::BadMeta(_)));
+    }
+
+    #[test]
+    fn silent_bitrot_is_caught_by_checksums() {
+        let (_dir, dos_dir) = build();
+        // Rewrite the first destination to a *different valid* vertex id:
+        // lengths, index sums, and range checks all still pass — only the
+        // checksum sidecar notices.
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let path = dos_dir.join("edges.bin");
+        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        let mut first = [0u8; 4];
+        f.read_exact(&mut first).unwrap();
+        let dst = u32::from_le_bytes(first);
+        f.seek(SeekFrom::Start(0)).unwrap();
+        f.write_all(&(dst ^ 1).to_le_bytes()).unwrap();
+        drop(f);
+
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(!report.is_clean(), "bitrot went unnoticed");
+        assert!(
+            report.violations.iter().all(|v| matches!(v, Violation::BadChecksum(_))),
+            "only the checksum should fire: {:?}",
+            report.violations
+        );
+        assert!(report.violations[0].to_string().contains("edges.bin"));
+    }
+
+    #[test]
+    fn missing_checksum_sidecar_is_tolerated() {
+        let (_dir, dos_dir) = build();
+        std::fs::remove_file(dos_dir.join("checksums.txt")).unwrap();
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
     }
 
     #[test]

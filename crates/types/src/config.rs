@@ -5,14 +5,12 @@
 //! exceed it). [`MemoryBudget`] is the single knob that plays the role of
 //! "machine RAM" for every engine in this workspace.
 
-use serde::{Deserialize, Serialize};
-
 /// How many bytes of vertex/message state an engine may keep resident.
 ///
 /// This models the paper's RAM sizes. The budget covers the per-partition
 /// vertex array and message buffers — the things the engines deliberately
 /// size to memory — not transient block buffers, which are small constants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MemoryBudget(pub u64);
 
 impl MemoryBudget {
@@ -58,7 +56,7 @@ impl std::fmt::Display for MemoryBudget {
 }
 
 /// Feature switches for the GraphZ engine, used by the Fig. 7 ablation study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Use degree-ordered storage (DOS). When off, the engine runs over the
     /// original vertex order with a dense per-vertex index, like the

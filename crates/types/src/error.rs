@@ -1,6 +1,7 @@
 //! Error type shared by all GraphZ crates.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Workspace-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;
@@ -53,7 +54,69 @@ impl std::error::Error for GraphError {
 
 impl From<std::io::Error> for GraphError {
     fn from(e: std::io::Error) -> Self {
-        GraphError::Io(e)
+        // `InvalidData` is how byte-level layers (checksum framing, codec
+        // validation) signal a malformed stream; surface it as the typed
+        // corruption error rather than a generic IO failure.
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            GraphError::Corrupt(e.to_string())
+        } else {
+            GraphError::Io(e)
+        }
+    }
+}
+
+/// Payload attached to [`GraphError::Io`] naming the operation and file that
+/// failed, so `io error: No such file or directory` becomes traceable.
+#[derive(Debug)]
+pub struct IoContext {
+    pub op: &'static str,
+    pub path: PathBuf,
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for IoContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.op, self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for IoContext {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Attach operation + path context to IO errors flowing into [`GraphError`].
+///
+/// The context rides inside the `std::io::Error` payload, so callers that
+/// match on `GraphError::Io(_)` (and on the error kind) keep working; only
+/// the message gains the `op path:` prefix.
+pub trait IoCtx<T> {
+    fn ctx(self, op: &'static str, path: &Path) -> Result<T>;
+}
+
+impl<T> IoCtx<T> for std::result::Result<T, std::io::Error> {
+    fn ctx(self, op: &'static str, path: &Path) -> Result<T> {
+        self.map_err(|source| {
+            let kind = source.kind();
+            let wrapped =
+                std::io::Error::new(kind, IoContext { op, path: path.to_path_buf(), source });
+            GraphError::from(wrapped)
+        })
+    }
+}
+
+impl<T> IoCtx<T> for Result<T> {
+    fn ctx(self, op: &'static str, path: &Path) -> Result<T> {
+        self.map_err(|e| match e {
+            GraphError::Io(source) => {
+                let kind = source.kind();
+                let wrapped =
+                    std::io::Error::new(kind, IoContext { op, path: path.to_path_buf(), source });
+                GraphError::Io(wrapped)
+            }
+            other => other,
+        })
     }
 }
 
@@ -76,5 +139,36 @@ mod tests {
         let e: GraphError = io.into();
         assert!(matches!(e, GraphError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn invalid_data_becomes_typed_corruption() {
+        let io = std::io::Error::new(std::io::ErrorKind::InvalidData, "bad checksum");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Corrupt(_)), "got {e:?}");
+        assert!(e.to_string().contains("bad checksum"));
+    }
+
+    #[test]
+    fn ctx_names_op_and_path() {
+        let p = Path::new("/tmp/ckpt/vertices.bin");
+        let r: std::result::Result<(), std::io::Error> =
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        let e = r.ctx("read", p).unwrap_err();
+        assert!(matches!(e, GraphError::Io(_)), "got {e:?}");
+        let msg = e.to_string();
+        assert!(msg.contains("read /tmp/ckpt/vertices.bin"), "{msg}");
+        assert!(msg.contains("gone"), "{msg}");
+        // The original kind survives wrapping.
+        if let GraphError::Io(inner) = &e {
+            assert_eq!(inner.kind(), std::io::ErrorKind::NotFound);
+        }
+    }
+
+    #[test]
+    fn ctx_on_graph_result_passes_non_io_through() {
+        let r: Result<()> = Err(GraphError::Corrupt("x".into()));
+        let e = r.ctx("read", Path::new("/f")).unwrap_err();
+        assert!(matches!(e, GraphError::Corrupt(_)));
     }
 }

@@ -13,7 +13,7 @@ pub mod error;
 
 pub use codec::FixedCodec;
 pub use config::{EngineOptions, MemoryBudget};
-pub use error::{GraphError, Result};
+pub use error::{GraphError, IoContext, IoCtx, Result};
 
 /// A vertex identifier.
 ///
@@ -71,7 +71,7 @@ pub fn derive_weight(src: VertexId, dst: VertexId) -> Weight {
 
 /// Summary statistics of a stored graph, persisted alongside every on-disk
 /// format so consumers never need to re-scan edge files for counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphMeta {
     /// Number of vertices (ids are `0..num_vertices`).
     pub num_vertices: u64,

@@ -1,0 +1,171 @@
+//! Chaos sweep over the checkpoint path: inject a crash at *every* gated IO
+//! operation a periodically-checkpointing run performs — hard error and torn
+//! write — and assert that a fresh engine resuming from whatever survived
+//! finishes with exactly the values of an uninterrupted run. Transient
+//! faults must instead be retried through to success.
+
+use std::sync::Arc;
+
+use graphz_core::{DosStore, Engine, EngineConfig, UpdateContext, VertexProgram};
+use graphz_io::{FaultPlan, FaultState, IoStats, RetryPolicy, ScratchDir};
+use graphz_storage::{DosConverter, EdgeListFile};
+use graphz_types::{Edge, EngineOptions, MemoryBudget, VertexId};
+
+const ROUNDS: u32 = 5;
+const MAX_ITER: u32 = 20;
+const BUDGET: MemoryBudget = MemoryBudget(32);
+
+/// Each iteration every vertex sends `1` to each out-neighbor, so after the
+/// run vertex v holds rounds * in_degree(v) — cheap, message-heavy (spill
+/// files exist at this budget), and fully deterministic.
+struct Counter {
+    rounds: u32,
+}
+
+impl VertexProgram for Counter {
+    type VertexData = u64;
+    type Message = u64;
+
+    fn update(&self, _vid: VertexId, _data: &mut u64, ctx: &mut UpdateContext<'_, u64>) {
+        if ctx.iteration() < self.rounds {
+            ctx.mark_changed();
+            for &n in ctx.neighbors() {
+                ctx.send(n, 1);
+            }
+        }
+    }
+
+    fn apply_message(&self, _vid: VertexId, data: &mut u64, msg: &u64) {
+        *data += msg;
+    }
+}
+
+fn edges() -> Vec<Edge> {
+    vec![
+        Edge::new(0, 1),
+        Edge::new(0, 2),
+        Edge::new(0, 3),
+        Edge::new(1, 2),
+        Edge::new(2, 0),
+        Edge::new(3, 0),
+        Edge::new(3, 1),
+    ]
+}
+
+fn make_engine(config: EngineConfig) -> (ScratchDir, Engine<Counter>) {
+    let dir = ScratchDir::new("chaos").unwrap();
+    let stats = IoStats::new();
+    let el = EdgeListFile::create(&dir.file("g.bin"), Arc::clone(&stats), edges()).unwrap();
+    let dos = DosConverter::new(MemoryBudget::from_kib(64), Arc::clone(&stats))
+        .convert(&el, &dir.path().join("dos"))
+        .unwrap();
+    let engine =
+        Engine::new(Box::new(DosStore::new(dos)), Counter { rounds: ROUNDS }, config, stats)
+            .unwrap();
+    (dir, engine)
+}
+
+fn plain_config() -> EngineConfig {
+    EngineConfig::new(BUDGET).with_options(EngineOptions::full())
+}
+
+fn reference_values() -> Vec<u64> {
+    let (_dir, mut reference) = make_engine(plain_config());
+    reference.run(MAX_ITER).unwrap();
+    reference.values_by_original_id().unwrap()
+}
+
+/// Total gated IO ops of one fully-checkpointed run, learned by running the
+/// identical deterministic workload under a never-firing fault plan.
+fn count_checkpoint_ops(gens: &ScratchDir) -> u64 {
+    let probe = FaultState::counting();
+    let config = plain_config()
+        .checkpoint_every(gens.path(), 1)
+        .with_checkpoint_faults(Arc::clone(&probe), RetryPolicy::none());
+    let (_dir, mut engine) = make_engine(config);
+    engine.run(MAX_ITER).unwrap();
+    probe.ops_seen()
+}
+
+#[test]
+fn crash_at_every_op_recovers_to_exact_values() {
+    let expected = reference_values();
+    let count_gens = ScratchDir::new("chaos-count").unwrap();
+    let total_ops = count_checkpoint_ops(&count_gens);
+    assert!(total_ops > 20, "op sweep suspiciously small: {total_ops} ops");
+
+    for op in 0..total_ops {
+        for plan in [FaultPlan::fail_at(op), FaultPlan::torn_at(op, 3)] {
+            let gens = ScratchDir::new("chaos-sweep").unwrap();
+            let faults = FaultState::new(plan);
+            let config = plain_config()
+                .checkpoint_every(gens.path(), 1)
+                .with_checkpoint_faults(Arc::clone(&faults), RetryPolicy::none());
+            let (_dir, mut victim) = make_engine(config);
+            let outcome = victim.run(MAX_ITER);
+            assert!(outcome.is_err(), "{plan:?} should have killed the run");
+            assert!(faults.fired(), "{plan:?} never fired");
+            drop(victim);
+
+            // Simulated restart: a fresh engine over the same graph resumes
+            // from the newest surviving generation (or from scratch if the
+            // very first checkpoint died) and finishes.
+            let (_dir2, mut resumed) = make_engine(plain_config());
+            resumed.resume_latest(gens.path()).unwrap();
+            resumed.run(MAX_ITER).unwrap();
+            assert_eq!(
+                resumed.values_by_original_id().unwrap(),
+                expected,
+                "recovery after {plan:?} diverged from the uninterrupted run"
+            );
+        }
+    }
+}
+
+#[test]
+fn transient_faults_retry_through_to_success() {
+    let expected = reference_values();
+    let count_gens = ScratchDir::new("chaos-tcount").unwrap();
+    let total_ops = count_checkpoint_ops(&count_gens);
+
+    for op in [0, total_ops / 2, total_ops - 1] {
+        let gens = ScratchDir::new("chaos-transient").unwrap();
+        let faults = FaultState::new(FaultPlan::transient_at(op, 2));
+        let config = plain_config()
+            .checkpoint_every(gens.path(), 1)
+            .with_checkpoint_faults(Arc::clone(&faults), RetryPolicy::default());
+        let (_dir, mut engine) = make_engine(config);
+        // Two consecutive failures at one op are inside the default retry
+        // budget: the run itself must succeed.
+        engine.run(MAX_ITER).unwrap();
+        assert!(faults.fired(), "transient fault at op {op} never fired");
+        assert_eq!(engine.values_by_original_id().unwrap(), expected);
+        drop(engine);
+
+        // The checkpoints written under retries are themselves sound.
+        let (_dir2, mut resumed) = make_engine(plain_config());
+        assert!(resumed.resume_latest(gens.path()).unwrap().is_some());
+        resumed.run(MAX_ITER).unwrap();
+        assert_eq!(resumed.values_by_original_id().unwrap(), expected);
+    }
+}
+
+#[test]
+fn exhausted_retry_budget_still_recovers() {
+    let expected = reference_values();
+    let gens = ScratchDir::new("chaos-exhaust").unwrap();
+    // Five consecutive failures exceed the default 4-retry budget: the run
+    // dies like a hard error, and recovery must still work.
+    let faults = FaultState::new(FaultPlan::transient_at(10, 5));
+    let config = plain_config()
+        .checkpoint_every(gens.path(), 1)
+        .with_checkpoint_faults(Arc::clone(&faults), RetryPolicy::default());
+    let (_dir, mut victim) = make_engine(config);
+    assert!(victim.run(MAX_ITER).is_err());
+    drop(victim);
+
+    let (_dir2, mut resumed) = make_engine(plain_config());
+    resumed.resume_latest(gens.path()).unwrap();
+    resumed.run(MAX_ITER).unwrap();
+    assert_eq!(resumed.values_by_original_id().unwrap(), expected);
+}
