@@ -17,4 +17,9 @@ cargo test -q --offline
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "== bench: pagerank throughput (small graph) =="
+cargo run --release --offline -q -p graphz-bench --bin bench_throughput -- \
+  --scale 10 --edges 20000 --iterations 5 --budget-kib 8 \
+  --out BENCH_throughput.json
+
 echo "CI gate passed."

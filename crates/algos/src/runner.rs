@@ -13,8 +13,8 @@ use graphz_baselines::graphchi::{ChiEngine, ChiEngineConfig, ChiShards, Sharding
 use graphz_baselines::gridgraph::{GridEngine, GridEngineConfig, GridPartitions};
 use graphz_baselines::xstream::{XsEngine, XsEngineConfig, XsPartitions};
 use graphz_baselines::BaselineRun;
-use graphz_core::{DenseStore, DosStore, Engine, EngineConfig, GraphStore, VertexProgram};
-use graphz_io::{IoSnapshot, IoStats};
+use graphz_core::{DenseStore, DosStore, Engine, EngineConfig, GraphStore, StageTimes, VertexProgram};
+use graphz_io::{IoSnapshot, IoStats, PrefetchSnapshot};
 use graphz_storage::{CsrFiles, CsrGraph, DosConverter, DosGraph, EdgeListFile};
 use graphz_types::{EngineOptions, MemoryBudget, Result, VertexId};
 
@@ -73,8 +73,15 @@ pub struct AlgoOutcome {
     /// Messages / updates / edge-writes that crossed the engine's
     /// communication layer.
     pub messages: u64,
+    /// Buffered messages that overflowed to spill files (GraphZ engines;
+    /// baselines report 0).
+    pub spilled: u64,
     pub io: IoSnapshot,
     pub wall: Duration,
+    /// Engine-thread wall time per pipeline stage (GraphZ engines only).
+    pub stages: Option<StageTimes>,
+    /// Partition-prefetch effectiveness (GraphZ engines only).
+    pub prefetch: Option<PrefetchSnapshot>,
     /// Per-vertex results indexed by original id.
     pub values: AlgoValues,
 }
@@ -180,12 +187,27 @@ pub fn run_graphz_checkpointed(
     ckpt: &CheckpointSpec,
     stats: Arc<IoStats>,
 ) -> Result<AlgoOutcome> {
+    run_graphz_configured(dos, params, budget, EngineOptions::full(), ckpt, stats)
+}
+
+/// Run the GraphZ engine over DOS with explicit [`EngineOptions`] — the
+/// entry point for parallel-worker / prefetch configurations (CLI
+/// `--threads` / `--no-prefetch`, the determinism suite, the throughput
+/// bench).
+pub fn run_graphz_configured(
+    dos: &DosGraph,
+    params: &AlgoParams,
+    budget: MemoryBudget,
+    options: EngineOptions,
+    ckpt: &CheckpointSpec,
+    stats: Arc<IoStats>,
+) -> Result<AlgoOutcome> {
     run_graphz_with(
         Box::new(DosStore::new(dos.clone())),
         EngineKind::GraphZ,
         params,
         budget,
-        EngineOptions::full(),
+        options,
         ckpt,
         stats,
     )
@@ -258,8 +280,11 @@ fn run_graphz_with(
             converged: run.converged,
             partitions: run.partitions,
             messages: run.messages_sent,
+            spilled: run.spilled,
             io: run.io,
             wall: run.wall,
+            stages: Some(run.stages),
+            prefetch: Some(run.prefetch),
             values,
         })
     }
@@ -555,8 +580,11 @@ pub fn run_reference(g: &CsrGraph, params: &AlgoParams) -> Result<AlgoOutcome> {
         converged: true,
         partitions: 1,
         messages: 0,
+        spilled: 0,
         io: IoSnapshot::default(),
         wall: start.elapsed(),
+        stages: None,
+        prefetch: None,
         values,
     })
 }
@@ -576,8 +604,11 @@ fn baseline_outcome(
         converged: run.converged,
         partitions: run.partitions,
         messages: run.updates_sent,
+        spilled: 0,
         io: run.io,
         wall: run.wall,
+        stages: None,
+        prefetch: None,
         values,
     }
 }

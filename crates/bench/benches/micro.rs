@@ -197,6 +197,7 @@ fn bench_weighted_stream() {
                 sio::DEFAULT_BATCH_EDGES,
                 Arc::clone(&stats),
                 false,
+                None,
             )
             .unwrap();
             let mut acc = 0u64;

@@ -1,0 +1,212 @@
+//! PageRank edge-throughput benchmark: single-threaded vs parallel Worker.
+//!
+//! Generates a deterministic R-MAT graph, converts it to degree-ordered
+//! storage, runs PageRank once per thread count over the *same* fixed
+//! 8-shard schedule (so every configuration does identical work), and
+//! writes `BENCH_throughput.json` — edges/sec, per-stage wall times, and
+//! prefetch counters — so the perf trajectory is machine-readable from this
+//! PR onward.
+//!
+//! Usage:
+//!   bench_throughput [--scale N] [--edges M] [--iterations I]
+//!                    [--budget-kib B] [--threads T] [--out PATH]
+//!
+//! `--threads` sets the parallel configuration's thread count (default: the
+//! core count, min 2); threads=1 is always measured as the baseline.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use graphz_algos::runner::{self, AlgoOutcome, CheckpointSpec};
+use graphz_algos::{AlgoParams, Algorithm};
+use graphz_core::StageTimes;
+use graphz_gen::rmat_edges;
+use graphz_io::{IoStats, ScratchDir};
+use graphz_storage::EdgeListFile;
+use graphz_types::{EngineOptions, MemoryBudget, Result};
+
+struct Args {
+    scale: u32,
+    edges: u64,
+    iterations: u32,
+    budget_kib: u64,
+    threads: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<&str> {
+        argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).map(String::as_str)
+    };
+    let num = |flag: &str, default: u64| -> u64 {
+        get(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    Args {
+        scale: num("--scale", 14) as u32,
+        edges: num("--edges", 200_000),
+        iterations: num("--iterations", 10) as u32,
+        budget_kib: num("--budget-kib", 64),
+        threads: num("--threads", cores.max(2) as u64) as usize,
+        out: get("--out").map(PathBuf::from).unwrap_or_else(|| "BENCH_throughput.json".into()),
+    }
+}
+
+struct Measurement {
+    threads: usize,
+    prefetch: bool,
+    outcome: AlgoOutcome,
+    edges_per_sec: f64,
+}
+
+fn measure(
+    dos: &graphz_storage::DosGraph,
+    params: &AlgoParams,
+    budget: MemoryBudget,
+    num_edges: u64,
+    threads: usize,
+    prefetch: bool,
+    stats: &Arc<IoStats>,
+) -> Result<Measurement> {
+    let mut options = EngineOptions::with_parallel_workers(threads);
+    options.prefetch = prefetch;
+    let outcome = runner::run_graphz_configured(
+        dos,
+        params,
+        budget,
+        options,
+        &CheckpointSpec::disabled(),
+        Arc::clone(stats),
+    )?;
+    let processed = num_edges * outcome.iterations as u64;
+    let edges_per_sec = processed as f64 / outcome.wall.as_secs_f64().max(1e-9);
+    Ok(Measurement { threads, prefetch, outcome, edges_per_sec })
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn stage_json(st: &StageTimes) -> String {
+    format!(
+        "{{\"load_s\": {:.6}, \"replay_s\": {:.6}, \"compute_s\": {:.6}, \"flush_s\": {:.6}}}",
+        secs(st.load),
+        secs(st.replay),
+        secs(st.compute),
+        secs(st.flush),
+    )
+}
+
+fn run_json(m: &Measurement) -> String {
+    let o = &m.outcome;
+    let stages = o.stages.map(|st| stage_json(&st)).unwrap_or_else(|| "null".into());
+    let prefetch = o
+        .prefetch
+        .map(|p| {
+            format!(
+                "{{\"hits\": {}, \"stalls\": {}, \"wasted\": {}}}",
+                p.hits, p.stalls, p.wasted
+            )
+        })
+        .unwrap_or_else(|| "null".into());
+    format!(
+        "    {{\n      \"threads\": {},\n      \"prefetch\": {},\n      \"iterations\": {},\n      \
+         \"partitions\": {},\n      \"messages\": {},\n      \"spilled\": {},\n      \
+         \"wall_s\": {:.6},\n      \"edges_per_sec\": {:.1},\n      \"stages\": {},\n      \
+         \"prefetch_counters\": {}\n    }}",
+        m.threads,
+        m.prefetch,
+        o.iterations,
+        o.partitions,
+        o.messages,
+        o.spilled,
+        secs(o.wall),
+        m.edges_per_sec,
+        stages,
+        prefetch,
+    )
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("bench_throughput failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let dir = ScratchDir::new("bench-throughput")?;
+    let stats = IoStats::new();
+
+    eprintln!(
+        "generating R-MAT scale {} with {} edges ...",
+        args.scale, args.edges
+    );
+    let el = EdgeListFile::create(
+        &dir.file("g.bin"),
+        Arc::clone(&stats),
+        rmat_edges(args.scale, args.edges, Default::default(), 42),
+    )?;
+    let num_edges = el.meta().num_edges;
+    let dos = runner::prepare_dos(
+        &el,
+        &dir.path().join("dos"),
+        MemoryBudget::from_mib(8),
+        Arc::clone(&stats),
+    )?;
+
+    let params = AlgoParams::new(Algorithm::PageRank).with_max_iterations(args.iterations);
+    let budget = MemoryBudget::from_kib(args.budget_kib);
+
+    // Same fixed shard schedule for every run: only execution parallelism
+    // and prefetch differ, so edges/sec is an apples-to-apples comparison.
+    let mut runs = Vec::new();
+    for (threads, prefetch) in
+        [(1, false), (1, true), (args.threads.max(2), true)]
+    {
+        eprintln!("pagerank: threads={threads} prefetch={prefetch} ...");
+        runs.push(measure(&dos, &params, budget, num_edges, threads, prefetch, &stats)?);
+    }
+
+    let single = runs
+        .iter()
+        .filter(|m| m.threads == 1)
+        .map(|m| m.edges_per_sec)
+        .fold(f64::MIN, f64::max);
+    let multi = runs
+        .iter()
+        .filter(|m| m.threads > 1)
+        .map(|m| m.edges_per_sec)
+        .fold(f64::MIN, f64::max);
+    let speedup = multi / single;
+
+    let body = runs.iter().map(run_json).collect::<Vec<_>>().join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"pagerank_throughput\",\n  \"graph\": {{\"scale\": {}, \"edges\": {}}},\n  \
+         \"budget_kib\": {},\n  \"cores\": {},\n  \"worker_shards\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_multi_vs_single\": {:.3}\n}}\n",
+        args.scale,
+        num_edges,
+        args.budget_kib,
+        cores,
+        EngineOptions::PARALLEL_WORKER_SHARDS,
+        body,
+        speedup,
+    );
+    std::fs::write(&args.out, &json)?;
+    println!(
+        "single-threaded: {:.0} edges/s; {}-thread: {:.0} edges/s; speedup {:.2}x ({} cores)\n\
+         wrote {}",
+        single,
+        args.threads.max(2),
+        multi,
+        speedup,
+        cores,
+        args.out.display(),
+    );
+    Ok(())
+}

@@ -21,7 +21,7 @@ use graphz_algos::runner;
 use graphz_algos::{AlgoParams, Algorithm, AlgoValues};
 use graphz_io::IoStats;
 use graphz_storage::{DosGraph, EdgeListFile};
-use graphz_types::{GraphError, MemoryBudget, Result};
+use graphz_types::{EngineOptions, GraphError, MemoryBudget, Result};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,8 +42,16 @@ pub enum Command {
         checkpoint_dir: Option<PathBuf>,
         checkpoint_every: u32,
         resume: bool,
+        threads: usize,
+        prefetch: bool,
+        verbose: bool,
     },
     Help,
+}
+
+/// Default for `--threads`: every core the OS reports.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 pub const USAGE: &str = "graphz — out-of-core graph analytics (GraphZ, ICDE'18)
@@ -58,11 +66,19 @@ USAGE:
   graphz run      <pr|bfs|cc|sssp|bp|rw> <dos-dir>
                   [--budget-mib B] [--source V] [--iterations N] [--top K]
                   [--checkpoint-dir D] [--checkpoint-every N] [--resume]
+                  [--threads N] [--no-prefetch] [--verbose]
   graphz help
 
 Checkpointing: with --checkpoint-dir, a crash-safe generation is written
 under D after every N completed iterations (default 1); --resume continues
 from the newest valid generation, skipping any damaged by a crash.
+
+Parallelism: --threads defaults to the core count. With N >= 2 the Worker
+runs a fixed 8-shard schedule per partition, so every N >= 2 produces
+bit-identical results; --threads 1 is the paper's sequential schedule.
+--no-prefetch disables the background partition loader (results are
+identical either way). --verbose prints per-stage wall times and prefetch
+hit/stall counters.
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -141,6 +157,9 @@ pub fn parse(args: &[String]) -> Result<Command> {
                 checkpoint_dir: flag_value(rest, "--checkpoint-dir").map(PathBuf::from),
                 checkpoint_every: parse_flag(rest, "--checkpoint-every", 1)?,
                 resume: rest.iter().any(|a| a == "--resume"),
+                threads: parse_flag(rest, "--threads", default_threads())?.max(1),
+                prefetch: !rest.iter().any(|a| a == "--no-prefetch"),
+                verbose: rest.iter().any(|a| a == "--verbose"),
             })
         }
         other => Err(GraphError::InvalidConfig(format!("unknown command `{other}`"))),
@@ -265,6 +284,9 @@ pub fn execute(cmd: Command) -> Result<String> {
             checkpoint_dir,
             checkpoint_every,
             resume,
+            threads,
+            prefetch,
+            verbose,
         } => {
             let dos = DosGraph::open(&dos_dir, Arc::clone(&stats))?;
             let params = AlgoParams::new(algo)
@@ -276,8 +298,22 @@ pub fn execute(cmd: Command) -> Result<String> {
                 every: checkpoint_every,
                 resume,
             };
-            let outcome =
-                runner::run_graphz_checkpointed(&dos, &params, budget, &ckpt, Arc::clone(&stats))?;
+            // Any thread count >= 2 executes the same fixed shard schedule,
+            // so results depend only on whether workers are parallel at all.
+            let mut options = if threads > 1 {
+                EngineOptions::with_parallel_workers(threads)
+            } else {
+                EngineOptions::full()
+            };
+            options.prefetch = prefetch;
+            let outcome = runner::run_graphz_configured(
+                &dos,
+                &params,
+                budget,
+                options,
+                &ckpt,
+                Arc::clone(&stats),
+            )?;
             let mut out = format!(
                 "{algo} on {}: {} iterations ({}), {} partitions, {} messages\n\
                  io: {} read / {} written / {} seeks, wall {:?}\n",
@@ -291,6 +327,20 @@ pub fn execute(cmd: Command) -> Result<String> {
                 outcome.io.seeks,
                 outcome.wall,
             );
+            if verbose {
+                if let Some(st) = outcome.stages {
+                    out.push_str(&format!(
+                        "stage times: load {:?} / replay {:?} / compute {:?} / flush {:?}\n",
+                        st.load, st.replay, st.compute, st.flush,
+                    ));
+                }
+                if let Some(pf) = outcome.prefetch {
+                    out.push_str(&format!(
+                        "prefetch: {} hits / {} stalls / {} wasted\n",
+                        pf.hits, pf.stalls, pf.wasted,
+                    ));
+                }
+            }
             out.push_str(&render_top(&outcome.values, top));
             Ok(out)
         }
@@ -466,8 +516,29 @@ mod tests {
                 checkpoint_dir: None,
                 checkpoint_every: 1,
                 resume: false,
+                threads: default_threads(),
+                prefetch: true,
+                verbose: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_run_parallelism_flags() {
+        let cmd = parse(&args("run pr dos-dir --threads 4 --no-prefetch --verbose")).unwrap();
+        match cmd {
+            Command::Run { threads, prefetch, verbose, .. } => {
+                assert_eq!(threads, 4);
+                assert!(!prefetch);
+                assert!(verbose);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // --threads 0 is clamped rather than rejected.
+        match parse(&args("run pr dos-dir --threads 0")).unwrap() {
+            Command::Run { threads, .. } => assert_eq!(threads, 1),
+            other => panic!("parsed {other:?}"),
+        }
     }
 
     #[test]
@@ -525,6 +596,15 @@ mod tests {
         let out =
             execute(parse(&args(&format!("run pr {dos} --iterations 20"))).unwrap()).unwrap();
         assert!(out.contains("top vertices by rank"), "{out}");
+        let out = execute(
+            parse(&args(&format!(
+                "run pr {dos} --budget-mib 1 --iterations 10 --threads 2 --verbose"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("stage times:"), "{out}");
+        assert!(out.contains("prefetch:"), "{out}");
     }
 
     #[test]

@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graphz_io::{
-    Crc32, FaultState, FramedReader, FramedWriter, GatedWriter, IoSnapshot, IoStats, RecordWriter,
-    RetryPolicy, ScratchDir, StagedDir, TrackedFile,
+    Crc32, FaultState, FramedReader, FramedWriter, GatedWriter, IoSnapshot, IoStats,
+    PrefetchSnapshot, RecordWriter, RetryPolicy, ScratchDir, StagedDir, TrackedFile,
 };
 use graphz_storage::{PartitionSet, Partitioner};
 use graphz_types::{
@@ -79,9 +79,11 @@ fn parse_generation_name(name: &str) -> Option<u32> {
 }
 
 use crate::msgmanager::MsgManager;
-use crate::program::{UpdateContext, VertexProgram};
+use crate::prefetch::{Prefetched, Prefetcher};
+use crate::program::VertexProgram;
 use crate::sio;
 use crate::store::GraphStore;
+use crate::worker::{self, Executor, ShardStart};
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -153,17 +155,58 @@ impl EngineConfig {
     }
 }
 
+/// Wall-clock time spent in each pipeline stage, as observed from the
+/// engine thread (with `pipeline_threads > 1` or prefetch, work overlaps —
+/// these measure where the *engine* waited, which is exactly what shows a
+/// prefetch win: `load` shrinks).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Loading the partition index and vertex slab (or waiting for the
+    /// prefetcher to deliver them).
+    pub load: Duration,
+    /// Draining and routing pending messages to shards.
+    pub replay: Duration,
+    /// Streaming adjacency batches through the Worker stage and merging the
+    /// barrier results.
+    pub compute: Duration,
+    /// Writing the partition's vertex slab back to disk.
+    pub flush: Duration,
+}
+
+impl StageTimes {
+    pub fn total(&self) -> Duration {
+        self.load + self.replay + self.compute + self.flush
+    }
+}
+
+impl std::ops::Add for StageTimes {
+    type Output = StageTimes;
+
+    fn add(self, rhs: StageTimes) -> StageTimes {
+        StageTimes {
+            load: self.load + rhs.load,
+            replay: self.replay + rhs.replay,
+            compute: self.compute + rhs.compute,
+            flush: self.flush + rhs.flush,
+        }
+    }
+}
+
 /// Per-iteration progress record (convergence analysis, debugging).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IterationStats {
     /// 0-based iteration number.
     pub iteration: u32,
     /// Vertices that [`UpdateContext::mark_changed`]-ed.
+    ///
+    /// [`UpdateContext::mark_changed`]: crate::UpdateContext::mark_changed
     pub changed: u64,
     /// Messages emitted by `update()` calls this iteration.
     pub messages_sent: u64,
     /// Messages applied via the dynamic fast path this iteration.
     pub dynamic_applied: u64,
+    /// Engine-thread wall time per pipeline stage this iteration.
+    pub stages: StageTimes,
 }
 
 /// What one [`Engine::run`] did.
@@ -188,16 +231,21 @@ pub struct RunSummary {
     pub replayed: u64,
     /// IO charged to this run (engine traffic only).
     pub io: IoSnapshot,
+    /// Prefetch effectiveness (kept separate from `io` because the
+    /// hit/stall split depends on thread timing).
+    pub prefetch: PrefetchSnapshot,
     /// Wall-clock duration of the run.
     pub wall: Duration,
+    /// Engine-thread wall time per pipeline stage, summed over the run.
+    pub stages: StageTimes,
     /// Per-iteration progress (one entry per executed iteration).
     pub per_iteration: Vec<IterationStats>,
 }
 
 /// The GraphZ engine, generic over the vertex program.
 pub struct Engine<P: VertexProgram> {
-    store: Box<dyn GraphStore>,
-    program: P,
+    store: Arc<dyn GraphStore>,
+    program: Arc<P>,
     config: EngineConfig,
     stats: Arc<IoStats>,
     scratch: ScratchDir,
@@ -235,8 +283,8 @@ impl<P: VertexProgram> Engine<P> {
         }
         let vertices_path = scratch.file("vertices.bin");
         Ok(Engine {
-            store,
-            program,
+            store: Arc::from(store),
+            program: Arc::new(program),
             config,
             stats,
             scratch,
@@ -294,6 +342,7 @@ impl<P: VertexProgram> Engine<P> {
     pub fn run(&mut self, max_iterations: u32) -> Result<RunSummary> {
         let start = Instant::now();
         let io_before = self.stats.snapshot();
+        let prefetch_before = self.stats.prefetch_snapshot();
         if !self.initialized {
             self.initialize()?;
         }
@@ -303,11 +352,37 @@ impl<P: VertexProgram> Engine<P> {
         let mut messages_sent: u64 = 0;
         let mut dynamic_applied: u64 = 0;
         let mut per_iteration: Vec<IterationStats> = Vec::new();
+        let mut stages_total = StageTimes::default();
 
         if num_vertices > 0 {
             let mut vfile = TrackedFile::open_rw(&self.vertices_path, Arc::clone(&self.stats))?;
-            let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
             let mut slab_bytes: Vec<u8> = Vec::new();
+            let dynamic = self.config.options.dynamic_messages;
+            let max_shards = self.config.options.worker_shards;
+
+            // The Worker stage: a persistent pool when pipelined, the same
+            // sharded schedule run inline otherwise. Lives for the whole
+            // run — no per-batch or per-partition spawns.
+            let batch_pool = sio::BatchPool::new(8);
+            let mut executor: Executor<P> = Executor::new(
+                self.config.options.pipeline_threads,
+                max_shards,
+                Arc::clone(&self.program),
+                Arc::clone(&batch_pool),
+            )?;
+
+            // Double-buffered partition prefetcher: pointless with a single
+            // partition (the fast path covers that case instead).
+            let mut prefetcher: Option<Prefetcher<P>> =
+                if self.config.options.prefetch && self.partitions.num_partitions() > 1 {
+                    Some(Prefetcher::spawn(
+                        Arc::clone(&self.store),
+                        &self.vertices_path,
+                        Arc::clone(&self.stats),
+                    )?)
+                } else {
+                    None
+                };
 
             // §VI-E future work, opt-in: when the whole graph is a single
             // partition, keep the vertex array resident across iterations
@@ -329,68 +404,97 @@ impl<P: VertexProgram> Engine<P> {
                 let mut changed: u64 = 0;
                 let sent_before = messages_sent;
                 let dynamic_before = dynamic_applied;
+                let mut iter_stages = StageTimes::default();
 
                 for (part, a, b) in self.partitions.iter() {
                     let count = (b - a) as usize;
-                    let (start_edge, degrees) = self.store.partition_index(a, b, &self.stats)?;
+                    let t_load = Instant::now();
 
-                    // MsgManager phase A: load the partition's vertices
-                    // (or reuse the resident array on the fast path)...
-                    let mut slab: Vec<P::VertexData> = match resident.take() {
-                        Some(s) => s,
+                    // MsgManager phase A: load the partition's vertices and
+                    // index — from the prefetcher's double buffer when it
+                    // has this partition in flight, synchronously otherwise
+                    // (first load of a run, or prefetch disabled).
+                    let prefetched: Option<Prefetched<P>> =
+                        prefetcher.as_mut().and_then(|pf| pf.take(part));
+                    let (start_edge, degrees, slab, pre_msgs, claim) = match prefetched {
+                        Some(p) => (p.start_edge, p.degrees, p.slab, p.msgs, Some(p.claim)),
                         None => {
-                            slab_bytes.resize(count * P::VertexData::SIZE, 0);
-                            vfile.seek(SeekFrom::Start(a as u64 * P::VertexData::SIZE as u64))?;
-                            vfile.read_exact(&mut slab_bytes)?;
-                            graphz_types::codec::decode_slice(&slab_bytes)
+                            let (start_edge, degrees) =
+                                self.store.partition_index(a, b, &self.stats)?;
+                            let slab = match resident.take() {
+                                Some(s) => s,
+                                None => {
+                                    slab_bytes.resize(count * P::VertexData::SIZE, 0);
+                                    vfile.seek(SeekFrom::Start(
+                                        a as u64 * P::VertexData::SIZE as u64,
+                                    ))?;
+                                    vfile.read_exact(&mut slab_bytes)?;
+                                    graphz_types::codec::decode_slice(&slab_bytes)
+                                }
+                            };
+                            (start_edge, degrees, slab, Vec::new(), None)
                         }
                     };
 
-                    // ...and replay pending messages in send order. With
-                    // multiple pipeline threads the replay is parallelized
-                    // across disjoint vertex sub-ranges (paper §V-C: "To
-                    // accelerate this process, it is parallelized"); order
-                    // per destination vertex is preserved, so results are
-                    // identical to the sequential replay.
-                    let program = &self.program;
-                    let replay_threads = self.config.options.pipeline_threads;
-                    if replay_threads > 1 && count >= replay_threads * 2 {
-                        let chunk = count.div_ceil(replay_threads);
-                        let mut groups: Vec<Vec<(VertexId, P::Message)>> =
-                            (0..replay_threads).map(|_| Vec::new()).collect();
-                        self.msgs.drain(part, |dst, msg| {
-                            groups[(dst - a) as usize / chunk].push((dst, msg));
-                        })?;
-                        std::thread::scope(|scope| {
-                            let mut rest: &mut [P::VertexData] = &mut slab;
-                            let mut base = a;
-                            for group in groups {
-                                let take = chunk.min(rest.len());
-                                let (head, tail) = rest.split_at_mut(take);
-                                rest = tail;
-                                let start = base;
-                                base += take as VertexId;
-                                if group.is_empty() {
-                                    continue;
-                                }
-                                scope.spawn(move || {
-                                    for (dst, msg) in group {
-                                        program.apply_message(
-                                            dst,
-                                            &mut head[(dst - start) as usize],
-                                            &msg,
-                                        );
-                                    }
-                                });
-                            }
-                        });
-                    } else {
-                        self.msgs.drain(part, |dst, msg| {
-                            program.apply_message(dst, &mut slab[(dst - a) as usize], &msg);
+                    // Kick off the next partition's load (wrapping into the
+                    // next iteration) so it overlaps this one's compute.
+                    // The claim seals the spill run the prefetcher will
+                    // read; anything spilled later lands in new segments.
+                    if let Some(pf) = prefetcher.as_mut() {
+                        let next = (part + 1) % self.partitions.num_partitions();
+                        let (na, nb) = self.partitions.range(next);
+                        let next_claim = self.msgs.claim(next)?;
+                        pf.request(next, na, nb, next_claim);
+                    }
+                    iter_stages.load += t_load.elapsed();
+                    let t_replay = Instant::now();
+
+                    // Replay pending messages in send order: the claimed
+                    // (prefetched) run is oldest, then whatever the
+                    // MsgManager still holds. Routing the stream by shard
+                    // preserves per-vertex order — each vertex lives in
+                    // exactly one shard — so the result is identical to a
+                    // sequential replay (paper §V-C: "To accelerate this
+                    // process, it is parallelized").
+                    let plan = worker::plan_shards(a, b, max_shards);
+                    let mut replay_groups: Vec<Vec<(VertexId, P::Message)>> =
+                        plan.iter().map(|_| Vec::new()).collect();
+                    let pre_count = pre_msgs.len() as u64;
+                    for (dst, msg) in pre_msgs {
+                        replay_groups[worker::shard_of(&plan, dst)].push((dst, msg));
+                    }
+                    if let Some(c) = &claim {
+                        // Commits the prefetched messages: retire their
+                        // segments *before* draining the remainder.
+                        self.msgs.consume_claimed(c, pre_count)?;
+                    }
+                    self.msgs.drain(part, |dst, msg| {
+                        replay_groups[worker::shard_of(&plan, dst)].push((dst, msg));
+                    })?;
+
+                    // Hand each shard its slice of the slab and its replay
+                    // stream; workers replay concurrently.
+                    let mut rest = slab;
+                    for ((shard, &(lo, hi)), replay) in
+                        plan.iter().enumerate().zip(replay_groups)
+                    {
+                        let tail = rest.split_off((hi - lo) as usize);
+                        let data = std::mem::replace(&mut rest, tail);
+                        executor.start(ShardStart {
+                            shard,
+                            first: lo,
+                            end: hi,
+                            data,
+                            replay,
+                            iteration: iter,
+                            num_vertices,
+                            dynamic,
                         })?;
                     }
+                    iter_stages.replay += t_replay.elapsed();
+                    let t_compute = Instant::now();
 
-                    // Sio/Dispatcher stream feeding the Worker.
+                    // Sio/Dispatcher stream feeding the Worker shards.
                     let stream = sio::stream_partition_weighted(
                         &self.store.edges_path(),
                         self.store.weights_path().as_deref(),
@@ -400,59 +504,67 @@ impl<P: VertexProgram> Engine<P> {
                         self.config.batch_edges,
                         Arc::clone(&self.stats),
                         self.config.options.pipeline_threads > 1,
+                        Some(Arc::clone(&batch_pool)),
                     )?;
                     for batch in stream {
-                        let batch = batch?;
-                        for (v, neighbors, weights) in batch.vertices_weighted() {
-                            let mut ctx = UpdateContext {
-                                iteration: iter,
-                                num_vertices,
-                                neighbors,
-                                weights,
-                                outbox: &mut outbox,
-                                changed: false,
-                            };
-                            self.program.update(v, &mut slab[(v - a) as usize], &mut ctx);
-                            if ctx.changed {
-                                changed += 1;
-                            }
-                            // Message interception (paper Alg. 7): resident
-                            // destinations are applied before the next
-                            // update; the rest go to the MsgManager.
-                            messages_sent += outbox.len() as u64;
-                            for (dst, msg) in outbox.drain(..) {
-                                if self.config.options.dynamic_messages && dst >= a && dst < b {
-                                    self.program.apply_message(
-                                        dst,
-                                        &mut slab[(dst - a) as usize],
-                                        &msg,
-                                    );
-                                    dynamic_applied += 1;
-                                } else {
-                                    self.msgs.enqueue(self.partitions.partition_of(dst), dst, msg)?;
-                                }
-                            }
+                        for (shard, piece) in worker::split_batch(batch?, &plan) {
+                            executor.feed(shard, piece)?;
                         }
                     }
+
+                    // Partition barrier: reassemble the slab and merge the
+                    // shards' deferred messages in (shard, send order)
+                    // sequence — a fixed order, independent of thread
+                    // count and completion timing. In-partition dynamic
+                    // destinations apply now (they are resident); the rest
+                    // go to the MsgManager (paper Alg. 7).
+                    let mut slab: Vec<P::VertexData> = rest; // empty, keeps capacity
+                    let mut deferred: Vec<(VertexId, P::Message)> = Vec::new();
+                    for result in executor.finish(plan.len())? {
+                        slab.extend(result.data);
+                        changed += result.changed;
+                        messages_sent += result.sent;
+                        dynamic_applied += result.dynamic_applied;
+                        deferred.extend(result.deferred);
+                    }
+                    debug_assert_eq!(slab.len(), count);
+                    for (dst, msg) in deferred {
+                        if dynamic && dst >= a && dst < b {
+                            self.program.apply_message(
+                                dst,
+                                &mut slab[(dst - a) as usize],
+                                &msg,
+                            );
+                            dynamic_applied += 1;
+                        } else {
+                            self.msgs.enqueue(self.partitions.partition_of(dst), dst, msg)?;
+                        }
+                    }
+                    iter_stages.compute += t_compute.elapsed();
+                    let t_flush = Instant::now();
 
                     // Flush the partition's vertices back to disk, or keep
                     // them resident on the fast path.
                     if fast_path {
                         resident = Some(slab);
                     } else {
+                        slab_bytes.resize(count * P::VertexData::SIZE, 0);
                         for (i, v) in slab.iter().enumerate() {
                             v.write_to(&mut slab_bytes[i * P::VertexData::SIZE..]);
                         }
                         vfile.seek(SeekFrom::Start(a as u64 * P::VertexData::SIZE as u64))?;
                         vfile.write_all(&slab_bytes)?;
                     }
+                    iter_stages.flush += t_flush.elapsed();
                 }
 
+                stages_total = stages_total + iter_stages;
                 per_iteration.push(IterationStats {
                     iteration: iter,
                     changed,
                     messages_sent: messages_sent - sent_before,
                     dynamic_applied: dynamic_applied - dynamic_before,
+                    stages: iter_stages,
                 });
 
                 // Periodic crash-safe checkpoint. The generation number is
@@ -509,7 +621,9 @@ impl<P: VertexProgram> Engine<P> {
             spilled: mc.spilled,
             replayed: mc.replayed,
             io: self.stats.snapshot() - io_before,
+            prefetch: self.stats.prefetch_snapshot() - prefetch_before,
             wall: start.elapsed(),
+            stages: stages_total,
             per_iteration,
         })
     }
@@ -762,6 +876,7 @@ impl<P: VertexProgram> Engine<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::UpdateContext;
     use crate::store::{DenseStore, DosStore};
     use graphz_storage::{CsrFiles, DosConverter, EdgeListFile};
     use graphz_types::Edge;
@@ -1068,6 +1183,83 @@ mod tests {
             results.push(engine.values_by_original_id().unwrap());
         }
         assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn parallel_shards_bit_identical_across_thread_counts() {
+        // 96 vertices / 48 per partition → 2 partitions of 3 shards each:
+        // exercises split_batch, cross-shard deferral, barrier merge, and
+        // prefetch. The shard plan depends on worker_shards only, so every
+        // thread count must produce byte-identical state and counters.
+        let edges: Vec<Edge> = (0..96u32)
+            .flat_map(|i| (0..4u32).map(move |j| Edge::new(i, (i * 7 + j * 13) % 96)))
+            .collect();
+        let budget = MemoryBudget(8 * 48);
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let (_d, mut engine) = dos_engine(
+                edges.clone(),
+                budget,
+                EngineOptions {
+                    worker_shards: 8,
+                    pipeline_threads: threads,
+                    ..EngineOptions::full()
+                },
+                4,
+            );
+            let s = engine.run(10).unwrap();
+            results.push((
+                engine.values_by_original_id().unwrap(),
+                s.iterations,
+                s.messages_sent,
+                s.dynamic_applied,
+                s.buffered,
+            ));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn prefetch_counters_track_activity() {
+        let budget = MemoryBudget(32); // several partitions
+        let (_d1, mut on) = dos_engine(test_graph(), budget, EngineOptions::full(), 3);
+        let s_on = on.run(10).unwrap();
+        assert!(s_on.partitions > 1);
+        assert!(
+            s_on.prefetch.hits + s_on.prefetch.stalls > 0,
+            "multi-partition run with prefetch must request loads: {:?}",
+            s_on.prefetch
+        );
+        let (_d2, mut off) = dos_engine(
+            test_graph(),
+            budget,
+            EngineOptions { prefetch: false, ..EngineOptions::full() },
+            3,
+        );
+        let s_off = off.run(10).unwrap();
+        assert_eq!(s_off.prefetch, graphz_io::PrefetchSnapshot::default());
+        assert_eq!(
+            on.values_by_original_id().unwrap(),
+            off.values_by_original_id().unwrap()
+        );
+    }
+
+    #[test]
+    fn stage_times_sum_across_iterations() {
+        let (_dir, mut engine) = dos_engine(
+            test_graph(),
+            MemoryBudget::from_mib(1),
+            EngineOptions::full(),
+            3,
+        );
+        let s = engine.run(10).unwrap();
+        assert!(s.stages.total() > Duration::ZERO);
+        let sum = s
+            .per_iteration
+            .iter()
+            .fold(StageTimes::default(), |acc, i| acc + i.stages);
+        assert_eq!(sum, s.stages);
     }
 
     #[test]

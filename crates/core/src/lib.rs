@@ -19,17 +19,24 @@
 //! * the **Dispatcher** parses them into per-vertex adjacency lists
 //!   (also [`sio`]; the two stages share the pipeline thread),
 //! * the **Worker** applies `update()` in ascending vertex order and
-//!   intercepts outgoing messages ([`engine`]),
+//!   intercepts outgoing messages ([`worker`], driven by [`engine`]); with
+//!   `pipeline_threads > 1` the partition is sharded across a persistent
+//!   worker pool under a deterministic schedule,
 //! * the **MsgManager** buffers cross-partition messages and replays them in
 //!   order when the destination partition loads ([`msgmanager`]).
+//!
+//! A [`prefetch`] stage double-buffers partition loads so the Worker never
+//! waits on the vertex file.
 
 pub mod engine;
 pub mod graphchi_compat;
 pub mod msgmanager;
+pub mod prefetch;
 pub mod program;
 pub mod sio;
 pub mod store;
+pub mod worker;
 
-pub use engine::{Engine, EngineConfig, RunSummary};
+pub use engine::{Engine, EngineConfig, RunSummary, StageTimes};
 pub use program::{UpdateContext, VertexProgram};
 pub use store::{DenseStore, DosStore, GraphStore};

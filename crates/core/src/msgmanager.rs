@@ -7,6 +7,15 @@
 //! When a partition loads, its spilled messages are replayed first (they are
 //! older), then the in-memory tail — preserving exactly the global send
 //! order, which is what makes dynamic messages *ordered*.
+//!
+//! Spill storage is a sequence of *segments* per partition
+//! (`msgs-{p:05}-{seg:05}.bin`, oldest first). Segments exist so the
+//! partition prefetcher can [`claim`](MsgManager::claim) the current spill
+//! run — sealing it against further appends and reading it concurrently —
+//! while the engine keeps spilling new messages into a fresh segment. A
+//! claim never removes anything: if the prefetch is discarded, a normal
+//! [`drain`](MsgManager::drain) still replays every segment, so crashes and
+//! checkpoints taken between claim and consume lose no messages.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -30,9 +39,28 @@ pub struct MsgCounters {
     pub replayed: u64,
 }
 
-/// One pre-encoded batch of envelopes bound for a partition's spill file.
+/// A snapshot of the sealed spill segments for one partition, handed to the
+/// prefetcher. The segments stay registered in the manager (and on disk)
+/// until [`MsgManager::consume_claimed`] — discarding a claim is always safe.
+#[derive(Debug, Clone)]
+pub struct ClaimedSegments {
+    pub partition: u32,
+    /// Paths of the sealed segment files, oldest first.
+    pub paths: Vec<PathBuf>,
+    /// How many segment entries (a prefix of the partition's list) this
+    /// claim covers.
+    count: usize,
+}
+
+impl ClaimedSegments {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// One pre-encoded batch of envelopes bound for a spill segment file.
 struct SpillJob {
-    partition: u32,
+    path: PathBuf,
     bytes: Vec<u8>,
 }
 
@@ -55,7 +83,7 @@ struct BackgroundWriter {
 }
 
 impl BackgroundWriter {
-    fn spawn(dir: PathBuf, stats: Arc<IoStats>) -> Result<Self> {
+    fn spawn(stats: Arc<IoStats>) -> Result<Self> {
         let (tx, rx) = bounded::<SpillJob>(4);
         let state = Arc::new(WriterState::default());
         let thread_state = Arc::clone(&state);
@@ -64,8 +92,7 @@ impl BackgroundWriter {
             .spawn(move || {
                 for job in rx {
                     let result = (|| -> Result<()> {
-                        let path = dir.join(format!("msgs-{:05}.bin", job.partition));
-                        let mut f = TrackedFile::append(&path, Arc::clone(&stats))?;
+                        let mut f = TrackedFile::append(&job.path, Arc::clone(&stats))?;
                         f.write_all(&job.bytes)?;
                         Ok(())
                     })();
@@ -120,8 +147,14 @@ pub struct MsgManager<M: FixedCodec> {
     stats: Arc<IoStats>,
     /// In-memory tail per partition.
     buffers: Vec<Vec<Envelope<M>>>,
-    /// Whether the partition's spill file currently holds messages.
-    has_spill: Vec<bool>,
+    /// Spill segment ids per partition, oldest first. The last entry may be
+    /// open for appends (see `open_seg`); all earlier ones are sealed.
+    segments: Vec<Vec<u32>>,
+    /// The segment currently accepting appends, per partition.
+    open_seg: Vec<Option<u32>>,
+    /// Next segment id to allocate, per partition (monotonic, so the
+    /// zero-padded filename sort order equals creation order).
+    next_seg: Vec<u32>,
     /// Total in-memory messages across all partitions.
     resident: usize,
     /// Cap on `resident` before everything spills.
@@ -142,7 +175,9 @@ impl<M: FixedCodec> MsgManager<M> {
             dir,
             stats,
             buffers: (0..partitions).map(|_| Vec::new()).collect(),
-            has_spill: vec![false; partitions as usize],
+            segments: vec![Vec::new(); partitions as usize],
+            open_seg: vec![None; partitions as usize],
+            next_seg: vec![0; partitions as usize],
             resident: 0,
             cap,
             counters: MsgCounters::default(),
@@ -154,12 +189,27 @@ impl<M: FixedCodec> MsgManager<M> {
     /// thread pool) instead of synchronously on the caller. On-disk contents
     /// are identical; only who does the writing changes.
     pub fn with_background_writer(mut self) -> Result<Self> {
-        self.writer = Some(BackgroundWriter::spawn(self.dir.clone(), Arc::clone(&self.stats))?);
+        self.writer = Some(BackgroundWriter::spawn(Arc::clone(&self.stats))?);
         Ok(self)
     }
 
-    fn spill_path(&self, partition: u32) -> PathBuf {
-        self.dir.join(format!("msgs-{partition:05}.bin"))
+    fn seg_path(&self, partition: u32, seg: u32) -> PathBuf {
+        self.dir.join(format!("msgs-{partition:05}-{seg:05}.bin"))
+    }
+
+    /// The segment currently open for appends, allocating one if needed.
+    fn open_segment(&mut self, partition: u32) -> u32 {
+        let p = partition as usize;
+        match self.open_seg[p] {
+            Some(s) => s,
+            None => {
+                let s = self.next_seg[p];
+                self.next_seg[p] += 1;
+                self.open_seg[p] = Some(s);
+                self.segments[p].push(s);
+                s
+            }
+        }
     }
 
     /// Queue `msg` for `dst`, owned by `partition`.
@@ -173,14 +223,16 @@ impl<M: FixedCodec> MsgManager<M> {
         Ok(())
     }
 
-    /// Write every in-memory buffer to its partition's spill file, in order
-    /// (directly, or via the background writer when configured).
+    /// Write every in-memory buffer to its partition's open spill segment, in
+    /// order (directly, or via the background writer when configured).
     fn spill_all(&mut self) -> Result<()> {
         let env_size = 4 + M::SIZE;
         for p in 0..self.buffers.len() {
             if self.buffers[p].is_empty() {
                 continue;
             }
+            let seg = self.open_segment(p as u32);
+            let path = self.seg_path(p as u32, seg);
             if let Some(writer) = &mut self.writer {
                 // Encode on this thread, write on the MsgManager thread.
                 let mut bytes = vec![0u8; self.buffers[p].len() * env_size];
@@ -188,10 +240,9 @@ impl<M: FixedCodec> MsgManager<M> {
                     env.write_to(&mut bytes[i * env_size..]);
                     self.counters.spilled += 1;
                 }
-                writer.submit(SpillJob { partition: p as u32, bytes })?;
+                writer.submit(SpillJob { path, bytes })?;
             } else {
-                let file =
-                    TrackedFile::append(&self.spill_path(p as u32), Arc::clone(&self.stats))?;
+                let file = TrackedFile::append(&path, Arc::clone(&self.stats))?;
                 let mut w =
                     RecordWriter::<Envelope<M>>::from_writer(std::io::BufWriter::new(file));
                 for env in self.buffers[p].drain(..) {
@@ -200,35 +251,73 @@ impl<M: FixedCodec> MsgManager<M> {
                 }
                 w.finish()?;
             }
-            self.has_spill[p] = true;
         }
         self.resident = 0;
         Ok(())
     }
 
+    /// Seal `partition`'s spill run and return a snapshot of it for the
+    /// prefetcher. After this call no more bytes are ever appended to the
+    /// returned files (new spills open a fresh segment), so another thread
+    /// may read them concurrently. The segments remain registered and on
+    /// disk: dropping the claim without [`consume_claimed`] loses nothing —
+    /// a later [`drain`] replays them as usual.
+    ///
+    /// [`consume_claimed`]: MsgManager::consume_claimed
+    /// [`drain`]: MsgManager::drain
+    pub fn claim(&mut self, partition: u32) -> Result<ClaimedSegments> {
+        // Sealed files must be complete before another thread reads them.
+        if let Some(writer) = &self.writer {
+            writer.wait_quiescent()?;
+        }
+        let p = partition as usize;
+        self.open_seg[p] = None;
+        let paths =
+            self.segments[p].iter().map(|&s| self.seg_path(partition, s)).collect::<Vec<_>>();
+        Ok(ClaimedSegments { partition, count: paths.len(), paths })
+    }
+
+    /// Retire a claim whose messages were applied by the caller: removes the
+    /// claimed segment prefix, deletes the files, and accounts `replayed`
+    /// messages. Only call after actually applying the prefetched messages.
+    pub fn consume_claimed(&mut self, claim: &ClaimedSegments, replayed: u64) -> Result<()> {
+        let p = claim.partition as usize;
+        debug_assert!(
+            claim.count <= self.segments[p].len(),
+            "claim outlived a drain of partition {}",
+            claim.partition
+        );
+        let retired: Vec<u32> = self.segments[p].drain(..claim.count).collect();
+        for seg in retired {
+            std::fs::remove_file(self.seg_path(claim.partition, seg))?;
+        }
+        self.counters.replayed += replayed;
+        Ok(())
+    }
+
     /// Replay and clear everything queued for `partition`, calling `apply`
-    /// in exact send order (spill file first — it holds the older messages —
-    /// then the in-memory tail).
+    /// in exact send order (spill segments first, oldest first — they hold
+    /// the older messages — then the in-memory tail).
     pub fn drain<F>(&mut self, partition: u32, mut apply: F) -> Result<u64>
     where
         F: FnMut(VertexId, M),
     {
         let p = partition as usize;
-        // The spill file must be complete before it is replayed.
+        // The spill files must be complete before they are replayed.
         if let Some(writer) = &self.writer {
             writer.wait_quiescent()?;
         }
         let mut replayed = 0u64;
-        if self.has_spill[p] {
-            let path = self.spill_path(partition);
+        for seg in std::mem::take(&mut self.segments[p]) {
+            let path = self.seg_path(partition, seg);
             for env in RecordReader::<Envelope<M>>::open(&path, Arc::clone(&self.stats))? {
                 let (dst, msg) = env?;
                 apply(dst, msg);
                 replayed += 1;
             }
             std::fs::remove_file(&path)?;
-            self.has_spill[p] = false;
         }
+        self.open_seg[p] = None;
         let tail = std::mem::take(&mut self.buffers[p]);
         self.resident -= tail.len();
         for (dst, msg) in tail {
@@ -253,7 +342,7 @@ impl<M: FixedCodec> MsgManager<M> {
         &self.dir
     }
 
-    /// Force every in-memory buffer to its spill file (checkpointing:
+    /// Force every in-memory buffer to its spill segment (checkpointing:
     /// afterwards the directory contents are the complete message state).
     pub fn flush(&mut self) -> Result<()> {
         self.spill_all()?;
@@ -264,12 +353,35 @@ impl<M: FixedCodec> MsgManager<M> {
     }
 
     /// Rebuild in-memory bookkeeping after the spill directory was restored
-    /// from a checkpoint: spill flags come from file existence, counters
-    /// from the checkpoint metadata.
+    /// from a checkpoint: segment lists come from a directory scan (the
+    /// zero-padded names sort in creation order), counters from the
+    /// checkpoint metadata.
     pub fn restore(&mut self, counters: MsgCounters) {
         for p in 0..self.buffers.len() {
             self.buffers[p].clear();
-            self.has_spill[p] = self.spill_path(p as u32).exists();
+            self.segments[p].clear();
+            self.open_seg[p] = None;
+            self.next_seg[p] = 0;
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        for name in names {
+            let Some(rest) = name.strip_prefix("msgs-").and_then(|r| r.strip_suffix(".bin"))
+            else {
+                continue;
+            };
+            let Some((p_str, s_str)) = rest.split_once('-') else { continue };
+            let (Ok(p), Ok(s)) = (p_str.parse::<u32>(), s_str.parse::<u32>()) else { continue };
+            if (p as usize) < self.segments.len() {
+                self.segments[p as usize].push(s);
+                self.next_seg[p as usize] = self.next_seg[p as usize].max(s + 1);
+            }
         }
         self.resident = 0;
         self.counters = counters;
@@ -356,7 +468,8 @@ mod tests {
                 .unwrap();
         send(&mut bg_m);
         for p in 0..3 {
-            let name = format!("msgs-{p:05}.bin");
+            // No claims happened, so each partition has exactly segment 0.
+            let name = format!("msgs-{p:05}-00000.bin");
             let a = std::fs::read(dir_a.path().join("m").join(&name)).unwrap();
             let b = std::fs::read(dir_b.path().join("m").join(&name)).unwrap();
             assert_eq!(a, b, "partition {p} spill files must be byte-identical");
@@ -399,5 +512,94 @@ mod tests {
         assert_eq!(m.pending(), 0);
         assert_eq!(m.counters().buffered, 3);
         assert_eq!(m.counters().replayed, 3);
+    }
+
+    /// Read every envelope out of a claimed run, the way the prefetcher does.
+    fn read_claim(claim: &ClaimedSegments, stats: Arc<IoStats>) -> Vec<(VertexId, u32)> {
+        let mut out = Vec::new();
+        for path in &claim.paths {
+            for env in RecordReader::<Envelope<u32>>::open(path, Arc::clone(&stats)).unwrap() {
+                out.push(env.unwrap());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn claim_seals_run_and_consume_retires_it() {
+        let (_dir, mut m) = manager((4 + 4) * 2); // spills every 3rd message
+        for i in 0..9u32 {
+            m.enqueue(0, i, i).unwrap();
+        }
+        m.flush().unwrap();
+        let claim = m.claim(0).unwrap();
+        assert!(!claim.is_empty());
+        // Spills after the claim must not land in the sealed segment.
+        for i in 9..15u32 {
+            m.enqueue(0, i, i).unwrap();
+        }
+        m.flush().unwrap();
+        let pre = read_claim(&claim, IoStats::new());
+        assert_eq!(pre.iter().map(|e| e.0).collect::<Vec<_>>(), (0..9).collect::<Vec<_>>());
+        m.consume_claimed(&claim, pre.len() as u64).unwrap();
+        // The remainder (post-claim segment + tail) drains in order.
+        let mut rest = Vec::new();
+        m.drain(0, |d, _| rest.push(d)).unwrap();
+        assert_eq!(rest, (9..15).collect::<Vec<_>>());
+        assert_eq!(m.pending(), 0);
+        assert_eq!(m.counters().replayed, 15);
+    }
+
+    #[test]
+    fn discarded_claim_loses_nothing() {
+        let (_dir, mut m) = manager((4 + 4) * 2);
+        for i in 0..9u32 {
+            m.enqueue(0, i, i).unwrap();
+        }
+        m.flush().unwrap();
+        let claim = m.claim(0).unwrap();
+        drop(claim); // prefetch discarded — e.g. run converged or checkpoint restored
+        for i in 9..12u32 {
+            m.enqueue(0, i, i).unwrap();
+        }
+        let mut seen = Vec::new();
+        m.drain(0, |d, _| seen.push(d)).unwrap();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn restore_rebuilds_segments_from_directory() {
+        let dir = ScratchDir::new("msg-restore").unwrap();
+        let path = dir.path().join("m");
+        let mut m: MsgManager<u32> =
+            MsgManager::new(path.clone(), 2, (4 + 4) * 2, IoStats::new()).unwrap();
+        for i in 0..9u32 {
+            m.enqueue(0, i, i).unwrap();
+        }
+        m.flush().unwrap();
+        // Seal + spill again so partition 0 has two segments on disk.
+        let _ = m.claim(0).unwrap();
+        for i in 9..12u32 {
+            m.enqueue(0, i, i).unwrap();
+        }
+        m.flush().unwrap();
+        let counters = m.counters();
+        drop(m);
+        // Fresh manager over the same directory, as after checkpoint restore.
+        let mut m2: MsgManager<u32> =
+            MsgManager::new(path, 2, 1 << 20, IoStats::new()).unwrap();
+        m2.restore(counters);
+        let mut seen = Vec::new();
+        m2.drain(0, |d, _| seen.push(d)).unwrap();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        // New spills must not collide with the replayed segment ids.
+        for i in 0..5u32 {
+            m2.enqueue(0, i, i).unwrap();
+        }
+        m2.flush().unwrap();
+        let mut again = Vec::new();
+        m2.drain(0, |d, _| again.push(d)).unwrap();
+        assert_eq!(again, (0..5).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,173 @@
+//! Partition prefetcher: GridGraph-style double buffering for the engine's
+//! partition loop.
+//!
+//! While partition *p* computes, a background thread loads partition
+//! *p + 1*: its partition index, its vertex slab (read through a separate
+//! file handle — the regions are disjoint from whatever the engine is
+//! writing), and its *claimed* spilled-message run (see
+//! [`MsgManager::claim`]). At most one request is in flight, so exactly two
+//! partition buffers ever exist: the one computing and the one loading.
+//!
+//! Prefetching is pure scheduling. The claim protocol guarantees no message
+//! is ever lost if a prefetch is discarded, and the engine applies
+//! prefetched state through the same code path as a synchronous load, so
+//! results are bit-identical with the prefetcher on or off.
+//!
+//! [`MsgManager::claim`]: crate::msgmanager::MsgManager::claim
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use graphz_io::{IoStats, RecordReader, TrackedFile};
+use graphz_types::{FixedCodec, Result, VertexId};
+
+use crate::msgmanager::ClaimedSegments;
+use crate::program::VertexProgram;
+use crate::store::GraphStore;
+
+struct Request {
+    partition: u32,
+    a: VertexId,
+    b: VertexId,
+    claim: ClaimedSegments,
+}
+
+/// A fully loaded partition, ready for the Worker.
+pub struct Prefetched<P: VertexProgram> {
+    pub partition: u32,
+    pub start_edge: u64,
+    pub degrees: Vec<u32>,
+    pub slab: Vec<P::VertexData>,
+    /// Decoded messages of the claimed spill run, in send order.
+    pub msgs: Vec<(VertexId, P::Message)>,
+    /// The claim to retire via [`MsgManager::consume_claimed`] after `msgs`
+    /// has been applied.
+    ///
+    /// [`MsgManager::consume_claimed`]: crate::msgmanager::MsgManager::consume_claimed
+    pub claim: ClaimedSegments,
+}
+
+enum Response<P: VertexProgram> {
+    Ready(Box<Prefetched<P>>),
+    /// The load failed; the engine falls back to a synchronous load, which
+    /// will surface the underlying error through the normal path.
+    Failed,
+}
+
+/// Handle to the background loading thread. One outstanding request at a
+/// time (double buffering).
+pub struct Prefetcher<P: VertexProgram> {
+    tx: Option<Sender<Request>>,
+    rx: Receiver<Response<P>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<IoStats>,
+    outstanding: Option<u32>,
+}
+
+impl<P: VertexProgram> Prefetcher<P> {
+    pub fn spawn(
+        store: Arc<dyn GraphStore>,
+        vertices_path: &Path,
+        stats: Arc<IoStats>,
+    ) -> Result<Self> {
+        let (tx, req_rx) = bounded::<Request>(1);
+        let (resp_tx, rx) = bounded::<Response<P>>(1);
+        // A dedicated read handle: the engine's write handle and this one
+        // only ever touch disjoint partition regions.
+        let mut vfile = TrackedFile::open(vertices_path, Arc::clone(&stats))?;
+        let thread_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("graphz-prefetch".into())
+            .spawn(move || {
+                for req in req_rx {
+                    let response = match load::<P>(&store, &mut vfile, &thread_stats, req) {
+                        Ok(p) => Response::Ready(Box::new(p)),
+                        Err(_) => Response::Failed,
+                    };
+                    if resp_tx.send(response).is_err() {
+                        return; // engine hung up
+                    }
+                }
+            })
+            .map_err(std::io::Error::other)?;
+        Ok(Prefetcher { tx: Some(tx), rx, handle: Some(handle), stats, outstanding: None })
+    }
+
+    /// Ask for partition `[a, b)` to be loaded in the background. Callers
+    /// must `take` or `discard` the previous request first.
+    pub fn request(&mut self, partition: u32, a: VertexId, b: VertexId, claim: ClaimedSegments) {
+        assert!(self.outstanding.is_none(), "one prefetch request at a time");
+        let req = Request { partition, a, b, claim };
+        if self.tx.as_ref().expect("prefetcher running").send(req).is_ok() {
+            self.outstanding = Some(partition);
+        }
+    }
+
+    /// Collect the prefetched buffer for `partition`, if that is what is in
+    /// flight. Counts a hit when the buffer was already waiting, a stall
+    /// when the engine had to wait for it (or the load failed — the caller
+    /// then loads synchronously).
+    pub fn take(&mut self, partition: u32) -> Option<Prefetched<P>> {
+        if self.outstanding != Some(partition) {
+            return None;
+        }
+        let response = match self.rx.try_recv() {
+            Ok(r) => {
+                self.stats.record_prefetch_hit();
+                r
+            }
+            Err(_) => {
+                self.stats.record_prefetch_stall();
+                self.rx.recv().ok()?
+            }
+        };
+        self.outstanding = None;
+        match response {
+            Response::Ready(p) => Some(*p),
+            Response::Failed => None,
+        }
+    }
+
+    /// Drop whatever is in flight (end of run, or a restore invalidated the
+    /// buffers). The unconsumed claim loses nothing — the segments are
+    /// still registered with the MsgManager.
+    pub fn discard(&mut self) {
+        if self.outstanding.take().is_some() {
+            let _ = self.rx.recv();
+            self.stats.record_prefetch_wasted();
+        }
+    }
+}
+
+impl<P: VertexProgram> Drop for Prefetcher<P> {
+    fn drop(&mut self) {
+        self.discard();
+        drop(self.tx.take()); // close the queue; the thread exits
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn load<P: VertexProgram>(
+    store: &Arc<dyn GraphStore>,
+    vfile: &mut TrackedFile,
+    stats: &Arc<IoStats>,
+    req: Request,
+) -> Result<Prefetched<P>> {
+    let (start_edge, degrees) = store.partition_index(req.a, req.b, stats)?;
+    let count = (req.b - req.a) as usize;
+    let mut bytes = vec![0u8; count * P::VertexData::SIZE];
+    vfile.seek(SeekFrom::Start(req.a as u64 * P::VertexData::SIZE as u64))?;
+    vfile.read_exact(&mut bytes)?;
+    let slab = graphz_types::codec::decode_slice(&bytes);
+    let mut msgs: Vec<(VertexId, P::Message)> = Vec::new();
+    for path in &req.claim.paths {
+        for env in RecordReader::<(VertexId, P::Message)>::open(path, Arc::clone(stats))? {
+            msgs.push(env?);
+        }
+    }
+    Ok(Prefetched { partition: req.partition, start_edge, degrees, slab, msgs, claim: req.claim })
+}

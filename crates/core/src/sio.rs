@@ -14,12 +14,12 @@ use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, Receiver};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use graphz_io::{IoStats, TrackedFile};
 use graphz_types::{GraphError, Result, VertexId};
 
 /// A parsed block: consecutive vertices with their concatenated adjacency.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AdjBatch {
     /// Storage id of the first vertex in the batch.
     pub first_vertex: VertexId,
@@ -62,6 +62,37 @@ impl AdjBatch {
 /// blocks in flight keeps the pipeline fed without denting the budget.
 pub const DEFAULT_BATCH_EDGES: usize = 64 * 1024;
 
+/// Recycles [`AdjBatch`] allocations between the Dispatcher and the Worker.
+///
+/// The Dispatcher's hot path otherwise allocates three vectors per block
+/// (degrees, edges, weights). Consumers return finished batches with
+/// [`put`](BatchPool::put); the Dispatcher picks them up with
+/// [`take`](BatchPool::take) and refills them in place. The pool is a
+/// bounded channel: `take` on an empty pool falls back to a fresh
+/// allocation and `put` on a full pool drops the batch, so neither side
+/// ever blocks and the pool never grows past its capacity.
+pub struct BatchPool {
+    tx: Sender<AdjBatch>,
+    rx: Receiver<AdjBatch>,
+}
+
+impl BatchPool {
+    pub fn new(capacity: usize) -> Arc<Self> {
+        let (tx, rx) = bounded(capacity.max(1));
+        Arc::new(BatchPool { tx, rx })
+    }
+
+    /// An empty batch, recycled if one is available.
+    pub fn take(&self) -> AdjBatch {
+        self.rx.try_recv().unwrap_or_default()
+    }
+
+    /// Return a finished batch for reuse (contents are cleared on refill).
+    pub fn put(&self, batch: AdjBatch) {
+        let _ = self.tx.try_send(batch); // full pool: just drop the buffers
+    }
+}
+
 /// Stream the adjacency lists of `degrees.len()` vertices starting at
 /// storage id `first_vertex`, whose edges begin at record `start_edge` of
 /// `edges_path`.
@@ -75,11 +106,12 @@ pub fn stream_partition(
     pipelined: bool,
 ) -> Result<AdjacencyStream> {
     stream_partition_weighted(
-        edges_path, None, start_edge, first_vertex, degrees, batch_edges, stats, pipelined,
+        edges_path, None, start_edge, first_vertex, degrees, batch_edges, stats, pipelined, None,
     )
 }
 
-/// [`stream_partition`] with an optional parallel per-edge weight file.
+/// [`stream_partition`] with an optional parallel per-edge weight file and
+/// an optional [`BatchPool`] the consumer returns finished batches to.
 #[allow(clippy::too_many_arguments)]
 pub fn stream_partition_weighted(
     edges_path: &Path,
@@ -90,6 +122,7 @@ pub fn stream_partition_weighted(
     batch_edges: usize,
     stats: Arc<IoStats>,
     pipelined: bool,
+    pool: Option<Arc<BatchPool>>,
 ) -> Result<AdjacencyStream> {
     let inner = InlineStream::open(
         edges_path,
@@ -99,6 +132,7 @@ pub fn stream_partition_weighted(
         degrees,
         batch_edges,
         stats,
+        pool,
     )?;
     if pipelined {
         let (tx, rx) = bounded::<Result<AdjBatch>>(2);
@@ -166,9 +200,15 @@ pub struct InlineStream {
     next_index: usize,
     next_vertex: VertexId,
     batch_edges: usize,
+    /// Recycled output batches; a private pool when the caller has none.
+    pool: Arc<BatchPool>,
+    /// Persistent raw-block read buffer (Sio reads into it, the Dispatcher
+    /// decodes out of it — one allocation for the stream's lifetime).
+    read_buf: Vec<u8>,
 }
 
 impl InlineStream {
+    #[allow(clippy::too_many_arguments)]
     fn open(
         edges_path: &Path,
         weights_path: Option<&Path>,
@@ -177,6 +217,7 @@ impl InlineStream {
         degrees: Vec<u32>,
         batch_edges: usize,
         stats: Arc<IoStats>,
+        pool: Option<Arc<BatchPool>>,
     ) -> Result<Self> {
         assert!(batch_edges > 0);
         let mut file = TrackedFile::open(edges_path, Arc::clone(&stats))?;
@@ -196,6 +237,8 @@ impl InlineStream {
             next_index: 0,
             next_vertex: first_vertex,
             batch_edges,
+            pool: pool.unwrap_or_else(|| BatchPool::new(4)),
+            read_buf: Vec::new(),
         })
     }
 
@@ -221,26 +264,29 @@ impl InlineStream {
                 break;
             }
         }
-        let degrees = self.degrees[start..self.next_index].to_vec();
-        // Sio: one sequential read for the whole block.
-        let mut buf = vec![0u8; edge_count * 4];
-        self.file.read_exact(&mut buf).map_err(|e| {
+        let mut batch = self.pool.take();
+        batch.first_vertex = first_vertex;
+        batch.degrees.clear();
+        batch.degrees.extend_from_slice(&self.degrees[start..self.next_index]);
+        // Sio: one sequential read for the whole block, into the persistent
+        // buffer; the Dispatcher decodes into the recycled batch vectors.
+        self.read_buf.resize(edge_count * 4, 0);
+        self.file.read_exact(&mut self.read_buf).map_err(|e| {
             GraphError::Corrupt(format!("adjacency file ended early at vertex {first_vertex}: {e}"))
         })?;
-        let edges = graphz_types::codec::decode_slice(&buf);
-        let weights = match &mut self.weights_file {
+        graphz_types::codec::decode_into(&self.read_buf, &mut batch.edges);
+        match &mut self.weights_file {
             Some(wf) => {
-                let mut wbuf = vec![0u8; edge_count * 4];
-                wf.read_exact(&mut wbuf).map_err(|e| {
+                wf.read_exact(&mut self.read_buf).map_err(|e| {
                     GraphError::Corrupt(format!(
                         "weight file ended early at vertex {first_vertex}: {e}"
                     ))
                 })?;
-                graphz_types::codec::decode_slice(&wbuf)
+                graphz_types::codec::decode_into(&self.read_buf, &mut batch.weights);
             }
-            None => Vec::new(),
-        };
-        Ok(Some(AdjBatch { first_vertex, degrees, edges, weights }))
+            None => batch.weights.clear(),
+        }
+        Ok(Some(batch))
     }
 }
 
@@ -355,6 +401,59 @@ mod tests {
         let (dir, stats) = setup();
         let s = stream_partition(&dir.file("edges.bin"), 0, 0, vec![], 10, stats, false).unwrap();
         assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn recycled_batches_match_fresh_allocations() {
+        let (dir, stats) = setup();
+        let pool = BatchPool::new(4);
+        // Prime the pool with a dirty batch; the stream must clear it.
+        pool.put(AdjBatch {
+            first_vertex: 999,
+            degrees: vec![7, 7],
+            edges: vec![1, 2, 3],
+            weights: vec![0.5],
+        });
+        let recycled = stream_partition_weighted(
+            &dir.file("edges.bin"),
+            None,
+            0,
+            100,
+            vec![2, 0, 3, 1],
+            2,
+            Arc::clone(&stats),
+            false,
+            Some(Arc::clone(&pool)),
+        )
+        .unwrap();
+        let mut seen = Vec::new();
+        for batch in recycled {
+            let batch = batch.unwrap();
+            for (v, adj) in batch.vertices() {
+                seen.push((v, adj.to_vec()));
+            }
+            assert!(batch.weights.is_empty(), "unweighted stream must clear stale weights");
+            pool.put(batch); // round-trip through the pool mid-stream
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (100, vec![10, 11]),
+                (101, vec![]),
+                (102, vec![20, 21, 22]),
+                (103, vec![30]),
+            ]
+        );
+    }
+
+    #[test]
+    fn pool_take_never_blocks_and_put_drops_on_full() {
+        let pool = BatchPool::new(1);
+        assert_eq!(pool.take(), AdjBatch::default()); // empty pool: fresh batch
+        pool.put(AdjBatch::default());
+        pool.put(AdjBatch::default()); // full: silently dropped
+        let _ = pool.take();
+        assert_eq!(pool.take(), AdjBatch::default());
     }
 
     #[test]

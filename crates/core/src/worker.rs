@@ -1,0 +1,447 @@
+//! The deterministic parallel Worker stage.
+//!
+//! The paper's Worker (§V, Fig. 4) applies `program.update` over the
+//! resident partition. Here that work is split across *logical shards* —
+//! contiguous sub-ranges of the partition's vertex range — executed by a
+//! persistent pool of worker threads. Determinism comes from one rule:
+//!
+//! **The shard plan is a function of the partition and `worker_shards`
+//! only, never of the thread count.** Threads merely execute a fixed
+//! logical schedule: shard *s* always runs on worker `s % threads`, jobs
+//! for a shard are FIFO, shards touch disjoint vertex ranges, and every
+//! message that crosses a shard boundary is deferred into the sending
+//! shard's ordered buffer and applied at the partition barrier in
+//! `(shard, send order)` sequence. `pipeline_threads: N` is therefore
+//! bit-identical to `pipeline_threads: 1` — the single-threaded executor
+//! runs the *same* sharded schedule inline through the same
+//! [`ShardState`] code path.
+//!
+//! Messages whose destination lies inside the *sending shard* keep the
+//! paper's dynamic-message fast path and are applied immediately.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use graphz_types::{GraphError, Result, VertexId};
+
+use crate::program::{UpdateContext, VertexProgram};
+use crate::sio::{AdjBatch, BatchPool};
+
+/// Shards smaller than this are not worth a hand-off; `plan_shards` lowers
+/// the shard count for small partitions so tiny graphs run single-sharded
+/// (and thus byte-for-byte like the pre-sharding engine).
+pub const MIN_SHARD_VERTICES: usize = 16;
+
+/// Split the partition `[a, b)` into at most `max_shards` contiguous vertex
+/// ranges. Deterministic in its arguments alone — in particular it never
+/// looks at how many worker threads exist.
+pub fn plan_shards(a: VertexId, b: VertexId, max_shards: usize) -> Vec<(VertexId, VertexId)> {
+    let count = (b - a) as usize;
+    if count == 0 {
+        return Vec::new();
+    }
+    let shards = max_shards.max(1).min(count.div_ceil(MIN_SHARD_VERTICES)).max(1);
+    let per = count.div_ceil(shards);
+    (0..shards)
+        .map(|s| (a + ((s * per).min(count)) as VertexId, a + (((s + 1) * per).min(count)) as VertexId))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Index of the shard containing `v` (plan ranges are contiguous and sorted).
+pub fn shard_of(plan: &[(VertexId, VertexId)], v: VertexId) -> usize {
+    match plan.binary_search_by(|&(lo, _)| lo.cmp(&v)) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    }
+}
+
+/// Route one Dispatcher batch to the shards it overlaps. The common case —
+/// the batch lies inside a single shard — moves the batch without copying;
+/// only batches straddling a shard boundary are sliced.
+pub fn split_batch(
+    batch: AdjBatch,
+    plan: &[(VertexId, VertexId)],
+) -> Vec<(usize, AdjBatch)> {
+    let lo = batch.first_vertex;
+    let hi = lo + batch.degrees.len() as VertexId;
+    if lo >= hi {
+        return Vec::new();
+    }
+    let s0 = shard_of(plan, lo);
+    if hi <= plan[s0].1 {
+        return vec![(s0, batch)];
+    }
+    let mut out = Vec::new();
+    let mut v = lo;
+    let mut edge_at = 0usize;
+    let mut s = s0;
+    while v < hi {
+        let end = plan[s].1.min(hi);
+        let vi = (v - lo) as usize;
+        let degrees = batch.degrees[vi..vi + (end - v) as usize].to_vec();
+        let edge_count: usize = degrees.iter().map(|&d| d as usize).sum();
+        let edges = batch.edges[edge_at..edge_at + edge_count].to_vec();
+        let weights = if batch.weights.is_empty() {
+            Vec::new()
+        } else {
+            batch.weights[edge_at..edge_at + edge_count].to_vec()
+        };
+        out.push((s, AdjBatch { first_vertex: v, degrees, edges, weights }));
+        edge_at += edge_count;
+        v = end;
+        s += 1;
+    }
+    out
+}
+
+/// One shard's owned slice of the partition, plus everything its updates
+/// produced. The same struct runs inline (1 thread) and on the pool (N
+/// threads), which is what makes the two bit-identical.
+pub struct ShardState<P: VertexProgram> {
+    first: VertexId,
+    end: VertexId,
+    data: Vec<P::VertexData>,
+    /// Messages leaving this shard, in shard-local send order; merged at the
+    /// partition barrier in `(shard, send order)` sequence.
+    deferred: Vec<(VertexId, P::Message)>,
+    changed: u64,
+    sent: u64,
+    dynamic_applied: u64,
+    iteration: u32,
+    num_vertices: u64,
+    dynamic: bool,
+    outbox: Vec<(VertexId, P::Message)>,
+}
+
+impl<P: VertexProgram> ShardState<P> {
+    fn start(job: ShardStart<P>, program: &P) -> Self {
+        let mut state = ShardState {
+            first: job.first,
+            end: job.end,
+            data: job.data,
+            deferred: Vec::new(),
+            changed: 0,
+            sent: 0,
+            dynamic_applied: 0,
+            iteration: job.iteration,
+            num_vertices: job.num_vertices,
+            dynamic: job.dynamic,
+            outbox: Vec::new(),
+        };
+        // Replay this shard's pending messages before any update runs.
+        // Grouping the global replay stream by shard preserves per-vertex
+        // order (each vertex lives in exactly one shard), so the result is
+        // identical to the sequential replay.
+        for (dst, msg) in job.replay {
+            program.apply_message(dst, &mut state.data[(dst - state.first) as usize], &msg);
+        }
+        state
+    }
+
+    fn process(&mut self, program: &P, batch: &AdjBatch) {
+        for (v, neighbors, weights) in batch.vertices_weighted() {
+            let mut ctx = UpdateContext {
+                iteration: self.iteration,
+                num_vertices: self.num_vertices,
+                neighbors,
+                weights,
+                outbox: &mut self.outbox,
+                changed: false,
+            };
+            program.update(v, &mut self.data[(v - self.first) as usize], &mut ctx);
+            if ctx.changed {
+                self.changed += 1;
+            }
+            self.sent += self.outbox.len() as u64;
+            for (dst, msg) in self.outbox.drain(..) {
+                if self.dynamic && dst >= self.first && dst < self.end {
+                    // Intra-shard dynamic fast path: the destination is
+                    // owned by this shard, so the apply races with nothing.
+                    program.apply_message(
+                        dst,
+                        &mut self.data[(dst - self.first) as usize],
+                        &msg,
+                    );
+                    self.dynamic_applied += 1;
+                } else {
+                    self.deferred.push((dst, msg));
+                }
+            }
+        }
+    }
+
+    fn finish(self, shard: usize) -> ShardResult<P> {
+        ShardResult {
+            shard,
+            data: self.data,
+            deferred: self.deferred,
+            changed: self.changed,
+            sent: self.sent,
+            dynamic_applied: self.dynamic_applied,
+        }
+    }
+}
+
+/// Everything a shard needs to begin an iteration over its vertex range.
+pub struct ShardStart<P: VertexProgram> {
+    pub shard: usize,
+    pub first: VertexId,
+    pub end: VertexId,
+    pub data: Vec<P::VertexData>,
+    /// This shard's slice of the partition's replay stream, in send order.
+    pub replay: Vec<(VertexId, P::Message)>,
+    pub iteration: u32,
+    pub num_vertices: u64,
+    pub dynamic: bool,
+}
+
+/// What a shard hands back at the partition barrier.
+pub struct ShardResult<P: VertexProgram> {
+    pub shard: usize,
+    pub data: Vec<P::VertexData>,
+    pub deferred: Vec<(VertexId, P::Message)>,
+    pub changed: u64,
+    pub sent: u64,
+    pub dynamic_applied: u64,
+}
+
+enum Job<P: VertexProgram> {
+    Start(Box<ShardStart<P>>),
+    Piece { shard: usize, batch: AdjBatch },
+    Finish { shard: usize },
+}
+
+fn worker_died<T>() -> std::result::Result<T, GraphError> {
+    Err(GraphError::Io(std::io::Error::other("worker thread panicked")))
+}
+
+/// A persistent pool of Worker threads. Spawned once per [`Engine::run`]
+/// and reused for every partition of every iteration — no per-batch or
+/// per-partition thread spawns.
+///
+/// [`Engine::run`]: crate::Engine::run
+pub struct WorkerPool<P: VertexProgram> {
+    txs: Vec<Sender<Job<P>>>,
+    results: Receiver<ShardResult<P>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<P: VertexProgram> WorkerPool<P> {
+    /// `max_shards` bounds how many `Finish` results can be outstanding at
+    /// once (one partition's worth), sizing the result queue so workers
+    /// never block on it.
+    pub fn spawn(
+        threads: usize,
+        max_shards: usize,
+        program: Arc<P>,
+        pool: Arc<BatchPool>,
+    ) -> Result<Self> {
+        let threads = threads.max(1);
+        let (result_tx, results) = bounded::<ShardResult<P>>(max_shards.max(1));
+        let mut txs = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = bounded::<Job<P>>(8);
+            let program = Arc::clone(&program);
+            let batch_pool = Arc::clone(&pool);
+            let result_tx = result_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("graphz-worker-{w}"))
+                .spawn(move || {
+                    let mut states: HashMap<usize, ShardState<P>> = HashMap::new();
+                    for job in rx {
+                        match job {
+                            Job::Start(start) => {
+                                let shard = start.shard;
+                                states.insert(shard, ShardState::start(*start, &program));
+                            }
+                            Job::Piece { shard, batch } => {
+                                states
+                                    .get_mut(&shard)
+                                    .expect("piece for un-started shard")
+                                    .process(&program, &batch);
+                                batch_pool.put(batch);
+                            }
+                            Job::Finish { shard } => {
+                                let state =
+                                    states.remove(&shard).expect("finish for un-started shard");
+                                if result_tx.send(state.finish(shard)).is_err() {
+                                    return; // engine hung up
+                                }
+                            }
+                        }
+                    }
+                })
+                .map_err(std::io::Error::other)?;
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Ok(WorkerPool { txs, results, handles })
+    }
+
+    fn tx(&self, shard: usize) -> &Sender<Job<P>> {
+        &self.txs[shard % self.txs.len()]
+    }
+}
+
+impl<P: VertexProgram> Drop for WorkerPool<P> {
+    fn drop(&mut self) {
+        self.txs.clear(); // close every job queue; workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Executes one partition's shard schedule: inline on the engine thread, or
+/// fanned out over the [`WorkerPool`]. Both paths drive the identical
+/// [`ShardState`] logic, so their results are bit-for-bit the same.
+pub enum Executor<P: VertexProgram> {
+    Inline { program: Arc<P>, pool: Arc<BatchPool>, states: Vec<Option<ShardState<P>>> },
+    Pooled(WorkerPool<P>),
+}
+
+impl<P: VertexProgram> Executor<P> {
+    pub fn new(
+        threads: usize,
+        max_shards: usize,
+        program: Arc<P>,
+        pool: Arc<BatchPool>,
+    ) -> Result<Self> {
+        if threads > 1 {
+            Ok(Executor::Pooled(WorkerPool::spawn(threads, max_shards, program, pool)?))
+        } else {
+            Ok(Executor::Inline { program, pool, states: Vec::new() })
+        }
+    }
+
+    /// Hand a shard its vertex data and replay stream.
+    pub fn start(&mut self, job: ShardStart<P>) -> Result<()> {
+        match self {
+            Executor::Inline { program, states, .. } => {
+                let shard = job.shard;
+                if states.len() <= shard {
+                    states.resize_with(shard + 1, || None);
+                }
+                states[shard] = Some(ShardState::start(job, program));
+                Ok(())
+            }
+            Executor::Pooled(pool) => pool
+                .tx(job.shard)
+                .send(Job::Start(Box::new(job)))
+                .map_err(|_| worker_died::<()>().unwrap_err()),
+        }
+    }
+
+    /// Feed one (already shard-routed) batch to its shard.
+    pub fn feed(&mut self, shard: usize, batch: AdjBatch) -> Result<()> {
+        match self {
+            Executor::Inline { program, pool, states } => {
+                states[shard]
+                    .as_mut()
+                    .expect("piece for un-started shard")
+                    .process(program, &batch);
+                pool.put(batch);
+                Ok(())
+            }
+            Executor::Pooled(pool) => pool
+                .tx(shard)
+                .send(Job::Piece { shard, batch })
+                .map_err(|_| worker_died::<()>().unwrap_err()),
+        }
+    }
+
+    /// Barrier: collect every shard's result, returned sorted by shard so
+    /// the merge order never depends on completion timing.
+    pub fn finish(&mut self, shards: usize) -> Result<Vec<ShardResult<P>>> {
+        let mut out: Vec<ShardResult<P>> = Vec::with_capacity(shards);
+        match self {
+            Executor::Inline { states, .. } => {
+                for (shard, slot) in states.iter_mut().enumerate().take(shards) {
+                    let state = slot.take().expect("finish for un-started shard");
+                    out.push(state.finish(shard));
+                }
+            }
+            Executor::Pooled(pool) => {
+                for shard in 0..shards {
+                    pool.tx(shard)
+                        .send(Job::Finish { shard })
+                        .map_err(|_| worker_died::<()>().unwrap_err())?;
+                }
+                for _ in 0..shards {
+                    match pool.results.recv() {
+                        Ok(r) => out.push(r),
+                        Err(_) => return worker_died(),
+                    }
+                }
+                out.sort_by_key(|r| r.shard);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plan_is_thread_independent_and_covers_range() {
+        let plan = plan_shards(100, 300, 8);
+        assert!(plan.len() <= 8);
+        assert_eq!(plan.first().unwrap().0, 100);
+        assert_eq!(plan.last().unwrap().1, 300);
+        for w in plan.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "shards must tile the range");
+        }
+        // Small partitions collapse to one shard (pre-sharding behaviour).
+        assert_eq!(plan_shards(0, 10, 8), vec![(0, 10)]);
+        assert_eq!(plan_shards(5, 5, 8), vec![]);
+        // Max shards of 1 is always a single range.
+        assert_eq!(plan_shards(0, 1000, 1), vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn shard_of_finds_containing_range() {
+        let plan = plan_shards(0, 64, 4);
+        for (i, &(lo, hi)) in plan.iter().enumerate() {
+            assert_eq!(shard_of(&plan, lo), i);
+            assert_eq!(shard_of(&plan, hi - 1), i);
+        }
+    }
+
+    #[test]
+    fn split_batch_moves_single_shard_batches_and_slices_straddlers() {
+        let plan = vec![(0u32, 32u32), (32, 64)];
+        // Entirely inside shard 0: moved, not copied.
+        let whole = AdjBatch {
+            first_vertex: 4,
+            degrees: vec![1, 2],
+            edges: vec![9, 8, 7],
+            weights: vec![],
+        };
+        let parts = split_batch(whole.clone(), &plan);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[0].1, whole);
+        // Straddles the boundary at 32.
+        let straddler = AdjBatch {
+            first_vertex: 30,
+            degrees: vec![1, 2, 3, 1],
+            edges: vec![0, 1, 2, 3, 4, 5, 6],
+            weights: (0..7).map(|i| i as f32).collect(),
+        };
+        let parts = split_batch(straddler, &plan);
+        assert_eq!(parts.len(), 2);
+        let (s_a, a) = &parts[0];
+        let (s_b, b) = &parts[1];
+        assert_eq!((*s_a, a.first_vertex, a.degrees.clone()), (0, 30, vec![1, 2]));
+        assert_eq!(a.edges, vec![0, 1, 2]);
+        assert_eq!(a.weights, vec![0.0, 1.0, 2.0]);
+        assert_eq!((*s_b, b.first_vertex, b.degrees.clone()), (1, 32, vec![3, 1]));
+        assert_eq!(b.edges, vec![3, 4, 5, 6]);
+        assert_eq!(b.weights, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+}

@@ -31,5 +31,5 @@ pub use fault::{
 pub use framed::{FramedReader, FramedWriter};
 pub use record::{RecordReader, RecordWriter};
 pub use scratch::ScratchDir;
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::{IoSnapshot, IoStats, PrefetchSnapshot};
 pub use tracked::{TrackedFile, TrackedReader, TrackedWriter};

@@ -151,6 +151,17 @@ pub fn encode_slice<T: FixedCodec>(records: &[T]) -> Vec<u8> {
 /// Decode a byte slice (whose length must be a multiple of `T::SIZE`) into
 /// records.
 pub fn decode_slice<T: FixedCodec>(bytes: &[u8]) -> Vec<T> {
+    let mut out = Vec::new();
+    decode_into(bytes, &mut out);
+    out
+}
+
+/// Decode a byte slice into an existing vector, reusing its capacity.
+///
+/// The vector is cleared first; after the call it holds exactly
+/// `bytes.len() / T::SIZE` records. This is the allocation-free variant of
+/// [`decode_slice`] for hot paths that recycle buffers.
+pub fn decode_into<T: FixedCodec>(bytes: &[u8], out: &mut Vec<T>) {
     assert_eq!(
         bytes.len() % T::SIZE,
         0,
@@ -158,7 +169,9 @@ pub fn decode_slice<T: FixedCodec>(bytes: &[u8]) -> Vec<T> {
         bytes.len(),
         T::SIZE
     );
-    bytes.chunks_exact(T::SIZE).map(T::read_from).collect()
+    out.clear();
+    out.reserve(bytes.len() / T::SIZE);
+    out.extend(bytes.chunks_exact(T::SIZE).map(T::read_from));
 }
 
 #[cfg(test)]
@@ -222,5 +235,19 @@ mod tests {
     #[should_panic(expected = "multiple of record size")]
     fn decode_rejects_ragged_input() {
         decode_slice::<u32>(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn decode_into_reuses_capacity() {
+        let recs: Vec<u32> = (0..100).collect();
+        let bytes = encode_slice(&recs);
+        let mut out: Vec<u32> = Vec::with_capacity(256);
+        out.push(7); // stale content must be cleared
+        let cap = out.capacity();
+        decode_into(&bytes, &mut out);
+        assert_eq!(out, recs);
+        assert_eq!(out.capacity(), cap);
+        decode_into(&[], &mut out);
+        assert!(out.is_empty());
     }
 }

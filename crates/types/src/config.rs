@@ -81,6 +81,22 @@ pub struct EngineOptions {
     /// (the paper's four-component pipeline, §V Fig. 4) instead of on the
     /// Worker. Byte-identical spill files; only scheduling changes.
     pub background_spill: bool,
+    /// Prefetch the next partition's vertex slab, partition index, and
+    /// spilled message run on a background thread while the current partition
+    /// computes (GridGraph-style double buffering). Pure scheduling: results
+    /// are bit-identical with prefetch on or off.
+    pub prefetch: bool,
+    /// Maximum number of logical Worker shards per partition. The shard plan
+    /// is a function of the partition's vertex range and this value only —
+    /// never of `pipeline_threads` — which is what makes results bit-identical
+    /// across thread counts: threads merely execute a fixed logical schedule.
+    ///
+    /// `1` (the default) keeps the paper's sequential-equivalent semantics:
+    /// the whole partition is one shard, so every in-partition dynamic
+    /// message applies mid-sweep and traversal cascades span the partition.
+    /// Values `> 1` trade some of that same-iteration cascade reach (cross-
+    /// shard messages defer to the partition barrier) for parallel updates.
+    pub worker_shards: usize,
 }
 
 impl Default for EngineOptions {
@@ -91,14 +107,32 @@ impl Default for EngineOptions {
             pipeline_threads: 2,
             in_memory_fast_path: false,
             background_spill: false,
+            prefetch: true,
+            worker_shards: 1,
         }
     }
 }
 
 impl EngineOptions {
+    /// Shard count used by [`with_parallel_workers`](Self::with_parallel_workers):
+    /// fixed, so every thread count executes the same logical schedule.
+    pub const PARALLEL_WORKER_SHARDS: usize = 8;
+
     /// The full-featured configuration (the "GraphZ" bars in the paper).
     pub fn full() -> Self {
         Self::default()
+    }
+
+    /// Parallel Worker configuration: `threads` pipeline threads executing a
+    /// fixed [`PARALLEL_WORKER_SHARDS`](Self::PARALLEL_WORKER_SHARDS)-shard
+    /// schedule per partition. Results are bit-identical for any `threads`
+    /// value because the schedule never depends on it.
+    pub fn with_parallel_workers(threads: usize) -> Self {
+        EngineOptions {
+            pipeline_threads: threads.max(1),
+            worker_shards: Self::PARALLEL_WORKER_SHARDS,
+            ..Self::default()
+        }
     }
 
     /// Fig. 7's "GraphZ w/o DOS" configuration.
@@ -160,5 +194,11 @@ mod tests {
         assert!(!ab.use_dos && !ab.dynamic_messages);
         assert!(!EngineOptions::full().in_memory_fast_path);
         assert!(EngineOptions::with_in_memory_fast_path().in_memory_fast_path);
+        assert!(EngineOptions::full().prefetch);
+        assert!(EngineOptions::full().worker_shards >= 1);
+        let par = EngineOptions::with_parallel_workers(4);
+        assert_eq!(par.pipeline_threads, 4);
+        assert_eq!(par.worker_shards, EngineOptions::PARALLEL_WORKER_SHARDS);
+        assert_eq!(EngineOptions::with_parallel_workers(0).pipeline_threads, 1);
     }
 }

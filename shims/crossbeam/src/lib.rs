@@ -11,7 +11,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::sync::{Arc, Mutex};
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// Sending half of a bounded channel. Cloneable, like crossbeam's.
     pub struct Sender<T> {
@@ -29,6 +29,12 @@ pub mod channel {
         /// gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.inner.send(value)
+        }
+
+        /// Non-blocking send: fails with `TrySendError::Full` instead of
+        /// waiting when the channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value)
         }
     }
 
@@ -132,6 +138,16 @@ mod tests {
         let (tx, rx) = bounded(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(tx.try_send(2).is_err());
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 3);
     }
 
     #[test]
