@@ -17,6 +17,12 @@ cargo test -q --offline
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "== lint (repo invariants, DESIGN.md §6e) =="
+cargo run --offline -q -p graphz-check --bin graphz-lint
+
+echo "== model check (schedule exploration + deadlock analysis) =="
+cargo test --offline -q -p graphz-check --test model_check
+
 echo "== bench: pagerank throughput (small graph) =="
 cargo run --release --offline -q -p graphz-bench --bin bench_throughput -- \
   --scale 10 --edges 20000 --iterations 5 --budget-kib 8 \

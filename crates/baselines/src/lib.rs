@@ -18,6 +18,8 @@
 //! 8–9) an apples-to-apples measurement rather than an artifact of different
 //! IO stacks.
 
+#![forbid(unsafe_code)]
+
 pub mod graphchi;
 pub mod gridgraph;
 pub mod xstream;

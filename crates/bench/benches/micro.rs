@@ -198,6 +198,7 @@ fn bench_weighted_stream() {
                 Arc::clone(&stats),
                 false,
                 None,
+                None,
             )
             .unwrap();
             let mut acc = 0u64;

@@ -1,5 +1,7 @@
 //! Design-choice ablations: block size, pipelining, fast path, selective
 //! scheduling. Not a paper figure; see DESIGN.md §5.
+#![forbid(unsafe_code)]
+
 fn main() {
     let harness = graphz_bench::Harness::new();
     match graphz_bench::experiments::ablations::report(&harness) {

@@ -14,6 +14,8 @@
 //! `--threads` sets the parallel configuration's thread count (default: the
 //! core count, min 2); threads=1 is always measured as the baseline.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;

@@ -1,4 +1,6 @@
 //! Extension experiment: the GridGraph comparison the paper could not run.
+#![forbid(unsafe_code)]
+
 fn main() {
     let harness = graphz_bench::Harness::new();
     match graphz_bench::experiments::ext_gridgraph::report(&harness) {

@@ -11,6 +11,8 @@
 //! every graph 8x for a fast smoke run; `GRAPHZ_CACHE` relocates the
 //! generated-graph cache.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::time::Instant;
 

@@ -1,4 +1,6 @@
 //! Regenerates paper Table I (LOC to implement PageRank).
+#![forbid(unsafe_code)]
+
 fn main() {
     print!("{}", graphz_bench::experiments::loc::table01().unwrap());
 }

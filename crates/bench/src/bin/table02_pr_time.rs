@@ -1,4 +1,6 @@
 //! Regenerates one paper experiment; see the module docs for details.
+#![forbid(unsafe_code)]
+
 fn main() {
     let harness = graphz_bench::Harness::new();
     match graphz_bench::experiments::table02_pr_time::report(&harness) {

@@ -1,4 +1,6 @@
 //! Regenerates paper Table IX (LOC per benchmark per engine).
+#![forbid(unsafe_code)]
+
 fn main() {
     print!("{}", graphz_bench::experiments::loc::table09().unwrap());
 }

@@ -5,6 +5,8 @@
 //! (converted) artifacts so the binaries can be run independently and in any
 //! order, and provides the uniform run/measure/report plumbing.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 
 use std::path::{Path, PathBuf};

@@ -1,0 +1,86 @@
+//! `graphz-lint`: the repo-invariant lint gate.
+//!
+//! ```text
+//! cargo run -p graphz-check --bin graphz-lint                # lint the repo
+//! cargo run -p graphz-check --bin graphz-lint -- --root DIR  # lint another tree
+//! cargo run -p graphz-check --bin graphz-lint -- --list-rules
+//! cargo run -p graphz-check --bin graphz-lint -- --fix-allowlist
+//! ```
+//!
+//! Exit code 0 when the tree is clean, 1 on any violation (the CI gate),
+//! 2 on usage or IO errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphz_check::lint::{lint_tree, RULES};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut fix_allowlist = false;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fix-allowlist" => fix_allowlist = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "graphz-lint [--root DIR] [--fix-allowlist] [--list-rules]\n\
+                     Lints the workspace against the repo invariants in DESIGN.md §6e."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in RULES {
+            println!("{:<20} {}", rule.name, rule.why);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let violations = match lint_tree(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("graphz-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if violations.is_empty() {
+        println!("graphz-lint: clean ({} rules)", RULES.len());
+        return ExitCode::SUCCESS;
+    }
+
+    for v in &violations {
+        println!("{v}");
+        if fix_allowlist {
+            println!(
+                "    to suppress: add `// lint:allow({})` at {}:{} (same line or the line above)",
+                v.rule,
+                v.path.display(),
+                v.line
+            );
+        }
+    }
+    println!("graphz-lint: {} violation(s)", violations.len());
+    if !fix_allowlist {
+        println!("run with --fix-allowlist for exact suppression syntax per violation");
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,135 @@
+//! End-to-end gate for `graphz-lint`: the real repository must lint clean,
+//! and a fixture tree seeded with one violation per rule must trip every
+//! rule (ISSUE 3 acceptance: "exits non-zero when a seeded violation is
+//! introduced in a fixture test").
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use graphz_check::lint::{lint_tree, RULES};
+
+/// A scratch directory under the target dir, wiped per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn write(root: &Path, rel: &str, contents: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+    fs::write(path, contents).expect("write fixture file");
+}
+
+#[test]
+fn repository_lints_clean() {
+    // crates/check/ → workspace root.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let violations = lint_tree(repo).expect("lint repo");
+    assert!(
+        violations.is_empty(),
+        "repository must lint clean, got:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule() {
+    let root = scratch("lint_fixture_bad");
+
+    // no-unwrap: in-scope core source using unwrap outside tests.
+    write(
+        &root,
+        "crates/core/src/engine.rs",
+        "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+    // no-thread-spawn: raw spawn outside the pipeline allowlist.
+    write(
+        &root,
+        "crates/core/src/rogue.rs",
+        "pub fn g() { std::thread::spawn(|| {}); }\n",
+    );
+    // no-wall-clock: timing a deterministic compute path.
+    write(
+        &root,
+        "crates/core/src/worker.rs",
+        "pub fn h() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    // no-unordered-iter: iterating a HashMap feeding the ordered merge.
+    write(
+        &root,
+        "crates/core/src/msgmanager.rs",
+        "use std::collections::HashMap;\n\
+         pub fn k() -> u64 {\n\
+             let m: HashMap<u32, u64> = HashMap::new();\n\
+             let mut s = 0;\n\
+             for (_k, v) in m.iter() { s += v; }\n\
+             s\n\
+         }\n",
+    );
+    // no-new-deps: a version-pinned external dependency.
+    write(
+        &root,
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"fixture\"\n[dependencies]\nserde = \"1.0\"\n",
+    );
+    // no-unsafe: an unsafe block anywhere.
+    write(
+        &root,
+        "crates/io/src/lib.rs",
+        "pub fn p(x: *const u8) -> u8 { unsafe { *x } }\n",
+    );
+
+    let violations = lint_tree(&root).expect("lint fixture");
+    let tripped: BTreeSet<&str> = violations.iter().map(|v| v.rule).collect();
+    let all: BTreeSet<&str> = RULES.iter().map(|r| r.name).collect();
+    assert_eq!(
+        tripped, all,
+        "every rule must fire on the seeded fixture; violations:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn suppressions_silence_seeded_violations() {
+    let root = scratch("lint_fixture_allowed");
+    write(
+        &root,
+        "crates/core/src/engine.rs",
+        "// lint:allow(no-unwrap)\n\
+         pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n\
+         pub fn g() { std::thread::spawn(|| {}); } // lint:allow(no-thread-spawn)\n",
+    );
+    let violations = lint_tree(&root).expect("lint fixture");
+    assert!(
+        violations.is_empty(),
+        "lint:allow must suppress, got:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn violation_report_names_file_line_and_rule() {
+    let root = scratch("lint_fixture_report");
+    write(
+        &root,
+        "crates/core/src/engine.rs",
+        "// first line\npub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+    let violations = lint_tree(&root).expect("lint fixture");
+    assert_eq!(violations.len(), 1);
+    let v = &violations[0];
+    assert_eq!(v.rule, "no-unwrap");
+    assert_eq!(v.line, 2);
+    assert!(v.path.ends_with("crates/core/src/engine.rs"));
+    let rendered = v.to_string();
+    assert!(rendered.contains("engine.rs:2"), "rendered: {rendered}");
+    assert!(rendered.contains("[no-unwrap]"), "rendered: {rendered}");
+}

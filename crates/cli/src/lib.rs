@@ -14,6 +14,8 @@
 //! Argument parsing is hand-rolled (the workspace's dependency policy keeps
 //! clap out of the runtime tree); see [`parse`] for the grammar.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::sync::Arc;
 

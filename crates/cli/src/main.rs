@@ -1,5 +1,7 @@
 //! The `graphz` binary: see [`graphz_cli::USAGE`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match graphz_cli::parse(&args) {

@@ -279,7 +279,7 @@ impl<P: VertexProgram> Engine<P> {
             Arc::clone(&stats),
         )?;
         if config.options.background_spill {
-            msgs = msgs.with_background_writer()?;
+            msgs = msgs.with_background_writer(config.options.queue_cap)?;
         }
         let vertices_path = scratch.file("vertices.bin");
         Ok(Engine {
@@ -363,10 +363,12 @@ impl<P: VertexProgram> Engine<P> {
             // The Worker stage: a persistent pool when pipelined, the same
             // sharded schedule run inline otherwise. Lives for the whole
             // run — no per-batch or per-partition spawns.
-            let batch_pool = sio::BatchPool::new(8);
+            let queue_cap = self.config.options.queue_cap;
+            let batch_pool = sio::BatchPool::new(queue_cap.unwrap_or(8));
             let mut executor: Executor<P> = Executor::new(
                 self.config.options.pipeline_threads,
                 max_shards,
+                queue_cap,
                 Arc::clone(&self.program),
                 Arc::clone(&batch_pool),
             )?;
@@ -505,6 +507,7 @@ impl<P: VertexProgram> Engine<P> {
                         Arc::clone(&self.stats),
                         self.config.options.pipeline_threads > 1,
                         Some(Arc::clone(&batch_pool)),
+                        queue_cap,
                     )?;
                     for batch in stream {
                         for (shard, piece) in worker::split_batch(batch?, &plan) {

@@ -97,10 +97,10 @@ where
     fn read_from(buf: &[u8]) -> Self {
         let value = V::read_from(buf);
         let mut at = V::SIZE;
-        let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+        let len = graphz_types::codec::read_u32_le(&buf[at..]);
         at += 4;
         let edges = std::array::from_fn(|_| {
-            let src = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+            let src = graphz_types::codec::read_u32_le(&buf[at..]);
             at += 4;
             let data = E::read_from(&buf[at..]);
             at += E::SIZE;

@@ -28,8 +28,12 @@
 //! A [`prefetch`] stage double-buffers partition loads so the Worker never
 //! waits on the vertex file.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod graphchi_compat;
+#[cfg(feature = "model")]
+pub mod model_hooks;
 pub mod msgmanager;
 pub mod prefetch;
 pub mod program;

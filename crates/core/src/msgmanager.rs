@@ -82,9 +82,13 @@ struct BackgroundWriter {
     submitted: u64,
 }
 
+/// Default depth of the Worker → MsgManager spill queue when no `queue_cap`
+/// override is set.
+pub const DEFAULT_SPILL_QUEUE_CAP: usize = 4;
+
 impl BackgroundWriter {
-    fn spawn(stats: Arc<IoStats>) -> Result<Self> {
-        let (tx, rx) = bounded::<SpillJob>(4);
+    fn spawn(stats: Arc<IoStats>, queue_cap: Option<usize>) -> Result<Self> {
+        let (tx, rx) = bounded::<SpillJob>(queue_cap.unwrap_or(DEFAULT_SPILL_QUEUE_CAP).max(1));
         let state = Arc::new(WriterState::default());
         let thread_state = Arc::clone(&state);
         let handle = std::thread::Builder::new()
@@ -96,7 +100,12 @@ impl BackgroundWriter {
                         f.write_all(&job.bytes)?;
                         Ok(())
                     })();
-                    let mut done = thread_state.completed.lock().unwrap();
+                    // Poison-tolerant: a panicked peer must not cascade into
+                    // a panic here; the completion counter stays correct.
+                    let mut done = thread_state
+                        .completed
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                     done.0 += 1;
                     if let Err(e) = result {
                         done.1.get_or_insert_with(|| e.to_string());
@@ -112,7 +121,7 @@ impl BackgroundWriter {
         self.submitted += 1;
         self.tx
             .as_ref()
-            .expect("writer channel open")
+            .ok_or_else(|| GraphError::Io(std::io::Error::other("spill writer shut down")))?
             .send(job)
             .map_err(|_| GraphError::Io(std::io::Error::other("spill writer thread died")))?;
         Ok(())
@@ -120,9 +129,14 @@ impl BackgroundWriter {
 
     /// Block until every submitted batch is on disk; surface any write error.
     fn wait_quiescent(&self) -> Result<()> {
-        let mut done = self.state.completed.lock().unwrap();
+        let mut done =
+            self.state.completed.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         while done.0 < self.submitted && done.1.is_none() {
-            done = self.state.quiescent.wait(done).unwrap();
+            done = self
+                .state
+                .quiescent
+                .wait(done)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         if let Some(e) = &done.1 {
             return Err(GraphError::Io(std::io::Error::other(format!(
@@ -187,9 +201,11 @@ impl<M: FixedCodec> MsgManager<M> {
 
     /// Spill through a dedicated background thread (the paper's MsgManager
     /// thread pool) instead of synchronously on the caller. On-disk contents
-    /// are identical; only who does the writing changes.
-    pub fn with_background_writer(mut self) -> Result<Self> {
-        self.writer = Some(BackgroundWriter::spawn(Arc::clone(&self.stats))?);
+    /// are identical; only who does the writing changes. `queue_cap`
+    /// overrides the spill queue depth (`None` keeps
+    /// [`DEFAULT_SPILL_QUEUE_CAP`]).
+    pub fn with_background_writer(mut self, queue_cap: Option<usize>) -> Result<Self> {
+        self.writer = Some(BackgroundWriter::spawn(Arc::clone(&self.stats), queue_cap)?);
         Ok(self)
     }
 
@@ -464,7 +480,7 @@ mod tests {
         let mut bg_m: MsgManager<u32> =
             MsgManager::new(dir_b.path().join("m"), 3, 64, IoStats::new())
                 .unwrap()
-                .with_background_writer()
+                .with_background_writer(None)
                 .unwrap();
         send(&mut bg_m);
         for p in 0..3 {
@@ -491,7 +507,7 @@ mod tests {
         let mut m: MsgManager<u64> =
             MsgManager::new(dir.path().join("m"), 2, 32, IoStats::new())
                 .unwrap()
-                .with_background_writer()
+                .with_background_writer(None)
                 .unwrap();
         for i in 0..1000u32 {
             m.enqueue(i % 2, i, i as u64).unwrap();

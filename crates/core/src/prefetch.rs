@@ -100,7 +100,10 @@ impl<P: VertexProgram> Prefetcher<P> {
     pub fn request(&mut self, partition: u32, a: VertexId, b: VertexId, claim: ClaimedSegments) {
         assert!(self.outstanding.is_none(), "one prefetch request at a time");
         let req = Request { partition, a, b, claim };
-        if self.tx.as_ref().expect("prefetcher running").send(req).is_ok() {
+        // A shut-down prefetcher quietly declines: the engine then loads the
+        // partition synchronously, same as a failed prefetch.
+        let Some(tx) = self.tx.as_ref() else { return };
+        if tx.send(req).is_ok() {
             self.outstanding = Some(partition);
         }
     }

@@ -107,11 +107,18 @@ pub fn stream_partition(
 ) -> Result<AdjacencyStream> {
     stream_partition_weighted(
         edges_path, None, start_edge, first_vertex, degrees, batch_edges, stats, pipelined, None,
+        None,
     )
 }
 
-/// [`stream_partition`] with an optional parallel per-edge weight file and
-/// an optional [`BatchPool`] the consumer returns finished batches to.
+/// Default depth of the pipelined Sio → Worker batch channel when no
+/// `queue_cap` override is given.
+pub const DEFAULT_SIO_QUEUE_CAP: usize = 2;
+
+/// [`stream_partition`] with an optional parallel per-edge weight file, an
+/// optional [`BatchPool`] the consumer returns finished batches to, and an
+/// optional override for the pipelined channel's depth (`queue_cap`; results
+/// are bit-identical for any depth ≥ 1 — it is pure scheduling).
 #[allow(clippy::too_many_arguments)]
 pub fn stream_partition_weighted(
     edges_path: &Path,
@@ -123,6 +130,7 @@ pub fn stream_partition_weighted(
     stats: Arc<IoStats>,
     pipelined: bool,
     pool: Option<Arc<BatchPool>>,
+    queue_cap: Option<usize>,
 ) -> Result<AdjacencyStream> {
     let inner = InlineStream::open(
         edges_path,
@@ -135,7 +143,7 @@ pub fn stream_partition_weighted(
         pool,
     )?;
     if pipelined {
-        let (tx, rx) = bounded::<Result<AdjBatch>>(2);
+        let (tx, rx) = bounded::<Result<AdjBatch>>(queue_cap.unwrap_or(DEFAULT_SIO_QUEUE_CAP).max(1));
         let handle = std::thread::Builder::new()
             .name("graphz-sio".into())
             .spawn(move || {
@@ -424,6 +432,7 @@ mod tests {
             Arc::clone(&stats),
             false,
             Some(Arc::clone(&pool)),
+            None,
         )
         .unwrap();
         let mut seen = Vec::new();

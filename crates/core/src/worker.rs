@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use graphz_types::{GraphError, Result, VertexId};
 
 use crate::program::{UpdateContext, VertexProgram};
@@ -213,8 +213,13 @@ enum Job<P: VertexProgram> {
     Finish { shard: usize },
 }
 
-fn worker_died<T>() -> std::result::Result<T, GraphError> {
-    Err(GraphError::Io(std::io::Error::other("worker thread panicked")))
+/// Default job-queue depth per worker when no [`queue_cap`] override is set.
+///
+/// [`queue_cap`]: graphz_types::EngineOptions::queue_cap
+pub const DEFAULT_JOB_QUEUE_CAP: usize = 8;
+
+fn worker_died() -> GraphError {
+    GraphError::Io(std::io::Error::other("worker thread panicked"))
 }
 
 /// A persistent pool of Worker threads. Spawned once per [`Engine::run`]
@@ -231,19 +236,24 @@ pub struct WorkerPool<P: VertexProgram> {
 impl<P: VertexProgram> WorkerPool<P> {
     /// `max_shards` bounds how many `Finish` results can be outstanding at
     /// once (one partition's worth), sizing the result queue so workers
-    /// never block on it.
+    /// never block on it. `queue_cap` (when set) overrides every queue
+    /// depth — including down to capacity 1, which [`Executor::finish`]
+    /// is written to tolerate.
     pub fn spawn(
         threads: usize,
         max_shards: usize,
+        queue_cap: Option<usize>,
         program: Arc<P>,
         pool: Arc<BatchPool>,
     ) -> Result<Self> {
         let threads = threads.max(1);
-        let (result_tx, results) = bounded::<ShardResult<P>>(max_shards.max(1));
+        let results_cap = queue_cap.unwrap_or(max_shards.max(1)).max(1);
+        let job_cap = queue_cap.unwrap_or(DEFAULT_JOB_QUEUE_CAP).max(1);
+        let (result_tx, results) = bounded::<ShardResult<P>>(results_cap);
         let mut txs = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for w in 0..threads {
-            let (tx, rx) = bounded::<Job<P>>(8);
+            let (tx, rx) = bounded::<Job<P>>(job_cap);
             let program = Arc::clone(&program);
             let batch_pool = Arc::clone(&pool);
             let result_tx = result_tx.clone();
@@ -258,15 +268,16 @@ impl<P: VertexProgram> WorkerPool<P> {
                                 states.insert(shard, ShardState::start(*start, &program));
                             }
                             Job::Piece { shard, batch } => {
-                                states
-                                    .get_mut(&shard)
-                                    .expect("piece for un-started shard")
-                                    .process(&program, &batch);
+                                // A piece for an un-started shard is an
+                                // engine protocol bug; exiting closes this
+                                // worker's queues, which the engine observes
+                                // as a typed send error — no panic.
+                                let Some(state) = states.get_mut(&shard) else { return };
+                                state.process(&program, &batch);
                                 batch_pool.put(batch);
                             }
                             Job::Finish { shard } => {
-                                let state =
-                                    states.remove(&shard).expect("finish for un-started shard");
+                                let Some(state) = states.remove(&shard) else { return };
                                 if result_tx.send(state.finish(shard)).is_err() {
                                     return; // engine hung up
                                 }
@@ -307,11 +318,12 @@ impl<P: VertexProgram> Executor<P> {
     pub fn new(
         threads: usize,
         max_shards: usize,
+        queue_cap: Option<usize>,
         program: Arc<P>,
         pool: Arc<BatchPool>,
     ) -> Result<Self> {
         if threads > 1 {
-            Ok(Executor::Pooled(WorkerPool::spawn(threads, max_shards, program, pool)?))
+            Ok(Executor::Pooled(WorkerPool::spawn(threads, max_shards, queue_cap, program, pool)?))
         } else {
             Ok(Executor::Inline { program, pool, states: Vec::new() })
         }
@@ -328,10 +340,9 @@ impl<P: VertexProgram> Executor<P> {
                 states[shard] = Some(ShardState::start(job, program));
                 Ok(())
             }
-            Executor::Pooled(pool) => pool
-                .tx(job.shard)
-                .send(Job::Start(Box::new(job)))
-                .map_err(|_| worker_died::<()>().unwrap_err()),
+            Executor::Pooled(pool) => {
+                pool.tx(job.shard).send(Job::Start(Box::new(job))).map_err(|_| worker_died())
+            }
         }
     }
 
@@ -339,41 +350,60 @@ impl<P: VertexProgram> Executor<P> {
     pub fn feed(&mut self, shard: usize, batch: AdjBatch) -> Result<()> {
         match self {
             Executor::Inline { program, pool, states } => {
-                states[shard]
-                    .as_mut()
-                    .expect("piece for un-started shard")
-                    .process(program, &batch);
+                let state = states.get_mut(shard).and_then(Option::as_mut).ok_or_else(|| {
+                    GraphError::InvalidConfig(format!("batch routed to un-started shard {shard}"))
+                })?;
+                state.process(program, &batch);
                 pool.put(batch);
                 Ok(())
             }
-            Executor::Pooled(pool) => pool
-                .tx(shard)
-                .send(Job::Piece { shard, batch })
-                .map_err(|_| worker_died::<()>().unwrap_err()),
+            Executor::Pooled(pool) => {
+                pool.tx(shard).send(Job::Piece { shard, batch }).map_err(|_| worker_died())
+            }
         }
     }
 
     /// Barrier: collect every shard's result, returned sorted by shard so
     /// the merge order never depends on completion timing.
+    ///
+    /// Finish jobs are dispatched with `try_send`, draining any already-
+    /// available results whenever a job queue is full. A blocking send here
+    /// would deadlock at small queue capacities: with capacity-1 queues the
+    /// engine could wait to enqueue `Finish(s₂)` for a worker that is itself
+    /// blocked publishing `result(s₀)` into the full results queue — a
+    /// two-party wait cycle the model checker's wait-for graph catches, and
+    /// this loop structurally avoids.
     pub fn finish(&mut self, shards: usize) -> Result<Vec<ShardResult<P>>> {
         let mut out: Vec<ShardResult<P>> = Vec::with_capacity(shards);
         match self {
             Executor::Inline { states, .. } => {
                 for (shard, slot) in states.iter_mut().enumerate().take(shards) {
-                    let state = slot.take().expect("finish for un-started shard");
+                    let state = slot.take().ok_or_else(|| {
+                        GraphError::InvalidConfig(format!("finish for un-started shard {shard}"))
+                    })?;
                     out.push(state.finish(shard));
                 }
             }
             Executor::Pooled(pool) => {
-                for shard in 0..shards {
-                    pool.tx(shard)
-                        .send(Job::Finish { shard })
-                        .map_err(|_| worker_died::<()>().unwrap_err())?;
+                let mut next = 0usize;
+                while next < shards {
+                    match pool.tx(next).try_send(Job::Finish { shard: next }) {
+                        Ok(()) => next += 1,
+                        Err(TrySendError::Full(_)) => {
+                            // Unblock workers stuck publishing results, then
+                            // retry the same shard.
+                            while let Ok(r) = pool.results.try_recv() {
+                                out.push(r);
+                            }
+                            std::thread::yield_now();
+                        }
+                        Err(TrySendError::Disconnected(_)) => return Err(worker_died()),
+                    }
                 }
-                for _ in 0..shards {
+                while out.len() < shards {
                     match pool.results.recv() {
                         Ok(r) => out.push(r),
-                        Err(_) => return worker_died(),
+                        Err(_) => return Err(worker_died()),
                     }
                 }
                 out.sort_by_key(|r| r.shard);

@@ -19,6 +19,8 @@
 //! quantity Table XIII reports — depends only on each engine's measured CPU
 //! time and IO trace.
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use graphz_io::{DeviceModel, IoSnapshot};

@@ -17,6 +17,8 @@
 //! Sorting is stable across equal keys only within a run; engine code that
 //! needs total determinism (all of ours) uses keys that are total orders.
 
+#![forbid(unsafe_code)]
+
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::path::{Path, PathBuf};

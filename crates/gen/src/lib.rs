@@ -9,6 +9,8 @@
 //! with few unique degrees — and, like real crawls, leaves many ids in the
 //! vertex space unused (paper §III-B: max id well above the vertex count).
 
+#![forbid(unsafe_code)]
+
 pub mod rmat;
 pub mod suite;
 

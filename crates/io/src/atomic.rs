@@ -100,7 +100,12 @@ impl AtomicFile {
     /// fsync the staged bytes, rename over the destination, fsync the parent
     /// directory. After this returns the new content is durable.
     pub fn commit(mut self) -> io::Result<()> {
-        let file = self.file.take().expect("commit called twice");
+        // `commit` consumes self, so the handle is always present; the
+        // fallback keeps this path panic-free regardless.
+        let file = self
+            .file
+            .take()
+            .ok_or_else(|| io::Error::other("atomic file already committed"))?;
         let (faults, retry) = (self.faults.clone(), self.retry);
         gated(&faults, &retry, "fsync", || file.sync_all())?;
         drop(file);
@@ -116,7 +121,9 @@ impl AtomicFile {
 
 impl Write for AtomicFile {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let file = self.file.as_mut().expect("write after commit");
+        let Some(file) = self.file.as_mut() else {
+            return Err(io::Error::other("write after commit"));
+        };
         match &self.faults {
             None => file.write(buf),
             Some(faults) => retry_transient(&self.retry, || faults.write_gate(file, buf)),

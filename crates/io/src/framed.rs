@@ -28,6 +28,8 @@
 
 use std::io::{self, Read, Write};
 
+use graphz_types::codec::{read_u32_le, read_u64_le};
+
 use crate::checksum::Crc32;
 
 pub const FRAME_MAGIC: [u8; 4] = *b"GZFR";
@@ -140,7 +142,7 @@ impl<R: Read> FramedReader<R> {
                 FRAME_MAGIC
             )));
         }
-        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let version = read_u32_le(&header[4..8]);
         if version != FRAME_VERSION {
             return Err(corrupt(format!(
                 "unsupported frame version {version} (expected {FRAME_VERSION})"
@@ -165,8 +167,8 @@ impl<R: Read> FramedReader<R> {
                 self.tail_len, self.len
             )));
         }
-        let stored_len = u64::from_le_bytes(self.tail[0..8].try_into().unwrap());
-        let stored_crc = u32::from_le_bytes(self.tail[8..12].try_into().unwrap());
+        let stored_len = read_u64_le(&self.tail[0..8]);
+        let stored_crc = read_u32_le(&self.tail[8..12]);
         if self.tail[12..16] != FRAME_END_MAGIC {
             return Err(corrupt(format!(
                 "bad frame end magic {:02x?} (expected {:02x?}) — stream torn or overwritten",

@@ -11,6 +11,8 @@
 //!    wall-clock time alone cannot reproduce HDD/SSD effects; see DESIGN.md
 //!    §3).
 
+#![forbid(unsafe_code)]
+
 pub mod atomic;
 pub mod checksum;
 pub mod device;

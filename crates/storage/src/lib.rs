@@ -16,6 +16,8 @@
 //! either ordering, and [`meta`] is the tiny `key=value` sidecar format all
 //! directory layouts use.
 
+#![forbid(unsafe_code)]
+
 pub mod csr;
 pub mod dos;
 pub mod edgelist;

@@ -139,6 +139,26 @@ impl FixedCodec for Edge {
     }
 }
 
+/// Decode a little-endian `u32` from the first 4 bytes of `buf` without the
+/// `try_into().unwrap()` idiom (callers in `crates/core`/`crates/io` are
+/// panic-token-free by lint rule `no-unwrap`; bounds are still checked by
+/// the slice index).
+#[inline]
+pub fn read_u32_le(buf: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[..4]);
+    u32::from_le_bytes(b)
+}
+
+/// Decode a little-endian `u64` from the first 8 bytes of `buf`; see
+/// [`read_u32_le`].
+#[inline]
+pub fn read_u64_le(buf: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[..8]);
+    u64::from_le_bytes(b)
+}
+
 /// Encode a whole slice of records into a byte vector.
 pub fn encode_slice<T: FixedCodec>(records: &[T]) -> Vec<u8> {
     let mut out = vec![0u8; records.len() * T::SIZE];

@@ -97,6 +97,13 @@ pub struct EngineOptions {
     /// Values `> 1` trade some of that same-iteration cascade reach (cross-
     /// shard messages defer to the partition barrier) for parallel updates.
     pub worker_shards: usize,
+    /// Force every bounded pipeline queue (Sio batches, Worker jobs and
+    /// results, background spill jobs, batch-pool recycler) to this
+    /// capacity. `None` keeps each stage's tuned default. Results are
+    /// bit-identical for any capacity ≥ 1 — queue depth is pure scheduling —
+    /// which the capacity-1 regression suite and the model checker both
+    /// enforce.
+    pub queue_cap: Option<usize>,
 }
 
 impl Default for EngineOptions {
@@ -109,6 +116,7 @@ impl Default for EngineOptions {
             background_spill: false,
             prefetch: true,
             worker_shards: 1,
+            queue_cap: None,
         }
     }
 }
@@ -148,6 +156,13 @@ impl EngineOptions {
     /// §VI-E future work: enable the in-memory fast path.
     pub fn with_in_memory_fast_path() -> Self {
         EngineOptions { in_memory_fast_path: true, ..Self::default() }
+    }
+
+    /// Force every bounded pipeline queue to `cap` (≥ 1). Used by the
+    /// capacity-1 regression suite to prove queue depth never affects
+    /// results.
+    pub fn with_queue_cap(self, cap: usize) -> Self {
+        EngineOptions { queue_cap: Some(cap.max(1)), ..self }
     }
 }
 
@@ -200,5 +215,8 @@ mod tests {
         assert_eq!(par.pipeline_threads, 4);
         assert_eq!(par.worker_shards, EngineOptions::PARALLEL_WORKER_SHARDS);
         assert_eq!(EngineOptions::with_parallel_workers(0).pipeline_threads, 1);
+        assert_eq!(EngineOptions::full().queue_cap, None);
+        assert_eq!(EngineOptions::full().with_queue_cap(0).queue_cap, Some(1));
+        assert_eq!(EngineOptions::with_parallel_workers(4).with_queue_cap(1).queue_cap, Some(1));
     }
 }

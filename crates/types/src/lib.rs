@@ -7,6 +7,8 @@
 //! encoded through the [`FixedCodec`] trait defined here, which keeps the
 //! storage formats simple, seekable, and byte-order stable.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod config;
 pub mod error;

@@ -7,6 +7,11 @@
 //! behaviour of capacity 0). Only the surface the engine actually calls is
 //! implemented.
 
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "model")]
+pub mod model;
+
 pub mod channel {
     use std::sync::mpsc;
     use std::sync::{Arc, Mutex};

@@ -1,0 +1,731 @@
+//! Loom-lite deterministic schedule exploration for bounded-queue pipelines.
+//!
+//! The real `channel` module in this shim hands channel operations to the
+//! OS scheduler, which picks one arbitrary interleaving per run. This module
+//! is the *model* counterpart: channel and thread operations are routed
+//! through a virtual scheduler that owns every interleaving decision, so a
+//! test can replay a pipeline under hundreds of distinct schedules — seeded
+//! pseudo-random ones, or a bounded exhaustive enumeration for small state
+//! spaces — and assert that the output never changes and no schedule
+//! deadlocks.
+//!
+//! The moving parts:
+//!
+//! * [`Queues`] — virtual bounded FIFO channels. `try_send` on a full queue
+//!   and `try_recv` on an empty one fail *without blocking*; blocking is a
+//!   scheduler-level concept, not a channel-level one.
+//! * [`Node`] — a virtual thread. A node is a hand-written state machine
+//!   whose [`Node::step`] performs at most a few channel operations and then
+//!   reports whether it ran, blocked (and on what), or finished. Because a
+//!   blocked node keeps its pending operation in its own state, re-polling
+//!   it is always safe.
+//! * [`ModelSpec`] — the explicit pipeline topology: named channels with
+//!   capacities, and named nodes with their send/receive edge sets. The
+//!   edge sets drive the wait-for graph.
+//! * [`run_model`] — executes one schedule: each step, the set of *enabled*
+//!   nodes is computed and the [`ScheduleSource`] picks which one steps
+//!   next. If no node is enabled and some are unfinished, the run is a
+//!   deadlock and a [`WaitForGraph`] cycle over the blocked operations is
+//!   reported.
+//! * [`explore_seeded`] / [`explore_exhaustive`] — the two exploration
+//!   drivers.
+//!
+//! Everything here is single-threaded and allocation-light: a "schedule" is
+//! just the sequence of choices made, so any run can be replayed exactly.
+
+use std::collections::VecDeque;
+
+/// Index of a node (virtual thread) within a [`ModelSpec`].
+pub type TaskId = usize;
+
+/// Index of a channel within a [`ModelSpec`].
+pub type ChanId = usize;
+
+/// What a blocked node is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Want {
+    /// Waiting for space on a full bounded channel.
+    Send(ChanId),
+    /// Waiting for a message (or close) on an empty channel.
+    Recv(ChanId),
+}
+
+/// Outcome of one [`Node::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// The node made progress; poll it again whenever the scheduler likes.
+    Ran,
+    /// The node cannot proceed until the wanted channel condition changes.
+    Blocked(Want),
+    /// The node has finished for good.
+    Done,
+}
+
+/// Result of a non-blocking receive.
+#[derive(Debug)]
+pub enum RecvState<M> {
+    Msg(M),
+    Empty,
+    Closed,
+}
+
+struct Chan<M> {
+    cap: usize,
+    q: VecDeque<M>,
+    closed: bool,
+}
+
+/// The virtual channels of one model run.
+pub struct Queues<M> {
+    chans: Vec<Chan<M>>,
+}
+
+impl<M> Queues<M> {
+    fn new(caps: &[usize]) -> Self {
+        Queues {
+            chans: caps
+                .iter()
+                .map(|&cap| Chan { cap: cap.max(1), q: VecDeque::new(), closed: false })
+                .collect(),
+        }
+    }
+
+    /// Non-blocking bounded send; hands the message back when the queue is
+    /// full so the caller can retry on a later step.
+    pub fn try_send(&mut self, c: ChanId, msg: M) -> Result<(), M> {
+        let ch = &mut self.chans[c];
+        if ch.q.len() >= ch.cap {
+            Err(msg)
+        } else {
+            ch.q.push_back(msg);
+            Ok(())
+        }
+    }
+
+    /// Non-blocking receive. `Closed` only once the channel is both closed
+    /// and drained, mirroring the real channel's semantics.
+    pub fn try_recv(&mut self, c: ChanId) -> RecvState<M> {
+        let ch = &mut self.chans[c];
+        match ch.q.pop_front() {
+            Some(m) => RecvState::Msg(m),
+            None if ch.closed => RecvState::Closed,
+            None => RecvState::Empty,
+        }
+    }
+
+    /// Close a channel (sender side). Receivers drain what remains, then see
+    /// `Closed`.
+    pub fn close(&mut self, c: ChanId) {
+        self.chans[c].closed = true;
+    }
+
+    /// Messages currently queued on `c`.
+    pub fn len(&self, c: ChanId) -> usize {
+        self.chans[c].q.len()
+    }
+
+    pub fn is_empty(&self, c: ChanId) -> bool {
+        self.chans[c].q.is_empty()
+    }
+
+    fn send_ready(&self, c: ChanId) -> bool {
+        self.chans[c].q.len() < self.chans[c].cap
+    }
+
+    fn recv_ready(&self, c: ChanId) -> bool {
+        !self.chans[c].q.is_empty() || self.chans[c].closed
+    }
+}
+
+/// A virtual thread: a cooperative state machine stepped by the scheduler.
+pub trait Node<M> {
+    fn step(&mut self, q: &mut Queues<M>) -> Poll;
+}
+
+/// Static description of one channel.
+#[derive(Debug, Clone)]
+pub struct ChannelSpec {
+    pub name: &'static str,
+    pub cap: usize,
+}
+
+/// Static description of one node: its name plus the channels it sends to
+/// and receives from (the pipeline's explicit edges, used to build the
+/// wait-for graph on deadlock).
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    pub name: &'static str,
+    pub sends: Vec<ChanId>,
+    pub recvs: Vec<ChanId>,
+}
+
+/// The explicit pipeline topology: channels (edges) and nodes (stages).
+#[derive(Debug, Clone, Default)]
+pub struct ModelSpec {
+    pub channels: Vec<ChannelSpec>,
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl ModelSpec {
+    pub fn channel(&mut self, name: &'static str, cap: usize) -> ChanId {
+        self.channels.push(ChannelSpec { name, cap });
+        self.channels.len() - 1
+    }
+
+    pub fn node(&mut self, name: &'static str, sends: Vec<ChanId>, recvs: Vec<ChanId>) -> TaskId {
+        self.nodes.push(NodeSpec { name, sends, recvs });
+        self.nodes.len() - 1
+    }
+}
+
+/// Directed wait-for graph over blocked tasks; a cycle means deadlock.
+///
+/// Nodes are [`TaskId`]s. An edge `a → b` reads "a cannot proceed until b
+/// acts": a blocked sender waits for every live receiver of the full
+/// channel, a blocked receiver waits for every live sender of the empty one.
+#[derive(Debug, Clone)]
+pub struct WaitForGraph {
+    edges: Vec<Vec<TaskId>>,
+}
+
+impl WaitForGraph {
+    pub fn new(tasks: usize) -> Self {
+        WaitForGraph { edges: vec![Vec::new(); tasks] }
+    }
+
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
+        if !self.edges[from].contains(&to) {
+            self.edges[from].push(to);
+        }
+    }
+
+    /// Find one cycle, returned as the task sequence `t0 → t1 → … → t0`
+    /// (first element repeated at the end), or `None` if the graph is
+    /// acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<TaskId>> {
+        // 0 = unvisited, 1 = on the current DFS path, 2 = finished.
+        let mut color = vec![0u8; self.edges.len()];
+        let mut path: Vec<TaskId> = Vec::new();
+        for start in 0..self.edges.len() {
+            if color[start] != 0 {
+                continue;
+            }
+            if let Some(cycle) = self.dfs(start, &mut color, &mut path) {
+                return Some(cycle);
+            }
+        }
+        None
+    }
+
+    fn dfs(&self, at: TaskId, color: &mut [u8], path: &mut Vec<TaskId>) -> Option<Vec<TaskId>> {
+        color[at] = 1;
+        path.push(at);
+        for &next in &self.edges[at] {
+            match color[next] {
+                1 => {
+                    let from = path.iter().position(|&t| t == next).unwrap_or(0);
+                    let mut cycle = path[from..].to_vec();
+                    cycle.push(next);
+                    return Some(cycle);
+                }
+                0 => {
+                    if let Some(c) = self.dfs(next, color, path) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        path.pop();
+        color[at] = 2;
+        None
+    }
+}
+
+/// Why a schedule stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every node reported [`Poll::Done`].
+    Completed,
+    /// No node was enabled but some were unfinished. The cycle (if any)
+    /// names the tasks deadlocked on each other; `blocked` lists every
+    /// unfinished task with what it waits on.
+    Deadlock { cycle: Option<Vec<TaskId>>, blocked: Vec<(TaskId, Want)> },
+    /// The step budget ran out (a livelock guard, not a verdict).
+    MaxSteps,
+}
+
+/// One executed schedule: its outcome and the choice trace that replays it.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub outcome: Outcome,
+    /// Per decision point: `(chosen index, number of enabled nodes)`.
+    /// Decision points with a single enabled node are *not* recorded — they
+    /// carry no scheduling freedom — so the trace is exactly the run's
+    /// nondeterminism signature.
+    pub trace: Vec<(usize, usize)>,
+    /// Total steps executed (including forced ones).
+    pub steps: usize,
+}
+
+/// Supplies interleaving decisions to [`run_model`].
+pub trait ScheduleSource {
+    /// Pick one of `n` enabled nodes (`n >= 2`; forced steps never ask).
+    fn choose(&mut self, n: usize) -> usize;
+}
+
+/// Seeded pseudo-random schedule (SplitMix64; deterministic per seed).
+pub struct SeededSchedule {
+    state: u64,
+}
+
+impl SeededSchedule {
+    pub fn new(seed: u64) -> Self {
+        SeededSchedule { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl ScheduleSource for SeededSchedule {
+    fn choose(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Replays a fixed choice prefix, then always picks 0 (the exhaustive
+/// explorer's depth-first probe).
+pub struct ReplaySchedule {
+    choices: Vec<usize>,
+    at: usize,
+}
+
+impl ReplaySchedule {
+    pub fn new(choices: Vec<usize>) -> Self {
+        ReplaySchedule { choices, at: 0 }
+    }
+}
+
+impl ScheduleSource for ReplaySchedule {
+    fn choose(&mut self, n: usize) -> usize {
+        let c = self.choices.get(self.at).copied().unwrap_or(0);
+        self.at += 1;
+        c.min(n - 1)
+    }
+}
+
+/// Execute one schedule over fresh node instances.
+///
+/// `nodes` are the live state machines, index-aligned with `spec.nodes`.
+/// Returns when every node is done, the schedule deadlocks, or `max_steps`
+/// runs out.
+pub fn run_model<M>(
+    spec: &ModelSpec,
+    nodes: &mut [Box<dyn Node<M>>],
+    schedule: &mut dyn ScheduleSource,
+    max_steps: usize,
+) -> RunResult {
+    assert_eq!(spec.nodes.len(), nodes.len(), "node instances must match the spec");
+    let caps: Vec<usize> = spec.channels.iter().map(|c| c.cap).collect();
+    let mut queues = Queues::new(&caps);
+    // Per node: None = runnable, Some(want) = blocked, gone from `live` = done.
+    let mut blocked: Vec<Option<Want>> = vec![None; nodes.len()];
+    let mut done: Vec<bool> = vec![false; nodes.len()];
+    let mut trace = Vec::new();
+    let mut steps = 0usize;
+
+    loop {
+        let enabled: Vec<TaskId> = (0..nodes.len())
+            .filter(|&t| {
+                if done[t] {
+                    return false;
+                }
+                match blocked[t] {
+                    None => true,
+                    Some(Want::Send(c)) => queues.send_ready(c),
+                    Some(Want::Recv(c)) => queues.recv_ready(c),
+                }
+            })
+            .collect();
+
+        if enabled.is_empty() {
+            if done.iter().all(|&d| d) {
+                return RunResult { outcome: Outcome::Completed, trace, steps };
+            }
+            // Deadlock: every unfinished node waits on a channel condition
+            // no enabled node can ever change. Build the wait-for graph.
+            let mut wfg = WaitForGraph::new(nodes.len());
+            let mut waits = Vec::new();
+            for t in 0..nodes.len() {
+                if done[t] {
+                    continue;
+                }
+                let Some(want) = blocked[t] else { continue };
+                waits.push((t, want));
+                match want {
+                    Want::Send(c) => {
+                        for (o, ns) in spec.nodes.iter().enumerate() {
+                            if o != t && !done[o] && ns.recvs.contains(&c) {
+                                wfg.add_edge(t, o);
+                            }
+                        }
+                    }
+                    Want::Recv(c) => {
+                        for (o, ns) in spec.nodes.iter().enumerate() {
+                            if o != t && !done[o] && ns.sends.contains(&c) {
+                                wfg.add_edge(t, o);
+                            }
+                        }
+                    }
+                }
+            }
+            return RunResult {
+                outcome: Outcome::Deadlock { cycle: wfg.find_cycle(), blocked: waits },
+                trace,
+                steps,
+            };
+        }
+
+        if steps >= max_steps {
+            return RunResult { outcome: Outcome::MaxSteps, trace, steps };
+        }
+
+        let pick = if enabled.len() == 1 {
+            0
+        } else {
+            let c = schedule.choose(enabled.len());
+            trace.push((c, enabled.len()));
+            c
+        };
+        let t = enabled[pick];
+        steps += 1;
+        match nodes[t].step(&mut queues) {
+            Poll::Ran => blocked[t] = None,
+            Poll::Blocked(w) => blocked[t] = Some(w),
+            Poll::Done => {
+                blocked[t] = None;
+                done[t] = true;
+            }
+        }
+    }
+}
+
+/// Result of a seeded exploration sweep.
+#[derive(Debug)]
+pub struct SeededSweep {
+    /// `(seed, run)` for every seed executed.
+    pub runs: Vec<(u64, RunResult)>,
+    /// Number of *distinct* schedules seen (distinct choice traces).
+    pub distinct: usize,
+}
+
+/// Run the model once per seed in `seeds`, counting distinct schedules.
+///
+/// `make` builds fresh node instances for every run (schedules must not
+/// share state).
+pub fn explore_seeded<M, F>(
+    spec: &ModelSpec,
+    mut make: F,
+    seeds: std::ops::Range<u64>,
+    max_steps: usize,
+) -> SeededSweep
+where
+    F: FnMut() -> Vec<Box<dyn Node<M>>>,
+{
+    let mut runs = Vec::new();
+    let mut signatures = std::collections::BTreeSet::new();
+    for seed in seeds {
+        let mut nodes = make();
+        let mut src = SeededSchedule::new(seed);
+        let run = run_model(spec, &mut nodes, &mut src, max_steps);
+        signatures.insert(run.trace.clone());
+        runs.push((seed, run));
+    }
+    SeededSweep { distinct: signatures.len(), runs }
+}
+
+/// Result of a bounded exhaustive exploration.
+#[derive(Debug)]
+pub struct ExhaustiveSweep {
+    pub runs: Vec<RunResult>,
+    /// `true` when the whole schedule tree was enumerated within the bound.
+    pub complete: bool,
+}
+
+/// Depth-first enumeration of *every* schedule of the model, bounded by
+/// `max_schedules` (the livelock/state-explosion guard; `complete` reports
+/// whether the bound was hit).
+///
+/// Uses the classic stateless-search scheme: a schedule is its choice
+/// trace, so re-running a prefix reproduces the exact state at its last
+/// decision point, and each decision point beyond the prefix fans out into
+/// the untried alternatives.
+pub fn explore_exhaustive<M, F>(
+    spec: &ModelSpec,
+    mut make: F,
+    max_steps: usize,
+    max_schedules: usize,
+) -> ExhaustiveSweep
+where
+    F: FnMut() -> Vec<Box<dyn Node<M>>>,
+{
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut runs = Vec::new();
+    let mut complete = true;
+    while let Some(prefix) = stack.pop() {
+        if runs.len() >= max_schedules {
+            complete = false;
+            break;
+        }
+        let plen = prefix.len();
+        let mut nodes = make();
+        let mut src = ReplaySchedule::new(prefix);
+        let run = run_model(spec, &mut nodes, &mut src, max_steps);
+        // Fan out the untried alternatives at every decision point past the
+        // prefix. Branching only past the prefix guarantees each schedule
+        // is enumerated exactly once.
+        for i in plen..run.trace.len() {
+            let (_, n) = run.trace[i];
+            for alt in 1..n {
+                let mut next: Vec<usize> = run.trace[..i].iter().map(|&(c, _)| c).collect();
+                next.push(alt);
+                stack.push(next);
+            }
+        }
+        runs.push(run);
+    }
+    ExhaustiveSweep { runs, complete }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A producer that sends `count` messages then closes its channel.
+    struct Producer {
+        chan: ChanId,
+        next: u32,
+        count: u32,
+        closed: bool,
+    }
+
+    impl Node<u32> for Producer {
+        fn step(&mut self, q: &mut Queues<u32>) -> Poll {
+            if self.next < self.count {
+                match q.try_send(self.chan, self.next) {
+                    Ok(()) => {
+                        self.next += 1;
+                        Poll::Ran
+                    }
+                    Err(_) => Poll::Blocked(Want::Send(self.chan)),
+                }
+            } else if !self.closed {
+                q.close(self.chan);
+                self.closed = true;
+                Poll::Done
+            } else {
+                Poll::Done
+            }
+        }
+    }
+
+    /// A consumer that sums everything it receives.
+    struct Consumer {
+        chan: ChanId,
+        sum: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl Node<u32> for Consumer {
+        fn step(&mut self, q: &mut Queues<u32>) -> Poll {
+            match q.try_recv(self.chan) {
+                RecvState::Msg(m) => {
+                    self.sum.set(self.sum.get() + m);
+                    Poll::Ran
+                }
+                RecvState::Empty => Poll::Blocked(Want::Recv(self.chan)),
+                RecvState::Closed => Poll::Done,
+            }
+        }
+    }
+
+    fn pipe_spec(cap: usize) -> ModelSpec {
+        let mut spec = ModelSpec::default();
+        let c = spec.channel("pipe", cap);
+        spec.node("producer", vec![c], vec![]);
+        spec.node("consumer", vec![], vec![c]);
+        spec
+    }
+
+    #[test]
+    fn single_pipe_completes_under_every_seed() {
+        let spec = pipe_spec(1);
+        let sum = std::rc::Rc::new(std::cell::Cell::new(0));
+        for seed in 0..50 {
+            sum.set(0);
+            let mut nodes: Vec<Box<dyn Node<u32>>> = vec![
+                Box::new(Producer { chan: 0, next: 0, count: 5, closed: false }),
+                Box::new(Consumer { chan: 0, sum: std::rc::Rc::clone(&sum) }),
+            ];
+            let run = run_model(&spec, &mut nodes, &mut SeededSchedule::new(seed), 10_000);
+            assert_eq!(run.outcome, Outcome::Completed, "seed {seed}");
+            assert_eq!(sum.get(), 10); // 0+1+2+3+4
+        }
+    }
+
+    #[test]
+    fn exhaustive_pipe_enumerates_all_schedules_once() {
+        let spec = pipe_spec(2);
+        let sweep = explore_exhaustive(
+            &spec,
+            || -> Vec<Box<dyn Node<u32>>> {
+                vec![
+                    Box::new(Producer { chan: 0, next: 0, count: 3, closed: false }),
+                    Box::new(Consumer {
+                        chan: 0,
+                        sum: std::rc::Rc::new(std::cell::Cell::new(0)),
+                    }),
+                ]
+            },
+            10_000,
+            100_000,
+        );
+        assert!(sweep.complete);
+        assert!(sweep.runs.len() > 1, "capacity 2 must allow several interleavings");
+        assert!(sweep.runs.iter().all(|r| r.outcome == Outcome::Completed));
+        // Each enumerated schedule must be distinct.
+        let mut traces: Vec<_> = sweep.runs.iter().map(|r| r.trace.clone()).collect();
+        let before = traces.len();
+        traces.sort();
+        traces.dedup();
+        assert_eq!(before, traces.len(), "duplicate schedule enumerated");
+    }
+
+    /// Two nodes that each flood their outbound capacity-1 channel before
+    /// ever receiving: the canonical bounded-queue deadlock.
+    struct Flooder {
+        out: ChanId,
+        inbound: ChanId,
+        sent: u32,
+        to_send: u32,
+        received: u32,
+    }
+
+    impl Node<u32> for Flooder {
+        fn step(&mut self, q: &mut Queues<u32>) -> Poll {
+            if self.sent < self.to_send {
+                match q.try_send(self.out, self.sent) {
+                    Ok(()) => {
+                        self.sent += 1;
+                        Poll::Ran
+                    }
+                    Err(_) => Poll::Blocked(Want::Send(self.out)),
+                }
+            } else if self.received < self.to_send {
+                match q.try_recv(self.inbound) {
+                    RecvState::Msg(_) => {
+                        self.received += 1;
+                        Poll::Ran
+                    }
+                    RecvState::Empty => Poll::Blocked(Want::Recv(self.inbound)),
+                    RecvState::Closed => Poll::Done,
+                }
+            } else {
+                Poll::Done
+            }
+        }
+    }
+
+    #[test]
+    fn mutual_flood_deadlocks_with_cycle() {
+        let mut spec = ModelSpec::default();
+        let ab = spec.channel("a->b", 1);
+        let ba = spec.channel("b->a", 1);
+        let a = spec.node("a", vec![ab], vec![ba]);
+        let b = spec.node("b", vec![ba], vec![ab]);
+        let mut nodes: Vec<Box<dyn Node<u32>>> = vec![
+            Box::new(Flooder { out: ab, inbound: ba, sent: 0, to_send: 2, received: 0 }),
+            Box::new(Flooder { out: ba, inbound: ab, sent: 0, to_send: 2, received: 0 }),
+        ];
+        let run = run_model(&spec, &mut nodes, &mut SeededSchedule::new(7), 10_000);
+        match run.outcome {
+            Outcome::Deadlock { cycle, blocked } => {
+                let cycle = cycle.expect("mutual wait must form a cycle");
+                assert!(cycle.contains(&a) && cycle.contains(&b), "cycle: {cycle:?}");
+                assert_eq!(blocked.len(), 2);
+                assert!(blocked.iter().all(|(_, w)| matches!(w, Want::Send(_))));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_for_graph_detects_artificial_cycle() {
+        let mut g = WaitForGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0); // 0 → 1 → 2 → 0
+        g.add_edge(2, 3); // plus an acyclic tail
+        let cycle = g.find_cycle().expect("cycle must be found");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 4, "three tasks plus the closing repeat: {cycle:?}");
+        for t in [0, 1, 2] {
+            assert!(cycle.contains(&t), "task {t} missing from {cycle:?}");
+        }
+    }
+
+    #[test]
+    fn wait_for_graph_acyclic_is_none() {
+        let mut g = WaitForGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn seeded_exploration_counts_distinct_schedules() {
+        let spec = pipe_spec(2);
+        let sweep = explore_seeded(
+            &spec,
+            || -> Vec<Box<dyn Node<u32>>> {
+                vec![
+                    Box::new(Producer { chan: 0, next: 0, count: 4, closed: false }),
+                    Box::new(Consumer {
+                        chan: 0,
+                        sum: std::rc::Rc::new(std::cell::Cell::new(0)),
+                    }),
+                ]
+            },
+            0..64,
+            10_000,
+        );
+        assert_eq!(sweep.runs.len(), 64);
+        assert!(sweep.distinct > 1, "seeds must reach different interleavings");
+        assert!(sweep.runs.iter().all(|(_, r)| r.outcome == Outcome::Completed));
+    }
+
+    #[test]
+    fn replay_reproduces_a_seeded_run_exactly() {
+        let spec = pipe_spec(2);
+        let make = || -> Vec<Box<dyn Node<u32>>> {
+            vec![
+                Box::new(Producer { chan: 0, next: 0, count: 4, closed: false }),
+                Box::new(Consumer { chan: 0, sum: std::rc::Rc::new(std::cell::Cell::new(0)) }),
+            ]
+        };
+        let mut nodes = make();
+        let seeded = run_model(&spec, &mut nodes, &mut SeededSchedule::new(42), 10_000);
+        let mut nodes = make();
+        let choices: Vec<usize> = seeded.trace.iter().map(|&(c, _)| c).collect();
+        let replay = run_model(&spec, &mut nodes, &mut ReplaySchedule::new(choices), 10_000);
+        assert_eq!(seeded.trace, replay.trace);
+        assert_eq!(seeded.steps, replay.steps);
+        assert_eq!(seeded.outcome, replay.outcome);
+    }
+}

@@ -7,6 +7,8 @@
 //! deterministic for a given seed, which is all the R-MAT generator and the
 //! randomized tests require; the streams differ from upstream rand's.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Low-level generator interface: a source of uniform `u64`s.
