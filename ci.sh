@@ -18,7 +18,12 @@ echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
 
 echo "== lint (repo invariants, DESIGN.md §6e) =="
-cargo run --offline -q -p graphz-check --bin graphz-lint
+cargo run --offline -q -p graphz-check --bin graphz-lint -- --json lint_findings.json
+
+echo "== audit (dataflow/protocol analyses, DESIGN.md §6f) =="
+# Covers crates/check itself (the tools are self-gated) and emits the
+# machine-readable findings artifact either way.
+cargo run --offline -q -p graphz-check --bin graphz-audit -- --json audit_findings.json
 
 echo "== model check (schedule exploration + deadlock analysis) =="
 cargo test --offline -q -p graphz-check --test model_check

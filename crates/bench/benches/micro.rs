@@ -61,13 +61,14 @@ fn bench_index_lookup() {
     let (_dir, dos) = build_dos(100_000);
     let index = dos.index().clone();
     let n = dos.meta().num_vertices as u32;
-    let dense: Vec<u64> = (0..n).map(|v| index.offset_of(v)).collect();
+    let dense: Vec<u64> =
+        (0..n).map(|v| index.offset_of(v).expect("offset in range")).collect();
 
     bench("index_lookup/dos_eq1", 200, 1024, || {
         let mut acc = 0u64;
         for i in 0..1024u32 {
             let v = (i * 2654435761) % n;
-            acc = acc.wrapping_add(index.offset_of(v));
+            acc = acc.wrapping_add(index.offset_of(v).expect("offset in range"));
         }
         acc
     });

@@ -1,0 +1,99 @@
+//! `graphz-audit`: dataflow and protocol static analysis.
+//!
+//! ```text
+//! cargo run -p graphz-check --bin graphz-audit                 # audit the repo
+//! cargo run -p graphz-check --bin graphz-audit -- --root DIR   # audit another tree
+//! cargo run -p graphz-check --bin graphz-audit -- --json OUT   # emit findings JSON
+//! cargo run -p graphz-check --bin graphz-audit -- --list-rules
+//! ```
+//!
+//! Exit code 0 when the tree is clean, 1 on any finding (the CI gate),
+//! 2 on usage or IO errors. `--json` writes the machine-readable report
+//! whether or not the tree is clean.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphz_check::audit::{audit_tree, AUDIT_RULES};
+use graphz_check::json::write_report;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(out) => json_out = Some(PathBuf::from(out)),
+                None => {
+                    eprintln!("--json needs an output file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "graphz-audit [--root DIR] [--json OUT] [--list-rules]\n\
+                     Dataflow/protocol analyses over the workspace: lock-order cycles,\n\
+                     unchecked offset arithmetic and casts in the storage layer, and\n\
+                     must-consume resource protocols. Documented in DESIGN.md §6f.\n\
+                     Suppress one site with `// audit:allow(<rule>)` on the line or\n\
+                     the line above."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in AUDIT_RULES {
+            println!("{:<24} {}", rule.name, rule.why);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = match audit_tree(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("graphz-audit: cannot audit {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(out) = &json_out {
+        if let Err(e) = write_report(out, "graphz-audit", AUDIT_RULES, &findings) {
+            eprintln!("graphz-audit: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if findings.is_empty() {
+        println!("graphz-audit: clean ({} rules)", AUDIT_RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for v in &findings {
+        println!("{v}");
+        println!(
+            "    to suppress: add `// audit:allow({})` at {}:{} (same line or the line above)",
+            v.rule,
+            v.path.display(),
+            v.line
+        );
+    }
+    println!("graphz-audit: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

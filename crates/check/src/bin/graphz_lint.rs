@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p graphz-check --bin graphz-lint                # lint the repo
 //! cargo run -p graphz-check --bin graphz-lint -- --root DIR  # lint another tree
+//! cargo run -p graphz-check --bin graphz-lint -- --json OUT  # emit findings JSON
 //! cargo run -p graphz-check --bin graphz-lint -- --list-rules
 //! cargo run -p graphz-check --bin graphz-lint -- --fix-allowlist
 //! ```
@@ -15,10 +16,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use graphz_check::json::write_report;
 use graphz_check::lint::{lint_tree, RULES};
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
     let mut fix_allowlist = false;
     let mut list_rules = false;
     let mut args = std::env::args().skip(1);
@@ -31,11 +34,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => match args.next() {
+                Some(out) => json_out = Some(PathBuf::from(out)),
+                None => {
+                    eprintln!("--json needs an output file argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--fix-allowlist" => fix_allowlist = true,
             "--list-rules" => list_rules = true,
             "--help" | "-h" => {
                 println!(
-                    "graphz-lint [--root DIR] [--fix-allowlist] [--list-rules]\n\
+                    "graphz-lint [--root DIR] [--json OUT] [--fix-allowlist] [--list-rules]\n\
                      Lints the workspace against the repo invariants in DESIGN.md §6e."
                 );
                 return ExitCode::SUCCESS;
@@ -61,6 +71,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(out) = &json_out {
+        if let Err(e) = write_report(out, "graphz-lint", RULES, &violations) {
+            eprintln!("graphz-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if violations.is_empty() {
         println!("graphz-lint: clean ({} rules)", RULES.len());

@@ -1,0 +1,103 @@
+//! Hand-rolled JSON emission for lint/audit findings.
+//!
+//! The workspace is offline (no serde); the schema is small and stable, so
+//! a ~60-line serializer keeps the machine-readable artifact contract
+//! (`audit_findings.json` / `lint_findings.json` in CI) without a
+//! dependency. Schema:
+//!
+//! ```json
+//! {
+//!   "tool": "graphz-audit",
+//!   "rules": ["lock-order", "…"],
+//!   "count": 1,
+//!   "findings": [
+//!     {"rule": "…", "path": "…", "line": 3, "message": "…", "snippet": "…"}
+//!   ]
+//! }
+//! ```
+
+use std::path::Path;
+
+use crate::lint::{Rule, Violation};
+
+/// Render a findings report as a JSON document.
+pub fn render(tool: &str, rules: &[Rule], findings: &[Violation]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"tool\": {},\n", quote(tool)));
+    let names: Vec<String> = rules.iter().map(|r| quote(r.name)).collect();
+    s.push_str(&format!("  \"rules\": [{}],\n", names.join(", ")));
+    s.push_str(&format!("  \"count\": {},\n", findings.len()));
+    s.push_str("  \"findings\": [\n");
+    for (i, v) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}{}\n",
+            quote(v.rule),
+            quote(&v.path.to_string_lossy()),
+            v.line,
+            quote(&v.message),
+            quote(v.snippet.trim()),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Render and write a findings report to `path`.
+pub fn write_report(
+    path: &Path,
+    tool: &str,
+    rules: &[Rule],
+    findings: &[Violation],
+) -> std::io::Result<()> {
+    std::fs::write(path, render(tool, rules, findings))
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AUDIT_RULES;
+    use std::path::PathBuf;
+
+    #[test]
+    fn renders_schema_with_escapes() {
+        let v = Violation {
+            rule: "lock-order",
+            path: PathBuf::from("crates/core/src/a.rs"),
+            line: 7,
+            snippet: "let g = m.lock(); // \"quoted\"".to_string(),
+            message: "cycle a -> b".to_string(),
+        };
+        let json = render("graphz-audit", AUDIT_RULES, &[v]);
+        assert!(json.contains("\"tool\": \"graphz-audit\""));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"rules\": [\"lock-order\""));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = render("graphz-lint", &[], &[]);
+        assert!(json.contains("\"count\": 0"));
+        assert!(json.contains("\"findings\": [\n  ]"));
+    }
+}

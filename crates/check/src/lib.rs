@@ -11,8 +11,17 @@
 //! * [`lint`] — the repo-invariant lint pass behind the `graphz-lint`
 //!   binary (`cargo run -p graphz-check --bin graphz-lint`), enforcing the
 //!   named rules documented in DESIGN.md §6e.
+//! * [`audit`] — the dataflow/protocol analyses behind the `graphz-audit`
+//!   binary (DESIGN.md §6f): the global lock-acquisition-order graph,
+//!   checked offset/cast arithmetic in the storage layer, and the
+//!   must-consume protocols for atomic writes and message claims. Built on
+//!   [`parser`], a lightweight token/item parser, with machine-readable
+//!   reports from [`json`].
 
 #![forbid(unsafe_code)]
 
+pub mod audit;
+pub mod json;
 pub mod lint;
+pub mod parser;
 pub mod pipeline;

@@ -412,7 +412,7 @@ pub fn lint_rust_source(rel: &str, source: &str, out: &mut Vec<Violation>) {
         let lineno = idx + 1;
         let raw_line = raw.get(idx).copied().unwrap_or("");
         let prev_raw = idx.checked_sub(1).and_then(|p| raw.get(p)).copied();
-        let mut push = |name: &'static str, message: String| {
+        let mut flag = |name: &'static str, message: String| {
             if in_scope(rule(name), rel) && !suppressed(raw_line, prev_raw, name) {
                 out.push(Violation {
                     rule: name,
@@ -426,25 +426,25 @@ pub fn lint_rust_source(rel: &str, source: &str, out: &mut Vec<Violation>) {
 
         for (tok, why) in panics {
             if has_token(line, tok) {
-                push("no-unwrap", (*why).to_string());
+                flag("no-unwrap", (*why).to_string());
             }
         }
         for tok in spawns {
             if has_token(line, tok) {
-                push("no-thread-spawn", format!("{tok} outside the audited pipeline stages"));
+                flag("no-thread-spawn", format!("{tok} outside the audited pipeline stages"));
             }
         }
         for tok in clocks {
             if has_token(line, tok) {
-                push("no-wall-clock", format!("{tok} read inside a deterministic compute path"));
+                flag("no-wall-clock", format!("{tok} read inside a deterministic compute path"));
             }
         }
         if has_token(line, "unsafe") {
-            push("no-unsafe", "unsafe code in a forbid(unsafe_code) workspace".to_string());
+            flag("no-unsafe", "unsafe code in a forbid(unsafe_code) workspace".to_string());
         }
         for name in &bindings {
             if iterates_unordered(line, name) {
-                push(
+                flag(
                     "no-unordered-iter",
                     format!("iteration over unordered collection `{name}`"),
                 );
@@ -531,7 +531,7 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
     Ok(out)
 }
 
-fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();

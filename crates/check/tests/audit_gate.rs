@@ -1,0 +1,242 @@
+//! End-to-end gate for `graphz-audit` (ISSUE 4 acceptance): the real
+//! repository must audit clean, and seeded fixture trees must trip every
+//! rule — a lock-order cycle, an unchecked Eq. 1 multiply, a dropped
+//! atomic-write tempfile, an unconsumed MsgManager claim, and a silently
+//! dropped Result — with the binary exiting non-zero and naming the rule
+//! on stdout. Fixture trees are *scanned*, not compiled, so they only need
+//! to be token-plausible Rust.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use graphz_check::audit::{audit_tree, AUDIT_RULES};
+
+/// A scratch directory under the target dir, wiped per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn write(root: &Path, rel: &str, contents: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+    fs::write(path, contents).expect("write fixture file");
+}
+
+fn repo_root() -> &'static Path {
+    // crates/check/ → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+/// One file per rule; `suppress: true` adds an `audit:allow` marker above
+/// every seeded violation so the suppression path is tested on the same
+/// sources.
+fn seed_fixture(root: &Path, suppress: bool) {
+    let allow = |rule: &str| {
+        if suppress {
+            format!("    // audit:allow({rule}) seeded fixture\n")
+        } else {
+            String::new()
+        }
+    };
+
+    // lock-order: two functions acquire m1/m2 in opposite orders.
+    write(
+        root,
+        "crates/core/src/locks.rs",
+        &format!(
+            "pub struct S {{ m1: Mutex<u32>, m2: Mutex<u32> }}\n\
+             impl S {{\n\
+             pub fn ab(&self) -> u32 {{ let a = self.m1.lock(); \n{}let b = self.m2.lock(); *a + *b }}\n\
+             pub fn ba(&self) -> u32 {{ let b = self.m2.lock(); \n{}let a = self.m1.lock(); *a + *b }}\n\
+             }}\n",
+            allow("lock-order"),
+            allow("lock-order"),
+        ),
+    );
+
+    // unchecked-offset-arith: the paper's Eq. 1 written with bare `+`/`*`,
+    // plus a byte-offset multiply.
+    write(
+        root,
+        "crates/storage/src/eq1.rs",
+        &format!(
+            "pub fn eq1(id_offset: u64, v: u32, first: u32, d: u32) -> u64 {{\n\
+             {}    id_offset + u64::from(v - first) * u64::from(d)\n}}\n\
+             pub fn byte_offset(offset: u64) -> u64 {{\n{}    offset * 4\n}}\n",
+            allow("unchecked-offset-arith"),
+            allow("unchecked-offset-arith"),
+        ),
+    );
+
+    // unchecked-cast: a bare truncating cast in storage.
+    write(
+        root,
+        "crates/storage/src/cast.rs",
+        &format!(
+            "pub fn truncate(n: u64) -> u32 {{\n{}    n as u32\n}}\n",
+            allow("unchecked-cast"),
+        ),
+    );
+
+    // must-consume: a tempfile written but never committed, and a claim
+    // that is read but never retired.
+    write(
+        root,
+        "crates/io/src/leak.rs",
+        &format!(
+            "pub fn write(dest: &Path, bytes: &[u8]) -> Result<()> {{\n\
+             {}    let mut f = AtomicFile::create(dest)?;\n\
+             f.write_all(bytes)?;\n    Ok(())\n}}\n",
+            allow("must-consume"),
+        ),
+    );
+    write(
+        root,
+        "crates/core/src/claimleak.rs",
+        &format!(
+            "pub fn peek(mgr: &mut MsgManager) -> Result<u64> {{\n\
+             {}    let c = mgr.claim(0)?;\n    Ok(c.total)\n}}\n",
+            allow("must-consume"),
+        ),
+    );
+
+    // dropped-result: a Result-returning helper called as a bare statement.
+    write(
+        root,
+        "crates/core/src/dropres.rs",
+        &format!(
+            "fn flush_segment(p: u32) -> Result<()> {{ Ok(()) }}\n\
+             pub fn caller(p: u32) {{\n{}    flush_segment(p);\n}}\n",
+            allow("dropped-result"),
+        ),
+    );
+}
+
+#[test]
+fn repository_audits_clean() {
+    let findings = audit_tree(repo_root()).expect("audit repo");
+    assert!(
+        findings.is_empty(),
+        "repository must audit clean, got:\n{}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn seeded_fixtures_trip_every_rule() {
+    let root = scratch("audit_fixture_bad");
+    seed_fixture(&root, false);
+    let findings = audit_tree(&root).expect("audit fixture");
+    let tripped: BTreeSet<&str> = findings.iter().map(|v| v.rule).collect();
+    let all: BTreeSet<&str> = AUDIT_RULES.iter().map(|r| r.name).collect();
+    assert_eq!(tripped, all, "every audit rule must trip, got:\n{findings:?}");
+    // The Eq. 1 fixture is flagged on the offset addition, and the
+    // byte-offset multiply separately.
+    let arith: Vec<_> =
+        findings.iter().filter(|v| v.rule == "unchecked-offset-arith").collect();
+    assert!(arith.len() >= 2, "{arith:?}");
+    // Both resource leaks (tempfile and claim) are reported.
+    let consume: Vec<_> = findings.iter().filter(|v| v.rule == "must-consume").collect();
+    assert_eq!(consume.len(), 2, "{consume:?}");
+    assert!(consume.iter().any(|v| v.message.contains("AtomicFile")));
+    assert!(consume.iter().any(|v| v.message.contains("message claim")));
+}
+
+#[test]
+fn suppressions_silence_seeded_violations() {
+    let root = scratch("audit_fixture_allowed");
+    seed_fixture(&root, true);
+    let findings = audit_tree(&root).expect("audit fixture");
+    assert!(findings.is_empty(), "audit:allow must silence every finding:\n{findings:?}");
+}
+
+#[test]
+fn findings_name_file_line_and_rule() {
+    let root = scratch("audit_fixture_report");
+    seed_fixture(&root, false);
+    let findings = audit_tree(&root).expect("audit fixture");
+    let cast = findings.iter().find(|v| v.rule == "unchecked-cast").expect("cast finding");
+    assert_eq!(cast.path, Path::new("crates/storage/src/cast.rs"));
+    assert_eq!(cast.line, 2);
+    assert!(cast.snippet.contains("n as u32"));
+    let shown = cast.to_string();
+    assert!(shown.contains("crates/storage/src/cast.rs:2"), "{shown}");
+    assert!(shown.contains("[unchecked-cast]"), "{shown}");
+}
+
+/// Exit-code contract for the CI gate: clean tree ⇒ 0, each seeded fixture
+/// ⇒ non-zero with the rule named on stdout, usage errors ⇒ 2. Also covers
+/// the `--json` artifact both clean and dirty.
+#[test]
+fn audit_binary_exit_codes_and_json() {
+    let bin = env!("CARGO_BIN_EXE_graphz-audit");
+
+    // Clean repository ⇒ exit 0 and a clean JSON artifact.
+    let json_clean = scratch("audit_json_clean").join("audit_findings.json");
+    let out = Command::new(bin)
+        .args(["--root", &repo_root().to_string_lossy()])
+        .args(["--json", &json_clean.to_string_lossy()])
+        .output()
+        .expect("run graphz-audit");
+    assert!(out.status.success(), "clean tree must exit 0: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean"), "{stdout}");
+    let json = fs::read_to_string(&json_clean).expect("json artifact");
+    assert!(json.contains("\"count\": 0"), "{json}");
+    assert!(json.contains("\"tool\": \"graphz-audit\""));
+
+    // Seeded fixture ⇒ exit 1, every rule named on stdout, findings in JSON.
+    let root = scratch("audit_fixture_exit");
+    seed_fixture(&root, false);
+    let json_bad = root.join("audit_findings.json");
+    let out = Command::new(bin)
+        .args(["--root", &root.to_string_lossy()])
+        .args(["--json", &json_bad.to_string_lossy()])
+        .output()
+        .expect("run graphz-audit");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in AUDIT_RULES {
+        assert!(stdout.contains(rule.name), "stdout must name {}: {stdout}", rule.name);
+    }
+    let json = fs::read_to_string(&json_bad).expect("json artifact");
+    assert!(json.contains("\"rule\": \"lock-order\""), "{json}");
+
+    // Usage error ⇒ exit 2.
+    let out = Command::new(bin).arg("--no-such-flag").output().expect("run graphz-audit");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // --list-rules names every rule and exits 0.
+    let out = Command::new(bin).arg("--list-rules").output().expect("run graphz-audit");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in AUDIT_RULES {
+        assert!(stdout.contains(rule.name), "{stdout}");
+    }
+}
+
+/// The lint binary shares the JSON artifact contract.
+#[test]
+fn lint_binary_emits_json() {
+    let bin = env!("CARGO_BIN_EXE_graphz-lint");
+    let json_path = scratch("lint_json_clean").join("lint_findings.json");
+    let out = Command::new(bin)
+        .args(["--root", &repo_root().to_string_lossy()])
+        .args(["--json", &json_path.to_string_lossy()])
+        .output()
+        .expect("run graphz-lint");
+    assert!(out.status.success(), "{out:?}");
+    let json = fs::read_to_string(&json_path).expect("json artifact");
+    assert!(json.contains("\"tool\": \"graphz-lint\""), "{json}");
+    assert!(json.contains("\"count\": 0"), "{json}");
+}

@@ -89,7 +89,7 @@ impl GraphStore for DosStore {
         _stats: &Arc<IoStats>,
     ) -> Result<(u64, Vec<u32>)> {
         let idx = self.graph.index();
-        let start = if a == b { 0 } else { idx.offset_of(a) };
+        let start = if a == b { 0 } else { idx.offset_of(a)? };
         let degrees = (a..b).map(|v| idx.degree_of(v)).collect();
         Ok((start, degrees))
     }

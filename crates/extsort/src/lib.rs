@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir};
-use graphz_types::{FixedCodec, MemoryBudget, Result};
+use graphz_types::{cast, FixedCodec, MemoryBudget, Result};
 
 /// Maximum number of runs merged at once. 64 open files keeps well under any
 /// fd limit while making multi-pass merges rare for our graph sizes.
@@ -80,7 +80,10 @@ where
         output: &Path,
         scratch: &ScratchDir,
     ) -> Result<u64> {
-        let run_capacity = self.budget.records(T::SIZE) as usize;
+        // Clamping (not erroring) is right here: a budget larger than the
+        // address space just means "one giant run"; the Vec below still
+        // grows incrementally from a small initial capacity.
+        let run_capacity = cast::clamp_usize(self.budget.records(T::SIZE));
         let mut runs: Vec<PathBuf> = Vec::new();
         let mut buf: Vec<T> = Vec::with_capacity(run_capacity.min(1 << 20));
         let mut total: u64 = 0;

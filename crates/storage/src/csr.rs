@@ -13,15 +13,19 @@ use std::sync::Arc;
 
 use graphz_extsort::ExternalSorter;
 use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir};
-use graphz_types::{Edge, GraphError, GraphMeta, MemoryBudget, Result, VertexId};
+use graphz_types::{cast, Edge, GraphError, GraphMeta, MemoryBudget, Result, VertexId};
 
 use crate::edgelist::EdgeListFile;
 use crate::meta::MetaFile;
 
 /// In-memory CSR graph: `offsets[v]..offsets[v+1]` indexes `dsts`.
+///
+/// Offsets are held as `usize` — they index the in-memory `dsts` vector, so
+/// anything that fits the vector fits the type; the one `u64 → usize`
+/// narrowing happens fallibly at the disk boundary in [`CsrFiles::load`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
-    offsets: Vec<u64>,
+    offsets: Vec<usize>,
     dsts: Vec<VertexId>,
 }
 
@@ -29,26 +33,32 @@ impl CsrGraph {
     /// Build from an unordered edge slice. `num_vertices` must exceed every
     /// id that appears.
     pub fn from_edges(num_vertices: usize, edges: &[Edge]) -> Self {
-        let mut offsets = vec![0u64; num_vertices + 1];
+        let mut offsets = vec![0usize; num_vertices + 1];
         for e in edges {
-            assert!((e.src as usize) < num_vertices && (e.dst as usize) < num_vertices);
-            offsets[e.src as usize + 1] += 1;
+            assert!(
+                cast::vertex_index(e.src) < num_vertices
+                    && cast::vertex_index(e.dst) < num_vertices
+            );
+            offsets[cast::vertex_index(e.src) + 1] += 1;
         }
         for i in 0..num_vertices {
+            // Prefix sum of per-vertex degree counts: the total equals
+            // edges.len(), a Vec length, so usize cannot overflow here.
+            // audit:allow(unchecked-offset-arith)
             offsets[i + 1] += offsets[i];
         }
         let mut cursor = offsets.clone();
-        let mut dsts = vec![0 as VertexId; edges.len()];
+        let mut dsts: Vec<VertexId> = vec![0; edges.len()];
         for e in edges {
-            let at = cursor[e.src as usize];
-            dsts[at as usize] = e.dst;
-            cursor[e.src as usize] += 1;
+            let at = cursor[cast::vertex_index(e.src)];
+            dsts[at] = e.dst;
+            cursor[cast::vertex_index(e.src)] += 1;
         }
         // Sort each adjacency list so iteration order is deterministic and
         // independent of input edge order.
         let mut g = CsrGraph { offsets, dsts };
         for v in 0..num_vertices {
-            let (a, b) = g.range(v as VertexId);
+            let (a, b) = (g.offsets[v], g.offsets[v + 1]);
             g.dsts[a..b].sort_unstable();
         }
         g
@@ -64,13 +74,15 @@ impl CsrGraph {
 
     #[inline]
     fn range(&self, v: VertexId) -> (usize, usize) {
-        (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize)
+        (self.offsets[cast::vertex_index(v)], self.offsets[cast::vertex_index(v) + 1])
     }
 
     #[inline]
     pub fn out_degree(&self, v: VertexId) -> u32 {
         let (a, b) = self.range(v);
-        (b - a) as u32
+        // Out-degrees are bounded by the u32 id space (VertexId = u32), so
+        // a list longer than u32::MAX means the graph itself is malformed.
+        cast::usize_to_u32(b - a, "csr out-degree").expect("out-degree bounded by id space")
     }
 
     #[inline]
@@ -81,13 +93,16 @@ impl CsrGraph {
 
     /// Iterate `(src, dst)` pairs in CSR order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        (0..self.num_vertices() as VertexId)
-            .flat_map(move |v| self.neighbors(v).iter().map(move |&d| Edge::new(v, d)))
+        (0..self.num_vertices()).flat_map(move |v| {
+            let src = cast::usize_to_u32(v, "csr vertex id").expect("vertex ids fit u32");
+            self.neighbors(src).iter().map(move |&d| Edge::new(src, d))
+        })
     }
 
-    /// Bytes the CSR vertex index (the offsets array) occupies.
+    /// Bytes the CSR vertex index (the offsets array) occupies on disk
+    /// (8 bytes per entry).
     pub fn index_bytes(&self) -> u64 {
-        (self.offsets.len() as u64) * 8
+        cast::len_u64(self.offsets.len()).saturating_mul(8)
     }
 }
 
@@ -149,7 +164,7 @@ impl CsrFiles {
         let mut written_edges: u64 = 0;
         for e in RecordReader::<Edge>::open(&sorted, Arc::clone(&stats))? {
             let e = e?;
-            while next_vertex <= e.src as u64 {
+            while next_vertex <= cast::widen_u32(e.src) {
                 offsets.push(&written_edges)?;
                 next_vertex += 1;
             }
@@ -183,21 +198,27 @@ impl CsrFiles {
 
     /// Load the whole graph into memory (reference implementations, tests).
     pub fn load(&self, stats: Arc<IoStats>) -> Result<CsrGraph> {
-        let offsets: Vec<u64> =
+        let raw_offsets: Vec<u64> =
             RecordReader::<u64>::open(&self.offsets_path(), Arc::clone(&stats))?.read_all()?;
         let dsts: Vec<VertexId> =
             RecordReader::<VertexId>::open(&self.edges_path(), stats)?.read_all()?;
-        if offsets.len() as u64 != self.meta.num_vertices + 1 {
+        if cast::len_u64(raw_offsets.len()) != self.meta.num_vertices + 1 {
             return Err(GraphError::Corrupt(format!(
                 "offsets.bin has {} entries, expected {}",
-                offsets.len(),
+                raw_offsets.len(),
                 self.meta.num_vertices + 1
             )));
         }
-        if *offsets.last().unwrap_or(&0) != dsts.len() as u64 {
+        if *raw_offsets.last().unwrap_or(&0) != cast::len_u64(dsts.len()) {
             return Err(GraphError::Corrupt(
                 "offsets.bin last entry disagrees with edges.bin length".into(),
             ));
+        }
+        // The one narrowing point: stored u64 offsets index the in-memory
+        // dsts vector, so each must fit this platform's usize.
+        let mut offsets = Vec::with_capacity(raw_offsets.len());
+        for o in raw_offsets {
+            offsets.push(cast::to_usize(o, "csr offset")?);
         }
         Ok(CsrGraph { offsets, dsts })
     }

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use graphz_extsort::ExternalSorter;
 use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir, TrackedFile};
 use graphz_types::{
-    Degree, Edge, FixedCodec, GraphError, GraphMeta, MemoryBudget, Result, VertexId,
+    cast, Degree, Edge, FixedCodec, GraphError, GraphMeta, MemoryBudget, Result, VertexId,
 };
 
 use crate::edgelist::EdgeListFile;
@@ -39,8 +39,17 @@ use crate::meta::MetaFile;
 
 /// Upper bound on the number of unique out-degrees (paper §III-D, Claim 1):
 /// `|UD| <= 2 * sqrt(|E|)`.
+///
+/// Computed in pure integer arithmetic (`isqrt` + ceiling correction) so the
+/// bound is exact for every `u64` edge count; the former `f64::sqrt` round
+/// trip loses integer precision above 2^53 edges.
 pub fn unique_degree_bound(num_edges: u64) -> u64 {
-    2 * (num_edges as f64).sqrt().ceil() as u64
+    let root = num_edges.isqrt();
+    // Ceiling of the true square root: isqrt floors, so bump when inexact.
+    // `root * root` cannot overflow (root <= 2^32 - 1 for any u64 input) and
+    // `2 * ceil(sqrt(u64))` tops out near 2^33.
+    let ceil_root = root + u64::from(root * root < num_edges);
+    2 * ceil_root
 }
 
 /// One row of the combined `ids_table` / `id_offset_table`: all vertices in
@@ -101,18 +110,19 @@ impl DosIndex {
 
     /// Number of unique out-degrees.
     pub fn unique_degrees(&self) -> u64 {
-        self.groups.len() as u64
+        cast::len_u64(self.groups.len())
     }
 
     /// Bytes this index occupies (16 per unique degree) — the "GraphZ" row
-    /// of Table XI.
+    /// of Table XI. Saturating: `|UD| * 16` cannot realistically overflow,
+    /// and a size *report* should never fail.
     pub fn index_bytes(&self) -> u64 {
-        (self.groups.len() * DegreeGroup::SIZE) as u64
+        cast::len_u64(self.groups.len()).saturating_mul(cast::len_u64(DegreeGroup::SIZE))
     }
 
     #[inline]
     fn group_of(&self, v: VertexId) -> &DegreeGroup {
-        debug_assert!((v as u64) < self.num_vertices, "vertex {v} out of range");
+        debug_assert!(cast::widen_u32(v) < self.num_vertices, "vertex {v} out of range");
         // Binary search on ids_table (paper §III-B): find d with
         // ids_table[d] <= v < ids_table[d + 1].
         let idx = self.groups.partition_point(|g| g.first_id <= v);
@@ -125,27 +135,43 @@ impl DosIndex {
         self.group_of(v).degree
     }
 
+    /// Paper Eq. 1 over one degree group, in checked arithmetic:
+    /// `offset = id_offset_table[d] + (v - ids_table[d]) * d`. Overflow (or a
+    /// vertex below its group's first id, which only a corrupt index can
+    /// produce) surfaces as [`GraphError::OffsetOverflow`] rather than a
+    /// wrapped offset that would silently read the wrong adjacency block.
+    #[inline]
+    fn eq1_offset(g: &DegreeGroup, v: VertexId) -> Result<u64> {
+        let rank = cast::sub_u32(v, g.first_id, "dos eq1: v - first_id")?;
+        let span =
+            cast::mul_u64(cast::widen_u32(rank), cast::widen_u32(g.degree), "dos eq1: rank * degree")?;
+        cast::add_u64(g.offset, span, "dos eq1: group offset + span")
+    }
+
     /// Edge-record offset of `v`'s adjacency list — paper Eq. 1.
     #[inline]
-    pub fn offset_of(&self, v: VertexId) -> u64 {
-        let g = self.group_of(v);
-        g.offset + (v - g.first_id) as u64 * g.degree as u64
+    pub fn offset_of(&self, v: VertexId) -> Result<u64> {
+        Self::eq1_offset(self.group_of(v), v)
     }
 
     /// `(degree, offset)` with one search.
     #[inline]
-    pub fn lookup(&self, v: VertexId) -> (Degree, u64) {
+    pub fn lookup(&self, v: VertexId) -> Result<(Degree, u64)> {
         let g = self.group_of(v);
-        (g.degree, g.offset + (v - g.first_id) as u64 * g.degree as u64)
+        Ok((g.degree, Self::eq1_offset(g, v)?))
     }
 
     /// Total edges owned by vertices in `from..to` (new-id range).
-    pub fn edges_in_range(&self, from: VertexId, to: VertexId) -> u64 {
+    pub fn edges_in_range(&self, from: VertexId, to: VertexId) -> Result<u64> {
         if from >= to {
-            return 0;
+            return Ok(0);
         }
-        let end = if (to as u64) < self.num_vertices { self.offset_of(to) } else { self.num_edges };
-        end - self.offset_of(from)
+        let end = if cast::widen_u32(to) < self.num_vertices {
+            self.offset_of(to)?
+        } else {
+            self.num_edges
+        };
+        cast::sub_u64(end, self.offset_of(from)?, "dos edges_in_range: end - start")
     }
 
     pub fn save(&self, path: &Path, stats: Arc<IoStats>) -> Result<()> {
@@ -214,7 +240,7 @@ impl DosConverter {
             let mut w = RecordWriter::<Triad>::create(&triads, Arc::clone(&self.stats))?;
             let mut run: Vec<Edge> = Vec::new();
             let flush = |run: &mut Vec<Edge>, w: &mut RecordWriter<Triad>| -> Result<()> {
-                let deg = run.len() as u32;
+                let deg = cast::usize_to_u32(run.len(), "dos out-degree")?;
                 for e in run.drain(..) {
                     w.push(&(deg, e.src, e.dst))?;
                 }
@@ -273,7 +299,7 @@ impl DosConverter {
                 }
                 half_w.push(&(next_new - 1, dst, src))?;
             }
-            assigned = next_new as u64;
+            assigned = cast::widen_u32(next_new);
             half_w.finish()?;
             assign_w.finish()?;
         }
@@ -284,7 +310,7 @@ impl DosConverter {
         if assigned < num_vertices {
             groups.push(DegreeGroup {
                 degree: 0,
-                first_id: assigned as u32,
+                first_id: cast::to_u32(assigned, "dos first zero-degree id")?,
                 offset: meta.num_edges,
             });
         }
@@ -297,8 +323,8 @@ impl DosConverter {
             let mut r = RecordReader::<(u32, u32)>::open(&assign_by_old, Arc::clone(&self.stats))?;
             let mut w = RecordWriter::<u32>::create(&old2new_path, Arc::clone(&self.stats))?;
             let mut pending = r.next_record()?;
-            let mut next_zero: u32 = assigned as u32;
-            for old in 0..num_vertices as u32 {
+            let mut next_zero: u32 = cast::to_u32(assigned, "dos first zero-degree id")?;
+            for old in 0..cast::to_u32(num_vertices, "dos vertex count")? {
                 match pending {
                     Some((o, n)) if o == old => {
                         w.push(&n)?;
@@ -325,7 +351,10 @@ impl DosConverter {
             let olds = RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?;
             let pairs = olds.enumerate().map(|(old, new)| {
                 let new = new.expect("old2new.bin must be readable");
-                (new, old as u32)
+                // Pass 4 already proved num_vertices fits u32.
+                let old = cast::usize_to_u32(old, "dos old id")
+                    .expect("old ids bounded by num_vertices");
+                (new, old)
             });
             ExternalSorter::new(|p: &(u32, u32)| p.0, self.budget, Arc::clone(&self.stats))
                 .sort_iter(pairs, &pairs_by_new, &scratch)?;
@@ -363,7 +392,7 @@ impl DosConverter {
             )?;
             for p in RecordReader::<(u32, u32, u32)>::open(&half_by_dst, Arc::clone(&self.stats))? {
                 let (new_src, old_dst, old_src) = p?;
-                while map_pos <= old_dst as u64 {
+                while map_pos <= cast::widen_u32(old_dst) {
                     cur_new = map.next_record()?;
                     map_pos += 1;
                 }
@@ -426,7 +455,7 @@ impl DosConverter {
             num_vertices,
             num_edges: meta.num_edges,
             unique_degrees: index.unique_degrees(),
-            max_degree: index.groups().first().map_or(0, |g| g.degree as u64),
+            max_degree: index.groups().first().map_or(0, |g| cast::widen_u32(g.degree)),
         };
         let mut mf = MetaFile::new();
         mf.set("format", "dos")
@@ -524,10 +553,12 @@ impl DosGraph {
     /// plus one sequential read — the access pattern DOS is designed for.
     pub fn adjacency(&self, v: VertexId, stats: Arc<IoStats>) -> Result<Vec<VertexId>> {
         use std::io::{Read, Seek, SeekFrom};
-        let (deg, offset) = self.index.lookup(v);
+        let (deg, offset) = self.index.lookup(v)?;
+        let byte_offset = cast::mul_u64(offset, 4, "dos adjacency byte offset")?;
+        let byte_len = cast::mul_usize(cast::degree_index(deg), 4, "dos adjacency length")?;
         let mut f = TrackedFile::open(&self.edges_path(), stats)?;
-        f.seek(SeekFrom::Start(offset * 4))?;
-        let mut buf = vec![0u8; deg as usize * 4];
+        f.seek(SeekFrom::Start(byte_offset))?;
+        let mut buf = vec![0u8; byte_len];
         f.read_exact(&mut buf)?;
         Ok(graphz_types::codec::decode_slice(&buf))
     }
@@ -543,14 +574,16 @@ impl DosGraph {
         let weights_path = self.weights_path().ok_or_else(|| {
             GraphError::InvalidConfig("graph has no weights.bin; convert with_weights".into())
         })?;
-        let (deg, offset) = self.index.lookup(v);
+        let (deg, offset) = self.index.lookup(v)?;
+        let byte_offset = cast::mul_u64(offset, 4, "dos adjacency byte offset")?;
+        let byte_len = cast::mul_usize(cast::degree_index(deg), 4, "dos adjacency length")?;
         let mut ef = TrackedFile::open(&self.edges_path(), Arc::clone(&stats))?;
-        ef.seek(SeekFrom::Start(offset * 4))?;
-        let mut ebuf = vec![0u8; deg as usize * 4];
+        ef.seek(SeekFrom::Start(byte_offset))?;
+        let mut ebuf = vec![0u8; byte_len];
         ef.read_exact(&mut ebuf)?;
         let mut wf = TrackedFile::open(&weights_path, stats)?;
-        wf.seek(SeekFrom::Start(offset * 4))?;
-        let mut wbuf = vec![0u8; deg as usize * 4];
+        wf.seek(SeekFrom::Start(byte_offset))?;
+        let mut wbuf = vec![0u8; byte_len];
         wf.read_exact(&mut wbuf)?;
         let dsts: Vec<u32> = graphz_types::codec::decode_slice(&ebuf);
         let ws: Vec<f32> = graphz_types::codec::decode_slice(&wbuf);
@@ -635,10 +668,10 @@ mod tests {
         // Eq. 1 walkthrough like the paper's "find the offset of vertex 2"
         // narration: vertex 2 has degree 2; first id with degree 2 is 1 at
         // offset 4; offset = 4 + (2 - 1) * 2 = 6.
-        assert_eq!(idx.lookup(2), (2, 6));
-        assert_eq!(idx.lookup(0), (4, 0));
-        assert_eq!(idx.lookup(4), (1, 9));
-        assert_eq!(idx.lookup(11), (0, 10));
+        assert_eq!(idx.lookup(2).unwrap(), (2, 6));
+        assert_eq!(idx.lookup(0).unwrap(), (4, 0));
+        assert_eq!(idx.lookup(4).unwrap(), (1, 9));
+        assert_eq!(idx.lookup(11).unwrap(), (0, 10));
 
         let new2old = dos.load_new2old(stats()).unwrap();
         assert_eq!(&new2old[..5], &[0, 2, 3, 1, 7]);
@@ -709,7 +742,7 @@ mod tests {
         let idx = dos.index();
         let mut cum: u64 = 0;
         for v in 0..dos.meta().num_vertices as u32 {
-            assert_eq!(idx.offset_of(v), cum, "offset mismatch at {v}");
+            assert_eq!(idx.offset_of(v).unwrap(), cum, "offset mismatch at {v}");
             cum += idx.degree_of(v) as u64;
         }
         assert_eq!(cum, dos.meta().num_edges);
@@ -722,10 +755,10 @@ mod tests {
         let (_dir, dos) = convert(edges);
         let idx = dos.index();
         let n = dos.meta().num_vertices as u32;
-        assert_eq!(idx.edges_in_range(0, n), dos.meta().num_edges);
-        assert_eq!(idx.edges_in_range(5, 5), 0);
+        assert_eq!(idx.edges_in_range(0, n).unwrap(), dos.meta().num_edges);
+        assert_eq!(idx.edges_in_range(5, 5).unwrap(), 0);
         let total: u64 = (3..17u32).map(|v| idx.degree_of(v) as u64).sum();
-        assert_eq!(idx.edges_in_range(3, 17), total);
+        assert_eq!(idx.edges_in_range(3, 17).unwrap(), total);
     }
 
     #[test]
@@ -779,7 +812,7 @@ mod tests {
     fn empty_and_single_edge_graphs() {
         let (_d1, dos1) = convert(vec![Edge::new(0, 0)]);
         assert_eq!(dos1.meta().num_vertices, 1);
-        assert_eq!(dos1.index().lookup(0), (1, 0));
+        assert_eq!(dos1.index().lookup(0).unwrap(), (1, 0));
 
         let (_d2, dos2) = convert(vec![Edge::new(3, 3)]);
         assert_eq!(dos2.meta().num_vertices, 4);
@@ -836,5 +869,28 @@ mod tests {
         assert_eq!(unique_degree_bound(100), 20);
         assert_eq!(unique_degree_bound(0), 0);
         assert!(unique_degree_bound(1_000_000) >= 2000);
+        // Non-square counts round the root up: ceil(sqrt(2)) = 2.
+        assert_eq!(unique_degree_bound(2), 4);
+        assert_eq!(unique_degree_bound(99), 20);
+        // Exact at the extreme (no f64 precision loss above 2^53):
+        // isqrt(u64::MAX) = 2^32 - 1, ceil = 2^32.
+        assert_eq!(unique_degree_bound(u64::MAX), 2 * (1u64 << 32));
+    }
+
+    #[test]
+    fn eq1_overflow_is_a_typed_error() {
+        // A (synthetic) index whose base offset sits at u64::MAX: Eq. 1's
+        // `base + rank * degree` must fail loudly, not wrap around to a
+        // small offset that would silently read the wrong adjacency block.
+        let idx = DosIndex::new(
+            vec![DegreeGroup { degree: u32::MAX, first_id: 0, offset: u64::MAX }],
+            u64::from(u32::MAX),
+            u64::MAX,
+        );
+        assert_eq!(idx.offset_of(0).unwrap(), u64::MAX); // rank 0: base only
+        let e = idx.offset_of(1).unwrap_err();
+        assert!(matches!(e, GraphError::OffsetOverflow(_)), "got {e:?}");
+        assert!(e.to_string().contains("eq1"), "{e}");
+        assert!(matches!(idx.lookup(2), Err(GraphError::OffsetOverflow(_))));
     }
 }

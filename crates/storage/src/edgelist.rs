@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir};
-use graphz_types::{Edge, GraphError, GraphMeta, MemoryBudget, Result, VertexId};
+use graphz_types::{cast, Edge, GraphError, GraphMeta, MemoryBudget, Result, VertexId};
 
 use crate::meta::MetaFile;
 
@@ -56,8 +56,8 @@ impl EdgeListFile {
             *degrees.entry(e.src).or_default() += 1;
         }
         let num_edges = w.finish()?;
-        let num_vertices = max_id.map_or(0, |m| m as u64 + 1);
-        let zero_degree = num_vertices - degrees.len() as u64;
+        let num_vertices = max_id.map_or(0, |m| cast::widen_u32(m) + 1);
+        let zero_degree = num_vertices - cast::len_u64(degrees.len());
         let mut unique: std::collections::HashSet<u64> = degrees.values().copied().collect();
         if zero_degree > 0 {
             unique.insert(0);
@@ -65,7 +65,7 @@ impl EdgeListFile {
         let meta = GraphMeta {
             num_vertices,
             num_edges,
-            unique_degrees: unique.len() as u64,
+            unique_degrees: cast::len_u64(unique.len()),
             max_degree: degrees.values().copied().max().unwrap_or(0),
         };
         let mut mf = MetaFile::new();
@@ -195,7 +195,18 @@ impl EdgeListFile {
                     lineno + 2
                 )));
             }
-            let (src, dst) = ((row - 1) as VertexId, (col - 1) as VertexId);
+            // Fallible narrowing: a 1-based index above 2^32 must be a
+            // parse error, not a silently wrapped vertex id.
+            let to_id = |n: u64| {
+                cast::to_u32(n - 1, "matrix market index").map_err(|_| {
+                    GraphError::Corrupt(format!(
+                        "{}:{}: index {n} exceeds the u32 id space",
+                        mm_path.display(),
+                        lineno + 2
+                    ))
+                })
+            };
+            let (src, dst) = (to_id(row)?, to_id(col)?);
             edges.push(Edge::new(src, dst));
             if symmetric && src != dst {
                 edges.push(Edge::new(dst, src));
@@ -372,6 +383,17 @@ mod tests {
             EdgeListFile::import_matrix_market(&zero_based, &dir.file("zb.bin"), stats()),
             Err(GraphError::Corrupt(_))
         ));
+        // A 1-based index beyond the u32 id space must fail loudly instead of
+        // wrapping: 4294967298 - 1 would truncate to vertex 1.
+        let huge = dir.file("huge.mtx");
+        std::fs::write(&huge, "%%MatrixMarket matrix coordinate
+5000000000 5000000000 1
+4294967298 1
+").unwrap();
+        let err = EdgeListFile::import_matrix_market(&huge, &dir.file("huge.bin"), stats())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("u32 id space"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use graphz_io::{IoStats, RecordReader};
-use graphz_types::{MemoryBudget, Result, VertexId};
+use graphz_types::{cast, MemoryBudget, Result, VertexId};
 
 use crate::dos::DosGraph;
 
@@ -33,14 +33,15 @@ impl PartitionSet {
     /// vertices.
     pub fn with_width(num_vertices: u64, per_partition: u64) -> Self {
         assert!(per_partition > 0, "partition width must be positive");
-        let num_partitions = num_vertices.div_ceil(per_partition).max(1) as u32;
+        let num_partitions = cast::to_u32(num_vertices.div_ceil(per_partition).max(1), "partition count")
+            .expect("partition count bounded by the u32 id space");
         PartitionSet { num_vertices, per_partition, num_partitions }
     }
 
     /// Split into exactly `n` equal partitions.
     pub fn with_count(num_vertices: u64, n: u32) -> Self {
         assert!(n > 0, "partition count must be positive");
-        let per = num_vertices.div_ceil(n as u64).max(1);
+        let per = num_vertices.div_ceil(cast::widen_u32(n)).max(1);
         Self::with_width(num_vertices, per)
     }
 
@@ -59,23 +60,31 @@ impl PartitionSet {
     /// Which partition owns vertex `v`.
     #[inline]
     pub fn partition_of(&self, v: VertexId) -> u32 {
-        debug_assert!((v as u64) < self.num_vertices);
-        (v as u64 / self.per_partition) as u32
+        debug_assert!(cast::widen_u32(v) < self.num_vertices);
+        // The quotient is <= v, which already fits u32.
+        cast::to_u32(cast::widen_u32(v) / self.per_partition, "partition of vertex")
+            .expect("quotient bounded by the vertex id")
     }
 
     /// Vertex range `[start, end)` of partition `p`.
     #[inline]
     pub fn range(&self, p: u32) -> (VertexId, VertexId) {
         debug_assert!(p < self.num_partitions);
-        let start = p as u64 * self.per_partition;
-        let end = (start + self.per_partition).min(self.num_vertices);
-        (start as VertexId, end as VertexId)
+        // Saturating keeps the intermediate in-range; the `min` below then
+        // clamps to num_vertices, which the constructor proved fits u32.
+        let start = cast::widen_u32(p).saturating_mul(self.per_partition);
+        let end = start.saturating_add(self.per_partition).min(self.num_vertices);
+        (
+            cast::to_u32(start.min(self.num_vertices), "partition start")
+                .expect("vertex range bounds fit u32"),
+            cast::to_u32(end, "partition end").expect("vertex range bounds fit u32"),
+        )
     }
 
     /// Number of vertices in partition `p`.
     pub fn size(&self, p: u32) -> u64 {
         let (a, b) = self.range(p);
-        (b - a) as u64
+        cast::widen_u32(b - a)
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (u32, VertexId, VertexId)> + '_ {
@@ -113,8 +122,8 @@ impl Partitioner {
     /// Lay out partitions for `num_vertices` vertices of `vertex_bytes`
     /// resident state each.
     pub fn layout(&self, num_vertices: u64, vertex_bytes: usize) -> PartitionSet {
-        let resident = (self.budget.bytes() as f64 * self.vertex_fraction) as u64;
-        let per = (resident / vertex_bytes.max(1) as u64).max(1);
+        let resident = cast::fraction_of(self.budget.bytes(), self.vertex_fraction);
+        let per = (resident / cast::len_u64(vertex_bytes.max(1))).max(1);
         PartitionSet::with_width(num_vertices, per)
     }
 }
@@ -145,7 +154,7 @@ pub fn in_partition_message_cdf(
             remaining = index.degree_of(v);
         }
         remaining -= 1;
-        let m = (v.max(dst)) as u64;
+        let m = cast::widen_u32(v.max(dst));
         let k = cutoffs.partition_point(|&c| c <= m);
         first_hit[k] += 1;
     }

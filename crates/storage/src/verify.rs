@@ -9,7 +9,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use graphz_io::{IoStats, RecordReader};
-use graphz_types::{Result, VertexId};
+use graphz_types::{cast, Result, VertexId};
 
 use crate::dos::DosGraph;
 use crate::meta::MetaFile;
@@ -105,7 +105,7 @@ pub fn verify_dos(dir: &Path, stats: Arc<IoStats>) -> Result<VerifyReport> {
         )));
     }
     if let Some(first) = index.groups().first() {
-        if first.degree as u64 != meta.max_degree {
+        if cast::widen_u32(first.degree) != meta.max_degree {
             report.violations.push(Violation::BadIndex(format!(
                 "first group degree {} != meta max degree {}",
                 first.degree, meta.max_degree
@@ -122,18 +122,32 @@ pub fn verify_dos(dir: &Path, stats: Arc<IoStats>) -> Result<VerifyReport> {
             )));
         }
         let group_end = if i + 1 < groups.len() {
-            groups[i + 1].first_id as u64
+            cast::widen_u32(groups[i + 1].first_id)
         } else {
             meta.num_vertices
         };
-        if group_end < g.first_id as u64 {
+        if group_end < cast::widen_u32(g.first_id) {
             report.violations.push(Violation::BadIndex(format!(
                 "group {i} first id {} beyond the vertex space",
                 g.first_id
             )));
             break;
         }
-        cumulative += (group_end - g.first_id as u64) * g.degree as u64;
+        // Checked Eq. 1-style accumulation: an index corrupt enough to
+        // overflow `group_width * degree` is a violation, not a crash.
+        let next = cast::sub_u64(group_end, cast::widen_u32(g.first_id), "verify group width")
+            .and_then(|w| cast::mul_u64(w, cast::widen_u32(g.degree), "verify group edges"))
+            .and_then(|n| cast::add_u64(cumulative, n, "verify cumulative degree"));
+        match next {
+            Ok(c) => cumulative = c,
+            Err(e) => {
+                report.violations.push(Violation::BadIndex(format!(
+                    "group {i} (degree {}) overflows the cumulative edge count: {e}",
+                    g.degree
+                )));
+                break;
+            }
+        }
     }
     if cumulative != meta.num_edges {
         report.violations.push(Violation::BadIndex(format!(
@@ -145,7 +159,9 @@ pub fn verify_dos(dir: &Path, stats: Arc<IoStats>) -> Result<VerifyReport> {
     // 3. Edge file: exact length, all targets in range.
     match std::fs::metadata(graph.edges_path()) {
         Ok(md) => {
-            let expected = meta.num_edges * 4;
+            // Saturating: a meta file claiming ~u64::MAX edges should report
+            // a length mismatch, not crash the verifier.
+            let expected = meta.num_edges.saturating_mul(4);
             if md.len() != expected {
                 report.violations.push(Violation::BadEdges(format!(
                     "edges.bin is {} bytes, expected {expected}",
@@ -166,7 +182,7 @@ pub fn verify_dos(dir: &Path, stats: Arc<IoStats>) -> Result<VerifyReport> {
                 remaining = index.degree_of(v);
             }
             remaining -= 1;
-            if dst as u64 >= meta.num_vertices {
+            if cast::widen_u32(dst) >= meta.num_vertices {
                 report.violations.push(Violation::DanglingEdge { vertex: v, target: dst });
                 if report.violations.len() > 16 {
                     break; // enough evidence
@@ -178,7 +194,9 @@ pub fn verify_dos(dir: &Path, stats: Arc<IoStats>) -> Result<VerifyReport> {
     // 4. Id maps: sizes and mutual inversion.
     let old2new = graph.load_old2new(Arc::clone(&stats))?;
     let new2old = graph.load_new2old(Arc::clone(&stats))?;
-    if old2new.len() as u64 != meta.num_vertices || new2old.len() as u64 != meta.num_vertices {
+    if cast::len_u64(old2new.len()) != meta.num_vertices
+        || cast::len_u64(new2old.len()) != meta.num_vertices
+    {
         report.violations.push(Violation::BadIdMap(format!(
             "map sizes {} / {} != {} vertices",
             old2new.len(),
@@ -187,7 +205,9 @@ pub fn verify_dos(dir: &Path, stats: Arc<IoStats>) -> Result<VerifyReport> {
         )));
     } else {
         for (old, &new) in old2new.iter().enumerate() {
-            if new as usize >= new2old.len() || new2old[new as usize] as usize != old {
+            if cast::vertex_index(new) >= new2old.len()
+                || cast::vertex_index(new2old[cast::vertex_index(new)]) != old
+            {
                 report.violations.push(Violation::BadIdMap(format!(
                     "old {old} -> new {new} does not invert"
                 )));
@@ -356,6 +376,73 @@ mod tests {
         std::fs::remove_file(dos_dir.join("checksums.txt")).unwrap();
         let report = verify_dos(&dos_dir, stats()).unwrap();
         assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    fn convert_edges(name: &str, edges: Vec<Edge>) -> (ScratchDir, std::path::PathBuf) {
+        let dir = ScratchDir::new(name).unwrap();
+        let el = EdgeListFile::create(&dir.file("g.bin"), stats(), edges).unwrap();
+        let dos_dir = dir.path().join("dos");
+        DosConverter::new(MemoryBudget::from_kib(64), stats()).convert(&el, &dos_dir).unwrap();
+        (dir, dos_dir)
+    }
+
+    #[test]
+    fn empty_graph_verifies_clean() {
+        let (_dir, dos_dir) = convert_edges("verify-empty", vec![]);
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn single_vertex_graph_verifies_clean() {
+        // One vertex, one self-loop: the smallest graph with an edge file.
+        let (_dir, dos_dir) = convert_edges("verify-one", vec![Edge::new(0, 0)]);
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        let g = DosGraph::open(&dos_dir, stats()).unwrap();
+        assert_eq!(g.meta().num_vertices, 1);
+        assert_eq!(g.index().offset_of(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn all_degree_zero_tail_verifies_clean() {
+        // One real edge, then a long run of isolated vertices: the final
+        // degree-0 group must cover ids 1..100 with offset == num_edges.
+        let (_dir, dos_dir) = convert_edges("verify-zero-tail", vec![Edge::new(0, 99)]);
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        let g = DosGraph::open(&dos_dir, stats()).unwrap();
+        assert_eq!(g.meta().num_vertices, 100);
+        let last = g.index().groups().last().copied().unwrap();
+        assert_eq!(last.degree, 0);
+        assert_eq!(last.offset, g.meta().num_edges);
+        // Eq. 1 on the zero-degree tail: every offset pins to num_edges.
+        assert_eq!(g.index().offset_of(1).unwrap(), 1);
+        assert_eq!(g.index().offset_of(99).unwrap(), 1);
+        assert_eq!(g.index().edges_in_range(1, 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn adjacency_block_ending_exactly_at_file_end() {
+        // Every vertex has degree >= 1 (a 5-cycle), so the *last* vertex's
+        // adjacency block ends exactly at the end of edges.bin — the
+        // off-by-one boundary of the Eq. 1 bounds math.
+        let edges: Vec<Edge> = (0..5u32).map(|i| Edge::new(i, (i + 1) % 5)).collect();
+        let (_dir, dos_dir) = convert_edges("verify-exact-end", edges);
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        let g = DosGraph::open(&dos_dir, stats()).unwrap();
+        let n = g.meta().num_vertices;
+        let last = u32::try_from(n - 1).unwrap();
+        let (deg, offset) = g.index().lookup(last).unwrap();
+        // The block [offset, offset + deg) must end exactly at num_edges…
+        assert_eq!(offset + u64::from(deg), g.meta().num_edges);
+        // …and at the physical end of the file.
+        let file_len = std::fs::metadata(g.edges_path()).unwrap().len();
+        assert_eq!((offset + u64::from(deg)) * 4, file_len);
+        // Reading that final block must succeed and yield `deg` neighbors.
+        assert_eq!(g.adjacency(last, stats()).unwrap().len(), deg as usize);
+        assert_eq!(g.index().edges_in_range(last, last + 1).unwrap(), u64::from(deg));
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub enum GraphError {
     InvalidConfig(String),
     /// An algorithm-level failure (e.g. source vertex out of range).
     Algorithm(String),
+    /// Offset, length, or id arithmetic overflowed its integer type — e.g.
+    /// the DOS Eq. 1 byte offset exceeding `u64`, or a `u64` file length
+    /// that does not fit this platform's `usize`. Surfacing this as a typed
+    /// error (instead of wrapping silently or panicking) is what lets the
+    /// storage layer promise overflow-safe offset math (see
+    /// [`crate::cast`]).
+    OffsetOverflow(String),
 }
 
 impl fmt::Display for GraphError {
@@ -39,6 +46,7 @@ impl fmt::Display for GraphError {
             ),
             GraphError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             GraphError::Algorithm(m) => write!(f, "algorithm error: {m}"),
+            GraphError::OffsetOverflow(m) => write!(f, "offset arithmetic overflow: {m}"),
         }
     }
 }
@@ -131,6 +139,14 @@ mod tests {
         assert!(s.contains("100 bytes"));
         assert!(s.contains("budget"));
         assert!(GraphError::NotFound("x".into()).to_string().contains("not found"));
+    }
+
+    #[test]
+    fn offset_overflow_display_names_the_computation() {
+        let e = GraphError::OffsetOverflow("dos offset: 7 * 8".into());
+        let s = e.to_string();
+        assert!(s.contains("offset arithmetic overflow"), "{s}");
+        assert!(s.contains("dos offset"), "{s}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cast;
 pub mod codec;
 pub mod config;
 pub mod error;

@@ -66,7 +66,7 @@ fn main() -> Result<()> {
 
     // Eq. 1 walkthrough, mirroring the paper's narration for one vertex.
     let x: VertexId = 2;
-    let (deg, offset) = dos.index().lookup(x);
+    let (deg, offset) = dos.index().lookup(x)?;
     println!(
         "\nEq. 1 for new vertex {x}: binary-search ids_table -> degree {deg}; \
          offset = id_offset_table[{deg}] + ({x} - ids_table[{deg}]) * {deg} = {offset}"

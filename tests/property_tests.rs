@@ -86,7 +86,7 @@ fn dos_construction_invariants() {
         let mut cum = 0u64;
         let mut prev = u32::MAX;
         for v in 0..n as u32 {
-            let (deg, offset) = idx.lookup(v);
+            let (deg, offset) = idx.lookup(v).unwrap();
             assert!(deg <= prev, "case {case}: degree increased at {v}");
             assert_eq!(offset, cum, "case {case}");
             cum += deg as u64;
