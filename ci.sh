@@ -14,6 +14,12 @@ cargo build --release --offline
 echo "== test =="
 cargo test -q --offline
 
+echo "== ingest equivalence (parallel == serial, byte-for-byte) =="
+# Part of the tier-1 gate: the sharded ingest pipeline must produce DOS
+# directories byte-identical to the serial build at every thread count and
+# chunk size (DESIGN.md §6g).
+cargo test -q --offline -p graphz-bench --test ingest_equivalence
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
 
@@ -32,5 +38,12 @@ echo "== bench: pagerank throughput (small graph) =="
 cargo run --release --offline -q -p graphz-bench --bin bench_throughput -- \
   --scale 10 --edges 20000 --iterations 5 --budget-kib 8 \
   --out BENCH_throughput.json
+
+echo "== bench: ingest throughput (serial vs sharded parallel) =="
+# Single-core machines will show speedup <= 1; the JSON records the core
+# count so readings are comparable across hosts.
+cargo run --release --offline -q -p graphz-bench --bin bench_ingest -- \
+  --scale 9 --edges 120000 --budget-kib 256 --threads 1,2,4 \
+  --out BENCH_ingest.json
 
 echo "CI gate passed."

@@ -1,7 +1,7 @@
 //! Shared algorithm definitions: parameters, result values, and the
 //! numerical kernels every engine must agree on.
 
-use graphz_types::{derive_weight, VertexId, Weight};
+use graphz_types::prelude::*;
 
 /// The six benchmarks of the paper's evaluation (§VI-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

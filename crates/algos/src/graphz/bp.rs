@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use graphz_core::{UpdateContext, VertexProgram};
-use graphz_types::{FixedCodec, VertexId};
+use graphz_types::prelude::*;
 
 use crate::common::{bp_combine, bp_message, bp_prior};
 

@@ -16,7 +16,7 @@ use graphz_baselines::BaselineRun;
 use graphz_core::{DenseStore, DosStore, Engine, EngineConfig, GraphStore, StageTimes, VertexProgram};
 use graphz_io::{IoSnapshot, IoStats, PrefetchSnapshot};
 use graphz_storage::{CsrFiles, CsrGraph, DosConverter, DosGraph, EdgeListFile};
-use graphz_types::{EngineOptions, MemoryBudget, Result, VertexId};
+use graphz_types::prelude::*;
 
 use crate::common::{canonicalize_labels, AlgoParams, Algorithm, AlgoValues};
 use crate::{graphchi as chi, graphz as gz, reference, xstream as xs};
@@ -97,7 +97,7 @@ pub fn prepare_dos(
     budget: MemoryBudget,
     stats: Arc<IoStats>,
 ) -> Result<DosGraph> {
-    DosConverter::new(budget, stats).convert(input, dir)
+    DosConverter::builder().budget(budget).stats(stats).build()?.convert(input, dir)
 }
 
 /// Convert to on-disk CSR (substrate for the w/o-DOS ablations).

@@ -1,7 +1,7 @@
 //! Two-state loopy belief propagation for the X-Stream-class engine.
 
 use graphz_baselines::xstream::XsProgram;
-use graphz_types::{FixedCodec, VertexId};
+use graphz_types::prelude::*;
 
 use crate::common::{bp_combine, bp_message, bp_prior};
 

@@ -1,0 +1,154 @@
+//! Ingest-throughput benchmark: serial vs sharded parallel ingest.
+//!
+//! Generates a deterministic R-MAT graph, exports it to SNAP-style text,
+//! then runs the full [`IngestPipeline`] (chunked parse → pipelined DOS
+//! conversion) once per thread count and writes `BENCH_ingest.json` —
+//! edges/sec per configuration plus the parallel-vs-serial speedup. Every
+//! configuration produces byte-identical output (DESIGN.md §6g), which is
+//! re-checked here on the edges file so the benchmark cannot silently
+//! measure divergent work.
+//!
+//! Usage:
+//!   bench_ingest [--scale N] [--edges M] [--budget-kib B]
+//!                [--threads T,T,...] [--out PATH]
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use graphz_gen::rmat_edges;
+use graphz_io::{IoStats, ScratchDir};
+use graphz_storage::{EdgeListFile, IngestPipeline};
+use graphz_types::{GraphError, IoCtx, MemoryBudget, Result};
+
+struct Args {
+    scale: u32,
+    edges: u64,
+    budget_kib: u64,
+    threads: Vec<usize>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<&str> {
+        argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).map(String::as_str)
+    };
+    let num = |flag: &str, default: u64| -> u64 {
+        get(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let threads = get("--threads")
+        .map(|list| list.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    Args {
+        scale: num("--scale", 9) as u32,
+        edges: num("--edges", 120_000),
+        budget_kib: num("--budget-kib", 256),
+        threads,
+        out: get("--out").map(PathBuf::from).unwrap_or_else(|| "BENCH_ingest.json".into()),
+    }
+}
+
+struct Measurement {
+    threads: usize,
+    wall_s: f64,
+    edges_per_sec: f64,
+}
+
+fn ingest_once(
+    src: &Path,
+    dir: &Path,
+    budget_kib: u64,
+    threads: usize,
+    num_edges: u64,
+) -> Result<Measurement> {
+    let pipeline = IngestPipeline::builder()
+        .budget(MemoryBudget::from_kib(budget_kib))
+        .stats(IoStats::new())
+        .threads(threads)
+        .build()?;
+    let start = Instant::now();
+    pipeline.run(src, dir)?;
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    Ok(Measurement { threads, wall_s, edges_per_sec: num_edges as f64 / wall_s })
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("bench_ingest failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let scratch = ScratchDir::new("bench-ingest")?;
+    let stats = IoStats::new();
+
+    eprintln!("generating R-MAT scale {} with {} edges ...", args.scale, args.edges);
+    let bin = EdgeListFile::create(
+        &scratch.file("g.bin"),
+        Arc::clone(&stats),
+        rmat_edges(args.scale, args.edges, Default::default(), 42),
+    )?;
+    let num_edges = bin.meta().num_edges;
+    let text = scratch.file("g.txt");
+    bin.export_text(&text, Arc::clone(&stats))?;
+
+    let mut runs: Vec<Measurement> = Vec::new();
+    let mut baseline_edges: Option<Vec<u8>> = None;
+    for &threads in &args.threads {
+        eprintln!("ingest: threads={threads} ...");
+        let dir = scratch.path().join(format!("dos-t{threads}"));
+        runs.push(ingest_once(&text, &dir, args.budget_kib, threads, num_edges)?);
+        // Determinism re-check: every configuration must produce the same
+        // adjacency bytes as the first one measured.
+        let edges_bytes =
+            std::fs::read(dir.join("edges.bin")).ctx("read", &dir.join("edges.bin"))?;
+        match &baseline_edges {
+            None => baseline_edges = Some(edges_bytes),
+            Some(want) if *want == edges_bytes => {}
+            Some(_) => {
+                return Err(GraphError::Corrupt(format!(
+                    "ingest at {threads} threads produced different edges.bin"
+                )))
+            }
+        }
+    }
+
+    let serial = runs
+        .iter()
+        .filter(|m| m.threads == 1)
+        .map(|m| m.edges_per_sec)
+        .fold(f64::MIN, f64::max);
+    let parallel = runs
+        .iter()
+        .filter(|m| m.threads > 1)
+        .map(|m| m.edges_per_sec)
+        .fold(f64::MIN, f64::max);
+    let speedup = if serial > 0.0 { parallel / serial } else { 0.0 };
+
+    let body = runs
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"threads\": {}, \"wall_s\": {:.6}, \"edges_per_sec\": {:.1}}}",
+                m.threads, m.wall_s, m.edges_per_sec
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"ingest_throughput\",\n  \"graph\": {{\"scale\": {}, \"edges\": {}}},\n  \
+         \"budget_kib\": {},\n  \"cores\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_parallel_vs_serial\": {:.3}\n}}\n",
+        args.scale, num_edges, args.budget_kib, cores, body, speedup,
+    );
+    std::fs::write(&args.out, &json).ctx("write", &args.out)?;
+    eprintln!("wrote {} (speedup {:.2}x)", args.out.display(), speedup);
+    print!("{json}");
+    Ok(())
+}

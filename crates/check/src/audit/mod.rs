@@ -37,7 +37,16 @@ pub const AUDIT_RULES: &[Rule] = &[
         name: "lock-order",
         why: "two code paths that acquire the same locks in different orders \
               can deadlock; the acquisition graph must stay acyclic",
-        scope: &["crates/core/", "crates/io/", "crates/storage/", "crates/check/"],
+        scope: &[
+            "crates/core/",
+            "crates/io/",
+            "crates/storage/",
+            "crates/check/",
+            // The sharded extsort (PR 5) is deliberately lock-free — chunks
+            // move over channels — so keeping it in scope is a cheap
+            // invariant: any future Mutex here joins the global order graph.
+            "crates/extsort/",
+        ],
         allow: &[],
     },
     Rule {

@@ -74,6 +74,12 @@ pub const RULES: &[Rule] = &[
             "crates/core/src/prefetch.rs",
             "crates/core/src/sio.rs",
             "crates/core/src/msgmanager.rs",
+            // Ingest-side concurrency (PR 5): scoped producer shards, the
+            // double-buffered run reader, and chunked text parse workers all
+            // follow the deterministic-schedule rule (DESIGN.md §6g).
+            "crates/extsort/src/shard.rs",
+            "crates/io/src/readahead.rs",
+            "crates/storage/src/chunked.rs",
         ],
     },
     Rule {

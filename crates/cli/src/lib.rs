@@ -1,18 +1,14 @@
 //! Implementation of the `graphz` command-line tool.
 //!
-//! Subcommands:
-//!
-//! * `graphz generate <out.bin> --scale N --edges M [--seed S]` — emit a
-//!   deterministic R-MAT edge list.
-//! * `graphz import <edges.txt> <out.bin>` — convert SNAP-style text.
-//! * `graphz convert <edges.bin> <dos-dir>` — build degree-ordered storage.
-//! * `graphz info <dos-dir | edges.bin>` — print metadata and index sizes.
-//! * `graphz run <algo> <dos-dir> [--budget-mib B] [--source V]
-//!   [--iterations N] [--top K]` — run an algorithm out-of-core and print
-//!   the top-K vertices.
+//! The grammar is *declarative*: every subcommand is one [`CommandSpec`] row
+//! in [`COMMANDS`] — name, aliases, positionals, flags (spelling, value
+//! placeholder, help text). [`parse`] walks the table, so unknown flags are
+//! rejected with the subcommand's own flag list, `graphz <cmd> --help` (and
+//! `graphz help <cmd>`) render per-subcommand help, and the top-level usage
+//! text is generated from the same rows it validates against.
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy keeps
-//! clap out of the runtime tree); see [`parse`] for the grammar.
+//! clap out of the runtime tree).
 
 #![forbid(unsafe_code)]
 
@@ -22,15 +18,21 @@ use std::sync::Arc;
 use graphz_algos::runner;
 use graphz_algos::{AlgoParams, Algorithm, AlgoValues};
 use graphz_io::IoStats;
-use graphz_storage::{DosGraph, EdgeListFile};
+use graphz_storage::{DosGraph, EdgeListFile, IngestPipeline};
 use graphz_types::{EngineOptions, GraphError, MemoryBudget, Result};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     Generate { out: PathBuf, scale: u32, edges: u64, seed: u64 },
-    Import { text: PathBuf, out: PathBuf },
-    Convert { edges: PathBuf, dos_dir: PathBuf, budget_mib: u64, weighted: bool },
+    Import { text: PathBuf, out: PathBuf, ingest_threads: usize },
+    Convert {
+        edges: PathBuf,
+        dos_dir: PathBuf,
+        budget_mib: u64,
+        weighted: bool,
+        ingest_threads: usize,
+    },
     Info { path: PathBuf },
     Verify { dos_dir: PathBuf },
     Stats { edges: PathBuf },
@@ -49,6 +51,8 @@ pub enum Command {
         verbose: bool,
     },
     Help,
+    /// Per-subcommand help (`graphz <cmd> --help`, `graphz help <cmd>`).
+    HelpFor(String),
 }
 
 /// Default for `--threads`: every core the OS reports.
@@ -56,57 +60,248 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-pub const USAGE: &str = "graphz — out-of-core graph analytics (GraphZ, ICDE'18)
-
-USAGE:
-  graphz generate <out.bin> --scale N --edges M [--seed S]
-  graphz import   <edges.txt | matrix.mtx> <out.bin>
-  graphz convert  <edges.bin> <dos-dir> [--budget-mib B] [--weighted]
-  graphz info     <dos-dir | edges.bin>
-  graphz verify   <dos-dir>
-  graphz stats    <edges.bin>
-  graphz run      <pr|bfs|cc|sssp|bp|rw> <dos-dir>
-                  [--budget-mib B] [--source V] [--iterations N] [--top K]
-                  [--checkpoint-dir D] [--checkpoint-every N] [--resume]
-                  [--threads N] [--no-prefetch] [--verbose]
-  graphz help
-
-Checkpointing: with --checkpoint-dir, a crash-safe generation is written
-under D after every N completed iterations (default 1); --resume continues
-from the newest valid generation, skipping any damaged by a crash.
-
-Parallelism: --threads defaults to the core count. With N >= 2 the Worker
-runs a fixed 8-shard schedule per partition, so every N >= 2 produces
-bit-identical results; --threads 1 is the paper's sequential schedule.
---no-prefetch disables the background partition loader (results are
-identical either way). --verbose prints per-stage wall times and prefetch
-hit/stall counters.
-";
-
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+/// One flag a subcommand accepts: its spelling, the placeholder for its
+/// value (`None` = boolean switch), and one help line.
+pub struct FlagSpec {
+    pub name: &'static str,
+    pub value: Option<&'static str>,
+    pub help: &'static str,
 }
 
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T> {
-    match flag_value(args, flag) {
-        None => Ok(default),
-        Some(raw) => raw
-            .parse()
-            .map_err(|_| GraphError::InvalidConfig(format!("bad value for {flag}: `{raw}`"))),
+/// One subcommand: everything [`parse`] validates against and everything
+/// the help text is rendered from.
+pub struct CommandSpec {
+    pub name: &'static str,
+    pub aliases: &'static [&'static str],
+    pub positionals: &'static [&'static str],
+    pub flags: &'static [FlagSpec],
+    pub summary: &'static str,
+    /// Extra paragraphs for the per-subcommand help page.
+    pub details: &'static str,
+}
+
+/// The whole grammar, one row per subcommand.
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "generate",
+        aliases: &[],
+        positionals: &["<out.bin>"],
+        flags: &[
+            FlagSpec { name: "--scale", value: Some("N"), help: "log2 of the vertex count (default 14)" },
+            FlagSpec { name: "--edges", value: Some("M"), help: "number of edges (default 100000)" },
+            FlagSpec { name: "--seed", value: Some("S"), help: "R-MAT seed (default 42)" },
+        ],
+        summary: "emit a deterministic R-MAT edge list",
+        details: "",
+    },
+    CommandSpec {
+        name: "import",
+        aliases: &[],
+        positionals: &["<edges.txt | matrix.mtx>", "<out.bin>"],
+        flags: &[FlagSpec {
+            name: "--ingest-threads",
+            value: Some("N"),
+            help: "parallel text-parse workers; output is byte-identical \
+                   for every N (default 1)",
+        }],
+        summary: "convert SNAP-style text or Matrix Market to a binary edge list",
+        details: "",
+    },
+    CommandSpec {
+        name: "convert",
+        aliases: &[],
+        positionals: &["<edges.bin | edges.txt>", "<dos-dir>"],
+        flags: &[
+            FlagSpec { name: "--budget-mib", value: Some("B"), help: "sort memory budget in MiB (default 8)" },
+            FlagSpec { name: "--weighted", value: None, help: "also emit weights.bin (deterministic per-edge weights)" },
+            FlagSpec {
+                name: "--ingest-threads",
+                value: Some("N"),
+                help: "parse workers and sort-run producers; the DOS \
+                       directory is byte-identical for every N (default 1)",
+            },
+        ],
+        summary: "build degree-ordered storage (detects text vs binary input)",
+        details: "Ingest parallelism: --ingest-threads shards text parsing into fixed\n\
+                  byte chunks and external-sort run formation across N producers. The\n\
+                  plan depends only on the input size and budget — never on thread\n\
+                  timing — so the produced directory is byte-identical for every N.",
+    },
+    CommandSpec {
+        name: "info",
+        aliases: &[],
+        positionals: &["<dos-dir | edges.bin>"],
+        flags: &[],
+        summary: "print metadata and index sizes",
+        details: "",
+    },
+    CommandSpec {
+        name: "verify",
+        aliases: &[],
+        positionals: &["<dos-dir>"],
+        flags: &[],
+        summary: "check structural invariants and data-file checksums",
+        details: "",
+    },
+    CommandSpec {
+        name: "stats",
+        aliases: &[],
+        positionals: &["<edges.bin>"],
+        flags: &[],
+        summary: "degree distribution and unique-degree analysis (paper \u{a7}III-D)",
+        details: "",
+    },
+    CommandSpec {
+        name: "run",
+        aliases: &[],
+        positionals: &["<pr|bfs|cc|sssp|bp|rw>", "<dos-dir>"],
+        flags: &[
+            FlagSpec { name: "--budget-mib", value: Some("B"), help: "partition memory budget in MiB (default 8)" },
+            FlagSpec { name: "--source", value: Some("V"), help: "source vertex for bfs/sssp/rw (default 0)" },
+            FlagSpec { name: "--iterations", value: Some("N"), help: "iteration cap (default 100)" },
+            FlagSpec { name: "--top", value: Some("K"), help: "result rows to print (default 10)" },
+            FlagSpec { name: "--checkpoint-dir", value: Some("D"), help: "write crash-safe generations under D" },
+            FlagSpec { name: "--checkpoint-every", value: Some("N"), help: "iterations per generation (default 1)" },
+            FlagSpec { name: "--resume", value: None, help: "continue from the newest valid generation" },
+            FlagSpec { name: "--threads", value: Some("N"), help: "worker threads (default: core count)" },
+            FlagSpec { name: "--no-prefetch", value: None, help: "disable the background partition loader" },
+            FlagSpec { name: "--verbose", value: None, help: "print per-stage wall times and prefetch counters" },
+        ],
+        summary: "run an algorithm out-of-core and print the top-K vertices",
+        details: "Checkpointing: with --checkpoint-dir, a crash-safe generation is written\n\
+                  under D after every N completed iterations (default 1); --resume continues\n\
+                  from the newest valid generation, skipping any damaged by a crash.\n\
+                  \n\
+                  Parallelism: --threads defaults to the core count. With N >= 2 the Worker\n\
+                  runs a fixed 8-shard schedule per partition, so every N >= 2 produces\n\
+                  bit-identical results; --threads 1 is the paper's sequential schedule.\n\
+                  --no-prefetch disables the background partition loader (results are\n\
+                  identical either way). --verbose prints per-stage wall times and prefetch\n\
+                  hit/stall counters.",
+    },
+];
+
+fn find_command(name: &str) -> Option<&'static CommandSpec> {
+    COMMANDS.iter().find(|c| c.name == name || c.aliases.contains(&name))
+}
+
+/// The top-level usage page, rendered from [`COMMANDS`].
+pub fn usage() -> String {
+    let mut out = String::from("graphz — out-of-core graph analytics (GraphZ, ICDE'18)\n\nUSAGE:\n");
+    for c in COMMANDS {
+        let mut line = format!("  graphz {:<9}", c.name);
+        for p in c.positionals {
+            line.push_str(&format!(" {p}"));
+        }
+        if !c.flags.is_empty() {
+            line.push_str(" [flags]");
+        }
+        out.push_str(&format!("{line}\n{:21}{}\n", "", c.summary));
     }
+    out.push_str("  graphz help [command]\n\n");
+    out.push_str("Run `graphz <command> --help` for that command's flags.\n");
+    out
 }
 
-fn positional(args: &[String], idx: usize, what: &str) -> Result<PathBuf> {
-    args.iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| {
-            // Skip flag values: an arg immediately following a --flag.
-            let pos = args.iter().position(|x| x == *a).unwrap();
-            pos == 0 || !args[pos - 1].starts_with("--")
+/// The per-subcommand help page (`graphz <cmd> --help`).
+pub fn usage_for(name: &str) -> String {
+    let Some(c) = find_command(name) else {
+        return usage();
+    };
+    let mut out = format!("graphz {} — {}\n\nUSAGE:\n  graphz {}", c.name, c.summary, c.name);
+    for p in c.positionals {
+        out.push_str(&format!(" {p}"));
+    }
+    if !c.flags.is_empty() {
+        out.push_str(" [flags]\n\nFLAGS:\n");
+        for f in c.flags {
+            let spelled = match f.value {
+                Some(v) => format!("{} {v}", f.name),
+                None => f.name.to_string(),
+            };
+            out.push_str(&format!("  {spelled:<22} {}\n", f.help));
+        }
+    } else {
+        out.push('\n');
+    }
+    if !c.details.is_empty() {
+        out.push_str(&format!("\n{}\n", c.details));
+    }
+    out
+}
+
+/// Arguments validated against one [`CommandSpec`]: positionals in order,
+/// flag values, switches.
+struct ParsedArgs<'a> {
+    spec: &'static CommandSpec,
+    positionals: Vec<&'a str>,
+    values: Vec<(&'static str, &'a str)>,
+    switches: Vec<&'static str>,
+}
+
+impl<'a> ParsedArgs<'a> {
+    /// Walk the tokens left to right, classifying each against the spec.
+    /// Unknown flags and surplus positionals are errors naming the command.
+    fn collect(spec: &'static CommandSpec, args: &'a [String]) -> Result<Self> {
+        let mut parsed = ParsedArgs { spec, positionals: Vec::new(), values: Vec::new(), switches: Vec::new() };
+        let mut it = args.iter();
+        while let Some(tok) = it.next() {
+            if let Some(flag) = spec.flags.iter().find(|f| f.name == tok.as_str()) {
+                if flag.value.is_some() {
+                    let raw = it.next().ok_or_else(|| {
+                        GraphError::InvalidConfig(format!(
+                            "flag {} expects a value ({})",
+                            flag.name,
+                            flag.value.unwrap_or("?")
+                        ))
+                    })?;
+                    parsed.values.push((flag.name, raw.as_str()));
+                } else {
+                    parsed.switches.push(flag.name);
+                }
+            } else if tok.starts_with("--") {
+                return Err(GraphError::InvalidConfig(format!(
+                    "unknown flag `{tok}` for `graphz {}` — see `graphz {} --help`",
+                    spec.name, spec.name
+                )));
+            } else if parsed.positionals.len() < spec.positionals.len() {
+                parsed.positionals.push(tok.as_str());
+            } else {
+                return Err(GraphError::InvalidConfig(format!(
+                    "unexpected argument `{tok}` for `graphz {}`",
+                    spec.name
+                )));
+            }
+        }
+        Ok(parsed)
+    }
+
+    fn pos(&self, idx: usize) -> Result<PathBuf> {
+        self.positionals.get(idx).map(PathBuf::from).ok_or_else(|| {
+            GraphError::InvalidConfig(format!(
+                "missing argument: {}",
+                self.spec.positionals.get(idx).unwrap_or(&"<arg>")
+            ))
         })
-        .nth(idx)
-        .map(PathBuf::from)
-        .ok_or_else(|| GraphError::InvalidConfig(format!("missing argument: {what}")))
+    }
+
+    fn value(&self, flag: &str) -> Option<&str> {
+        // Last spelling wins, like every getopt descendant.
+        self.values.iter().rev().find(|(n, _)| *n == flag).map(|(_, v)| *v)
+    }
+
+    fn parse_value<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| GraphError::InvalidConfig(format!("bad value for {flag}: `{raw}`"))),
+        }
+    }
+
+    fn switch(&self, flag: &str) -> bool {
+        self.switches.contains(&flag)
+    }
 }
 
 /// Parse a full argument vector (without the program name).
@@ -114,30 +309,44 @@ pub fn parse(args: &[String]) -> Result<Command> {
     let Some(cmd) = args.first() else {
         return Ok(Command::Help);
     };
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        return Ok(match args.get(1).and_then(|n| find_command(n)) {
+            Some(spec) => Command::HelpFor(spec.name.to_string()),
+            None => Command::Help,
+        });
+    }
+    let spec = find_command(cmd).ok_or_else(|| {
+        GraphError::InvalidConfig(format!("unknown command `{cmd}` — see `graphz help`"))
+    })?;
     let rest = &args[1..];
-    match cmd.as_str() {
-        "help" | "--help" | "-h" => Ok(Command::Help),
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(Command::HelpFor(spec.name.to_string()));
+    }
+    let p = ParsedArgs::collect(spec, rest)?;
+    match spec.name {
         "generate" => Ok(Command::Generate {
-            out: positional(rest, 0, "<out.bin>")?,
-            scale: parse_flag(rest, "--scale", 14)?,
-            edges: parse_flag(rest, "--edges", 100_000)?,
-            seed: parse_flag(rest, "--seed", 42)?,
+            out: p.pos(0)?,
+            scale: p.parse_value("--scale", 14)?,
+            edges: p.parse_value("--edges", 100_000)?,
+            seed: p.parse_value("--seed", 42)?,
         }),
         "import" => Ok(Command::Import {
-            text: positional(rest, 0, "<edges.txt>")?,
-            out: positional(rest, 1, "<out.bin>")?,
+            text: p.pos(0)?,
+            out: p.pos(1)?,
+            ingest_threads: p.parse_value("--ingest-threads", 1usize)?.max(1),
         }),
         "convert" => Ok(Command::Convert {
-            edges: positional(rest, 0, "<edges.bin>")?,
-            dos_dir: positional(rest, 1, "<dos-dir>")?,
-            budget_mib: parse_flag(rest, "--budget-mib", 8)?,
-            weighted: rest.iter().any(|a| a == "--weighted"),
+            edges: p.pos(0)?,
+            dos_dir: p.pos(1)?,
+            budget_mib: p.parse_value("--budget-mib", 8)?,
+            weighted: p.switch("--weighted"),
+            ingest_threads: p.parse_value("--ingest-threads", 1usize)?.max(1),
         }),
-        "info" => Ok(Command::Info { path: positional(rest, 0, "<path>")? }),
-        "verify" => Ok(Command::Verify { dos_dir: positional(rest, 0, "<dos-dir>")? }),
-        "stats" => Ok(Command::Stats { edges: positional(rest, 0, "<edges.bin>")? }),
+        "info" => Ok(Command::Info { path: p.pos(0)? }),
+        "verify" => Ok(Command::Verify { dos_dir: p.pos(0)? }),
+        "stats" => Ok(Command::Stats { edges: p.pos(0)? }),
         "run" => {
-            let algo_raw = positional(rest, 0, "<algorithm>")?;
+            let algo_raw = p.pos(0)?;
             let algo = match algo_raw.to_string_lossy().to_lowercase().as_str() {
                 "pr" | "pagerank" => Algorithm::PageRank,
                 "bfs" => Algorithm::Bfs,
@@ -151,20 +360,22 @@ pub fn parse(args: &[String]) -> Result<Command> {
             };
             Ok(Command::Run {
                 algo,
-                dos_dir: positional(rest, 1, "<dos-dir>")?,
-                budget_mib: parse_flag(rest, "--budget-mib", 8)?,
-                source: parse_flag(rest, "--source", 0)?,
-                iterations: parse_flag(rest, "--iterations", 100)?,
-                top: parse_flag(rest, "--top", 10)?,
-                checkpoint_dir: flag_value(rest, "--checkpoint-dir").map(PathBuf::from),
-                checkpoint_every: parse_flag(rest, "--checkpoint-every", 1)?,
-                resume: rest.iter().any(|a| a == "--resume"),
-                threads: parse_flag(rest, "--threads", default_threads())?.max(1),
-                prefetch: !rest.iter().any(|a| a == "--no-prefetch"),
-                verbose: rest.iter().any(|a| a == "--verbose"),
+                dos_dir: p.pos(1)?,
+                budget_mib: p.parse_value("--budget-mib", 8)?,
+                source: p.parse_value("--source", 0)?,
+                iterations: p.parse_value("--iterations", 100)?,
+                top: p.parse_value("--top", 10)?,
+                checkpoint_dir: p.value("--checkpoint-dir").map(PathBuf::from),
+                checkpoint_every: p.parse_value("--checkpoint-every", 1)?,
+                resume: p.switch("--resume"),
+                threads: p.parse_value("--threads", default_threads())?.max(1),
+                prefetch: !p.switch("--no-prefetch"),
+                verbose: p.switch("--verbose"),
             })
         }
-        other => Err(GraphError::InvalidConfig(format!("unknown command `{other}`"))),
+        // `COMMANDS` and this match are maintained together; a row without
+        // an arm is a bug caught by the exhaustive-table test.
+        other => Err(GraphError::InvalidConfig(format!("unimplemented command `{other}`"))),
     }
 }
 
@@ -172,7 +383,8 @@ pub fn parse(args: &[String]) -> Result<Command> {
 pub fn execute(cmd: Command) -> Result<String> {
     let stats = IoStats::new();
     match cmd {
-        Command::Help => Ok(USAGE.to_string()),
+        Command::Help => Ok(usage()),
+        Command::HelpFor(name) => Ok(usage_for(&name)),
         Command::Generate { out, scale, edges, seed } => {
             let el = EdgeListFile::create(
                 &out,
@@ -188,13 +400,20 @@ pub fn execute(cmd: Command) -> Result<String> {
                 m.unique_degrees
             ))
         }
-        Command::Import { text, out } => {
+        Command::Import { text, out, ingest_threads } => {
             // `.mtx` files go through the Matrix Market reader; anything
-            // else is treated as SNAP-style `src dst` text.
+            // else is SNAP-style `src dst` text, parsed in parallel byte
+            // chunks (byte-identical output for every thread count).
             let el = if text.extension().is_some_and(|e| e == "mtx") {
                 EdgeListFile::import_matrix_market(&text, &out, Arc::clone(&stats))?
             } else {
-                EdgeListFile::import_text(&text, &out, Arc::clone(&stats))?
+                graphz_storage::import_text_chunked(
+                    &text,
+                    &out,
+                    Arc::clone(&stats),
+                    ingest_threads,
+                    graphz_storage::chunked::DEFAULT_CHUNK_BYTES,
+                )?
             };
             Ok(format!(
                 "imported {} edges over {} vertices into {}\n",
@@ -203,17 +422,16 @@ pub fn execute(cmd: Command) -> Result<String> {
                 out.display()
             ))
         }
-        Command::Convert { edges, dos_dir, budget_mib, weighted } => {
-            let el = EdgeListFile::open(&edges)?;
-            let mut converter = graphz_storage::DosConverter::new(
-                MemoryBudget::from_mib(budget_mib),
-                Arc::clone(&stats),
-            );
+        Command::Convert { edges, dos_dir, budget_mib, weighted, ingest_threads } => {
+            let mut pipeline = IngestPipeline::builder()
+                .budget(MemoryBudget::from_mib(budget_mib))
+                .stats(Arc::clone(&stats))
+                .threads(ingest_threads);
             if weighted {
                 // Deterministic weights derived from original endpoint ids.
-                converter = converter.with_weights(graphz_types::derive_weight);
+                pipeline = pipeline.weights(graphz_types::derive_weight);
             }
-            let dos = converter.convert(&el, &dos_dir)?;
+            let dos = pipeline.build()?.run(&edges, &dos_dir)?;
             Ok(format!(
                 "converted to degree-ordered storage at {}\n\
                  index: {} bytes for {} unique degrees (dense CSR would need {} bytes)\n",
@@ -565,6 +783,86 @@ mod tests {
     }
 
     #[test]
+    fn rejects_unknown_flags_naming_the_command() {
+        let err = parse(&args("run pr dos --banana")).unwrap_err();
+        assert!(err.to_string().contains("graphz run"), "{err}");
+        // A flag valid elsewhere is still unknown here.
+        let err = parse(&args("generate g.bin --ingest-threads 4")).unwrap_err();
+        assert!(err.to_string().contains("--ingest-threads"), "{err}");
+        // Surplus positionals are rejected, not silently dropped.
+        assert!(parse(&args("info a b")).is_err());
+        // A value-taking flag at the end of the line is an error.
+        let err = parse(&args("generate g.bin --scale")).unwrap_err();
+        assert!(err.to_string().contains("--scale"), "{err}");
+    }
+
+    #[test]
+    fn per_subcommand_help_renders_from_the_table() {
+        for spelled in ["convert --help", "convert -h", "help convert"] {
+            let cmd = parse(&args(spelled)).unwrap();
+            assert_eq!(cmd, Command::HelpFor("convert".into()), "{spelled}");
+        }
+        let page = execute(Command::HelpFor("convert".into())).unwrap();
+        assert!(page.contains("--ingest-threads"), "{page}");
+        assert!(page.contains("byte-identical"), "{page}");
+        assert!(page.contains("--weighted"), "{page}");
+        // `--help` wins even when the rest of the line is malformed.
+        assert_eq!(
+            parse(&args("run --help --banana")).unwrap(),
+            Command::HelpFor("run".into())
+        );
+        // `help <unknown>` falls back to the top-level page.
+        assert_eq!(parse(&args("help frobnicate")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn every_table_row_parses_and_renders_help() {
+        for spec in COMMANDS {
+            // The parse() match has an arm for every row: a minimal
+            // invocation must never hit the `unimplemented command` arm.
+            let mut line = vec![spec.name.to_string()];
+            line.extend(spec.positionals.iter().map(|p| match *p {
+                "<pr|bfs|cc|sssp|bp|rw>" => "pr".to_string(),
+                other => other.trim_matches(['<', '>']).replace(" | ", "-"),
+            }));
+            match parse(&line) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(
+                        !e.to_string().contains("unimplemented"),
+                        "`{}` has a table row but no parse arm: {e}",
+                        spec.name
+                    );
+                    panic!("minimal `{}` invocation failed to parse: {e}", spec.name);
+                }
+            }
+            let page = usage_for(spec.name);
+            assert!(page.contains(spec.summary), "{page}");
+            for f in spec.flags {
+                assert!(page.contains(f.name), "help for `{}` misses {}", spec.name, f.name);
+            }
+            assert!(usage().contains(spec.name));
+        }
+    }
+
+    #[test]
+    fn parses_ingest_threads_on_import_and_convert() {
+        let cmd = parse(&args("import e.txt e.bin --ingest-threads 4")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Import { text: "e.txt".into(), out: "e.bin".into(), ingest_threads: 4 }
+        );
+        match parse(&args("convert e.bin dos --ingest-threads 0")).unwrap() {
+            Command::Convert { ingest_threads, .. } => assert_eq!(ingest_threads, 1),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("convert e.bin dos")).unwrap() {
+            Command::Convert { ingest_threads, .. } => assert_eq!(ingest_threads, 1),
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
     fn empty_args_mean_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert!(execute(Command::Help).unwrap().contains("USAGE"));
@@ -607,6 +905,37 @@ mod tests {
         .unwrap();
         assert!(out.contains("stage times:"), "{out}");
         assert!(out.contains("prefetch:"), "{out}");
+    }
+
+    #[test]
+    fn convert_accepts_text_directly_and_parallel_matches_serial() {
+        let dir = graphz_io::ScratchDir::new("cli-text-convert").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n1 2\n2 0\n0 2\n3 1\n").unwrap();
+        let serial = dir.path().join("serial");
+        let par = dir.path().join("par");
+        let out = execute(
+            parse(&args(&format!("convert {} {}", txt.display(), serial.display()))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("degree-ordered storage"), "{out}");
+        execute(
+            parse(&args(&format!(
+                "convert {} {} --ingest-threads 4",
+                txt.display(),
+                par.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(serial.join("edges.bin")).unwrap(),
+            std::fs::read(par.join("edges.bin")).unwrap()
+        );
+        assert_eq!(
+            std::fs::read(serial.join("checksums.txt")).unwrap(),
+            std::fs::read(par.join("checksums.txt")).unwrap()
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The `graphz` binary: see [`graphz_cli::USAGE`].
+//! The `graphz` binary: see [`graphz_cli::usage`].
 
 #![forbid(unsafe_code)]
 
@@ -7,7 +7,7 @@ fn main() {
     let cmd = match graphz_cli::parse(&args) {
         Ok(cmd) => cmd,
         Err(e) => {
-            eprintln!("error: {e}\n\n{}", graphz_cli::USAGE);
+            eprintln!("error: {e}\n\n{}", graphz_cli::usage());
             std::process::exit(2);
         }
     };

@@ -9,29 +9,49 @@
 //! The implementation is the classic two-phase algorithm:
 //!
 //! 1. **Run formation** — read records until the memory budget is full, sort
-//!    them in memory, and spill each sorted run to a scratch file.
-//! 2. **K-way merge** — stream every run through a min-heap, emitting records
-//!    in globally sorted order. If the number of runs exceeds the configured
-//!    fan-in, runs are merged in multiple passes.
+//!    them in memory, and spill each sorted run to a scratch file. With
+//!    [`ExternalSorterBuilder::threads`] > 1, run formation is sharded: the
+//!    input is cut into fixed-capacity chunks (a pure function of the split
+//!    budget, never of thread timing) and dealt round-robin to N producer
+//!    threads (see [`shard`](crate::shard) internals, DESIGN.md §6g).
+//! 2. **K-way merge** — stream every run through a loser tree, emitting
+//!    records in globally sorted order. If the number of runs exceeds the
+//!    configured fan-in, runs are merged in multiple passes. Multi-threaded
+//!    sorters read runs through double-buffered
+//!    [`ReadAheadReader`](graphz_io::ReadAheadReader)s so merge compares
+//!    overlap run-file IO.
+//!
+//! The merge can be consumed lazily via [`ExternalSorter::sort_stream`],
+//! which is how the DOS converter chains one sort's output into the next
+//! sort's run formation without an intermediate file.
 //!
 //! Sorting is stable across equal keys only within a run; engine code that
 //! needs total determinism (all of ours) uses keys that are total orders.
 
 #![forbid(unsafe_code)]
 
-use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
+mod losertree;
+mod shard;
+mod stream;
+
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir};
-use graphz_types::{cast, FixedCodec, MemoryBudget, Result};
+use graphz_io::{IoStats, ReadAheadReader, RecordReader, RecordWriter, ScratchDir};
+use graphz_types::{cast, FixedCodec, GraphError, MemoryBudget, Result};
+
+pub use stream::SortedStream;
+use stream::RunSource;
 
 /// Maximum number of runs merged at once. 64 open files keeps well under any
 /// fd limit while making multi-pass merges rare for our graph sizes.
 pub const DEFAULT_FAN_IN: usize = 64;
 
 /// Configuration for an external sort.
+///
+/// Construct via [`ExternalSorter::builder`] (the workspace builder
+/// convention) or [`ExternalSorter::new`] for the single-threaded default.
 pub struct ExternalSorter<T, K, F>
 where
     T: FixedCodec,
@@ -41,8 +61,90 @@ where
     key: F,
     budget: MemoryBudget,
     fan_in: usize,
+    threads: usize,
     stats: Arc<IoStats>,
     _marker: std::marker::PhantomData<T>,
+}
+
+/// Builder for [`ExternalSorter`], following the workspace `XBuilder` +
+/// chainable setters + fallible `build()` convention.
+pub struct ExternalSorterBuilder<T, K, F>
+where
+    T: FixedCodec,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    key: F,
+    budget: Option<MemoryBudget>,
+    fan_in: usize,
+    threads: usize,
+    stats: Option<Arc<IoStats>>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T, K, F> ExternalSorterBuilder<T, K, F>
+where
+    T: FixedCodec,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    /// In-memory bytes run formation may hold (required). With multiple
+    /// threads the budget is split across the producers
+    /// ([`MemoryBudget::split`]), so the configured total is respected
+    /// regardless of thread count.
+    pub fn budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Shared IO statistics sink (required).
+    pub fn stats(mut self, stats: Arc<IoStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Merge fan-in (≥ 2; default [`DEFAULT_FAN_IN`]).
+    pub fn fan_in(mut self, fan_in: usize) -> Self {
+        self.fan_in = fan_in;
+        self
+    }
+
+    /// Producer threads for run formation (≥ 1; default 1). Values > 1 also
+    /// enable double-buffered run readers in the merge phase. Output is
+    /// byte-identical across thread counts whenever equal keys imply equal
+    /// record bytes — true of every key in the ingest pipeline (DESIGN.md
+    /// §6g).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validate the configuration and produce the sorter.
+    pub fn build(self) -> Result<ExternalSorter<T, K, F>> {
+        let budget = self
+            .budget
+            .ok_or_else(|| GraphError::InvalidConfig("external sort requires a budget".into()))?;
+        let stats = self
+            .stats
+            .ok_or_else(|| GraphError::InvalidConfig("external sort requires a stats sink".into()))?;
+        if self.fan_in < 2 {
+            return Err(GraphError::InvalidConfig(format!(
+                "merge fan-in must be at least 2, got {}",
+                self.fan_in
+            )));
+        }
+        if self.threads == 0 {
+            return Err(GraphError::InvalidConfig("sort threads must be >= 1".into()));
+        }
+        Ok(ExternalSorter {
+            key: self.key,
+            budget,
+            fan_in: self.fan_in,
+            threads: self.threads,
+            stats,
+            _marker: Default::default(),
+        })
+    }
 }
 
 impl<T, K, F> ExternalSorter<T, K, F>
@@ -51,9 +153,31 @@ where
     K: Ord,
     F: Fn(&T) -> K,
 {
-    /// Create a sorter ordering records by `key(record)` ascending.
+    /// Start building a sorter that orders records by `key(record)`
+    /// ascending.
+    pub fn builder(key: F) -> ExternalSorterBuilder<T, K, F> {
+        ExternalSorterBuilder {
+            key,
+            budget: None,
+            fan_in: DEFAULT_FAN_IN,
+            threads: 1,
+            stats: None,
+            _marker: Default::default(),
+        }
+    }
+
+    /// Create a single-threaded sorter ordering records by `key(record)`
+    /// ascending. Shorthand for
+    /// `ExternalSorter::builder(key).budget(..).stats(..).build()`.
     pub fn new(key: F, budget: MemoryBudget, stats: Arc<IoStats>) -> Self {
-        ExternalSorter { key, budget, fan_in: DEFAULT_FAN_IN, stats, _marker: Default::default() }
+        ExternalSorter {
+            key,
+            budget,
+            fan_in: DEFAULT_FAN_IN,
+            threads: 1,
+            stats,
+            _marker: Default::default(),
+        }
     }
 
     /// Override the merge fan-in (mostly for tests exercising multi-pass
@@ -64,13 +188,36 @@ where
         self
     }
 
+    /// Records per in-memory run chunk. Serial sorters use the whole budget;
+    /// sharded run formation splits it across the producers plus the chunks
+    /// in flight between dispatcher and producers (`2·threads + 1`, the
+    /// worst-case number of live chunks).
+    fn chunk_records(&self) -> usize {
+        // Clamping (not erroring) is right here: a budget larger than the
+        // address space just means "one giant run"; run buffers still grow
+        // incrementally from a small initial capacity.
+        if self.threads > 1 {
+            cast::clamp_usize(self.budget.split(2 * self.threads + 1).records(T::SIZE))
+        } else {
+            cast::clamp_usize(self.budget.records(T::SIZE))
+        }
+    }
+
     /// Sort the records in `input` into `output` (both files of `T` records).
     ///
     /// Returns the number of records sorted. `input` and `output` may be the
-    /// same path; the final merge writes through a scratch file in that case.
-    pub fn sort_file(&self, input: &Path, output: &Path, scratch: &ScratchDir) -> Result<u64> {
+    /// same path: run formation fully drains the input before the output is
+    /// created.
+    pub fn sort_file(&self, input: &Path, output: &Path, scratch: &ScratchDir) -> Result<u64>
+    where
+        T: Send,
+        F: Sync,
+    {
         let reader = RecordReader::<T>::open(input, Arc::clone(&self.stats))?;
-        self.sort_iter(reader.map(|r| r.unwrap_or_else(|e| panic!("input read failed: {e}"))), output, scratch)
+        let mut sorted = self.sort_stream(reader, scratch)?;
+        let total = sorted.total_records();
+        self.write_all(&mut sorted, output)?;
+        Ok(total)
     }
 
     /// Sort records from an iterator into `output`.
@@ -79,138 +226,107 @@ where
         input: I,
         output: &Path,
         scratch: &ScratchDir,
-    ) -> Result<u64> {
-        // Clamping (not erroring) is right here: a budget larger than the
-        // address space just means "one giant run"; the Vec below still
-        // grows incrementally from a small initial capacity.
-        let run_capacity = cast::clamp_usize(self.budget.records(T::SIZE));
-        let mut runs: Vec<PathBuf> = Vec::new();
-        let mut buf: Vec<T> = Vec::with_capacity(run_capacity.min(1 << 20));
-        let mut total: u64 = 0;
-
-        for record in input {
-            buf.push(record);
-            total += 1;
-            if buf.len() >= run_capacity {
-                runs.push(self.spill_run(&mut buf, scratch, runs.len())?);
-            }
-        }
-        if !buf.is_empty() {
-            runs.push(self.spill_run(&mut buf, scratch, runs.len())?);
-        }
-
-        match runs.len() {
-            0 => {
-                // Produce an empty output file.
-                RecordWriter::<T>::create(output, Arc::clone(&self.stats))?.finish()?;
-            }
-            1 => {
-                std::fs::rename(&runs[0], output)?;
-            }
-            _ => {
-                self.merge_runs(runs, output, scratch)?;
-            }
-        }
+    ) -> Result<u64>
+    where
+        T: Send,
+        F: Sync,
+    {
+        let mut sorted = self.sort_stream(input.into_iter().map(Ok), scratch)?;
+        let total = sorted.total_records();
+        self.write_all(&mut sorted, output)?;
         Ok(total)
     }
 
-    fn spill_run(&self, buf: &mut Vec<T>, scratch: &ScratchDir, idx: usize) -> Result<PathBuf> {
-        buf.sort_by_key(|r| (self.key)(r));
-        let path = scratch.file(&format!("run-{idx:06}.bin"));
-        let mut w = RecordWriter::<T>::create(&path, Arc::clone(&self.stats))?;
-        w.push_all(buf.iter())?;
-        w.finish()?;
-        buf.clear();
-        Ok(path)
-    }
+    /// Sort records from a fallible iterator and return the merged output as
+    /// a lazy [`SortedStream`].
+    ///
+    /// Run formation happens eagerly (the input is fully consumed before
+    /// this returns); only the final ≤ fan-in merge is lazy, so downstream
+    /// stages drain the merge concurrently with their own work. Run files
+    /// live in `scratch` until the scratch directory is dropped.
+    pub fn sort_stream<'a, I>(
+        &'a self,
+        input: I,
+        scratch: &ScratchDir,
+    ) -> Result<SortedStream<'a, T, K, F>>
+    where
+        I: IntoIterator<Item = Result<T>>,
+        T: Send,
+        F: Sync,
+    {
+        let chunk_records = self.chunk_records();
+        let plan = if self.threads > 1 {
+            shard::form_runs_parallel(
+                &self.key,
+                &self.stats,
+                scratch,
+                self.threads,
+                chunk_records,
+                input.into_iter(),
+            )?
+        } else {
+            shard::form_runs_serial(&self.key, &self.stats, scratch, chunk_records, input.into_iter())?
+        };
+        let shard::RunPlan { mut files, tail, total } = plan;
 
-    /// Merge `runs` (possibly in multiple passes) into `output`.
-    fn merge_runs(&self, mut runs: Vec<PathBuf>, output: &Path, scratch: &ScratchDir) -> Result<()> {
+        // Pre-merge passes until the remaining file runs (plus the tail run)
+        // fit one final merge.
+        let max_file_sources = if tail.is_empty() { self.fan_in } else { self.fan_in - 1 };
         let mut pass = 0;
-        while runs.len() > self.fan_in {
-            let mut next: Vec<PathBuf> = Vec::new();
-            for (group_idx, group) in runs.chunks(self.fan_in).enumerate() {
+        while files.len() > max_file_sources.max(1) {
+            let mut next = Vec::with_capacity(files.len().div_ceil(self.fan_in));
+            for (group_idx, group) in files.chunks(self.fan_in).enumerate() {
+                if group.len() == 1 {
+                    next.push(group[0].clone());
+                    continue;
+                }
                 let merged = scratch.file(&format!("merge-{pass}-{group_idx:06}.bin"));
-                self.merge_group(group, &merged)?;
+                self.merge_files(group, &merged)?;
                 for r in group {
                     let _ = std::fs::remove_file(r);
                 }
                 next.push(merged);
             }
-            runs = next;
+            files = next;
             pass += 1;
         }
-        // Final merge. If the output overlaps an input run, go via scratch.
-        let overlaps = runs.iter().any(|r| r == output);
-        if overlaps {
-            let tmp = scratch.file("merge-final.bin");
-            self.merge_group(&runs, &tmp)?;
-            std::fs::rename(tmp, output)?;
-        } else {
-            self.merge_group(&runs, output)?;
+
+        let mut sources = Vec::with_capacity(files.len() + usize::from(!tail.is_empty()));
+        for f in &files {
+            sources.push(RunSource::File(self.open_run(f)?));
         }
-        for r in &runs {
-            let _ = std::fs::remove_file(r);
+        if !tail.is_empty() {
+            sources.push(RunSource::Memory(tail.into_iter()));
         }
-        Ok(())
+        SortedStream::new(sources, &self.key, total)
     }
 
-    fn merge_group(&self, runs: &[PathBuf], output: &Path) -> Result<()> {
-        struct HeapEntry<K> {
-            key: K,
-            run: usize,
-            seq: u64,
+    /// Open a run file for merging; multi-threaded sorters wrap it in a
+    /// double-buffered read-ahead so merge compares overlap run IO.
+    fn open_run(&self, path: &Path) -> Result<RecordReader<T, Box<dyn Read + Send>>> {
+        let inner = graphz_io::tracked::reader(path, Arc::clone(&self.stats))?;
+        if self.threads > 1 {
+            let ahead = ReadAheadReader::spawn(inner)?;
+            Ok(RecordReader::from_reader(Box::new(ahead)))
+        } else {
+            Ok(RecordReader::from_reader(Box::new(inner)))
         }
-        impl<K: Ord> PartialEq for HeapEntry<K> {
-            fn eq(&self, other: &Self) -> bool {
-                self.cmp(other) == CmpOrdering::Equal
-            }
-        }
-        impl<K: Ord> Eq for HeapEntry<K> {}
-        impl<K: Ord> PartialOrd for HeapEntry<K> {
-            fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl<K: Ord> Ord for HeapEntry<K> {
-            fn cmp(&self, other: &Self) -> CmpOrdering {
-                // BinaryHeap is a max-heap; reverse for a min-heap. Ties break
-                // by run index then sequence for a deterministic merge order.
-                other
-                    .key
-                    .cmp(&self.key)
-                    .then_with(|| other.run.cmp(&self.run))
-                    .then_with(|| other.seq.cmp(&self.seq))
-            }
-        }
+    }
 
-        let mut readers: Vec<RecordReader<T>> = runs
-            .iter()
-            .map(|r| RecordReader::<T>::open(r, Arc::clone(&self.stats)))
-            .collect::<Result<_>>()?;
-        let mut pending: Vec<Option<T>> = Vec::with_capacity(readers.len());
-        let mut heap: BinaryHeap<HeapEntry<K>> = BinaryHeap::with_capacity(readers.len());
-        let mut seq = 0u64;
-
-        for (i, r) in readers.iter_mut().enumerate() {
-            let rec = r.next_record()?;
-            if let Some(rec) = &rec {
-                heap.push(HeapEntry { key: (self.key)(rec), run: i, seq });
-                seq += 1;
-            }
-            pending.push(rec);
+    /// Merge already-sorted run files into `output`.
+    fn merge_files(&self, runs: &[PathBuf], output: &Path) -> Result<()> {
+        let mut sources = Vec::with_capacity(runs.len());
+        for r in runs {
+            sources.push(RunSource::File(self.open_run(r)?));
         }
+        let mut merged = SortedStream::new(sources, &self.key, 0)?;
+        self.write_all(&mut merged, output)
+    }
 
+    fn write_all(&self, sorted: &mut SortedStream<'_, T, K, F>, output: &Path) -> Result<()> {
         let mut w = RecordWriter::<T>::create(output, Arc::clone(&self.stats))?;
-        while let Some(top) = heap.pop() {
-            let run = top.run;
-            let rec = pending[run].take().expect("heap entry without pending record");
+        while let Some(rec) = sorted.next_record()? {
             w.push(&rec)?;
-            if let Some(next) = readers[run].next_record()? {
-                heap.push(HeapEntry { key: (self.key)(&next), run, seq });
-                seq += 1;
-                pending[run] = Some(next);
-            }
         }
         w.finish()?;
         Ok(())
@@ -218,6 +334,10 @@ where
 }
 
 /// One-call helper: sort the records of `input` into `output` by `key`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ExternalSorter::builder(key).budget(..).stats(..).build()?.sort_file(..)"
+)]
 pub fn sort_file_by<T, K, F>(
     input: &Path,
     output: &Path,
@@ -226,12 +346,16 @@ pub fn sort_file_by<T, K, F>(
     stats: Arc<IoStats>,
 ) -> Result<u64>
 where
-    T: FixedCodec,
+    T: FixedCodec + Send,
     K: Ord,
-    F: Fn(&T) -> K,
+    F: Fn(&T) -> K + Sync,
 {
     let scratch = ScratchDir::new("extsort")?;
-    ExternalSorter::new(key, budget, stats).sort_file(input, output, &scratch)
+    ExternalSorter::builder(key).budget(budget).stats(stats).build()?.sort_file(
+        input,
+        output,
+        &scratch,
+    )
 }
 
 #[cfg(test)]
@@ -242,13 +366,27 @@ mod tests {
     use rand::prelude::*;
 
     fn sort_roundtrip(values: Vec<u64>, budget: MemoryBudget, fan_in: usize) -> Vec<u64> {
+        sort_roundtrip_threads(values, budget, fan_in, 1)
+    }
+
+    fn sort_roundtrip_threads(
+        values: Vec<u64>,
+        budget: MemoryBudget,
+        fan_in: usize,
+        threads: usize,
+    ) -> Vec<u64> {
         let dir = ScratchDir::new("xs-test").unwrap();
         let stats = IoStats::new();
         let input = dir.file("in.bin");
         let output = dir.file("out.bin");
         write_records(&input, Arc::clone(&stats), &values).unwrap();
-        let sorter =
-            ExternalSorter::new(|v: &u64| *v, budget, Arc::clone(&stats)).with_fan_in(fan_in);
+        let sorter = ExternalSorter::builder(|v: &u64| *v)
+            .budget(budget)
+            .stats(Arc::clone(&stats))
+            .fan_in(fan_in)
+            .threads(threads)
+            .build()
+            .unwrap();
         let scratch = ScratchDir::new("xs-scratch").unwrap();
         let n = sorter.sort_file(&input, &output, &scratch).unwrap();
         assert_eq!(n, values.len() as u64);
@@ -316,6 +454,7 @@ mod tests {
         let stats = IoStats::new();
         let path = dir.file("data.bin");
         write_records(&path, Arc::clone(&stats), &[3u64, 1, 2]).unwrap();
+        #[allow(deprecated)]
         sort_file_by::<u64, _, _>(&path, &path, |v| *v, MemoryBudget(8), Arc::clone(&stats))
             .unwrap();
         assert_eq!(read_records::<u64>(&path, stats).unwrap(), vec![1, 2, 3]);
@@ -334,5 +473,105 @@ mod tests {
         let out: Vec<Edge> = read_records(&output, stats).unwrap();
         assert_eq!(out.len(), 100);
         assert!(out.windows(2).all(|w| w[0].src <= w[1].src));
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let stats = IoStats::new();
+        assert!(ExternalSorter::<u64, _, _>::builder(|v: &u64| *v)
+            .stats(Arc::clone(&stats))
+            .build()
+            .is_err());
+        assert!(ExternalSorter::<u64, _, _>::builder(|v: &u64| *v)
+            .budget(MemoryBudget::from_kib(1))
+            .build()
+            .is_err());
+        assert!(ExternalSorter::<u64, _, _>::builder(|v: &u64| *v)
+            .budget(MemoryBudget::from_kib(1))
+            .stats(Arc::clone(&stats))
+            .fan_in(1)
+            .build()
+            .is_err());
+        assert!(ExternalSorter::<u64, _, _>::builder(|v: &u64| *v)
+            .budget(MemoryBudget::from_kib(1))
+            .stats(Arc::clone(&stats))
+            .threads(0)
+            .build()
+            .is_err());
+        assert!(ExternalSorter::<u64, _, _>::builder(|v: &u64| *v)
+            .budget(MemoryBudget::from_kib(1))
+            .stats(stats)
+            .threads(4)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial_bytes() {
+        let mut rng = StdRng::seed_from_u64(99);
+        // Plenty of duplicate values so tie-handling across different run
+        // boundaries is exercised.
+        let values: Vec<u64> = (0..30_000).map(|_| rng.random_range(0..500)).collect();
+        let serial = sort_roundtrip_threads(values.clone(), MemoryBudget(4096), 8, 1);
+        for threads in [2, 3, 8] {
+            let par = sort_roundtrip_threads(values.clone(), MemoryBudget(4096), 8, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sort_multi_pass_merge() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<u64> = (0..5_000).map(|_| rng.random()).collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        let out = sort_roundtrip_threads(values, MemoryBudget(256), 2, 4);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sort_stream_yields_sorted_lazily() {
+        let stats = IoStats::new();
+        let scratch = ScratchDir::new("xs-stream").unwrap();
+        let sorter =
+            ExternalSorter::new(|v: &u64| *v, MemoryBudget(64), Arc::clone(&stats));
+        let input = (0..1000u64).rev().map(Ok);
+        let mut stream = sorter.sort_stream(input, &scratch).unwrap();
+        assert_eq!(stream.total_records(), 1000);
+        let mut prev = None;
+        let mut count = 0u64;
+        while let Some(v) = stream.next_record().unwrap() {
+            if let Some(p) = prev {
+                assert!(p <= v);
+            }
+            prev = Some(v);
+            count += 1;
+        }
+        assert_eq!(count, 1000);
+    }
+
+    #[test]
+    fn sort_stream_propagates_input_errors() {
+        let stats = IoStats::new();
+        let scratch = ScratchDir::new("xs-stream-err").unwrap();
+        let sorter = ExternalSorter::new(|v: &u64| *v, MemoryBudget(64), Arc::clone(&stats));
+        let input = (0..100u64)
+            .map(Ok)
+            .chain(std::iter::once(Err(GraphError::Corrupt("boom".into()))));
+        let err = sorter.sort_stream(input, &scratch).err().unwrap();
+        assert!(matches!(err, GraphError::Corrupt(_)), "got {err:?}");
+
+        // Parallel path reports the same input error.
+        let sorter = ExternalSorter::builder(|v: &u64| *v)
+            .budget(MemoryBudget(64))
+            .stats(stats)
+            .threads(4)
+            .build()
+            .unwrap();
+        let input = (0..100u64)
+            .map(Ok)
+            .chain(std::iter::once(Err(GraphError::Corrupt("boom".into()))));
+        let err = sorter.sort_stream(input, &scratch).err().unwrap();
+        assert!(matches!(err, GraphError::Corrupt(_)), "got {err:?}");
     }
 }

@@ -1,0 +1,171 @@
+//! Loser-tree (tournament) selection for k-way merges.
+//!
+//! A loser tree replays exactly `ceil(log2 k)` comparisons per emitted
+//! record — the path from the refilled leaf to the root — where a binary
+//! heap pays up to `2·log2 k` (sift-down visits both children per level).
+//! For the DOS conversion, whose seven passes are all k-way merges, that
+//! halves the comparison bill of the merge phase.
+//!
+//! The tree stores only source *indices*; the caller owns the per-source
+//! head records and supplies a `beats(a, b)` relation. The relation must be
+//! a total order over live sources (the merge layer uses `(key, source
+//! index)`, so ties are impossible), and exhausted sources must lose to
+//! everything.
+
+/// Tournament tree over `len` sources, tracking the loser of each internal
+/// match and the overall winner.
+#[derive(Debug)]
+pub(crate) struct LoserTree {
+    /// Internal nodes (index 1..len); `node[0]` is unused. `UNSET` entries
+    /// are byes that lose every match.
+    node: Vec<usize>,
+    len: usize,
+    winner: usize,
+}
+
+/// Sentinel for "no contestant here yet"; loses to every real source.
+const UNSET: usize = usize::MAX;
+
+impl LoserTree {
+    /// Build the tree by playing the full bracket bottom-up: leaf `s` sits
+    /// at conceptual array position `len + s`, internal node `i` keeps the
+    /// loser of its subtree match and forwards the winner. The structure is
+    /// a pure function of `len` and the `beats` relation.
+    pub(crate) fn new(len: usize, beats: impl Fn(usize, usize) -> bool) -> Self {
+        let mut t = LoserTree { node: vec![UNSET; len.max(1)], len, winner: UNSET };
+        match len {
+            0 => {}
+            1 => t.winner = 0,
+            _ => {
+                let mut forwarded = vec![UNSET; 2 * len];
+                for s in 0..len {
+                    forwarded[len + s] = s;
+                }
+                for i in (1..len).rev() {
+                    let a = forwarded[2 * i];
+                    let b = forwarded[2 * i + 1];
+                    let a_wins = b == UNSET || (a != UNSET && beats(a, b));
+                    let (win, lose) = if a_wins { (a, b) } else { (b, a) };
+                    forwarded[i] = win;
+                    t.node[i] = lose;
+                }
+                t.winner = forwarded[1];
+            }
+        }
+        t
+    }
+
+    /// The source currently winning the tournament, or `None` for an empty
+    /// tree.
+    pub(crate) fn winner(&self) -> Option<usize> {
+        if self.winner == UNSET {
+            None
+        } else {
+            Some(self.winner)
+        }
+    }
+
+    /// Re-run the matches on the path from leaf `source` to the root, after
+    /// the caller replaced (or exhausted) that source's head record.
+    pub(crate) fn replay(&mut self, source: usize, beats: &impl Fn(usize, usize) -> bool) {
+        debug_assert!(source < self.len);
+        let mut contender = source;
+        let mut at = (source + self.len) / 2;
+        while at > 0 {
+            let resident = self.node[at];
+            // The node keeps the loser; the winner advances toward the root.
+            let resident_wins =
+                resident != UNSET && (contender == UNSET || beats(resident, contender));
+            if resident_wins {
+                self.node[at] = contender;
+                contender = resident;
+            }
+            at /= 2;
+        }
+        self.winner = contender;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain a tree over an explicit list of per-source queues, using
+    /// (value, source index) ordering like the merge layer does.
+    fn drain(mut queues: Vec<Vec<u64>>) -> Vec<u64> {
+        for q in queues.iter_mut() {
+            q.reverse(); // pop() from the back == front of the queue
+        }
+        let mut heads: Vec<Option<u64>> = queues.iter_mut().map(|q| q.pop()).collect();
+        let beats = |heads: &Vec<Option<u64>>, a: usize, b: usize| -> bool {
+            match (&heads[a], &heads[b]) {
+                (Some(x), Some(y)) => (x, a) < (y, b),
+                (Some(_), None) => true,
+                (None, _) => false,
+            }
+        };
+        let mut tree = {
+            let h = &heads;
+            LoserTree::new(queues.len(), |a, b| beats(h, a, b))
+        };
+        let mut out = Vec::new();
+        while let Some(w) = tree.winner() {
+            let Some(v) = heads[w] else { break };
+            out.push(v);
+            heads[w] = queues[w].pop();
+            let h = &heads;
+            tree.replay(w, &|a, b| beats(h, a, b));
+        }
+        out
+    }
+
+    #[test]
+    fn merges_sorted_queues() {
+        let out = drain(vec![vec![1, 4, 7], vec![2, 5, 8], vec![3, 6, 9]]);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn handles_empty_and_uneven_queues() {
+        let out = drain(vec![vec![], vec![5], vec![1, 2, 3, 4], vec![]]);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert!(drain(vec![]).is_empty());
+        assert!(drain(vec![vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn single_source_passes_through() {
+        assert_eq!(drain(vec![vec![2, 2, 3]]), vec![2, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_values_break_ties_by_source_index() {
+        // Equal values must come out in source-index order: that is the
+        // determinism contract the merge layer relies on.
+        let out = drain(vec![vec![7, 7], vec![7], vec![7, 7, 7]]);
+        assert_eq!(out, vec![7; 6]);
+    }
+
+    #[test]
+    fn matches_reference_sort_on_random_runs() {
+        // Deterministic pseudo-random runs without rand: a small LCG.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for sources in [1usize, 2, 3, 7, 16, 33] {
+            let mut queues: Vec<Vec<u64>> = Vec::new();
+            let mut expected = Vec::new();
+            for _ in 0..sources {
+                let n = (next() % 50) as usize;
+                let mut q: Vec<u64> = (0..n).map(|_| next() % 100).collect();
+                q.sort_unstable();
+                expected.extend_from_slice(&q);
+                queues.push(q);
+            }
+            expected.sort_unstable();
+            assert_eq!(drain(queues), expected, "sources={sources}");
+        }
+    }
+}

@@ -18,6 +18,7 @@ pub mod checksum;
 pub mod device;
 pub mod fault;
 pub mod framed;
+pub mod readahead;
 pub mod record;
 pub mod scratch;
 pub mod stats;
@@ -31,6 +32,7 @@ pub use fault::{
     RetryPolicy,
 };
 pub use framed::{FramedReader, FramedWriter};
+pub use readahead::ReadAheadReader;
 pub use record::{RecordReader, RecordWriter};
 pub use scratch::ScratchDir;
 pub use stats::{IoSnapshot, IoStats, PrefetchSnapshot};

@@ -1,0 +1,259 @@
+//! Double-buffered read-ahead over any byte stream.
+//!
+//! [`ReadAheadReader`] wraps an owned [`Read`] source and moves its blocking
+//! `read` calls onto a background thread: the producer fills fixed-size byte
+//! blocks and hands them over a bounded channel while the consumer drains the
+//! previous block. With the default depth of 2 this is classic double
+//! buffering — the same discipline the partition prefetcher applies at the
+//! engine layer (DESIGN.md §6d), here applied to a single sequential stream
+//! so an external-sort merge can overlap run-file IO with compare/emit work.
+//!
+//! The wrapper is purely a scheduling change: consumers observe exactly the
+//! bytes of the inner stream, in order, ending at the same EOF, and the first
+//! IO error is surfaced once at the position it occurred. Determinism of
+//! anything built on top is therefore unaffected.
+
+use std::io::{self, Read};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Bytes per prefetched block. Matches the tracked-reader default so one
+/// block is one underlying read op.
+pub const DEFAULT_BLOCK: usize = crate::tracked::DEFAULT_BLOCK;
+
+/// Blocks the producer may run ahead of the consumer (2 = double buffering).
+pub const DEFAULT_DEPTH: usize = 2;
+
+/// A [`Read`] adapter that prefetches the inner stream on a background
+/// thread.
+///
+/// Dropping the reader early is safe: the producer notices the closed
+/// channel on its next hand-off and exits; `Drop` then joins it.
+pub struct ReadAheadReader {
+    /// Block currently being consumed.
+    current: Vec<u8>,
+    /// How many bytes of `current` have already been handed out.
+    consumed: usize,
+    rx: Option<Receiver<io::Result<Vec<u8>>>>,
+    producer: Option<JoinHandle<()>>,
+    /// Set once the producer disconnected (EOF) or an error was surfaced.
+    finished: bool,
+}
+
+impl ReadAheadReader {
+    /// Wrap `inner` with the default block size and depth.
+    pub fn spawn<R: Read + Send + 'static>(inner: R) -> io::Result<Self> {
+        Self::with_capacity(inner, DEFAULT_BLOCK, DEFAULT_DEPTH)
+    }
+
+    /// Wrap `inner`, prefetching blocks of `block` bytes, at most `depth`
+    /// blocks ahead. Both are clamped to at least 1.
+    pub fn with_capacity<R: Read + Send + 'static>(
+        inner: R,
+        block: usize,
+        depth: usize,
+    ) -> io::Result<Self> {
+        let block = block.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel(depth.max(1));
+        let producer = std::thread::Builder::new()
+            .name("graphz-readahead".into())
+            .spawn(move || produce(inner, tx, block))?;
+        Ok(ReadAheadReader {
+            current: Vec::new(),
+            consumed: 0,
+            rx: Some(rx),
+            producer: Some(producer),
+            finished: false,
+        })
+    }
+}
+
+/// Producer loop: fill blocks until EOF or error, then hang up. A send
+/// failure means the consumer was dropped; exit quietly.
+fn produce<R: Read>(mut inner: R, tx: SyncSender<io::Result<Vec<u8>>>, block: usize) {
+    loop {
+        let mut buf = vec![0u8; block];
+        let mut filled = 0;
+        let mut failure = None;
+        while filled < block {
+            match inner.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // Bytes read before a mid-block error still belong to the stream:
+        // hand them over first, then the error, preserving the exact
+        // position the inner reader failed at.
+        if filled > 0 {
+            buf.truncate(filled);
+            if tx.send(Ok(buf)).is_err() {
+                return;
+            }
+        }
+        match failure {
+            Some(e) => {
+                let _ = tx.send(Err(e));
+                return;
+            }
+            None if filled == 0 => return, // EOF: dropping tx signals the consumer
+            None => {}
+        }
+    }
+}
+
+impl Read for ReadAheadReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            if self.consumed < self.current.len() {
+                let avail = &self.current[self.consumed..];
+                let n = avail.len().min(out.len());
+                out[..n].copy_from_slice(&avail[..n]);
+                self.consumed += n;
+                return Ok(n);
+            }
+            if self.finished {
+                return Ok(0);
+            }
+            let next = match &self.rx {
+                Some(rx) => rx.recv(),
+                None => return Ok(0),
+            };
+            match next {
+                Ok(Ok(blockbuf)) => {
+                    self.current = blockbuf;
+                    self.consumed = 0;
+                }
+                Ok(Err(e)) => {
+                    self.finished = true;
+                    return Err(e);
+                }
+                Err(_) => {
+                    // Producer hung up: clean EOF.
+                    self.finished = true;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ReadAheadReader {
+    fn drop(&mut self) {
+        // Closing the channel unblocks a producer waiting to hand off a
+        // block; join afterwards so no thread outlives the reader.
+        drop(self.rx.take());
+        if let Some(handle) = self.producer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn yields_identical_bytes() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        for block in [1, 7, 1024] {
+            let mut r =
+                ReadAheadReader::with_capacity(io::Cursor::new(data.clone()), block, 2).unwrap();
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            assert_eq!(out, data, "block={block}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_immediate_eof() {
+        let mut r = ReadAheadReader::spawn(io::Cursor::new(Vec::<u8>::new())).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(r.read_to_end(&mut out).unwrap(), 0);
+        // EOF is sticky.
+        let mut buf = [0u8; 4];
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn small_reads_cross_block_boundaries() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 256) as u8).collect();
+        let mut r = ReadAheadReader::with_capacity(io::Cursor::new(data.clone()), 64, 2).unwrap();
+        let mut out = Vec::new();
+        let mut buf = [0u8; 5];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, data);
+    }
+
+    /// A reader that yields some bytes and then fails.
+    struct Flaky {
+        left: usize,
+    }
+
+    impl Read for Flaky {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.left == 0 {
+                return Err(io::Error::other("injected"));
+            }
+            let n = out.len().min(self.left);
+            for b in out[..n].iter_mut() {
+                *b = 0xAB;
+            }
+            self.left -= n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn error_surfaces_after_good_bytes() {
+        let mut r = ReadAheadReader::with_capacity(Flaky { left: 100 }, 64, 2).unwrap();
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.to_string(), "injected");
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|&b| b == 0xAB));
+        // After the error the stream reports EOF instead of hanging.
+        let mut buf = [0u8; 4];
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn early_drop_joins_producer() {
+        // Depth 1 with a large source forces the producer to block on send;
+        // dropping the reader must still terminate promptly.
+        let data = vec![9u8; 1 << 20];
+        let r = ReadAheadReader::with_capacity(io::Cursor::new(data), 1024, 1).unwrap();
+        drop(r);
+    }
+
+    #[test]
+    fn composes_with_tracked_reader() {
+        let dir = crate::scratch::ScratchDir::new("readahead").unwrap();
+        let stats = crate::stats::IoStats::new();
+        let path = dir.file("f.bin");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        {
+            let mut w = crate::tracked::writer(&path, std::sync::Arc::clone(&stats)).unwrap();
+            w.write_all(&payload).unwrap();
+            w.flush().unwrap();
+        }
+        let inner = crate::tracked::reader(&path, stats).unwrap();
+        let mut r = ReadAheadReader::with_capacity(inner, 4096, 2).unwrap();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+}

@@ -1,0 +1,319 @@
+//! Chunked parallel import of SNAP-style text edge lists.
+//!
+//! The chunk plan is a pure function of `(total_bytes, chunk_bytes)` — never
+//! of thread count or timing (the workspace's deterministic-schedule rule,
+//! DESIGN.md §6d/§6g): the file is cut into fixed-size byte spans, each span
+//! owns exactly the lines that *begin* inside it, and chunk `i` is parsed by
+//! worker `i % threads`. Reassembling parsed chunks in index order therefore
+//! reproduces the serial line order exactly, so the resulting binary edge
+//! list is byte-identical to [`EdgeListFile::import_text`] for every thread
+//! count and chunk size.
+//!
+//! A line "begins at" byte `p` when `p == 0` or the previous byte is `\n`.
+//! A worker assigned span `[start, end)` seeks to `start - 1` (when
+//! `start > 0`) and discards through the first newline — if the previous
+//! byte *was* the newline this consumes exactly that byte, so a line
+//! beginning exactly at `start` is kept; otherwise the discarded bytes are
+//! the tail of a line owned by the previous chunk. It then parses every line
+//! beginning before `end`, reading past `end` to finish the final line.
+
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::{mpsc, Arc};
+
+use graphz_io::IoStats;
+use graphz_types::prelude::*;
+
+use crate::edgelist::EdgeListFile;
+
+/// Default span size for parallel text parsing (4 MiB — large enough that
+/// per-chunk overhead vanishes, small enough that a handful of chunks exist
+/// even for modest inputs).
+pub const DEFAULT_CHUNK_BYTES: u64 = 4 << 20;
+
+/// One byte span of the chunk plan: the lines beginning in `start..end`
+/// belong to this chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpan {
+    pub start: u64,
+    pub end: u64,
+}
+
+/// Cut `total_bytes` into fixed-size spans. Pure function of its arguments:
+/// the plan (and therefore which lines each chunk owns) is identical for
+/// every thread count.
+pub fn plan_chunks(total_bytes: u64, chunk_bytes: u64) -> Vec<ChunkSpan> {
+    let step = chunk_bytes.max(1);
+    let mut spans = Vec::new();
+    let mut at = 0u64;
+    while at < total_bytes {
+        let next = total_bytes.min(at.saturating_add(step));
+        spans.push(ChunkSpan { start: at, end: next });
+        at = next;
+    }
+    spans
+}
+
+/// Parse one text line: `Ok(None)` for blanks and `#` comments, `Ok(Some)`
+/// for a `src dst` pair. `where_` prefixes error messages (the parallel
+/// parser reports byte spans instead of the serial path's line numbers).
+fn parse_line(line: &str, where_: &dyn Fn() -> String) -> Result<Option<Edge>> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let mut field = |name: &str| -> Result<VertexId> {
+        it.next()
+            .ok_or_else(|| GraphError::Corrupt(format!("{}: expected `src dst`", where_())))?
+            .parse()
+            .map_err(|_| GraphError::Corrupt(format!("{}: {name} is not a u32", where_())))
+    };
+    let src = field("src")?;
+    let dst = field("dst")?;
+    Ok(Some(Edge::new(src, dst)))
+}
+
+/// Parse the lines a single span owns (see the module docs for the
+/// ownership rule).
+fn parse_span(text_path: &Path, span: ChunkSpan) -> Result<Vec<Edge>> {
+    let mut file = std::fs::File::open(text_path)?;
+    let mut skew = 0u64; // bytes consumed before the first owned line
+    if span.start > 0 {
+        file.seek(SeekFrom::Start(span.start - 1))?;
+        skew = 1;
+    }
+    let mut reader = BufReader::new(file);
+    let mut raw = Vec::new();
+    if span.start > 0 {
+        let n = reader.read_until(b'\n', &mut raw)?;
+        skew = cast::len_u64(n) - skew;
+        raw.clear();
+    }
+    // `span.start + skew` is where the first owned line begins.
+    let mut at = cast::add_u64(span.start, skew, "text chunk position")?;
+    let mut edges = Vec::new();
+    while at < span.end {
+        raw.clear();
+        let n = reader.read_until(b'\n', &mut raw)?;
+        if n == 0 {
+            break;
+        }
+        let line = std::str::from_utf8(&raw).map_err(|_| {
+            GraphError::Corrupt(format!(
+                "{}: bytes {at}..{}: line is not valid UTF-8",
+                text_path.display(),
+                at + cast::len_u64(n)
+            ))
+        })?;
+        let here = at;
+        if let Some(e) = parse_line(line, &|| {
+            format!("{}: byte {here}", text_path.display())
+        })? {
+            edges.push(e);
+        }
+        at = cast::add_u64(at, cast::len_u64(n), "text chunk position")?;
+    }
+    Ok(edges)
+}
+
+/// Import a SNAP-style text file by parsing `chunk_bytes`-sized spans on
+/// `threads` workers and reassembling the parsed chunks in plan order.
+///
+/// Byte-identical to [`EdgeListFile::import_text`] for every `threads` and
+/// `chunk_bytes`; `threads <= 1` delegates to the serial path outright.
+pub fn import_text_chunked(
+    text_path: &Path,
+    bin_path: &Path,
+    stats: Arc<IoStats>,
+    threads: usize,
+    chunk_bytes: u64,
+) -> Result<EdgeListFile> {
+    if threads <= 1 {
+        return EdgeListFile::import_text(text_path, bin_path, stats);
+    }
+    let total_bytes = std::fs::metadata(text_path)?.len();
+    let plan = plan_chunks(total_bytes, chunk_bytes);
+    if plan.len() <= 1 {
+        return EdgeListFile::import_text(text_path, bin_path, stats);
+    }
+
+    let chunks = std::thread::scope(|scope| -> Result<Vec<Vec<Edge>>> {
+        let (done_tx, done_rx) = mpsc::channel::<(usize, Result<Vec<Edge>>)>();
+        for worker in 0..threads.min(plan.len()) {
+            let done_tx = done_tx.clone();
+            let plan = &plan;
+            std::thread::Builder::new()
+                .name(format!("graphz-parse-{worker}"))
+                .spawn_scoped(scope, move || {
+                    for (idx, span) in plan.iter().enumerate() {
+                        if idx % threads != worker {
+                            continue;
+                        }
+                        let parsed = parse_span(text_path, *span);
+                        if done_tx.send((idx, parsed)).is_err() {
+                            return;
+                        }
+                    }
+                })?;
+        }
+        drop(done_tx);
+
+        let mut slots: Vec<Option<Vec<Edge>>> = (0..plan.len()).map(|_| None).collect();
+        let mut first_err: Option<(usize, GraphError)> = None;
+        for (idx, outcome) in done_rx.iter() {
+            match outcome {
+                Ok(edges) => {
+                    if let Some(slot) = slots.get_mut(idx) {
+                        *slot = Some(edges);
+                    }
+                }
+                Err(e) => {
+                    // Report the error of the earliest chunk, matching what
+                    // the serial parser would have hit first.
+                    if first_err.as_ref().is_none_or(|(at, _)| idx < *at) {
+                        first_err = Some((idx, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        let mut ordered = Vec::with_capacity(slots.len());
+        for (idx, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(edges) => ordered.push(edges),
+                None => {
+                    return Err(GraphError::Corrupt(format!(
+                        "parse worker lost chunk {idx}"
+                    )))
+                }
+            }
+        }
+        Ok(ordered)
+    })?;
+
+    EdgeListFile::create(bin_path, stats, chunks.into_iter().flatten())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphz_io::ScratchDir;
+
+    fn stats() -> Arc<IoStats> {
+        IoStats::new()
+    }
+
+    #[test]
+    fn plan_covers_the_file_exactly() {
+        assert!(plan_chunks(0, 16).is_empty());
+        let plan = plan_chunks(100, 32);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0], ChunkSpan { start: 0, end: 32 });
+        assert_eq!(plan[3], ChunkSpan { start: 96, end: 100 });
+        for w in plan.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Degenerate chunk size still terminates.
+        assert_eq!(plan_chunks(3, 0).len(), 3);
+    }
+
+    /// Deterministic pseudo-random text graph with comments, blank lines,
+    /// and mixed whitespace, shaped to land line breaks on chunk borders.
+    fn sample_text(lines: usize) -> String {
+        let mut out = String::from("# header comment\n\n");
+        let mut x: u64 = 7;
+        for i in 0..lines {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = (x >> 33) % 97;
+            let dst = (x >> 11) % 97;
+            if i % 17 == 0 {
+                out.push_str("# interior comment\n");
+            }
+            if i % 23 == 0 {
+                out.push('\n');
+            }
+            out.push_str(&format!("{src}\t{dst}\n"));
+        }
+        out
+    }
+
+    #[test]
+    fn chunked_import_matches_serial_bytes() {
+        let dir = ScratchDir::new("chunked").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, sample_text(500)).unwrap();
+        let serial_bin = dir.file("serial.bin");
+        EdgeListFile::import_text(&txt, &serial_bin, stats()).unwrap();
+        let serial = std::fs::read(&serial_bin).unwrap();
+        assert!(!serial.is_empty());
+        for threads in [2usize, 3, 8] {
+            for chunk_bytes in [7u64, 64, 1 << 20] {
+                let bin = dir.file(&format!("par-{threads}-{chunk_bytes}.bin"));
+                let f =
+                    import_text_chunked(&txt, &bin, stats(), threads, chunk_bytes).unwrap();
+                assert_eq!(
+                    std::fs::read(&bin).unwrap(),
+                    serial,
+                    "threads={threads} chunk_bytes={chunk_bytes}"
+                );
+                assert_eq!(f.meta(), EdgeListFile::open(&serial_bin).unwrap().meta());
+            }
+        }
+    }
+
+    #[test]
+    fn file_without_trailing_newline() {
+        let dir = ScratchDir::new("chunked-tail").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n1 2\n2 3").unwrap();
+        let f = import_text_chunked(&txt, &dir.file("g.bin"), stats(), 4, 4).unwrap();
+        assert_eq!(f.meta().num_edges, 3);
+        let serial = EdgeListFile::import_text(&txt, &dir.file("s.bin"), stats()).unwrap();
+        assert_eq!(
+            std::fs::read(dir.file("g.bin")).unwrap(),
+            std::fs::read(dir.file("s.bin")).unwrap()
+        );
+        assert_eq!(f.meta(), serial.meta());
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error_naming_the_byte() {
+        let dir = ScratchDir::new("chunked-bad").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n0 2\n0 3\n1 nope\n2 0\n").unwrap();
+        let err = import_text_chunked(&txt, &dir.file("g.bin"), stats(), 2, 4).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn single_chunk_and_single_thread_delegate_to_serial() {
+        let dir = ScratchDir::new("chunked-serial").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "5 6\n6 7\n").unwrap();
+        let a = import_text_chunked(&txt, &dir.file("a.bin"), stats(), 1, 4).unwrap();
+        let b = import_text_chunked(&txt, &dir.file("b.bin"), stats(), 8, 1 << 20).unwrap();
+        assert_eq!(a.meta(), b.meta());
+        assert_eq!(
+            std::fs::read(dir.file("a.bin")).unwrap(),
+            std::fs::read(dir.file("b.bin")).unwrap()
+        );
+    }
+
+    #[test]
+    fn crlf_lines_parse_like_the_serial_path() {
+        let dir = ScratchDir::new("chunked-crlf").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\r\n1 2\r\n# c\r\n2 0\r\n").unwrap();
+        let par = import_text_chunked(&txt, &dir.file("p.bin"), stats(), 3, 5).unwrap();
+        let ser = EdgeListFile::import_text(&txt, &dir.file("s.bin"), stats()).unwrap();
+        assert_eq!(par.meta(), ser.meta());
+        assert_eq!(
+            std::fs::read(dir.file("p.bin")).unwrap(),
+            std::fs::read(dir.file("s.bin")).unwrap()
+        );
+    }
+}

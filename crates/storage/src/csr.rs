@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use graphz_extsort::ExternalSorter;
 use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir};
-use graphz_types::{cast, Edge, GraphError, GraphMeta, MemoryBudget, Result, VertexId};
+use graphz_types::prelude::*;
 
 use crate::edgelist::EdgeListFile;
 use crate::meta::MetaFile;

@@ -23,16 +23,19 @@
 //! in memory — the property Table XI quantifies.
 //!
 //! Conversion (§III-C) uses only sequential passes and external sorts, so it
-//! runs in bounded memory no matter the graph size.
+//! runs in bounded memory no matter the graph size. The passes run as a
+//! *pipeline* of chained lazy sort merges (no intermediate file between a
+//! sort and its consumer), and with [`DosConverterBuilder::threads`] > 1
+//! each sort's run formation is sharded across producer threads — with
+//! byte-identical output for every thread count, because every sort key in
+//! the pipeline is a total order over the record bytes (DESIGN.md §6g).
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use graphz_extsort::ExternalSorter;
 use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir, TrackedFile};
-use graphz_types::{
-    cast, Degree, Edge, FixedCodec, GraphError, GraphMeta, MemoryBudget, Result, VertexId,
-};
+use graphz_types::prelude::*;
 
 use crate::edgelist::EdgeListFile;
 use crate::meta::MetaFile;
@@ -196,6 +199,9 @@ impl DosIndex {
 }
 
 /// Converts an edge list into a DOS directory (paper §III-C).
+///
+/// Construct via [`DosConverter::builder`] (the workspace builder
+/// convention) or [`DosConverter::new`] for the single-threaded default.
 pub struct DosConverter {
     budget: MemoryBudget,
     stats: Arc<IoStats>,
@@ -203,15 +209,194 @@ pub struct DosConverter {
     /// `edges.bin`) is produced from the *original* endpoint ids, so weights
     /// survive the relabeling unchanged.
     weight_fn: Option<fn(VertexId, VertexId) -> f32>,
+    /// Producer threads per external sort. The produced directory is
+    /// byte-identical for every value (DESIGN.md §6g).
+    threads: usize,
+}
+
+/// Builder for [`DosConverter`]: `XBuilder` + chainable setters + fallible
+/// `build()`.
+pub struct DosConverterBuilder {
+    budget: Option<MemoryBudget>,
+    stats: Option<Arc<IoStats>>,
+    weight_fn: Option<fn(VertexId, VertexId) -> f32>,
+    threads: usize,
+}
+
+impl DosConverterBuilder {
+    /// Total in-memory bytes the conversion's sorts may hold (required).
+    pub fn budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Shared IO statistics sink (required).
+    pub fn stats(mut self, stats: Arc<IoStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Also emit per-edge weights computed by `f(original_src, original_dst)`.
+    pub fn weights(mut self, f: fn(VertexId, VertexId) -> f32) -> Self {
+        self.weight_fn = Some(f);
+        self
+    }
+
+    /// Producer threads for each external sort (≥ 1; default 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validate the configuration and produce the converter.
+    pub fn build(self) -> Result<DosConverter> {
+        let budget = self.budget.ok_or_else(|| {
+            GraphError::InvalidConfig("DOS conversion requires a memory budget".into())
+        })?;
+        let stats = self.stats.ok_or_else(|| {
+            GraphError::InvalidConfig("DOS conversion requires a stats sink".into())
+        })?;
+        if self.threads == 0 {
+            return Err(GraphError::InvalidConfig("ingest threads must be >= 1".into()));
+        }
+        Ok(DosConverter { budget, stats, weight_fn: self.weight_fn, threads: self.threads })
+    }
 }
 
 /// Triad record used by the conversion pipeline: `(degree, src, dst)` —
 /// paper §III-C's `EDGES` list of `<src, dest, deg>`.
 type Triad = (u32, u32, u32);
 
+/// Adapts the by-`(src, dst)` sorted edge stream into `(deg, src, dst)`
+/// triads: each source's contiguous run is buffered to learn its length
+/// (= out-degree), then re-emitted with the degree attached. This is pass 2
+/// of §III-C, running concurrently with pass 1's merge — the upstream
+/// [`SortedStream`](graphz_extsort::SortedStream) drains while the
+/// downstream sorter's run formation consumes these triads.
+struct TriadEmitter<S: Iterator<Item = Result<Edge>>> {
+    inner: S,
+    queued: std::vec::IntoIter<Triad>,
+    pending: Option<Edge>,
+    done: bool,
+}
+
+impl<S: Iterator<Item = Result<Edge>>> TriadEmitter<S> {
+    fn new(inner: S) -> Self {
+        TriadEmitter { inner, queued: Vec::new().into_iter(), pending: None, done: false }
+    }
+}
+
+impl<S: Iterator<Item = Result<Edge>>> Iterator for TriadEmitter<S> {
+    type Item = Result<Triad>;
+
+    fn next(&mut self) -> Option<Result<Triad>> {
+        loop {
+            if let Some(t) = self.queued.next() {
+                return Some(Ok(t));
+            }
+            if self.done {
+                return None;
+            }
+            // Gather one source's whole run; its length is the degree.
+            let mut run: Vec<Edge> = Vec::new();
+            if let Some(e) = self.pending.take() {
+                run.push(e);
+            }
+            loop {
+                match self.inner.next() {
+                    Some(Ok(e)) => {
+                        if run.last().is_some_and(|p| p.src != e.src) {
+                            self.pending = Some(e);
+                            break;
+                        }
+                        run.push(e);
+                    }
+                    Some(Err(e)) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    None => {
+                        self.done = true;
+                        break;
+                    }
+                }
+            }
+            if run.is_empty() {
+                return None;
+            }
+            let deg = match cast::usize_to_u32(run.len(), "dos out-degree") {
+                Ok(d) => d,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            let triads: Vec<Triad> = run.into_iter().map(|e| (deg, e.src, e.dst)).collect();
+            self.queued = triads.into_iter();
+        }
+    }
+}
+
+/// Relabels destinations of the dst-sorted half-relabeled stream by
+/// co-scanning `old2new.bin` (pass 6 of §III-C), yielding
+/// `(new_src, new_dst, old_src, old_dst)` quads straight into the final
+/// sort's run formation.
+struct RelabelIter<S: Iterator<Item = Result<(u32, u32, u32)>>> {
+    inner: S,
+    map: RecordReader<u32>,
+    map_pos: u64,
+    cur_new: Option<u32>,
+    failed: bool,
+}
+
+impl<S: Iterator<Item = Result<(u32, u32, u32)>>> Iterator for RelabelIter<S> {
+    type Item = Result<(u32, u32, u32, u32)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let (new_src, old_dst, old_src) = match self.inner.next()? {
+            Ok(rec) => rec,
+            Err(e) => {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        };
+        while self.map_pos <= cast::widen_u32(old_dst) {
+            match self.map.next_record() {
+                Ok(v) => {
+                    self.cur_new = v;
+                    self.map_pos += 1;
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        match self.cur_new {
+            Some(new_dst) => Some(Ok((new_src, new_dst, old_src, old_dst))),
+            None => {
+                self.failed = true;
+                Some(Err(GraphError::Corrupt(
+                    "old2new.bin shorter than the id space".into(),
+                )))
+            }
+        }
+    }
+}
+
 impl DosConverter {
+    /// Start building a converter.
+    pub fn builder() -> DosConverterBuilder {
+        DosConverterBuilder { budget: None, stats: None, weight_fn: None, threads: 1 }
+    }
+
+    /// Single-threaded converter; shorthand for
+    /// `DosConverter::builder().budget(..).stats(..).build()`.
     pub fn new(budget: MemoryBudget, stats: Arc<IoStats>) -> Self {
-        DosConverter { budget, stats, weight_fn: None }
+        DosConverter { budget, stats, weight_fn: None, threads: 1 }
     }
 
     /// Also emit per-edge weights computed by `f(original_src, original_dst)`.
@@ -220,62 +405,61 @@ impl DosConverter {
         self
     }
 
+    /// Build one pipeline-stage sorter. Chained stages keep two sorts alive
+    /// at once (an upstream merge drains into a downstream run formation),
+    /// so every stage works under half the configured budget.
+    fn sorter<T, K, F>(&self, key: F) -> Result<ExternalSorter<T, K, F>>
+    where
+        T: FixedCodec,
+        K: Ord,
+        F: Fn(&T) -> K,
+    {
+        ExternalSorter::builder(key)
+            .budget(self.budget.split(2))
+            .stats(Arc::clone(&self.stats))
+            .threads(self.threads)
+            .build()
+    }
+
     /// Run the full conversion, producing `edges.bin`, `index.tbl`,
     /// `new2old.bin`, `old2new.bin`, and `meta.txt` under `dir`.
+    ///
+    /// The seven passes of §III-C run as a pipeline of chained
+    /// [`sort_stream`](ExternalSorter::sort_stream)s: each sort's lazy merge
+    /// drains directly into the next stage (triad emission, degree-group
+    /// scan, relabeling, adjacency write) with no intermediate file between
+    /// a sort and its consumer. Run files for each stage live in their own
+    /// scratch subdirectory, dropped as soon as the stage is drained.
     pub fn convert(&self, input: &EdgeListFile, dir: &Path) -> Result<DosGraph> {
         std::fs::create_dir_all(dir)?;
         let scratch = ScratchDir::new("dos-convert")?;
         let meta = input.meta();
         let num_vertices = meta.num_vertices;
 
-        // Pass 1: sort edges by (src, dst) so each vertex's out-edges are a
-        // contiguous run whose length is its degree.
-        let by_src = scratch.file("by-src.bin");
-        ExternalSorter::new(|e: &Edge| (e.src, e.dst), self.budget, Arc::clone(&self.stats))
-            .sort_file(input.path(), &by_src, &scratch)?;
-
-        // Pass 2: emit (deg, src, dst) triads, then sort by (deg desc, src).
-        let triads = scratch.file("triads.bin");
-        {
-            let mut w = RecordWriter::<Triad>::create(&triads, Arc::clone(&self.stats))?;
-            let mut run: Vec<Edge> = Vec::new();
-            let flush = |run: &mut Vec<Edge>, w: &mut RecordWriter<Triad>| -> Result<()> {
-                let deg = cast::usize_to_u32(run.len(), "dos out-degree")?;
-                for e in run.drain(..) {
-                    w.push(&(deg, e.src, e.dst))?;
-                }
-                Ok(())
-            };
-            for e in RecordReader::<Edge>::open(&by_src, Arc::clone(&self.stats))? {
-                let e = e?;
-                if run.last().is_some_and(|p| p.src != e.src) {
-                    flush(&mut run, &mut w)?;
-                }
-                run.push(e);
-            }
-            flush(&mut run, &mut w)?;
-            w.finish()?;
-        }
-        let by_deg = scratch.file("by-deg.bin");
-        ExternalSorter::new(
-            // Ties between equal degrees break by ascending old id — the
-            // paper breaks them "randomly"; a deterministic break makes runs
-            // reproducible, which §IV-C's ordering guarantee requires anyway.
-            |t: &Triad| (std::cmp::Reverse(t.0), t.1, t.2),
-            self.budget,
-            Arc::clone(&self.stats),
-        )
-        .sort_file(&triads, &by_deg, &scratch)?;
-        let _ = std::fs::remove_file(&triads);
-
-        // Pass 3: walk the degree-sorted triads assigning new ids, building
-        // the per-unique-degree groups, and emitting half-relabeled edges
+        // Passes 1–3, pipelined: sort edges by (src, dst); stream the merge
+        // through the triad emitter into the by-degree sort's run formation;
+        // then walk the degree-sorted triads assigning new ids, building the
+        // per-unique-degree groups, and emitting half-relabeled edges
         // (new src, old dst).
         let half = scratch.file("half-relabeled.bin");
         let assign = scratch.file("assign.bin"); // (old_id, new_id) per vertex with deg > 0
         let mut groups: Vec<DegreeGroup> = Vec::new();
         let assigned: u64;
         {
+            let by_src_sorter = self.sorter(|e: &Edge| (e.src, e.dst))?;
+            // Ties between equal degrees break by ascending old id — the
+            // paper breaks them "randomly"; a deterministic break makes runs
+            // reproducible, which §IV-C's ordering guarantee requires anyway.
+            let by_deg_sorter =
+                self.sorter(|t: &Triad| (std::cmp::Reverse(t.0), t.1, t.2))?;
+            let by_src_runs = ScratchDir::new_in(scratch.path(), "by-src")?;
+            let by_deg_runs = ScratchDir::new_in(scratch.path(), "by-deg")?;
+            let by_src = by_src_sorter
+                .sort_stream(input.reader(Arc::clone(&self.stats))?, &by_src_runs)?;
+            let mut by_deg =
+                by_deg_sorter.sort_stream(TriadEmitter::new(by_src), &by_deg_runs)?;
+            drop(by_src_runs); // pass-1 runs fully drained into pass-2 runs
+
             // (new src, old dst, old src) — the old source rides along so
             // weights can be derived from original ids at the final pass.
             let mut half_w =
@@ -284,9 +468,7 @@ impl DosConverter {
                 RecordWriter::<(u32, u32)>::create(&assign, Arc::clone(&self.stats))?;
             let mut cur_src: Option<u32> = None;
             let mut next_new: u32 = 0;
-            for (edge_offset, t) in
-                (0u64..).zip(RecordReader::<Triad>::open(&by_deg, Arc::clone(&self.stats))?)
-            {
+            for (edge_offset, t) in (0u64..).zip(&mut by_deg) {
                 let (deg, src, dst) = t?;
                 if cur_src != Some(src) {
                     cur_src = Some(src);
@@ -303,10 +485,10 @@ impl DosConverter {
             half_w.finish()?;
             assign_w.finish()?;
         }
-        let _ = std::fs::remove_file(&by_deg);
 
         // Pass 4: fill in zero-degree vertices (paper: "we need to fill in
-        // those vertices with 0 degrees") and materialize old2new.bin.
+        // those vertices with 0 degrees") and materialize old2new.bin by
+        // draining the assignment sort's merge straight into the co-scan.
         if assigned < num_vertices {
             groups.push(DegreeGroup {
                 degree: 0,
@@ -314,21 +496,22 @@ impl DosConverter {
                 offset: meta.num_edges,
             });
         }
-        let assign_by_old = scratch.file("assign-by-old.bin");
-        ExternalSorter::new(|p: &(u32, u32)| p.0, self.budget, Arc::clone(&self.stats))
-            .sort_file(&assign, &assign_by_old, &scratch)?;
-        let _ = std::fs::remove_file(&assign);
         let old2new_path = dir.join("old2new.bin");
         {
-            let mut r = RecordReader::<(u32, u32)>::open(&assign_by_old, Arc::clone(&self.stats))?;
+            let by_old_sorter = self.sorter(|p: &(u32, u32)| p.0)?;
+            let by_old_runs = ScratchDir::new_in(scratch.path(), "assign")?;
+            let mut by_old = by_old_sorter.sort_stream(
+                RecordReader::<(u32, u32)>::open(&assign, Arc::clone(&self.stats))?,
+                &by_old_runs,
+            )?;
             let mut w = RecordWriter::<u32>::create(&old2new_path, Arc::clone(&self.stats))?;
-            let mut pending = r.next_record()?;
+            let mut pending = by_old.next_record()?;
             let mut next_zero: u32 = cast::to_u32(assigned, "dos first zero-degree id")?;
             for old in 0..cast::to_u32(num_vertices, "dos vertex count")? {
                 match pending {
                     Some((o, n)) if o == old => {
                         w.push(&n)?;
-                        pending = r.next_record()?;
+                        pending = by_old.next_record()?;
                     }
                     _ => {
                         w.push(&next_zero)?;
@@ -343,82 +526,57 @@ impl DosConverter {
             }
             w.finish()?;
         }
-        let _ = std::fs::remove_file(&assign_by_old);
+        let _ = std::fs::remove_file(&assign);
 
-        // Pass 5: new2old.bin = old2new inverted via one more external sort.
-        let pairs_by_new = scratch.file("pairs-by-new.bin");
-        {
-            let olds = RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?;
-            let pairs = olds.enumerate().map(|(old, new)| {
-                let new = new.expect("old2new.bin must be readable");
-                // Pass 4 already proved num_vertices fits u32.
-                let old = cast::usize_to_u32(old, "dos old id")
-                    .expect("old ids bounded by num_vertices");
-                (new, old)
-            });
-            ExternalSorter::new(|p: &(u32, u32)| p.0, self.budget, Arc::clone(&self.stats))
-                .sort_iter(pairs, &pairs_by_new, &scratch)?;
-        }
+        // Pass 5: new2old.bin = old2new inverted via one more external sort,
+        // its merge draining directly into the new2old writer.
         let new2old_path = dir.join("new2old.bin");
         {
+            let by_new_sorter = self.sorter(|p: &(u32, u32)| p.0)?;
+            let by_new_runs = ScratchDir::new_in(scratch.path(), "pairs")?;
+            let olds = RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?;
+            let pairs = olds.enumerate().map(|(old, new)| -> Result<(u32, u32)> {
+                // Pass 4 already proved num_vertices fits u32.
+                Ok((new?, cast::usize_to_u32(old, "dos old id")?))
+            });
+            let mut by_new = by_new_sorter.sort_stream(pairs, &by_new_runs)?;
             let mut w = RecordWriter::<u32>::create(&new2old_path, Arc::clone(&self.stats))?;
-            for p in RecordReader::<(u32, u32)>::open(&pairs_by_new, Arc::clone(&self.stats))? {
-                w.push(&p?.1)?;
+            while let Some((_, old)) = by_new.next_record()? {
+                w.push(&old)?;
             }
             w.finish()?;
         }
-        let _ = std::fs::remove_file(&pairs_by_new);
 
-        // Pass 6: relabel destinations by sorting half-relabeled edges by old
-        // dst and co-scanning old2new.bin sequentially (paper: "with the
-        // mapping from oldid to newid, we sequentially relabel dests").
-        let half_by_dst = scratch.file("half-by-dst.bin");
-        ExternalSorter::new(
-            |p: &(u32, u32, u32)| (p.1, p.0, p.2),
-            self.budget,
-            Arc::clone(&self.stats),
-        )
-        .sort_file(&half, &half_by_dst, &scratch)?;
-        let _ = std::fs::remove_file(&half);
-        let relabeled = scratch.file("relabeled.bin");
-        {
-            let mut map = RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?;
-            let mut map_pos: u64 = 0;
-            let mut cur_new: Option<u32> = None;
-            // (new src, new dst, old src, old dst)
-            let mut w = RecordWriter::<(u32, u32, u32, u32)>::create(
-                &relabeled,
-                Arc::clone(&self.stats),
-            )?;
-            for p in RecordReader::<(u32, u32, u32)>::open(&half_by_dst, Arc::clone(&self.stats))? {
-                let (new_src, old_dst, old_src) = p?;
-                while map_pos <= cast::widen_u32(old_dst) {
-                    cur_new = map.next_record()?;
-                    map_pos += 1;
-                }
-                let new_dst = cur_new.ok_or_else(|| {
-                    GraphError::Corrupt("old2new.bin shorter than the id space".into())
-                })?;
-                w.push(&(new_src, new_dst, old_src, old_dst))?;
-            }
-            w.finish()?;
-        }
-        let _ = std::fs::remove_file(&half_by_dst);
-
-        // Pass 7: final sort by (new src, new dst) and write the adjacency
-        // file (destination ids only; offsets are computed by Eq. 1) plus,
-        // when requested, the parallel per-edge weight file.
-        let final_sorted = scratch.file("final.bin");
-        ExternalSorter::new(
-            |p: &(u32, u32, u32, u32)| (p.0, p.1, p.2, p.3),
-            self.budget,
-            Arc::clone(&self.stats),
-        )
-        .sort_file(&relabeled, &final_sorted, &scratch)?;
-        let _ = std::fs::remove_file(&relabeled);
+        // Passes 6–7, pipelined: sort half-relabeled edges by old dst,
+        // relabel destinations by co-scanning old2new.bin sequentially
+        // (paper: "with the mapping from oldid to newid, we sequentially
+        // relabel dests") straight into the final sort's run formation, and
+        // write the adjacency file (destination ids only; offsets are
+        // computed by Eq. 1) plus, when requested, the parallel per-edge
+        // weight file.
         let edges_path = dir.join("edges.bin");
         let mut written: u64 = 0;
         {
+            let by_dst_sorter = self.sorter(|p: &(u32, u32, u32)| (p.1, p.0, p.2))?;
+            let final_sorter =
+                self.sorter(|p: &(u32, u32, u32, u32)| (p.0, p.1, p.2, p.3))?;
+            let by_dst_runs = ScratchDir::new_in(scratch.path(), "half-by-dst")?;
+            let final_runs = ScratchDir::new_in(scratch.path(), "final")?;
+            let by_dst = by_dst_sorter.sort_stream(
+                RecordReader::<(u32, u32, u32)>::open(&half, Arc::clone(&self.stats))?,
+                &by_dst_runs,
+            )?;
+            let relabel = RelabelIter {
+                inner: by_dst,
+                map: RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?,
+                map_pos: 0,
+                cur_new: None,
+                failed: false,
+            };
+            let mut final_sorted = final_sorter.sort_stream(relabel, &final_runs)?;
+            let _ = std::fs::remove_file(&half);
+            drop(by_dst_runs); // pass-6 runs fully drained into pass-7 runs
+
             let mut w = RecordWriter::<u32>::create(&edges_path, Arc::clone(&self.stats))?;
             let mut weights_w = match self.weight_fn {
                 Some(_) => Some(RecordWriter::<f32>::create(
@@ -427,10 +585,7 @@ impl DosConverter {
                 )?),
                 None => None,
             };
-            for p in
-                RecordReader::<(u32, u32, u32, u32)>::open(&final_sorted, Arc::clone(&self.stats))?
-            {
-                let (_, new_dst, old_src, old_dst) = p?;
+            while let Some((_, new_dst, old_src, old_dst)) = final_sorted.next_record()? {
                 w.push(&new_dst)?;
                 if let (Some(ww), Some(f)) = (&mut weights_w, self.weight_fn) {
                     ww.push(&f(old_src, old_dst))?;
@@ -875,6 +1030,78 @@ mod tests {
         // Exact at the extreme (no f64 precision loss above 2^53):
         // isqrt(u64::MAX) = 2^32 - 1, ceil = 2^32.
         assert_eq!(unique_degree_bound(u64::MAX), 2 * (1u64 << 32));
+    }
+
+    #[test]
+    fn converter_builder_validates_configuration() {
+        assert!(DosConverter::builder().stats(stats()).build().is_err());
+        assert!(DosConverter::builder().budget(MemoryBudget::from_kib(64)).build().is_err());
+        assert!(DosConverter::builder()
+            .budget(MemoryBudget::from_kib(64))
+            .stats(stats())
+            .threads(0)
+            .build()
+            .is_err());
+        assert!(DosConverter::builder()
+            .budget(MemoryBudget::from_kib(64))
+            .stats(stats())
+            .weights(graphz_types::derive_weight)
+            .threads(4)
+            .build()
+            .is_ok());
+    }
+
+    /// Every file a conversion produced, name → bytes.
+    fn dir_contents(dir: &Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+        let mut out = std::collections::BTreeMap::new();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            out.insert(
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_conversion_is_byte_identical_to_serial() {
+        // Deterministic pseudo-random graph with duplicate edges, repeated
+        // degrees, and a sparse id space (zero-degree tail).
+        let mut edges = Vec::new();
+        let mut x: u64 = 99;
+        for _ in 0..800 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = ((x >> 33) % 60) as u32;
+            let dst = ((x >> 13) % 90) as u32;
+            edges.push(Edge::new(src, dst));
+        }
+        let dir = ScratchDir::new("dos-par").unwrap();
+        let el = EdgeListFile::create(&dir.file("g.bin"), stats(), edges).unwrap();
+        let serial_dir = dir.path().join("serial");
+        DosConverter::builder()
+            .budget(MemoryBudget::from_kib(4))
+            .stats(stats())
+            .weights(graphz_types::derive_weight)
+            .build()
+            .unwrap()
+            .convert(&el, &serial_dir)
+            .unwrap();
+        let serial = dir_contents(&serial_dir);
+        assert!(serial.contains_key("edges.bin") && serial.contains_key("checksums.txt"));
+        for threads in [2usize, 4] {
+            let par_dir = dir.path().join(format!("par-{threads}"));
+            DosConverter::builder()
+                .budget(MemoryBudget::from_kib(4))
+                .stats(stats())
+                .weights(graphz_types::derive_weight)
+                .threads(threads)
+                .build()
+                .unwrap()
+                .convert(&el, &par_dir)
+                .unwrap();
+            assert_eq!(dir_contents(&par_dir), serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir};
-use graphz_types::{cast, Edge, GraphError, GraphMeta, MemoryBudget, Result, VertexId};
+use graphz_types::prelude::*;
 
 use crate::meta::MetaFile;
 

@@ -1,0 +1,287 @@
+//! The unified ingest front door: source file → DOS directory in one call.
+//!
+//! [`IngestPipeline`] composes the whole input side — text parsing
+//! ([`chunked`](crate::chunked) when parallel), binary edge-list handling,
+//! and the pipelined DOS conversion ([`DosConverter`]) — behind the
+//! workspace builder convention:
+//!
+//! ```no_run
+//! # use std::path::Path;
+//! # use graphz_storage::IngestPipeline;
+//! # use graphz_types::MemoryBudget;
+//! # fn main() -> graphz_types::Result<()> {
+//! let stats = graphz_io::IoStats::new();
+//! let dos = IngestPipeline::builder()
+//!     .budget(MemoryBudget::from_mib(64))
+//!     .stats(stats)
+//!     .threads(4)
+//!     .weights(graphz_types::derive_weight)
+//!     .build()?
+//!     .run(Path::new("graph.txt"), Path::new("graph.dos"))?;
+//! # let _ = dos; Ok(())
+//! # }
+//! ```
+//!
+//! The produced directory is byte-identical for every `threads` value and
+//! chunk size (DESIGN.md §6g), so callers pick parallelism purely on
+//! wall-clock grounds.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use graphz_io::{IoStats, ScratchDir};
+use graphz_types::prelude::*;
+
+use crate::chunked::{self, DEFAULT_CHUNK_BYTES};
+use crate::dos::{DosConverter, DosGraph};
+use crate::edgelist::EdgeListFile;
+
+/// How [`IngestPipeline::run`] interprets its source path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SourceKind {
+    /// A binary edge list with its `.meta.txt` sidecar.
+    Binary,
+    /// A Matrix Market coordinate file (`.mtx`).
+    MatrixMarket,
+    /// SNAP-style whitespace-separated text (the default).
+    Text,
+}
+
+fn detect(src: &Path) -> SourceKind {
+    if EdgeListFile::open(src).is_ok() {
+        return SourceKind::Binary;
+    }
+    match src.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => SourceKind::MatrixMarket,
+        _ => SourceKind::Text,
+    }
+}
+
+/// One-call ingest: source file → DOS directory.
+pub struct IngestPipeline {
+    budget: MemoryBudget,
+    stats: Arc<IoStats>,
+    threads: usize,
+    chunk_bytes: u64,
+    weight_fn: Option<fn(VertexId, VertexId) -> f32>,
+}
+
+/// Builder for [`IngestPipeline`]: `XBuilder` + chainable setters +
+/// fallible `build()`.
+pub struct IngestPipelineBuilder {
+    budget: Option<MemoryBudget>,
+    stats: Option<Arc<IoStats>>,
+    threads: usize,
+    chunk_bytes: u64,
+    weight_fn: Option<fn(VertexId, VertexId) -> f32>,
+}
+
+impl IngestPipelineBuilder {
+    /// Total in-memory bytes the ingest sorts may hold (required).
+    pub fn budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Shared IO statistics sink (required).
+    pub fn stats(mut self, stats: Arc<IoStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Ingest threads (≥ 1; default 1): parse workers for text sources and
+    /// run-formation producers for every sort. Output bytes are identical
+    /// for every value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Byte-span size for chunked text parsing (default
+    /// [`DEFAULT_CHUNK_BYTES`]; mostly a test knob).
+    pub fn chunk_bytes(mut self, chunk_bytes: u64) -> Self {
+        self.chunk_bytes = chunk_bytes;
+        self
+    }
+
+    /// Also emit per-edge weights computed by `f(original_src, original_dst)`.
+    pub fn weights(mut self, f: fn(VertexId, VertexId) -> f32) -> Self {
+        self.weight_fn = Some(f);
+        self
+    }
+
+    /// Validate the configuration and produce the pipeline.
+    pub fn build(self) -> Result<IngestPipeline> {
+        let budget = self.budget.ok_or_else(|| {
+            GraphError::InvalidConfig("ingest requires a memory budget".into())
+        })?;
+        let stats = self
+            .stats
+            .ok_or_else(|| GraphError::InvalidConfig("ingest requires a stats sink".into()))?;
+        if self.threads == 0 {
+            return Err(GraphError::InvalidConfig("ingest threads must be >= 1".into()));
+        }
+        if self.chunk_bytes == 0 {
+            return Err(GraphError::InvalidConfig("ingest chunk size must be > 0".into()));
+        }
+        Ok(IngestPipeline {
+            budget,
+            stats,
+            threads: self.threads,
+            chunk_bytes: self.chunk_bytes,
+            weight_fn: self.weight_fn,
+        })
+    }
+}
+
+impl IngestPipeline {
+    /// Start building a pipeline.
+    pub fn builder() -> IngestPipelineBuilder {
+        IngestPipelineBuilder {
+            budget: None,
+            stats: None,
+            threads: 1,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            weight_fn: None,
+        }
+    }
+
+    /// Ingest `src` (binary edge list, `.mtx`, or SNAP-style text — detected
+    /// automatically) into the DOS directory `dir`.
+    pub fn run(&self, src: &Path, dir: &Path) -> Result<DosGraph> {
+        // The imported edge list lives in scratch until the conversion has
+        // fully consumed it.
+        let scratch = ScratchDir::new("ingest")?;
+        let edges = match detect(src) {
+            SourceKind::Binary => EdgeListFile::open(src)?,
+            SourceKind::MatrixMarket => EdgeListFile::import_matrix_market(
+                src,
+                &scratch.file("imported.bin"),
+                Arc::clone(&self.stats),
+            )?,
+            SourceKind::Text => chunked::import_text_chunked(
+                src,
+                &scratch.file("imported.bin"),
+                Arc::clone(&self.stats),
+                self.threads,
+                self.chunk_bytes,
+            )?,
+        };
+        let mut converter = DosConverter::builder()
+            .budget(self.budget)
+            .stats(Arc::clone(&self.stats))
+            .threads(self.threads);
+        if let Some(f) = self.weight_fn {
+            converter = converter.weights(f);
+        }
+        converter.build()?.convert(&edges, dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dos::DosGraph;
+
+    fn stats() -> Arc<IoStats> {
+        IoStats::new()
+    }
+
+    fn pipeline(threads: usize) -> IngestPipeline {
+        IngestPipeline::builder()
+            .budget(MemoryBudget::from_kib(64))
+            .stats(stats())
+            .threads(threads)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert!(IngestPipeline::builder().stats(stats()).build().is_err());
+        assert!(IngestPipeline::builder().budget(MemoryBudget::from_kib(1)).build().is_err());
+        assert!(IngestPipeline::builder()
+            .budget(MemoryBudget::from_kib(1))
+            .stats(stats())
+            .threads(0)
+            .build()
+            .is_err());
+        assert!(IngestPipeline::builder()
+            .budget(MemoryBudget::from_kib(1))
+            .stats(stats())
+            .chunk_bytes(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn ingests_text_binary_and_matrix_market() {
+        let dir = ScratchDir::new("ingest-kinds").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n1 2\n2 0\n0 2\n").unwrap();
+        let from_text = pipeline(1).run(&txt, &dir.path().join("from-text")).unwrap();
+        assert_eq!(from_text.meta().num_edges, 4);
+
+        let bin = dir.file("g.bin");
+        EdgeListFile::import_text(&txt, &bin, stats()).unwrap();
+        let from_bin = pipeline(1).run(&bin, &dir.path().join("from-bin")).unwrap();
+        assert_eq!(from_bin.meta(), from_text.meta());
+        assert_eq!(from_bin.index(), from_text.index());
+
+        let mtx = dir.file("g.mtx");
+        std::fs::write(&mtx, "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n")
+            .unwrap();
+        let from_mtx = pipeline(2).run(&mtx, &dir.path().join("from-mtx")).unwrap();
+        assert_eq!(from_mtx.meta().num_edges, 2);
+    }
+
+    #[test]
+    fn parallel_ingest_reopens_and_matches_serial() {
+        let dir = ScratchDir::new("ingest-par").unwrap();
+        let txt = dir.file("g.txt");
+        let mut text = String::new();
+        let mut x: u64 = 3;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            text.push_str(&format!("{} {}\n", (x >> 33) % 70, (x >> 15) % 70));
+        }
+        std::fs::write(&txt, text).unwrap();
+        let serial = pipeline(1).run(&txt, &dir.path().join("serial")).unwrap();
+        let par = IngestPipeline::builder()
+            .budget(MemoryBudget::from_kib(64))
+            .stats(stats())
+            .threads(4)
+            .chunk_bytes(256)
+            .build()
+            .unwrap()
+            .run(&txt, &dir.path().join("par"))
+            .unwrap();
+        assert_eq!(par.meta(), serial.meta());
+        assert_eq!(par.index(), serial.index());
+        assert_eq!(
+            std::fs::read(par.edges_path()).unwrap(),
+            std::fs::read(serial.edges_path()).unwrap()
+        );
+        // The produced directory reopens cleanly.
+        let reopened = DosGraph::open(&dir.path().join("par"), stats()).unwrap();
+        assert_eq!(reopened.meta(), serial.meta());
+    }
+
+    #[test]
+    fn weighted_ingest_passes_weights_through() {
+        let dir = ScratchDir::new("ingest-w").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n1 0\n2 1\n").unwrap();
+        let dos = IngestPipeline::builder()
+            .budget(MemoryBudget::from_kib(64))
+            .stats(stats())
+            .threads(2)
+            .weights(graphz_types::derive_weight)
+            .build()
+            .unwrap()
+            .run(&txt, &dir.path().join("dos"))
+            .unwrap();
+        assert!(dos.has_weights());
+        assert!(dos.weights_path().unwrap().exists());
+    }
+}

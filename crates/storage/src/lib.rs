@@ -15,18 +15,27 @@
 //! [`partition`] computes memory-budget-driven partition boundaries over
 //! either ordering, and [`meta`] is the tiny `key=value` sidecar format all
 //! directory layouts use.
+//!
+//! The input side is unified behind [`ingest::IngestPipeline`]: one builder
+//! that detects the source format, parses text in parallel byte chunks
+//! ([`chunked`]), and runs the pipelined DOS conversion — byte-identical
+//! output for every thread count (DESIGN.md §6g).
 
 #![forbid(unsafe_code)]
 
+pub mod chunked;
 pub mod csr;
 pub mod dos;
 pub mod edgelist;
+pub mod ingest;
 pub mod meta;
 pub mod partition;
 pub mod verify;
 
+pub use chunked::import_text_chunked;
 pub use csr::{CsrFiles, CsrGraph};
-pub use dos::{DosConverter, DosGraph, DosIndex};
+pub use dos::{DosConverter, DosConverterBuilder, DosGraph, DosIndex};
 pub use edgelist::EdgeListFile;
+pub use ingest::{IngestPipeline, IngestPipelineBuilder};
 pub use partition::{PartitionSet, Partitioner};
 pub use verify::{verify_dos, VerifyReport, Violation};

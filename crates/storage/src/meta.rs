@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use graphz_types::{GraphError, GraphMeta, IoCtx, Result};
+use graphz_types::prelude::*;
 
 /// Ordered key → value map persisted as `key=value` lines.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]

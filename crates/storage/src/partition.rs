@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use graphz_io::{IoStats, RecordReader};
-use graphz_types::{cast, MemoryBudget, Result, VertexId};
+use graphz_types::prelude::*;
 
 use crate::dos::DosGraph;
 

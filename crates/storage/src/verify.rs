@@ -9,7 +9,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use graphz_io::{IoStats, RecordReader};
-use graphz_types::{cast, Result, VertexId};
+use graphz_types::prelude::*;
 
 use crate::dos::DosGraph;
 use crate::meta::MetaFile;

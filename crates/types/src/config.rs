@@ -33,6 +33,20 @@ impl MemoryBudget {
         (self.0 / record_size as u64).max(1)
     }
 
+    /// Split this budget evenly across `shards` concurrent consumers.
+    ///
+    /// Each shard receives `floor(bytes / shards)` bytes (never rounding the
+    /// aggregate above the original budget), and the split never collapses to
+    /// zero: like [`records`](Self::records), a degenerate budget still lets
+    /// every shard make forward progress one byte at a time. The split is a
+    /// pure function of `(budget, shards)`, which is what lets the sharded
+    /// ingest pipeline keep a deterministic run plan for a fixed
+    /// configuration.
+    pub fn split(self, shards: usize) -> Self {
+        let n = shards.max(1) as u64;
+        MemoryBudget((self.0 / n).max(1))
+    }
+
     /// Number of partitions needed to process `total` records of
     /// `record_size` bytes `fraction`-of-budget at a time.
     pub fn partitions_for(self, total: u64, record_size: usize, fraction: f64) -> u32 {
@@ -164,6 +178,91 @@ impl EngineOptions {
     pub fn with_queue_cap(self, cap: usize) -> Self {
         EngineOptions { queue_cap: Some(cap.max(1)), ..self }
     }
+
+    /// Builder-style construction following the workspace API convention
+    /// (`XBuilder` + chainable setters + fallible `build()`): invalid
+    /// combinations surface as [`GraphError::InvalidConfig`] instead of being
+    /// silently clamped.
+    pub fn builder() -> EngineOptionsBuilder {
+        EngineOptionsBuilder { opts: Self::default() }
+    }
+}
+
+/// Builder for [`EngineOptions`].
+///
+/// Produced by [`EngineOptions::builder`]. Every setter is chainable;
+/// [`build`](Self::build) validates the configuration (thread, shard, and
+/// queue-capacity counts must be ≥ 1) and returns a typed error rather than
+/// clamping, so misconfigurations are visible at the call site.
+#[derive(Debug, Clone)]
+pub struct EngineOptionsBuilder {
+    opts: EngineOptions,
+}
+
+impl EngineOptionsBuilder {
+    /// Toggle degree-ordered storage (Fig. 7 ablation).
+    pub fn use_dos(mut self, on: bool) -> Self {
+        self.opts.use_dos = on;
+        self
+    }
+
+    /// Toggle ordered dynamic messages (Fig. 7 ablation).
+    pub fn dynamic_messages(mut self, on: bool) -> Self {
+        self.opts.dynamic_messages = on;
+        self
+    }
+
+    /// Pipeline thread count for the Sio → Dispatcher → Worker stages.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.pipeline_threads = threads;
+        self
+    }
+
+    /// Logical Worker shards per partition (the fixed schedule knob; see
+    /// [`EngineOptions::worker_shards`]).
+    pub fn worker_shards(mut self, shards: usize) -> Self {
+        self.opts.worker_shards = shards;
+        self
+    }
+
+    /// Toggle background partition prefetch.
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.opts.prefetch = on;
+        self
+    }
+
+    /// Toggle the dedicated MsgManager spill thread.
+    pub fn background_spill(mut self, on: bool) -> Self {
+        self.opts.background_spill = on;
+        self
+    }
+
+    /// Toggle the §VI-E in-memory fast path.
+    pub fn in_memory_fast_path(mut self, on: bool) -> Self {
+        self.opts.in_memory_fast_path = on;
+        self
+    }
+
+    /// Force every bounded pipeline queue to `cap`.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.opts.queue_cap = Some(cap);
+        self
+    }
+
+    /// Validate and produce the options.
+    pub fn build(self) -> crate::error::Result<EngineOptions> {
+        use crate::error::GraphError;
+        if self.opts.pipeline_threads == 0 {
+            return Err(GraphError::InvalidConfig("pipeline_threads must be >= 1".into()));
+        }
+        if self.opts.worker_shards == 0 {
+            return Err(GraphError::InvalidConfig("worker_shards must be >= 1".into()));
+        }
+        if self.opts.queue_cap == Some(0) {
+            return Err(GraphError::InvalidConfig("queue_cap must be >= 1".into()));
+        }
+        Ok(self.opts)
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +282,39 @@ mod tests {
     fn records_never_zero() {
         assert_eq!(MemoryBudget(1).records(1024), 1);
         assert_eq!(MemoryBudget::from_kib(1).records(4), 256);
+    }
+
+    #[test]
+    fn split_is_even_and_never_zero() {
+        assert_eq!(MemoryBudget::from_kib(8).split(4), MemoryBudget::from_kib(2));
+        assert_eq!(MemoryBudget(10).split(3), MemoryBudget(3));
+        assert_eq!(MemoryBudget(1).split(16), MemoryBudget(1));
+        assert_eq!(MemoryBudget::from_mib(1).split(0), MemoryBudget::from_mib(1));
+        // Deterministic: same inputs, same split.
+        assert_eq!(MemoryBudget(12345).split(7), MemoryBudget(12345).split(7));
+    }
+
+    #[test]
+    fn options_builder_matches_presets() {
+        let b = EngineOptions::builder().build().unwrap();
+        assert_eq!(b, EngineOptions::default());
+        let par = EngineOptions::builder()
+            .threads(4)
+            .worker_shards(EngineOptions::PARALLEL_WORKER_SHARDS)
+            .build()
+            .unwrap();
+        assert_eq!(par, EngineOptions::with_parallel_workers(4));
+        let ab = EngineOptions::builder().use_dos(false).dynamic_messages(false).build().unwrap();
+        assert_eq!(ab, EngineOptions::without_dos_and_dm());
+        let capped = EngineOptions::builder().queue_cap(3).build().unwrap();
+        assert_eq!(capped.queue_cap, Some(3));
+    }
+
+    #[test]
+    fn options_builder_rejects_zeroes() {
+        assert!(EngineOptions::builder().threads(0).build().is_err());
+        assert!(EngineOptions::builder().worker_shards(0).build().is_err());
+        assert!(EngineOptions::builder().queue_cap(0).build().is_err());
     }
 
     #[test]

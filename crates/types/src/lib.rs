@@ -15,8 +15,25 @@ pub mod config;
 pub mod error;
 
 pub use codec::FixedCodec;
-pub use config::{EngineOptions, MemoryBudget};
+pub use config::{EngineOptions, EngineOptionsBuilder, MemoryBudget};
 pub use error::{GraphError, IoContext, IoCtx, Result};
+
+/// One-line import of the names nearly every GraphZ crate needs.
+///
+/// `use graphz_types::prelude::*;` replaces the multi-line `use` stanzas
+/// that used to open each module: the core identifier aliases, the budget and
+/// options types, the workspace `Result`/error types, the record codec trait,
+/// and the checked-arithmetic funnel ([`cast`], both as a module and its
+/// helpers). Everything here is re-exported verbatim, so mixing the prelude
+/// with explicit `graphz_types::` paths is always equivalent.
+pub mod prelude {
+    pub use crate::cast;
+    pub use crate::cast::*;
+    pub use crate::codec::FixedCodec;
+    pub use crate::config::{EngineOptions, EngineOptionsBuilder, MemoryBudget};
+    pub use crate::error::{GraphError, IoContext, IoCtx, Result};
+    pub use crate::{derive_weight, Degree, Edge, GraphMeta, VertexId, Weight};
+}
 
 /// A vertex identifier.
 ///

@@ -13,7 +13,7 @@ use graphz_algos::graphz::PageRank;
 use graphz_core::{DosStore, Engine, EngineConfig};
 use graphz_io::{IoStats, ScratchDir};
 use graphz_storage::{DosConverter, EdgeListFile};
-use graphz_types::{MemoryBudget, Result};
+use graphz_types::prelude::*;
 
 fn new_engine(
     dos: &graphz_storage::DosGraph,
@@ -33,7 +33,10 @@ fn main() -> Result<()> {
     println!("preparing graph (300k edges)...");
     let edges = graphz_gen::rmat_edges(14, 300_000, Default::default(), 11);
     let input = EdgeListFile::create(&workdir.file("g.bin"), Arc::clone(&stats), edges)?;
-    let dos = DosConverter::new(MemoryBudget::from_mib(8), Arc::clone(&stats))
+    let dos = DosConverter::builder()
+        .budget(MemoryBudget::from_mib(8))
+        .stats(Arc::clone(&stats))
+        .build()?
         .convert(&input, &workdir.path().join("dos"))?;
 
     // Reference: one uninterrupted run to convergence.

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use graphz_io::{IoStats, ScratchDir};
 use graphz_storage::{DosConverter, DosGraph, EdgeListFile};
-use graphz_types::{Edge, MemoryBudget, Result, VertexId};
+use graphz_types::prelude::*;
 
 fn main() -> Result<()> {
     let workdir = ScratchDir::new("dos-walkthrough")?;
@@ -40,7 +40,10 @@ fn main() -> Result<()> {
     }
 
     let input = EdgeListFile::create(&workdir.file("g.bin"), Arc::clone(&stats), edges)?;
-    let dos: DosGraph = DosConverter::new(MemoryBudget::from_mib(1), Arc::clone(&stats))
+    let dos: DosGraph = DosConverter::builder()
+        .budget(MemoryBudget::from_mib(1))
+        .stats(Arc::clone(&stats))
+        .build()?
         .convert(&input, &workdir.path().join("dos"))?;
 
     let new2old = dos.load_new2old(Arc::clone(&stats))?;

@@ -13,7 +13,7 @@ use graphz_algos::runner;
 use graphz_algos::{AlgoParams, Algorithm, AlgoValues};
 use graphz_io::{DeviceModel, IoStats, ScratchDir};
 use graphz_storage::EdgeListFile;
-use graphz_types::{MemoryBudget, Result};
+use graphz_types::prelude::*;
 
 fn main() -> Result<()> {
     let workdir = ScratchDir::new("web-ranking")?;

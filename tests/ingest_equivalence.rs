@@ -1,0 +1,141 @@
+//! Property test for the tentpole determinism claim (DESIGN.md §6g): for
+//! any ingest thread count and parse chunk size, the DOS directory produced
+//! by [`IngestPipeline`] is **byte-identical** to the serial build — every
+//! file, including the `checksums.txt` sidecar — and `verify_dos` reports
+//! the same clean result.
+//!
+//! Covered shapes:
+//! * an unweighted power-law-ish graph from a seeded LCG;
+//! * the same graph with derived weights (`weights.bin` must match too);
+//! * a graph whose id space ends in a zero-out-degree tail (ids that only
+//!   ever appear as destinations), exercising the zero-degree group and the
+//!   `next_zero` fill in the relabeling pass.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use graphz_io::{IoStats, ScratchDir};
+use graphz_storage::{verify_dos, IngestPipeline, IngestPipelineBuilder};
+use graphz_types::MemoryBudget;
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 8];
+/// Tiny forces many chunk boundaries inside lines; the default exercises
+/// the single-chunk fast path on these inputs.
+const CHUNK_SIZES: &[u64] = &[48, graphz_storage::chunked::DEFAULT_CHUNK_BYTES];
+
+fn stats() -> Arc<IoStats> {
+    IoStats::new()
+}
+
+/// Every file in a DOS directory, name → bytes.
+fn dir_contents(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        out.insert(
+            entry.file_name().to_string_lossy().into_owned(),
+            std::fs::read(entry.path()).unwrap(),
+        );
+    }
+    out
+}
+
+/// A deterministic edge-list text with comments, blank lines, and mixed
+/// separators, so chunk boundaries land inside all of them.
+fn lcg_graph_text(seed: u64, edges: usize, id_space: u64) -> String {
+    let mut text = String::from("# ingest equivalence fixture\n\n");
+    let mut x = seed;
+    for i in 0..edges {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let src = (x >> 33) % id_space;
+        let dst = (x >> 15) % id_space;
+        let sep = if i % 3 == 0 { '\t' } else { ' ' };
+        text.push_str(&format!("{src}{sep}{dst}\n"));
+        if i % 97 == 0 {
+            text.push_str("# interior comment\n");
+        }
+    }
+    text
+}
+
+fn builder(threads: usize, chunk_bytes: u64) -> IngestPipelineBuilder {
+    IngestPipeline::builder()
+        // Small budget so every configuration spills to multi-run sorts.
+        .budget(MemoryBudget::from_kib(32))
+        .stats(stats())
+        .threads(threads)
+        .chunk_bytes(chunk_bytes)
+}
+
+/// Ingest `text` at every (threads, chunk) configuration and assert the
+/// produced directories are byte-identical to the serial one.
+fn assert_equivalent(label: &str, text: &str, weighted: bool) {
+    let scratch = ScratchDir::new(&format!("ingest-eq-{label}")).unwrap();
+    let src = scratch.file("g.txt");
+    std::fs::write(&src, text).unwrap();
+
+    let serial_dir = scratch.path().join("serial");
+    let mut serial_b = builder(1, graphz_storage::chunked::DEFAULT_CHUNK_BYTES);
+    if weighted {
+        serial_b = serial_b.weights(graphz_types::derive_weight);
+    }
+    serial_b.build().unwrap().run(&src, &serial_dir).unwrap();
+    let want = dir_contents(&serial_dir);
+    let want_report = verify_dos(&serial_dir, stats()).unwrap();
+    assert!(want_report.is_clean(), "{label}: serial build fails verify");
+    assert!(want_report.files_checksummed > 0, "{label}: sidecar missing");
+
+    for &threads in THREAD_COUNTS {
+        for &chunk in CHUNK_SIZES {
+            let dir = scratch.path().join(format!("t{threads}-c{chunk}"));
+            let mut b = builder(threads, chunk);
+            if weighted {
+                b = b.weights(graphz_types::derive_weight);
+            }
+            b.build().unwrap().run(&src, &dir).unwrap();
+            let got = dir_contents(&dir);
+            assert_eq!(
+                got.keys().collect::<Vec<_>>(),
+                want.keys().collect::<Vec<_>>(),
+                "{label}: file set differs at threads={threads} chunk={chunk}"
+            );
+            for (name, bytes) in &got {
+                assert_eq!(
+                    bytes, &want[name],
+                    "{label}: {name} differs at threads={threads} chunk={chunk}"
+                );
+            }
+            let report = verify_dos(&dir, stats()).unwrap();
+            assert_eq!(
+                report, want_report,
+                "{label}: verify report differs at threads={threads} chunk={chunk}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unweighted_graph_is_byte_identical_across_configurations() {
+    assert_equivalent("plain", &lcg_graph_text(7, 600, 90), false);
+}
+
+#[test]
+fn weighted_graph_is_byte_identical_across_configurations() {
+    assert_equivalent("weighted", &lcg_graph_text(11, 400, 60), true);
+}
+
+#[test]
+fn zero_degree_tail_is_byte_identical_across_configurations() {
+    // Sources drawn from [0, 40) but destinations from [0, 120): ids 40..120
+    // have out-degree zero, and the top of the id space (119) appears only
+    // as a destination, so num_vertices comes entirely from the dst side.
+    let mut text = String::new();
+    let mut x: u64 = 23;
+    for _ in 0..300 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        text.push_str(&format!("{} {}\n", (x >> 33) % 40, (x >> 15) % 120));
+    }
+    text.push_str("0 119\n");
+    assert_equivalent("tail", &text, false);
+}
