@@ -20,6 +20,14 @@ echo "== ingest equivalence (parallel == serial, byte-for-byte) =="
 # chunk size (DESIGN.md §6g).
 cargo test -q --offline -p graphz-bench --test ingest_equivalence
 
+echo "== ingest chaos (fault sweep + resume, DESIGN.md §6h) =="
+# A fault planted at every sampled file operation — hard, torn, transient,
+# disk-full — must either retry to success or fail typed with the scratch
+# root resumable to a byte-identical directory. The sweep summary lands in
+# chaos_ingest.json.
+CHAOS_INGEST_OUT="$PWD/chaos_ingest.json" \
+  cargo test -q --offline -p graphz-bench --test ingest_chaos
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
 

@@ -66,20 +66,26 @@ fn is_consumer(method: &str) -> bool {
 /// If tokens at `i` start a resource creation, return `(label, expression
 /// start index, report line)`.
 fn creation_at(t: &[Token], i: usize) -> Option<(&'static str, usize, usize)> {
-    // AtomicFile::create(…) / StagedDir::stage(…) and their fault-injecting
-    // variants.
+    // AtomicFile::create(…) / StagedDir::stage(…) (and their fault-injecting
+    // variants), plus StageManifest::new(…) — a manifest records a stage's
+    // artifacts but only marks the stage durable on `commit()`.
     let ty = t[i].text.as_str();
-    if (ty == "AtomicFile" || ty == "StagedDir")
+    if (ty == "AtomicFile" || ty == "StagedDir" || ty == "StageManifest")
         && t.get(i + 1).is_some_and(|x| x.text == "::")
         && t.get(i + 3).is_some_and(|x| x.text == "(")
     {
         let method = t[i + 2].text.as_str();
         let ok = match ty {
             "AtomicFile" => method == "create" || method == "create_with_faults",
+            "StageManifest" => method == "new",
             _ => method == "stage" || method == "stage_with_faults",
         };
         if ok {
-            let label = if ty == "AtomicFile" { "AtomicFile" } else { "StagedDir" };
+            let label = match ty {
+                "AtomicFile" => "AtomicFile",
+                "StageManifest" => "StageManifest",
+                _ => "StagedDir",
+            };
             // Skip over a leading module path (`io::AtomicFile::create`).
             let mut start = i;
             while start >= 2 && t[start - 1].text == "::" && t[start - 2].is_word() {
@@ -295,6 +301,20 @@ mod tests {
     fn expression_position_and_let_underscore_are_ok() {
         let src = "fn a(d: &Path) -> Result<AtomicFile> { Ok(AtomicFile::create(d)?) }\n\
                    fn b(d: &Path) { let _ = StagedDir::stage(d); }";
+        assert!(audit(src).is_empty());
+    }
+
+    #[test]
+    fn uncommitted_stage_manifest_is_flagged() {
+        let src = "fn record(dir: &Path) -> Result<()> {\n\
+                   let mut m = StageManifest::new(\"triads\");\n\
+                   m.set(\"assigned\", \"7\");\n Ok(())\n}";
+        let v = audit(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("StageManifest"), "{}", v[0].message);
+        let src = "fn record(dir: &Path, s: &FaultSurface) -> Result<()> {\n\
+                   let mut m = StageManifest::new(\"triads\");\n\
+                   m.set(\"assigned\", \"7\");\n m.commit(&dir.join(\"m\"), s)?;\n Ok(())\n}";
         assert!(audit(src).is_empty());
     }
 

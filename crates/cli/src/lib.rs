@@ -32,6 +32,8 @@ pub enum Command {
         budget_mib: u64,
         weighted: bool,
         ingest_threads: usize,
+        max_bad_records: Option<u64>,
+        resume: bool,
     },
     Info { path: PathBuf },
     Verify { dos_dir: PathBuf },
@@ -120,12 +122,31 @@ pub const COMMANDS: &[CommandSpec] = &[
                 help: "parse workers and sort-run producers; the DOS \
                        directory is byte-identical for every N (default 1)",
             },
+            FlagSpec {
+                name: "--max-bad-records",
+                value: Some("N"),
+                help: "tolerate up to N malformed text lines, quarantining \
+                       them to quarantine.txt (default: any bad line aborts)",
+            },
+            FlagSpec {
+                name: "--resume",
+                value: None,
+                help: "reuse completed stages from a previous interrupted \
+                       run's scratch directory",
+            },
         ],
         summary: "build degree-ordered storage (detects text vs binary input)",
         details: "Ingest parallelism: --ingest-threads shards text parsing into fixed\n\
                   byte chunks and external-sort run formation across N producers. The\n\
                   plan depends only on the input size and budget — never on thread\n\
-                  timing — so the produced directory is byte-identical for every N.",
+                  timing — so the produced directory is byte-identical for every N.\n\
+                  \n\
+                  Fault tolerance: each pipeline stage commits a checksummed manifest\n\
+                  into a <dos-dir>.scratch directory; --resume skips stages whose\n\
+                  manifests verify and restarts at the first incomplete one, producing\n\
+                  a byte-identical directory. --max-bad-records N diverts up to N\n\
+                  malformed text lines into <dos-dir>/quarantine.txt instead of\n\
+                  aborting the import.",
     },
     CommandSpec {
         name: "info",
@@ -183,6 +204,12 @@ pub const COMMANDS: &[CommandSpec] = &[
 
 fn find_command(name: &str) -> Option<&'static CommandSpec> {
     COMMANDS.iter().find(|c| c.name == name || c.aliases.contains(&name))
+}
+
+/// The subcommand names from [`COMMANDS`], comma-separated — shared by every
+/// "no such command" error so the list can never drift from the table.
+pub fn command_names() -> String {
+    COMMANDS.iter().map(|c| c.name).collect::<Vec<_>>().join(", ")
 }
 
 /// The top-level usage page, rendered from [`COMMANDS`].
@@ -316,7 +343,10 @@ pub fn parse(args: &[String]) -> Result<Command> {
         });
     }
     let spec = find_command(cmd).ok_or_else(|| {
-        GraphError::InvalidConfig(format!("unknown command `{cmd}` — see `graphz help`"))
+        GraphError::InvalidConfig(format!(
+            "unknown command `{cmd}` — available: {} (see `graphz help`)",
+            command_names()
+        ))
     })?;
     let rest = &args[1..];
     if rest.iter().any(|a| a == "--help" || a == "-h") {
@@ -341,6 +371,17 @@ pub fn parse(args: &[String]) -> Result<Command> {
             budget_mib: p.parse_value("--budget-mib", 8)?,
             weighted: p.switch("--weighted"),
             ingest_threads: p.parse_value("--ingest-threads", 1usize)?.max(1),
+            max_bad_records: p
+                .value("--max-bad-records")
+                .map(|raw| {
+                    raw.parse().map_err(|_| {
+                        GraphError::InvalidConfig(format!(
+                            "bad value for --max-bad-records: `{raw}`"
+                        ))
+                    })
+                })
+                .transpose()?,
+            resume: p.switch("--resume"),
         }),
         "info" => Ok(Command::Info { path: p.pos(0)? }),
         "verify" => Ok(Command::Verify { dos_dir: p.pos(0)? }),
@@ -375,7 +416,10 @@ pub fn parse(args: &[String]) -> Result<Command> {
         }
         // `COMMANDS` and this match are maintained together; a row without
         // an arm is a bug caught by the exhaustive-table test.
-        other => Err(GraphError::InvalidConfig(format!("unimplemented command `{other}`"))),
+        other => Err(GraphError::InvalidConfig(format!(
+            "unimplemented command `{other}` — available: {}",
+            command_names()
+        ))),
     }
 }
 
@@ -422,19 +466,38 @@ pub fn execute(cmd: Command) -> Result<String> {
                 out.display()
             ))
         }
-        Command::Convert { edges, dos_dir, budget_mib, weighted, ingest_threads } => {
+        Command::Convert {
+            edges,
+            dos_dir,
+            budget_mib,
+            weighted,
+            ingest_threads,
+            max_bad_records,
+            resume,
+        } => {
             let mut pipeline = IngestPipeline::builder()
                 .budget(MemoryBudget::from_mib(budget_mib))
                 .stats(Arc::clone(&stats))
-                .threads(ingest_threads);
+                .threads(ingest_threads)
+                .resume(resume);
             if weighted {
                 // Deterministic weights derived from original endpoint ids.
                 pipeline = pipeline.weights(graphz_types::derive_weight);
             }
+            if let Some(n) = max_bad_records {
+                pipeline = pipeline.max_bad_records(n);
+            }
             let dos = pipeline.build()?.run(&edges, &dos_dir)?;
+            let quarantine = dos_dir.join("quarantine.txt");
+            let quarantined = if quarantine.is_file() {
+                format!("quarantined malformed lines listed in {}\n", quarantine.display())
+            } else {
+                String::new()
+            };
             Ok(format!(
                 "converted to degree-ordered storage at {}\n\
-                 index: {} bytes for {} unique degrees (dense CSR would need {} bytes)\n",
+                 index: {} bytes for {} unique degrees (dense CSR would need {} bytes)\n\
+                 {quarantined}",
                 dos_dir.display(),
                 dos.index().index_bytes(),
                 dos.index().unique_degrees(),
@@ -780,6 +843,60 @@ mod tests {
     fn rejects_unknown_command_and_algorithm() {
         assert!(parse(&args("frobnicate x")).is_err());
         assert!(parse(&args("run dijkstra dos")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_error_lists_available_subcommands() {
+        let err = parse(&args("frobnicate x")).unwrap_err();
+        let msg = err.to_string();
+        // The error enumerates the table so users see what *is* spelled right.
+        for spec in COMMANDS {
+            assert!(msg.contains(spec.name), "`{}` missing from: {msg}", spec.name);
+        }
+        assert!(msg.contains("unknown command `frobnicate`"), "{msg}");
+        // The same table renders the helper, so the two can never disagree.
+        assert_eq!(command_names().matches(", ").count() + 1, COMMANDS.len());
+        assert!(command_names().contains("convert"), "{}", command_names());
+    }
+
+    #[test]
+    fn parses_convert_fault_tolerance_flags() {
+        match parse(&args("convert e.txt dos --max-bad-records 5 --resume")).unwrap() {
+            Command::Convert { max_bad_records, resume, .. } => {
+                assert_eq!(max_bad_records, Some(5));
+                assert!(resume);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Defaults: strict parsing, fresh scratch.
+        match parse(&args("convert e.txt dos")).unwrap() {
+            Command::Convert { max_bad_records, resume, .. } => {
+                assert_eq!(max_bad_records, None);
+                assert!(!resume);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let err = parse(&args("convert e.txt dos --max-bad-records lots")).unwrap_err();
+        assert!(err.to_string().contains("--max-bad-records"), "{err}");
+    }
+
+    #[test]
+    fn convert_quarantines_bad_lines_when_budgeted() {
+        let dir = graphz_io::ScratchDir::new("cli-quarantine").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n1 oops\n1 2\n2 0\n").unwrap();
+        let dos = dir.path().join("dos");
+        // Strict by default: the malformed line aborts the conversion.
+        let line = format!("convert {} {}", txt.display(), dos.display());
+        assert!(execute(parse(&args(&line)).unwrap()).is_err());
+        // With a budget the line is quarantined and conversion succeeds.
+        let line = format!("convert {} {} --max-bad-records 1", txt.display(), dos.display());
+        let out = execute(parse(&args(&line)).unwrap()).unwrap();
+        assert!(out.contains("degree-ordered storage"), "{out}");
+        assert!(out.contains("quarantine.txt"), "{out}");
+        let sidecar = std::fs::read_to_string(dos.join("quarantine.txt")).unwrap();
+        assert!(sidecar.contains("line 2"), "{sidecar}");
+        assert!(sidecar.contains("1 oops"), "{sidecar}");
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use graphz_io::{IoStats, ReadAheadReader, RecordReader, RecordWriter, ScratchDir};
+use graphz_io::{FaultSurface, IoStats, ReadAheadReader, RecordReader, RecordWriter, ScratchDir};
 use graphz_types::{cast, FixedCodec, GraphError, MemoryBudget, Result};
 
 pub use stream::SortedStream;
@@ -63,6 +63,7 @@ where
     fan_in: usize,
     threads: usize,
     stats: Arc<IoStats>,
+    surface: FaultSurface,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -79,6 +80,7 @@ where
     fan_in: usize,
     threads: usize,
     stats: Option<Arc<IoStats>>,
+    surface: FaultSurface,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -119,6 +121,14 @@ where
         self
     }
 
+    /// Fault surface gating every run/merge/output write (default: inert).
+    /// Chaos tests use this to inject faults and disk budgets into run
+    /// spilling, pre-merge passes, and the final merged output.
+    pub fn faults(mut self, surface: FaultSurface) -> Self {
+        self.surface = surface;
+        self
+    }
+
     /// Validate the configuration and produce the sorter.
     pub fn build(self) -> Result<ExternalSorter<T, K, F>> {
         let budget = self
@@ -142,6 +152,7 @@ where
             fan_in: self.fan_in,
             threads: self.threads,
             stats,
+            surface: self.surface,
             _marker: Default::default(),
         })
     }
@@ -162,6 +173,7 @@ where
             fan_in: DEFAULT_FAN_IN,
             threads: 1,
             stats: None,
+            surface: FaultSurface::none(),
             _marker: Default::default(),
         }
     }
@@ -176,6 +188,7 @@ where
             fan_in: DEFAULT_FAN_IN,
             threads: 1,
             stats,
+            surface: FaultSurface::none(),
             _marker: Default::default(),
         }
     }
@@ -259,13 +272,21 @@ where
             shard::form_runs_parallel(
                 &self.key,
                 &self.stats,
+                &self.surface,
                 scratch,
                 self.threads,
                 chunk_records,
                 input.into_iter(),
             )?
         } else {
-            shard::form_runs_serial(&self.key, &self.stats, scratch, chunk_records, input.into_iter())?
+            shard::form_runs_serial(
+                &self.key,
+                &self.stats,
+                &self.surface,
+                scratch,
+                chunk_records,
+                input.into_iter(),
+            )?
         };
         let shard::RunPlan { mut files, tail, total } = plan;
 
@@ -302,8 +323,11 @@ where
     }
 
     /// Open a run file for merging; multi-threaded sorters wrap it in a
-    /// double-buffered read-ahead so merge compares overlap run IO.
+    /// double-buffered read-ahead so merge compares overlap run IO. The
+    /// open is a gated op, so the read side of the merge is under fault
+    /// coverage too.
     fn open_run(&self, path: &Path) -> Result<RecordReader<T, Box<dyn Read + Send>>> {
+        self.surface.op("open-run")?;
         let inner = graphz_io::tracked::reader(path, Arc::clone(&self.stats))?;
         if self.threads > 1 {
             let ahead = ReadAheadReader::spawn(inner)?;
@@ -324,7 +348,8 @@ where
     }
 
     fn write_all(&self, sorted: &mut SortedStream<'_, T, K, F>, output: &Path) -> Result<()> {
-        let mut w = RecordWriter::<T>::create(output, Arc::clone(&self.stats))?;
+        let inner = graphz_io::tracked::writer(output, Arc::clone(&self.stats))?;
+        let mut w = RecordWriter::<T, _>::from_writer(self.surface.wrap(inner));
         while let Some(rec) = sorted.next_record()? {
             w.push(&rec)?;
         }

@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use graphz_io::{IoStats, RecordWriter, ScratchDir};
+use graphz_io::{FaultSurface, IoStats, RecordWriter, ScratchDir};
 use graphz_types::{FixedCodec, GraphError, Result};
 
 /// The outcome of run formation: spilled run files in spill order, plus an
@@ -32,10 +32,13 @@ pub(crate) struct RunPlan<T> {
     pub total: u64,
 }
 
-/// Sort `buf` by `key` and spill it as run file `idx`.
+/// Sort `buf` by `key` and spill it as run file `idx`. All bytes flow
+/// through the sorter's [`FaultSurface`], so chaos tests reach every run
+/// writer and a disk budget sees every spilled byte.
 fn spill<T, K, F>(
     key: &F,
     stats: &Arc<IoStats>,
+    surface: &FaultSurface,
     scratch: &ScratchDir,
     idx: usize,
     buf: &mut Vec<T>,
@@ -47,7 +50,8 @@ where
 {
     buf.sort_by_key(|r| key(r));
     let path = scratch.file(&format!("run-{idx:06}.bin"));
-    let mut w = RecordWriter::<T>::create(&path, Arc::clone(stats))?;
+    let inner = graphz_io::tracked::writer(&path, Arc::clone(stats))?;
+    let mut w = RecordWriter::<T, _>::from_writer(surface.wrap(inner));
     w.push_all(buf.iter())?;
     w.finish()?;
     buf.clear();
@@ -59,6 +63,7 @@ where
 pub(crate) fn form_runs_serial<T, K, F>(
     key: &F,
     stats: &Arc<IoStats>,
+    surface: &FaultSurface,
     scratch: &ScratchDir,
     chunk_records: usize,
     input: impl Iterator<Item = Result<T>>,
@@ -75,7 +80,7 @@ where
         buf.push(item?);
         total += 1;
         if buf.len() >= chunk_records {
-            files.push(spill(key, stats, scratch, files.len(), &mut buf)?);
+            files.push(spill(key, stats, surface, scratch, files.len(), &mut buf)?);
         }
     }
     buf.sort_by_key(|r| key(r));
@@ -93,6 +98,7 @@ where
 pub(crate) fn form_runs_parallel<T, K, F>(
     key: &F,
     stats: &Arc<IoStats>,
+    surface: &FaultSurface,
     scratch: &ScratchDir,
     threads: usize,
     chunk_records: usize,
@@ -115,7 +121,7 @@ where
                 .name(format!("graphz-ingest-{producer}"))
                 .spawn_scoped(scope, move || {
                     for (idx, mut buf) in rx.iter() {
-                        let run = spill(key, stats, scratch, idx, &mut buf);
+                        let run = spill(key, stats, surface, scratch, idx, &mut buf);
                         if done_tx.send((idx, run)).is_err() {
                             return;
                         }

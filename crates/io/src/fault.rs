@@ -93,6 +93,10 @@ pub enum FaultKind {
     /// The operation fails `failures` times, then succeeds: the retryable
     /// class of error (EINTR-ish hiccups, momentary ENOSPC, ...).
     Transient { failures: u32 },
+    /// The device reports out-of-space: the operation fails with
+    /// [`io::ErrorKind::StorageFull`] and nothing lands. Distinct from
+    /// `Error` so callers can assert the typed `StorageFull` path.
+    Full,
 }
 
 /// A single planned fault: `kind` fires when the gated operation counter
@@ -114,6 +118,10 @@ impl FaultPlan {
 
     pub fn transient_at(at_op: u64, failures: u32) -> Self {
         FaultPlan { at_op, kind: FaultKind::Transient { failures } }
+    }
+
+    pub fn full_at(at_op: u64) -> Self {
+        FaultPlan { at_op, kind: FaultKind::Full }
     }
 }
 
@@ -150,6 +158,10 @@ pub fn is_transient(e: &io::Error) -> bool {
 #[derive(Debug)]
 pub struct FaultState {
     plan: FaultPlan,
+    /// When set, the fault triggers on the first gated op whose label equals
+    /// this string instead of on an op index — letting tests target a named
+    /// point ("commit-manifest:triads") without counting ops.
+    at_label: Option<String>,
     op: AtomicU64,
     transient_left: AtomicU32,
     fired: AtomicBool,
@@ -157,12 +169,30 @@ pub struct FaultState {
 
 impl FaultState {
     pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Self::build(plan, None)
+    }
+
+    /// A fault that fires at the first gated operation labeled `label`
+    /// (the `what` passed to [`op_gate`]), regardless of op index.
+    ///
+    /// [`op_gate`]: Self::op_gate
+    pub fn new_at_label(plan: FaultPlan, label: &str) -> Arc<Self> {
+        Self::build(plan, Some(label.to_string()))
+    }
+
+    /// Shorthand for a hard failure at the named operation.
+    pub fn fail_at_label(label: &str) -> Arc<Self> {
+        Self::new_at_label(FaultPlan::fail_at(u64::MAX), label)
+    }
+
+    fn build(plan: FaultPlan, at_label: Option<String>) -> Arc<Self> {
         let transient_left = match plan.kind {
             FaultKind::Transient { failures } => failures,
             _ => 0,
         };
         Arc::new(FaultState {
             plan,
+            at_label,
             op: AtomicU64::new(0),
             transient_left: AtomicU32::new(transient_left),
             fired: AtomicBool::new(false),
@@ -186,8 +216,12 @@ impl FaultState {
     }
 
     /// Returns `Some(kind)` if the fault should fire for the current op.
-    fn arm(&self) -> Option<FaultKind> {
-        if self.op.load(Ordering::SeqCst) != self.plan.at_op {
+    fn arm(&self, what: &str) -> Option<FaultKind> {
+        let triggered = match &self.at_label {
+            Some(label) => what == label,
+            None => self.op.load(Ordering::SeqCst) == self.plan.at_op,
+        };
+        if !triggered {
             return None;
         }
         match self.plan.kind {
@@ -220,6 +254,10 @@ impl FaultState {
     fn injected(&self, what: &str) -> io::Error {
         match self.plan.kind {
             FaultKind::Transient { .. } => io::Error::other(TransientError),
+            FaultKind::Full => io::Error::new(
+                io::ErrorKind::StorageFull,
+                format!("injected disk-full: {what}"),
+            ),
             _ => io::Error::other(format!("injected fault: {what} (op {})", self.plan.at_op)),
         }
     }
@@ -228,7 +266,7 @@ impl FaultState {
     /// counter advances; a `Torn` plan degrades to `Error` here since
     /// metadata ops have no byte stream to tear.
     pub fn op_gate(&self, what: &str) -> io::Result<()> {
-        match self.arm() {
+        match self.arm(what) {
             Some(_) => Err(self.injected(what)),
             None => {
                 self.advance();
@@ -240,7 +278,7 @@ impl FaultState {
     /// Gate a byte-carrying write of `buf` into `w`. A `Torn` plan writes
     /// the planned prefix before failing, leaving real partial bytes behind.
     pub fn write_gate<W: Write>(&self, w: &mut W, buf: &[u8]) -> io::Result<usize> {
-        match self.arm() {
+        match self.arm("write") {
             Some(FaultKind::Torn { keep_bytes }) => {
                 let keep = (keep_bytes as usize).min(buf.len());
                 w.write_all(&buf[..keep])?;
@@ -294,24 +332,71 @@ impl<W: Write> Write for GatedWriter<W> {
 }
 
 /// Bounded retry for transient IO faults: up to `max_retries` extra attempts
-/// with linearly growing backoff (`base_backoff * attempt`).
+/// with capped exponential backoff and deterministic jitter.
+///
+/// Attempt `n` (1-based) sleeps for `base_backoff * 2^(n-1)`, capped at
+/// `max_backoff`, then scaled into `[50%, 100%]` of that value by a jitter
+/// fraction derived purely from `jitter_seed` and `n` — no wall-clock or RNG
+/// reads, so the whole schedule is a pure function testable without sleeping.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     pub max_retries: u32,
     pub base_backoff: Duration,
+    /// Ceiling the exponential doubling saturates at.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter; two policies with the same seed
+    /// produce byte-identical schedules.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_retries: 4, base_backoff: Duration::from_millis(1) }
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
     }
 }
 
 impl RetryPolicy {
     /// No retries: every error is final.
     pub fn none() -> Self {
-        RetryPolicy { max_retries: 0, base_backoff: Duration::ZERO }
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
     }
+
+    /// The backoff before retry attempt `attempt` (1-based). Pure: depends
+    /// only on the policy fields and `attempt`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        if self.base_backoff.is_zero() || attempt == 0 {
+            return Duration::ZERO;
+        }
+        // base * 2^(attempt-1), saturating well before u128 overflow.
+        let exp = attempt.saturating_sub(1).min(63);
+        let raw = self.base_backoff.as_nanos().saturating_mul(1u128 << exp);
+        let cap = self.max_backoff.as_nanos().max(self.base_backoff.as_nanos());
+        let capped = raw.min(cap);
+        // Equal jitter: [50%, 100%] of the capped delay, fraction taken from
+        // a splitmix64 of (seed, attempt).
+        let unit = splitmix64(self.jitter_seed.wrapping_add(u64::from(attempt))) % 1000;
+        let jittered = capped / 2 + (capped / 2) * u128::from(unit) / 999;
+        Duration::from_nanos(jittered.min(u128::from(u64::MAX)) as u64)
+    }
+}
+
+/// SplitMix64 step — the standard seeded mixer (same constants as the
+/// reference implementation), used here only for deterministic jitter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Run `f`, retrying transient failures per `policy`. Non-transient errors
@@ -327,13 +412,151 @@ pub fn retry_transient<T>(
             Ok(v) => return Ok(v),
             Err(e) if is_transient(&e) && attempt < policy.max_retries => {
                 attempt += 1;
-                let backoff = policy.base_backoff * attempt;
+                let backoff = policy.backoff_for(attempt);
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                 }
             }
             Err(e) => return Err(e),
         }
+    }
+}
+
+/// A shared byte budget modeling a nearly-full scratch device: every write
+/// charged against it past `limit` fails with [`io::ErrorKind::StorageFull`]
+/// — the deterministic stand-in for ENOSPC that the ingest chaos tests
+/// drive a whole pipeline run into.
+#[derive(Debug)]
+pub struct DiskBudget {
+    limit: u64,
+    used: AtomicU64,
+}
+
+impl DiskBudget {
+    pub fn new(limit: u64) -> Arc<Self> {
+        Arc::new(DiskBudget { limit, used: AtomicU64::new(0) })
+    }
+
+    /// Bytes charged so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::SeqCst)
+    }
+
+    /// Bytes left before writes start failing.
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.used())
+    }
+
+    /// Charge `bytes` against the budget, or fail with `StorageFull` (the
+    /// bytes are *not* charged on failure, like a write that never landed).
+    pub fn try_charge(&self, bytes: u64) -> io::Result<()> {
+        let grew = self.used.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |used| {
+            used.checked_add(bytes).filter(|&total| total <= self.limit)
+        });
+        match grew {
+            Ok(_) => Ok(()),
+            Err(used) => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                format!("scratch disk budget exhausted: {used} of {} bytes used", self.limit),
+            )),
+        }
+    }
+}
+
+/// The pluggable fault surface threaded through every ingest file op:
+/// planned faults ([`FaultState`]), a retry policy for transient errors, and
+/// an optional [`DiskBudget`] modeling ENOSPC. The default surface is a pure
+/// pass-through — clean runs pay nothing and stay byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSurface {
+    faults: Option<Arc<FaultState>>,
+    retry: RetryPolicy,
+    disk: Option<Arc<DiskBudget>>,
+}
+
+impl FaultSurface {
+    /// The inert surface: no faults, no disk budget, nothing gated.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn with_faults(mut self, faults: Arc<FaultState>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    pub fn with_disk_budget(mut self, disk: Arc<DiskBudget>) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// Whether anything is armed (used to skip gating work on clean runs).
+    pub fn is_active(&self) -> bool {
+        self.faults.is_some() || self.disk.is_some()
+    }
+
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The scratch disk budget, if one is attached — callers use it to
+    /// pre-check a stage's estimated footprint before starting work.
+    pub fn disk(&self) -> Option<&Arc<DiskBudget>> {
+        self.disk.as_ref()
+    }
+
+    /// Gate a named metadata operation (stage commit, rename, fsync),
+    /// retrying transient faults per the surface's policy.
+    pub fn op(&self, what: &str) -> io::Result<()> {
+        match &self.faults {
+            None => Ok(()),
+            Some(faults) => retry_transient(&self.retry, || faults.op_gate(what)),
+        }
+    }
+
+    /// Wrap a writer so its bytes are charged against the disk budget and
+    /// gated through the fault plan (with transparent transient retry).
+    pub fn wrap<W: Write>(&self, inner: W) -> SurfaceWriter<W> {
+        SurfaceWriter { inner, surface: self.clone() }
+    }
+}
+
+/// A writer produced by [`FaultSurface::wrap`]: charges the disk budget
+/// first (ENOSPC fails before bytes land), then runs the write through the
+/// fault gate with transient retry. With an inert surface it degrades to a
+/// plain pass-through.
+pub struct SurfaceWriter<W: Write> {
+    inner: W,
+    surface: FaultSurface,
+}
+
+impl<W: Write> SurfaceWriter<W> {
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for SurfaceWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(disk) = &self.surface.disk {
+            disk.try_charge(buf.len() as u64)?;
+        }
+        match &self.surface.faults {
+            None => self.inner.write(buf),
+            Some(faults) => {
+                let inner = &mut self.inner;
+                retry_transient(&self.surface.retry, || faults.write_gate(inner, buf))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -423,7 +646,7 @@ mod tests {
     #[test]
     fn retry_recovers_from_transient_within_budget() {
         let faults = FaultState::new(FaultPlan::transient_at(0, 3));
-        let policy = RetryPolicy { max_retries: 4, base_backoff: Duration::ZERO };
+        let policy = RetryPolicy { max_retries: 4, ..RetryPolicy::none() };
         let mut sink = Vec::new();
         retry_transient(&policy, || faults.write_gate(&mut sink, b"data")).unwrap();
         assert_eq!(sink, b"data");
@@ -432,7 +655,7 @@ mod tests {
     #[test]
     fn retry_gives_up_past_budget_and_skips_hard_errors() {
         let faults = FaultState::new(FaultPlan::transient_at(0, 5));
-        let policy = RetryPolicy { max_retries: 2, base_backoff: Duration::ZERO };
+        let policy = RetryPolicy { max_retries: 2, ..RetryPolicy::none() };
         let mut sink = Vec::new();
         let err = retry_transient(&policy, || faults.write_gate(&mut sink, b"d")).unwrap_err();
         assert!(is_transient(&err), "last transient error is returned");
@@ -449,12 +672,123 @@ mod tests {
     }
 
     #[test]
+    fn backoff_schedule_doubles_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            jitter_seed: 42,
+        };
+        // Deterministic: the same policy yields the same schedule.
+        let a: Vec<_> = (1..=10).map(|n| policy.backoff_for(n)).collect();
+        let b: Vec<_> = (1..=10).map(|n| policy.backoff_for(n)).collect();
+        assert_eq!(a, b);
+        // Jitter keeps each delay within [50%, 100%] of base * 2^(n-1),
+        // capped at max_backoff.
+        for (i, d) in a.iter().enumerate() {
+            let nominal = Duration::from_millis(1 << i.min(3)).min(Duration::from_millis(8));
+            assert!(*d >= nominal / 2, "attempt {}: {d:?} below half of {nominal:?}", i + 1);
+            assert!(*d <= nominal, "attempt {}: {d:?} above cap {nominal:?}", i + 1);
+        }
+        // Capped: deep attempts never exceed max_backoff.
+        assert!(policy.backoff_for(40) <= Duration::from_millis(8));
+        // Exponential growth before the cap bites: the envelope doubles, so
+        // even the most pessimistic jitter leaves attempt 3 above attempt 1.
+        assert!(a[2] > a[0], "schedule does not grow: {a:?}");
+        // A different seed gives a different (but equally valid) schedule.
+        let reseeded = RetryPolicy { jitter_seed: 43, ..policy };
+        let c: Vec<_> = (1..=10).map(|n| reseeded.backoff_for(n)).collect();
+        assert_ne!(a, c, "jitter ignores the seed");
+    }
+
+    #[test]
+    fn zero_base_backoff_never_sleeps() {
+        let policy = RetryPolicy { max_retries: 3, ..RetryPolicy::none() };
+        for n in 0..10 {
+            assert_eq!(policy.backoff_for(n), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn full_fault_is_storage_full() {
+        let faults = FaultState::new(FaultPlan::full_at(1));
+        let mut sink = Vec::new();
+        assert!(faults.write_gate(&mut sink, b"aa").is_ok()); // op 0
+        let err = faults.write_gate(&mut sink, b"bb").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(faults.fired());
+        assert_eq!(sink, b"aa", "a full device writes nothing");
+    }
+
+    #[test]
+    fn labeled_fault_fires_at_the_named_op() {
+        let faults = FaultState::fail_at_label("commit-manifest:triads");
+        let mut sink = Vec::new();
+        // Unrelated ops and writes pass untouched.
+        assert!(faults.op_gate("fsync").is_ok());
+        assert!(faults.write_gate(&mut sink, b"x").is_ok());
+        assert!(faults.op_gate("commit-manifest:import").is_ok());
+        let err = faults.op_gate("commit-manifest:triads").unwrap_err();
+        assert!(err.to_string().contains("commit-manifest:triads"), "{err}");
+        assert!(faults.fired());
+        // Fires once, like an op-indexed hard fault.
+        assert!(faults.op_gate("commit-manifest:triads").is_ok());
+    }
+
+    #[test]
+    fn disk_budget_trips_with_storage_full() {
+        let disk = DiskBudget::new(10);
+        disk.try_charge(6).unwrap();
+        assert_eq!(disk.remaining(), 4);
+        let err = disk.try_charge(5).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(disk.used(), 6, "failed charge must not consume budget");
+        disk.try_charge(4).unwrap();
+        assert_eq!(disk.remaining(), 0);
+    }
+
+    #[test]
+    fn inert_surface_is_a_pass_through() {
+        let surface = FaultSurface::none();
+        assert!(!surface.is_active());
+        surface.op("anything").unwrap();
+        let mut w = surface.wrap(Vec::new());
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.into_inner(), b"hello");
+    }
+
+    #[test]
+    fn surface_writer_charges_budget_then_gates_faults() {
+        // Disk budget fails before bytes land.
+        let disk = DiskBudget::new(4);
+        let surface = FaultSurface::none().with_disk_budget(Arc::clone(&disk));
+        let mut w = surface.wrap(Vec::new());
+        w.write_all(b"1234").unwrap();
+        let err = w.write_all(b"5").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(w.into_inner(), b"1234");
+
+        // Transient faults retry through transparently.
+        let faults = FaultState::new(FaultPlan::transient_at(1, 2));
+        let surface = FaultSurface::none()
+            .with_faults(Arc::clone(&faults))
+            .with_retry(RetryPolicy { max_retries: 3, ..RetryPolicy::none() });
+        assert!(surface.is_active());
+        let mut w = surface.wrap(Vec::new());
+        w.write_all(b"one").unwrap();
+        w.write_all(b"two").unwrap();
+        assert!(faults.fired());
+        assert_eq!(w.into_inner(), b"onetwo");
+    }
+
+    #[test]
     fn gated_writer_retries_transparently() {
         let faults = FaultState::new(FaultPlan::transient_at(1, 2));
         let mut w = GatedWriter::new(
             Vec::new(),
             Some(faults),
-            RetryPolicy { max_retries: 3, base_backoff: Duration::ZERO },
+            RetryPolicy { max_retries: 3, ..RetryPolicy::none() },
         );
         w.write_all(b"one").unwrap();
         w.write_all(b"two").unwrap(); // transient x2 under the hood

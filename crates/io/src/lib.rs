@@ -18,6 +18,7 @@ pub mod checksum;
 pub mod device;
 pub mod fault;
 pub mod framed;
+pub mod manifest;
 pub mod readahead;
 pub mod record;
 pub mod scratch;
@@ -28,10 +29,11 @@ pub use atomic::{write_atomic, AtomicFile, StagedDir};
 pub use checksum::{crc32, crc32_stream, Crc32};
 pub use device::{DeviceKind, DeviceModel};
 pub use fault::{
-    is_transient, retry_transient, FaultInjector, FaultKind, FaultPlan, FaultState, GatedWriter,
-    RetryPolicy,
+    is_transient, retry_transient, DiskBudget, FaultInjector, FaultKind, FaultPlan, FaultState,
+    FaultSurface, GatedWriter, RetryPolicy, SurfaceWriter,
 };
 pub use framed::{FramedReader, FramedWriter};
+pub use manifest::StageManifest;
 pub use readahead::ReadAheadReader;
 pub use record::{RecordReader, RecordWriter};
 pub use scratch::ScratchDir;

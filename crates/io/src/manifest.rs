@@ -1,0 +1,244 @@
+//! Checksummed stage manifests for resumable multi-stage pipelines.
+//!
+//! A long ingest (five external sorts plus the final DOS emit) records its
+//! progress as one [`StageManifest`] per completed stage: a small key/value
+//! file, committed atomically ([`AtomicFile`]), whose last line is a CRC32
+//! of everything above it. On restart the pipeline loads manifests in stage
+//! order; a missing, torn, or checksum-failing manifest simply reads as
+//! "stage incomplete" ([`StageManifest::load`] returns `None`) and the
+//! stage is redone. Manifests also record the length + CRC of the artifact
+//! files a stage produced ([`record_file`](StageManifest::record_file)), so
+//! resume can prove the artifacts themselves survived before trusting them.
+//!
+//! The commit is gated through a [`FaultSurface`] under the label
+//! `commit-manifest:<stage>`, which is what lets the chaos sweep kill a run
+//! at exactly each stage boundary without counting ops.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::atomic::AtomicFile;
+use crate::checksum::{crc32, crc32_stream};
+use crate::fault::FaultSurface;
+
+/// Key prefix for recorded artifact files.
+const FILE_PREFIX: &str = "file:";
+
+/// One stage's completion record: its name, arbitrary key/value facts, and
+/// `{len},{crc}` fingerprints of the files it produced. Must be consumed by
+/// [`commit`](Self::commit) — an unconsumed manifest is a stage that never
+/// became durable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageManifest {
+    stage: String,
+    entries: BTreeMap<String, String>,
+}
+
+impl StageManifest {
+    #[must_use]
+    pub fn new(stage: &str) -> Self {
+        StageManifest { stage: stage.to_string(), entries: BTreeMap::new() }
+    }
+
+    pub fn stage(&self) -> &str {
+        &self.stage
+    }
+
+    /// Record an arbitrary fact about the completed stage.
+    pub fn set(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.entries.insert(key.to_string(), value.to_string());
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Fingerprint an artifact file the stage produced (`name` is the
+    /// logical name resume will look it up under; `path` is where it lives
+    /// right now). Streams the file, so large artifacts are fine.
+    pub fn record_file(&mut self, name: &str, path: &Path) -> io::Result<()> {
+        let (len, crc) = crc32_stream(std::fs::File::open(path)?)?;
+        self.entries.insert(format!("{FILE_PREFIX}{name}"), format!("{len},{crc:08x}"));
+        Ok(())
+    }
+
+    /// Logical names of all recorded artifact files.
+    pub fn files(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().filter_map(|k| k.strip_prefix(FILE_PREFIX))
+    }
+
+    /// Check every recorded artifact still exists with the recorded length
+    /// and CRC; `resolve` maps a logical name to its current path. Returns
+    /// `false` (not an error) when anything is missing or mismatched —
+    /// the caller treats that exactly like a missing manifest.
+    pub fn verify_files(&self, resolve: impl Fn(&str) -> PathBuf) -> io::Result<bool> {
+        for (key, want) in &self.entries {
+            let Some(name) = key.strip_prefix(FILE_PREFIX) else {
+                continue;
+            };
+            let path = resolve(name);
+            let file = match std::fs::File::open(&path) {
+                Ok(f) => f,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+                Err(e) => return Err(e),
+            };
+            let (len, crc) = crc32_stream(file)?;
+            if format!("{len},{crc:08x}") != *want {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn render(&self) -> String {
+        let mut body = format!("stage = {}\n", self.stage);
+        for (k, v) in &self.entries {
+            body.push_str(&format!("{k} = {v}\n"));
+        }
+        body
+    }
+
+    /// Atomically write the manifest to `path` with a trailing CRC line.
+    /// The whole commit is gated through `surface` under the label
+    /// `commit-manifest:<stage>`, so chaos tests can kill exactly this
+    /// stage boundary.
+    pub fn commit(self, path: &Path, surface: &FaultSurface) -> io::Result<()> {
+        surface.op(&format!("commit-manifest:{}", self.stage))?;
+        let body = self.render();
+        let crc = crc32(body.as_bytes());
+        let mut file = AtomicFile::create(path)?;
+        {
+            let mut w = surface.wrap(&mut file);
+            w.write_all(body.as_bytes())?;
+            w.write_all(format!("crc = {crc:08x}\n").as_bytes())?;
+        }
+        file.commit()
+    }
+
+    /// Load a committed manifest. `Ok(None)` means "stage incomplete":
+    /// the file is missing, torn, malformed, or fails its CRC — every
+    /// damaged shape resume must shrug at rather than trust or die on.
+    pub fn load(path: &Path) -> io::Result<Option<Self>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        // The CRC line covers every byte before it.
+        let Some(crc_start) = text.rfind("crc = ") else {
+            return Ok(None);
+        };
+        let (body, crc_line) = text.split_at(crc_start);
+        let want = crc_line.trim_start_matches("crc = ").trim();
+        if format!("{:08x}", crc32(body.as_bytes())) != want {
+            return Ok(None);
+        }
+        let mut stage = None;
+        let mut entries = BTreeMap::new();
+        for line in body.lines() {
+            let Some((k, v)) = line.split_once(" = ") else {
+                return Ok(None);
+            };
+            if k == "stage" {
+                stage = Some(v.to_string());
+            } else {
+                entries.insert(k.to_string(), v.to_string());
+            }
+        }
+        match stage {
+            Some(stage) => Ok(Some(StageManifest { stage, entries })),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultState, RetryPolicy};
+    use crate::scratch::ScratchDir;
+    use std::sync::Arc;
+
+    #[test]
+    fn commit_then_load_round_trips() {
+        let dir = ScratchDir::new("manifest").unwrap();
+        let path = dir.file("import.manifest");
+        let mut m = StageManifest::new("import");
+        m.set("edges", 1234u64);
+        m.set("source", "g.txt");
+        m.commit(&path, &FaultSurface::none()).unwrap();
+
+        let loaded = StageManifest::load(&path).unwrap().expect("manifest loads");
+        assert_eq!(loaded.stage(), "import");
+        assert_eq!(loaded.get_u64("edges"), Some(1234));
+        assert_eq!(loaded.get("source"), Some("g.txt"));
+    }
+
+    #[test]
+    fn missing_or_corrupt_manifest_reads_as_incomplete() {
+        let dir = ScratchDir::new("manifest-bad").unwrap();
+        let path = dir.file("stage.manifest");
+        assert!(StageManifest::load(&path).unwrap().is_none(), "missing = incomplete");
+
+        let mut m = StageManifest::new("triads");
+        m.set("assigned", 7u64);
+        m.commit(&path, &FaultSurface::none()).unwrap();
+        assert!(StageManifest::load(&path).unwrap().is_some());
+
+        // Any byte flip fails the CRC and demotes the stage to incomplete.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(StageManifest::load(&path).unwrap().is_none(), "tampered = incomplete");
+
+        // A truncated (torn) manifest likewise.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(StageManifest::load(&path).unwrap().is_none(), "torn = incomplete");
+    }
+
+    #[test]
+    fn recorded_files_verify_and_detect_damage() {
+        let dir = ScratchDir::new("manifest-files").unwrap();
+        let artifact = dir.file("runs.bin");
+        std::fs::write(&artifact, b"sorted run payload").unwrap();
+        let mut m = StageManifest::new("by-src");
+        m.record_file("runs.bin", &artifact).unwrap();
+        let path = dir.file("by-src.manifest");
+        m.commit(&path, &FaultSurface::none()).unwrap();
+
+        let loaded = StageManifest::load(&path).unwrap().unwrap();
+        assert_eq!(loaded.files().collect::<Vec<_>>(), vec!["runs.bin"]);
+        let resolve = |name: &str| dir.file(name);
+        assert!(loaded.verify_files(resolve).unwrap());
+
+        // Damage the artifact: same length, different bytes.
+        std::fs::write(&artifact, b"sorted run pAyload").unwrap();
+        assert!(!loaded.verify_files(resolve).unwrap(), "bit rot undetected");
+        std::fs::remove_file(&artifact).unwrap();
+        assert!(!loaded.verify_files(resolve).unwrap(), "missing file undetected");
+    }
+
+    #[test]
+    fn labeled_fault_kills_exactly_this_commit() {
+        let dir = ScratchDir::new("manifest-fault").unwrap();
+        let path = dir.file("emit.manifest");
+        let faults = FaultState::fail_at_label("commit-manifest:emit");
+        let surface =
+            FaultSurface::none().with_faults(Arc::clone(&faults)).with_retry(RetryPolicy::none());
+
+        // A different stage's commit passes through the same surface.
+        let other = dir.file("import.manifest");
+        StageManifest::new("import").commit(&other, &surface).unwrap();
+        assert!(StageManifest::load(&other).unwrap().is_some());
+
+        let err = StageManifest::new("emit").commit(&path, &surface).unwrap_err();
+        assert!(err.to_string().contains("commit-manifest:emit"), "{err}");
+        assert!(faults.fired());
+        assert!(StageManifest::load(&path).unwrap().is_none(), "failed commit left debris");
+    }
+}

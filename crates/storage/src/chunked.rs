@@ -117,6 +117,195 @@ fn parse_span(text_path: &Path, span: ChunkSpan) -> Result<Vec<Edge>> {
     Ok(edges)
 }
 
+/// One malformed input line, quarantined instead of aborting the import.
+///
+/// `line` is the global 1-based line number (chunk-local counts are summed
+/// in plan order, so the number is identical for every thread count and
+/// chunk size), `byte` the offset where the line begins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRecord {
+    pub line: u64,
+    pub byte: u64,
+    pub text: String,
+    pub reason: String,
+}
+
+/// What one span's lenient parse produced: the good edges, the number of
+/// lines the span owns (good or bad, including blanks and comments), and
+/// the malformed lines with span-local line indices.
+struct LenientSpan {
+    edges: Vec<Edge>,
+    owned_lines: u64,
+    bad: Vec<BadRecord>, // `line` is 0-based *within* the span here
+}
+
+/// Lenient variant of [`parse_span`]: malformed lines (bad field counts,
+/// non-numeric ids, invalid UTF-8) are collected instead of aborting. IO
+/// errors still abort — they say nothing about the input's content.
+fn parse_span_lenient(text_path: &Path, span: ChunkSpan) -> Result<LenientSpan> {
+    let mut file = std::fs::File::open(text_path)?;
+    let mut skew = 0u64;
+    if span.start > 0 {
+        file.seek(SeekFrom::Start(span.start - 1))?;
+        skew = 1;
+    }
+    let mut reader = BufReader::new(file);
+    let mut raw = Vec::new();
+    if span.start > 0 {
+        let n = reader.read_until(b'\n', &mut raw)?;
+        skew = cast::len_u64(n) - skew;
+        raw.clear();
+    }
+    let mut at = cast::add_u64(span.start, skew, "text chunk position")?;
+    let mut out = LenientSpan { edges: Vec::new(), owned_lines: 0, bad: Vec::new() };
+    while at < span.end {
+        raw.clear();
+        let n = reader.read_until(b'\n', &mut raw)?;
+        if n == 0 {
+            break;
+        }
+        let here = at;
+        let local_line = out.owned_lines;
+        out.owned_lines += 1;
+        match std::str::from_utf8(&raw) {
+            Err(_) => out.bad.push(BadRecord {
+                line: local_line,
+                byte: here,
+                text: String::from_utf8_lossy(&raw).trim_end().to_string(),
+                reason: "line is not valid UTF-8".into(),
+            }),
+            Ok(line) => match parse_line(line, &|| format!("byte {here}")) {
+                Ok(Some(e)) => out.edges.push(e),
+                Ok(None) => {}
+                Err(e) => {
+                    // The sidecar already prints the byte offset; strip the
+                    // error's own location prefix so it is not said twice.
+                    let noise = format!("corrupt data: byte {here}: ");
+                    let reason = e.to_string();
+                    let reason =
+                        reason.strip_prefix(&noise).map(str::to_string).unwrap_or(reason);
+                    out.bad.push(BadRecord {
+                        line: local_line,
+                        byte: here,
+                        text: line.trim_end().to_string(),
+                        reason,
+                    });
+                }
+            },
+        }
+        at = cast::add_u64(at, cast::len_u64(n), "text chunk position")?;
+    }
+    Ok(out)
+}
+
+/// Import a SNAP-style text file, quarantining up to `max_bad_records`
+/// malformed lines instead of aborting on the first one.
+///
+/// Returns the imported edge list (malformed lines simply dropped from it)
+/// plus the quarantined records with **global 1-based line numbers** —
+/// chunk-local counts are summed in plan order, so numbering, edges, and
+/// output bytes are identical for every `threads` and `chunk_bytes`.
+/// Exceeding `max_bad_records` is a typed [`GraphError::Corrupt`] naming
+/// the first offending line.
+pub fn import_text_quarantined(
+    text_path: &Path,
+    bin_path: &Path,
+    stats: Arc<IoStats>,
+    threads: usize,
+    chunk_bytes: u64,
+    max_bad_records: u64,
+) -> Result<(EdgeListFile, Vec<BadRecord>)> {
+    let total_bytes = std::fs::metadata(text_path)?.len();
+    let plan = plan_chunks(total_bytes, chunk_bytes);
+
+    let spans: Vec<LenientSpan> = if threads <= 1 || plan.len() <= 1 {
+        let mut out = Vec::with_capacity(plan.len());
+        for span in &plan {
+            out.push(parse_span_lenient(text_path, *span)?);
+        }
+        out
+    } else {
+        std::thread::scope(|scope| -> Result<Vec<LenientSpan>> {
+            let (done_tx, done_rx) = mpsc::channel::<(usize, Result<LenientSpan>)>();
+            for worker in 0..threads.min(plan.len()) {
+                let done_tx = done_tx.clone();
+                let plan = &plan;
+                std::thread::Builder::new()
+                    .name(format!("graphz-parse-{worker}"))
+                    .spawn_scoped(scope, move || {
+                        for (idx, span) in plan.iter().enumerate() {
+                            if idx % threads != worker {
+                                continue;
+                            }
+                            let parsed = parse_span_lenient(text_path, *span);
+                            if done_tx.send((idx, parsed)).is_err() {
+                                return;
+                            }
+                        }
+                    })?;
+            }
+            drop(done_tx);
+
+            let mut slots: Vec<Option<LenientSpan>> = (0..plan.len()).map(|_| None).collect();
+            let mut first_err: Option<(usize, GraphError)> = None;
+            for (idx, outcome) in done_rx.iter() {
+                match outcome {
+                    Ok(parsed) => {
+                        if let Some(slot) = slots.get_mut(idx) {
+                            *slot = Some(parsed);
+                        }
+                    }
+                    Err(e) => {
+                        if first_err.as_ref().is_none_or(|(at, _)| idx < *at) {
+                            first_err = Some((idx, e));
+                        }
+                    }
+                }
+            }
+            if let Some((_, e)) = first_err {
+                return Err(e);
+            }
+            let mut ordered = Vec::with_capacity(slots.len());
+            for (idx, slot) in slots.into_iter().enumerate() {
+                match slot {
+                    Some(parsed) => ordered.push(parsed),
+                    None => {
+                        return Err(GraphError::Corrupt(format!(
+                            "parse worker lost chunk {idx}"
+                        )))
+                    }
+                }
+            }
+            Ok(ordered)
+        })?
+    };
+
+    // Chunk-local line indices become global 1-based numbers via a running
+    // prefix sum of each span's owned-line count.
+    let mut bad: Vec<BadRecord> = Vec::new();
+    let mut lines_before: u64 = 0;
+    let mut edges: Vec<Edge> = Vec::new();
+    for span in spans {
+        for mut b in span.bad {
+            b.line = cast::add_u64(lines_before, b.line, "quarantine line number")? + 1;
+            bad.push(b);
+        }
+        lines_before = cast::add_u64(lines_before, span.owned_lines, "quarantine line count")?;
+        edges.extend(span.edges);
+    }
+    if cast::len_u64(bad.len()) > max_bad_records {
+        let first = bad.first().map_or(0, |b| b.line);
+        return Err(GraphError::Corrupt(format!(
+            "{}: {} malformed records exceed --max-bad-records {max_bad_records} \
+             (first at line {first})",
+            text_path.display(),
+            bad.len(),
+        )));
+    }
+    let file = EdgeListFile::create(bin_path, stats, edges)?;
+    Ok((file, bad))
+}
+
 /// Import a SNAP-style text file by parsing `chunk_bytes`-sized spans on
 /// `threads` workers and reassembling the parsed chunks in plan order.
 ///
@@ -301,6 +490,49 @@ mod tests {
             std::fs::read(dir.file("a.bin")).unwrap(),
             std::fs::read(dir.file("b.bin")).unwrap()
         );
+    }
+
+    #[test]
+    fn quarantine_collects_bad_lines_with_stable_global_numbers() {
+        let dir = ScratchDir::new("chunked-quar").unwrap();
+        let txt = dir.file("g.txt");
+        // Line numbers (1-based): 1 comment, 2 good, 3 bad, 4 good, 5 blank,
+        // 6 bad, 7 good.
+        std::fs::write(&txt, "# header\n0 1\n1 nope\n1 2\n\n999999999999 0\n2 0\n").unwrap();
+        // Reference: the same file with the bad lines removed.
+        let serial_bin = dir.file("clean.bin");
+        std::fs::write(dir.file("clean.txt"), "# header\n0 1\n1 2\n\n2 0\n").unwrap();
+        EdgeListFile::import_text(&dir.file("clean.txt"), &serial_bin, stats()).unwrap();
+        let want = std::fs::read(&serial_bin).unwrap();
+        for (threads, chunk) in [(1usize, 4u64), (1, 1 << 20), (3, 4), (4, 7)] {
+            let bin = dir.file(&format!("q-{threads}-{chunk}.bin"));
+            let (f, bad) =
+                import_text_quarantined(&txt, &bin, stats(), threads, chunk, 10).unwrap();
+            assert_eq!(f.meta().num_edges, 3, "threads={threads} chunk={chunk}");
+            assert_eq!(std::fs::read(&bin).unwrap(), want, "threads={threads} chunk={chunk}");
+            let lines: Vec<u64> = bad.iter().map(|b| b.line).collect();
+            assert_eq!(lines, vec![3, 6], "threads={threads} chunk={chunk}");
+            assert_eq!(bad[0].text, "1 nope");
+            assert!(bad[0].reason.contains("not a u32"), "{}", bad[0].reason);
+            assert!(bad[1].reason.contains("not a u32"), "{}", bad[1].reason);
+        }
+    }
+
+    #[test]
+    fn quarantine_over_budget_is_a_typed_error() {
+        let dir = ScratchDir::new("chunked-quar-cap").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\nbad one\nbad two\n1 2\n").unwrap();
+        let err = import_text_quarantined(&txt, &dir.file("g.bin"), stats(), 2, 4, 1)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("max-bad-records"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // With a budget that fits, the same file imports.
+        let (f, bad) =
+            import_text_quarantined(&txt, &dir.file("ok.bin"), stats(), 2, 4, 2).unwrap();
+        assert_eq!(f.meta().num_edges, 2);
+        assert_eq!(bad.len(), 2);
     }
 
     #[test]

@@ -34,7 +34,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use graphz_extsort::ExternalSorter;
-use graphz_io::{IoStats, RecordReader, RecordWriter, ScratchDir, TrackedFile};
+use graphz_io::{
+    FaultSurface, IoStats, RecordReader, RecordWriter, ScratchDir, StageManifest, TrackedFile,
+};
 use graphz_types::prelude::*;
 
 use crate::edgelist::EdgeListFile;
@@ -212,6 +214,13 @@ pub struct DosConverter {
     /// Producer threads per external sort. The produced directory is
     /// byte-identical for every value (DESIGN.md §6g).
     threads: usize,
+    /// Fault surface gating every file op of the conversion (default inert).
+    surface: FaultSurface,
+    /// When set, completed stages found in the scratch root are skipped.
+    resume: bool,
+    /// Stable scratch root shared with a caller-level pipeline; `None` means
+    /// the converter owns (and cleans up) a sibling `<dir>.scratch`.
+    scratch_root: Option<PathBuf>,
 }
 
 /// Builder for [`DosConverter`]: `XBuilder` + chainable setters + fallible
@@ -221,6 +230,9 @@ pub struct DosConverterBuilder {
     stats: Option<Arc<IoStats>>,
     weight_fn: Option<fn(VertexId, VertexId) -> f32>,
     threads: usize,
+    surface: FaultSurface,
+    resume: bool,
+    scratch_root: Option<PathBuf>,
 }
 
 impl DosConverterBuilder {
@@ -248,6 +260,29 @@ impl DosConverterBuilder {
         self
     }
 
+    /// Fault surface gating every file op of the conversion (default: inert).
+    /// Chaos tests inject IO faults here; production callers attach a retry
+    /// policy and optionally a scratch [`DiskBudget`](graphz_io::DiskBudget).
+    pub fn faults(mut self, surface: FaultSurface) -> Self {
+        self.surface = surface;
+        self
+    }
+
+    /// Resume from stage manifests left in the scratch root by an earlier
+    /// interrupted conversion (default: off — the scratch root is cleared).
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Use `root` as the stable scratch root instead of the converter-owned
+    /// sibling `<dir>.scratch`. The caller then owns its lifecycle (the
+    /// ingest pipeline shares one root between import and conversion).
+    pub fn scratch_root(mut self, root: &Path) -> Self {
+        self.scratch_root = Some(root.to_path_buf());
+        self
+    }
+
     /// Validate the configuration and produce the converter.
     pub fn build(self) -> Result<DosConverter> {
         let budget = self.budget.ok_or_else(|| {
@@ -259,13 +294,35 @@ impl DosConverterBuilder {
         if self.threads == 0 {
             return Err(GraphError::InvalidConfig("ingest threads must be >= 1".into()));
         }
-        Ok(DosConverter { budget, stats, weight_fn: self.weight_fn, threads: self.threads })
+        Ok(DosConverter {
+            budget,
+            stats,
+            weight_fn: self.weight_fn,
+            threads: self.threads,
+            surface: self.surface,
+            resume: self.resume,
+            scratch_root: self.scratch_root,
+        })
     }
+}
+
+/// The stable scratch root for a conversion into `dir`: a sibling directory
+/// named `<dir>.scratch`. Stable (no pid or counter in the name) so a
+/// restarted process finds the previous attempt's stage manifests.
+pub fn scratch_root_for(dir: &Path) -> PathBuf {
+    let mut os = dir.as_os_str().to_owned();
+    os.push(".scratch");
+    PathBuf::from(os)
 }
 
 /// Triad record used by the conversion pipeline: `(degree, src, dst)` —
 /// paper §III-C's `EDGES` list of `<src, dest, deg>`.
 type Triad = (u32, u32, u32);
+
+/// Merge fan-in used in disk-degraded mode: high enough that every
+/// realistic run count merges in a single pass, so no pre-merge copy of the
+/// stage input is ever written.
+const DEGRADED_FAN_IN: usize = 4096;
 
 /// Adapts the by-`(src, dst)` sorted edge stream into `(deg, src, dst)`
 /// triads: each source's contiguous run is buffered to learn its length
@@ -390,13 +447,29 @@ impl<S: Iterator<Item = Result<(u32, u32, u32)>>> Iterator for RelabelIter<S> {
 impl DosConverter {
     /// Start building a converter.
     pub fn builder() -> DosConverterBuilder {
-        DosConverterBuilder { budget: None, stats: None, weight_fn: None, threads: 1 }
+        DosConverterBuilder {
+            budget: None,
+            stats: None,
+            weight_fn: None,
+            threads: 1,
+            surface: FaultSurface::none(),
+            resume: false,
+            scratch_root: None,
+        }
     }
 
     /// Single-threaded converter; shorthand for
     /// `DosConverter::builder().budget(..).stats(..).build()`.
     pub fn new(budget: MemoryBudget, stats: Arc<IoStats>) -> Self {
-        DosConverter { budget, stats, weight_fn: None, threads: 1 }
+        DosConverter {
+            budget,
+            stats,
+            weight_fn: None,
+            threads: 1,
+            surface: FaultSurface::none(),
+            resume: false,
+            scratch_root: None,
+        }
     }
 
     /// Also emit per-edge weights computed by `f(original_src, original_dst)`.
@@ -407,88 +480,193 @@ impl DosConverter {
 
     /// Build one pipeline-stage sorter. Chained stages keep two sorts alive
     /// at once (an upstream merge drains into a downstream run formation),
-    /// so every stage works under half the configured budget.
-    fn sorter<T, K, F>(&self, key: F) -> Result<ExternalSorter<T, K, F>>
+    /// so every stage works under half the configured budget. `fan_in`
+    /// overrides the merge fan-in when the disk budget forced degraded
+    /// (single-pass merge) mode.
+    fn sorter<T, K, F>(&self, key: F, fan_in: Option<usize>) -> Result<ExternalSorter<T, K, F>>
     where
         T: FixedCodec,
         K: Ord,
         F: Fn(&T) -> K,
     {
-        ExternalSorter::builder(key)
+        let mut b = ExternalSorter::builder(key)
             .budget(self.budget.split(2))
             .stats(Arc::clone(&self.stats))
             .threads(self.threads)
-            .build()
+            .faults(self.surface.clone());
+        if let Some(f) = fan_in {
+            b = b.fan_in(f);
+        }
+        b.build()
+    }
+
+    /// Pre-stage disk check (DESIGN.md §6h). A sort stage's scratch
+    /// footprint is roughly its input bytes as run files plus, when the run
+    /// count exceeds the merge fan-in, one more full copy for a pre-merge
+    /// pass. When only the pre-merge copy no longer fits the disk budget,
+    /// degrade gracefully: raise the fan-in so the merge runs in a single
+    /// pass (more seeks, no extra copy). When even the run files cannot fit,
+    /// fail up front with a typed [`GraphError::StorageFull`] instead of
+    /// dying mid-stage with scratch half-written.
+    fn stage_fan_in(&self, stage: &str, input_bytes: u64) -> Result<Option<usize>> {
+        let Some(disk) = self.surface.disk() else {
+            return Ok(None);
+        };
+        let remaining = disk.remaining();
+        if input_bytes > remaining {
+            return Err(GraphError::StorageFull(format!(
+                "DOS stage `{stage}` needs about {input_bytes} scratch bytes but only \
+                 {remaining} remain in the disk budget"
+            )));
+        }
+        if input_bytes.saturating_mul(2) > remaining {
+            return Ok(Some(DEGRADED_FAN_IN));
+        }
+        Ok(None)
+    }
+
+    /// Open `path` for writing with the converter's stats sink, routed
+    /// through its fault surface.
+    fn writer(&self, path: &Path) -> Result<graphz_io::SurfaceWriter<graphz_io::TrackedWriter>> {
+        Ok(self.surface.wrap(graphz_io::tracked::writer(path, Arc::clone(&self.stats))?))
     }
 
     /// Run the full conversion, producing `edges.bin`, `index.tbl`,
     /// `new2old.bin`, `old2new.bin`, and `meta.txt` under `dir`.
     ///
     /// The seven passes of §III-C run as a pipeline of chained
-    /// [`sort_stream`](ExternalSorter::sort_stream)s: each sort's lazy merge
-    /// drains directly into the next stage (triad emission, degree-group
-    /// scan, relabeling, adjacency write) with no intermediate file between
-    /// a sort and its consumer. Run files for each stage live in their own
-    /// scratch subdirectory, dropped as soon as the stage is drained.
+    /// [`sort_stream`](ExternalSorter::sort_stream)s grouped into five
+    /// durable *stages* — `triads`, `old2new`, `new2old`, `adjacency`,
+    /// `emit` — each of which commits a checksummed [`StageManifest`] into
+    /// the stable scratch root when it completes (DESIGN.md §6h). A
+    /// converter built with [`resume(true)`](DosConverterBuilder::resume)
+    /// skips stages whose manifests (and recorded artifacts) verify and
+    /// redoes everything from the first incomplete stage; because every
+    /// stage is a deterministic function of the previous stage's files, the
+    /// resumed directory is byte-identical to a clean run's.
     pub fn convert(&self, input: &EdgeListFile, dir: &Path) -> Result<DosGraph> {
         std::fs::create_dir_all(dir)?;
-        let scratch = ScratchDir::new("dos-convert")?;
+        let owns_root = self.scratch_root.is_none();
+        let root = self.scratch_root.clone().unwrap_or_else(|| scratch_root_for(dir));
+        if owns_root && !self.resume {
+            match std::fs::remove_dir_all(&root) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        std::fs::create_dir_all(&root)?;
         let meta = input.meta();
         let num_vertices = meta.num_vertices;
 
-        // Passes 1–3, pipelined: sort edges by (src, dst); stream the merge
-        // through the triad emitter into the by-degree sort's run formation;
-        // then walk the degree-sorted triads assigning new ids, building the
-        // per-unique-degree groups, and emitting half-relabeled edges
-        // (new src, old dst).
-        let half = scratch.file("half-relabeled.bin");
-        let assign = scratch.file("assign.bin"); // (old_id, new_id) per vertex with deg > 0
-        let mut groups: Vec<DegreeGroup> = Vec::new();
-        let assigned: u64;
-        {
-            let by_src_sorter = self.sorter(|e: &Edge| (e.src, e.dst))?;
-            // Ties between equal degrees break by ascending old id — the
-            // paper breaks them "randomly"; a deterministic break makes runs
-            // reproducible, which §IV-C's ordering guarantee requires anyway.
-            let by_deg_sorter =
-                self.sorter(|t: &Triad| (std::cmp::Reverse(t.0), t.1, t.2))?;
-            let by_src_runs = ScratchDir::new_in(scratch.path(), "by-src")?;
-            let by_deg_runs = ScratchDir::new_in(scratch.path(), "by-deg")?;
-            let by_src = by_src_sorter
-                .sort_stream(input.reader(Arc::clone(&self.stats))?, &by_src_runs)?;
-            let mut by_deg =
-                by_deg_sorter.sort_stream(TriadEmitter::new(by_src), &by_deg_runs)?;
-            drop(by_src_runs); // pass-1 runs fully drained into pass-2 runs
+        // A stage is "done" when its manifest loads, names that stage, and
+        // every artifact it recorded still verifies (length + CRC). Anything
+        // else — missing, torn, CRC-failing, damaged artifacts — reads as
+        // incomplete, and the stage plus everything after it is redone.
+        let manifest_path = |stage: &str| root.join(format!("{stage}.manifest"));
+        let stage_done = |live: bool, stage: &str, base: &Path| -> Result<Option<StageManifest>> {
+            if !live {
+                return Ok(None);
+            }
+            let Some(m) = StageManifest::load(&manifest_path(stage))? else {
+                return Ok(None);
+            };
+            if m.stage() != stage {
+                return Ok(None);
+            }
+            let base = base.to_path_buf();
+            if !m.verify_files(|name| base.join(name))? {
+                return Ok(None);
+            }
+            Ok(Some(m))
+        };
+        // `live` stays true while completed stages are being skipped; the
+        // first incomplete stage flips it, so later manifests (stale from an
+        // older attempt) are redone and re-committed rather than trusted.
+        let mut live = self.resume;
 
-            // (new src, old dst, old src) — the old source rides along so
-            // weights can be derived from original ids at the final pass.
-            let mut half_w =
-                RecordWriter::<(u32, u32, u32)>::create(&half, Arc::clone(&self.stats))?;
-            let mut assign_w =
-                RecordWriter::<(u32, u32)>::create(&assign, Arc::clone(&self.stats))?;
-            let mut cur_src: Option<u32> = None;
+        // Stage `triads` (passes 1–3, pipelined): sort edges by (src, dst);
+        // stream the merge through the triad emitter into the by-degree
+        // sort's run formation; then walk the degree-sorted triads assigning
+        // new ids, building the per-unique-degree groups, and emitting
+        // half-relabeled edges (new src, old dst).
+        let half = root.join("half-relabeled.bin");
+        let assign = root.join("assign.bin"); // (old_id, new_id) per vertex with deg > 0
+        let groups_path = root.join("groups.bin");
+        let mut groups: Vec<DegreeGroup>;
+        let assigned: u64;
+        if let Some(m) = stage_done(live, "triads", &root)? {
+            assigned = m.get_u64("assigned").ok_or_else(|| {
+                GraphError::Corrupt("triads manifest lacks an `assigned` count".into())
+            })?;
+            groups = RecordReader::<DegreeGroup>::open(&groups_path, Arc::clone(&self.stats))?
+                .read_all()?;
+        } else {
+            live = false;
+            // By-src runs (8 B/edge) and by-deg runs (12 B/edge) coexist.
+            let fan_in = self.stage_fan_in("triads", meta.num_edges.saturating_mul(20))?;
+            groups = Vec::new();
             let mut next_new: u32 = 0;
-            for (edge_offset, t) in (0u64..).zip(&mut by_deg) {
-                let (deg, src, dst) = t?;
-                if cur_src != Some(src) {
-                    cur_src = Some(src);
-                    let new_id = next_new;
-                    next_new += 1;
-                    assign_w.push(&(src, new_id))?;
-                    if groups.last().map(|g| g.degree) != Some(deg) {
-                        groups.push(DegreeGroup { degree: deg, first_id: new_id, offset: edge_offset });
+            {
+                let by_src_sorter = self.sorter(|e: &Edge| (e.src, e.dst), fan_in)?;
+                // Ties between equal degrees break by ascending old id — the
+                // paper breaks them "randomly"; a deterministic break makes
+                // runs reproducible, which §IV-C's ordering guarantee
+                // requires anyway.
+                let by_deg_sorter =
+                    self.sorter(|t: &Triad| (std::cmp::Reverse(t.0), t.1, t.2), fan_in)?;
+                let by_src_runs = ScratchDir::new_in(&root, "by-src")?;
+                let by_deg_runs = ScratchDir::new_in(&root, "by-deg")?;
+                let by_src = by_src_sorter
+                    .sort_stream(input.reader(Arc::clone(&self.stats))?, &by_src_runs)?;
+                let mut by_deg =
+                    by_deg_sorter.sort_stream(TriadEmitter::new(by_src), &by_deg_runs)?;
+                drop(by_src_runs); // pass-1 runs fully drained into pass-2 runs
+
+                // (new src, old dst, old src) — the old source rides along so
+                // weights can be derived from original ids at the final pass.
+                let mut half_w =
+                    RecordWriter::<(u32, u32, u32), _>::from_writer(self.writer(&half)?);
+                let mut assign_w =
+                    RecordWriter::<(u32, u32), _>::from_writer(self.writer(&assign)?);
+                let mut cur_src: Option<u32> = None;
+                for (edge_offset, t) in (0u64..).zip(&mut by_deg) {
+                    let (deg, src, dst) = t?;
+                    if cur_src != Some(src) {
+                        cur_src = Some(src);
+                        let new_id = next_new;
+                        next_new += 1;
+                        assign_w.push(&(src, new_id))?;
+                        if groups.last().map(|g| g.degree) != Some(deg) {
+                            groups.push(DegreeGroup {
+                                degree: deg,
+                                first_id: new_id,
+                                offset: edge_offset,
+                            });
+                        }
                     }
+                    half_w.push(&(next_new - 1, dst, src))?;
                 }
-                half_w.push(&(next_new - 1, dst, src))?;
+                half_w.finish()?;
+                assign_w.finish()?;
             }
             assigned = cast::widen_u32(next_new);
-            half_w.finish()?;
-            assign_w.finish()?;
+            {
+                let mut gw = RecordWriter::<DegreeGroup, _>::from_writer(self.writer(&groups_path)?);
+                gw.push_all(groups.iter())?;
+                gw.finish()?;
+            }
+            let mut m = StageManifest::new("triads");
+            m.set("assigned", assigned);
+            m.record_file("half-relabeled.bin", &half)?;
+            m.record_file("assign.bin", &assign)?;
+            m.record_file("groups.bin", &groups_path)?;
+            m.commit(&manifest_path("triads"), &self.surface)?;
         }
 
-        // Pass 4: fill in zero-degree vertices (paper: "we need to fill in
-        // those vertices with 0 degrees") and materialize old2new.bin by
-        // draining the assignment sort's merge straight into the co-scan.
+        // Zero-degree fill (paper: "we need to fill in those vertices with
+        // 0 degrees") — a pure function of the triads outputs, so it is
+        // recomputed on resume rather than persisted.
         if assigned < num_vertices {
             groups.push(DegreeGroup {
                 degree: 0,
@@ -496,143 +674,191 @@ impl DosConverter {
                 offset: meta.num_edges,
             });
         }
+
+        // Stage `old2new` (pass 4): materialize old2new.bin by draining the
+        // assignment sort's merge straight into the zero-degree co-scan.
         let old2new_path = dir.join("old2new.bin");
-        {
-            let by_old_sorter = self.sorter(|p: &(u32, u32)| p.0)?;
-            let by_old_runs = ScratchDir::new_in(scratch.path(), "assign")?;
-            let mut by_old = by_old_sorter.sort_stream(
-                RecordReader::<(u32, u32)>::open(&assign, Arc::clone(&self.stats))?,
-                &by_old_runs,
-            )?;
-            let mut w = RecordWriter::<u32>::create(&old2new_path, Arc::clone(&self.stats))?;
-            let mut pending = by_old.next_record()?;
-            let mut next_zero: u32 = cast::to_u32(assigned, "dos first zero-degree id")?;
-            for old in 0..cast::to_u32(num_vertices, "dos vertex count")? {
-                match pending {
-                    Some((o, n)) if o == old => {
-                        w.push(&n)?;
-                        pending = by_old.next_record()?;
-                    }
-                    _ => {
-                        w.push(&next_zero)?;
-                        next_zero += 1;
+        if stage_done(live, "old2new", dir)?.is_none() {
+            live = false;
+            let fan_in = self.stage_fan_in("old2new", assigned.saturating_mul(16))?;
+            {
+                let by_old_sorter = self.sorter(|p: &(u32, u32)| p.0, fan_in)?;
+                let by_old_runs = ScratchDir::new_in(&root, "assign")?;
+                let mut by_old = by_old_sorter.sort_stream(
+                    RecordReader::<(u32, u32)>::open(&assign, Arc::clone(&self.stats))?,
+                    &by_old_runs,
+                )?;
+                let mut w = RecordWriter::<u32, _>::from_writer(self.writer(&old2new_path)?);
+                let mut pending = by_old.next_record()?;
+                let mut next_zero: u32 = cast::to_u32(assigned, "dos first zero-degree id")?;
+                for old in 0..cast::to_u32(num_vertices, "dos vertex count")? {
+                    match pending {
+                        Some((o, n)) if o == old => {
+                            w.push(&n)?;
+                            pending = by_old.next_record()?;
+                        }
+                        _ => {
+                            w.push(&next_zero)?;
+                            next_zero += 1;
+                        }
                     }
                 }
+                if pending.is_some() {
+                    return Err(GraphError::Corrupt(
+                        "DOS conversion saw a source id beyond num_vertices".into(),
+                    ));
+                }
+                w.finish()?;
             }
-            if pending.is_some() {
-                return Err(GraphError::Corrupt(
-                    "DOS conversion saw a source id beyond num_vertices".into(),
-                ));
-            }
-            w.finish()?;
+            let mut m = StageManifest::new("old2new");
+            m.record_file("old2new.bin", &old2new_path)?;
+            m.commit(&manifest_path("old2new"), &self.surface)?;
         }
-        let _ = std::fs::remove_file(&assign);
 
-        // Pass 5: new2old.bin = old2new inverted via one more external sort,
-        // its merge draining directly into the new2old writer.
+        // Stage `new2old` (pass 5): old2new inverted via one more external
+        // sort, its merge draining directly into the new2old writer.
         let new2old_path = dir.join("new2old.bin");
-        {
-            let by_new_sorter = self.sorter(|p: &(u32, u32)| p.0)?;
-            let by_new_runs = ScratchDir::new_in(scratch.path(), "pairs")?;
-            let olds = RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?;
-            let pairs = olds.enumerate().map(|(old, new)| -> Result<(u32, u32)> {
-                // Pass 4 already proved num_vertices fits u32.
-                Ok((new?, cast::usize_to_u32(old, "dos old id")?))
-            });
-            let mut by_new = by_new_sorter.sort_stream(pairs, &by_new_runs)?;
-            let mut w = RecordWriter::<u32>::create(&new2old_path, Arc::clone(&self.stats))?;
-            while let Some((_, old)) = by_new.next_record()? {
-                w.push(&old)?;
-            }
-            w.finish()?;
-        }
-
-        // Passes 6–7, pipelined: sort half-relabeled edges by old dst,
-        // relabel destinations by co-scanning old2new.bin sequentially
-        // (paper: "with the mapping from oldid to newid, we sequentially
-        // relabel dests") straight into the final sort's run formation, and
-        // write the adjacency file (destination ids only; offsets are
-        // computed by Eq. 1) plus, when requested, the parallel per-edge
-        // weight file.
-        let edges_path = dir.join("edges.bin");
-        let mut written: u64 = 0;
-        {
-            let by_dst_sorter = self.sorter(|p: &(u32, u32, u32)| (p.1, p.0, p.2))?;
-            let final_sorter =
-                self.sorter(|p: &(u32, u32, u32, u32)| (p.0, p.1, p.2, p.3))?;
-            let by_dst_runs = ScratchDir::new_in(scratch.path(), "half-by-dst")?;
-            let final_runs = ScratchDir::new_in(scratch.path(), "final")?;
-            let by_dst = by_dst_sorter.sort_stream(
-                RecordReader::<(u32, u32, u32)>::open(&half, Arc::clone(&self.stats))?,
-                &by_dst_runs,
-            )?;
-            let relabel = RelabelIter {
-                inner: by_dst,
-                map: RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?,
-                map_pos: 0,
-                cur_new: None,
-                failed: false,
-            };
-            let mut final_sorted = final_sorter.sort_stream(relabel, &final_runs)?;
-            let _ = std::fs::remove_file(&half);
-            drop(by_dst_runs); // pass-6 runs fully drained into pass-7 runs
-
-            let mut w = RecordWriter::<u32>::create(&edges_path, Arc::clone(&self.stats))?;
-            let mut weights_w = match self.weight_fn {
-                Some(_) => Some(RecordWriter::<f32>::create(
-                    &dir.join("weights.bin"),
-                    Arc::clone(&self.stats),
-                )?),
-                None => None,
-            };
-            while let Some((_, new_dst, old_src, old_dst)) = final_sorted.next_record()? {
-                w.push(&new_dst)?;
-                if let (Some(ww), Some(f)) = (&mut weights_w, self.weight_fn) {
-                    ww.push(&f(old_src, old_dst))?;
+        if stage_done(live, "new2old", dir)?.is_none() {
+            live = false;
+            let fan_in = self.stage_fan_in("new2old", num_vertices.saturating_mul(16))?;
+            {
+                let by_new_sorter = self.sorter(|p: &(u32, u32)| p.0, fan_in)?;
+                let by_new_runs = ScratchDir::new_in(&root, "pairs")?;
+                let olds = RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?;
+                let pairs = olds.enumerate().map(|(old, new)| -> Result<(u32, u32)> {
+                    // Pass 4 already proved num_vertices fits u32.
+                    Ok((new?, cast::usize_to_u32(old, "dos old id")?))
+                });
+                let mut by_new = by_new_sorter.sort_stream(pairs, &by_new_runs)?;
+                let mut w = RecordWriter::<u32, _>::from_writer(self.writer(&new2old_path)?);
+                while let Some((_, old)) = by_new.next_record()? {
+                    w.push(&old)?;
                 }
-                written += 1;
+                w.finish()?;
             }
-            w.finish()?;
-            if let Some(ww) = weights_w {
-                ww.finish()?;
-            }
-        }
-        if written != meta.num_edges {
-            return Err(GraphError::Corrupt(format!(
-                "DOS conversion wrote {written} edges, expected {}",
-                meta.num_edges
-            )));
+            let mut m = StageManifest::new("new2old");
+            m.record_file("new2old.bin", &new2old_path)?;
+            m.commit(&manifest_path("new2old"), &self.surface)?;
         }
 
+        // Stage `adjacency` (passes 6–7, pipelined): sort half-relabeled
+        // edges by old dst, relabel destinations by co-scanning old2new.bin
+        // sequentially (paper: "with the mapping from oldid to newid, we
+        // sequentially relabel dests") straight into the final sort's run
+        // formation, and write the adjacency file (destination ids only;
+        // offsets are computed by Eq. 1) plus, when requested, the parallel
+        // per-edge weight file.
+        let edges_path = dir.join("edges.bin");
+        if stage_done(live, "adjacency", dir)?.is_none() {
+            live = false;
+            // By-dst runs (12 B/edge) and final-quad runs (16 B/edge) coexist.
+            let fan_in = self.stage_fan_in("adjacency", meta.num_edges.saturating_mul(28))?;
+            let mut written: u64 = 0;
+            {
+                let by_dst_sorter = self.sorter(|p: &(u32, u32, u32)| (p.1, p.0, p.2), fan_in)?;
+                let final_sorter =
+                    self.sorter(|p: &(u32, u32, u32, u32)| (p.0, p.1, p.2, p.3), fan_in)?;
+                let by_dst_runs = ScratchDir::new_in(&root, "half-by-dst")?;
+                let final_runs = ScratchDir::new_in(&root, "final")?;
+                let by_dst = by_dst_sorter.sort_stream(
+                    RecordReader::<(u32, u32, u32)>::open(&half, Arc::clone(&self.stats))?,
+                    &by_dst_runs,
+                )?;
+                let relabel = RelabelIter {
+                    inner: by_dst,
+                    map: RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?,
+                    map_pos: 0,
+                    cur_new: None,
+                    failed: false,
+                };
+                let mut final_sorted = final_sorter.sort_stream(relabel, &final_runs)?;
+                drop(by_dst_runs); // pass-6 runs fully drained into pass-7 runs
+
+                let mut w = RecordWriter::<u32, _>::from_writer(self.writer(&edges_path)?);
+                let mut weights_w = match self.weight_fn {
+                    Some(_) => Some(RecordWriter::<f32, _>::from_writer(
+                        self.writer(&dir.join("weights.bin"))?,
+                    )),
+                    None => None,
+                };
+                while let Some((_, new_dst, old_src, old_dst)) = final_sorted.next_record()? {
+                    w.push(&new_dst)?;
+                    if let (Some(ww), Some(f)) = (&mut weights_w, self.weight_fn) {
+                        ww.push(&f(old_src, old_dst))?;
+                    }
+                    written += 1;
+                }
+                w.finish()?;
+                if let Some(ww) = weights_w {
+                    ww.finish()?;
+                }
+            }
+            if written != meta.num_edges {
+                return Err(GraphError::Corrupt(format!(
+                    "DOS conversion wrote {written} edges, expected {}",
+                    meta.num_edges
+                )));
+            }
+            let mut m = StageManifest::new("adjacency");
+            m.set("written", written);
+            m.record_file("edges.bin", &edges_path)?;
+            if self.weight_fn.is_some() {
+                m.record_file("weights.bin", &dir.join("weights.bin"))?;
+            }
+            m.commit(&manifest_path("adjacency"), &self.surface)?;
+        }
+
+        // Stage `emit`: the in-memory index, metadata, and the integrity
+        // sidecar (length + CRC32 of every data file, checked by
+        // `verify_dos`). The sidecar is written after the data files, so an
+        // interrupted conversion cannot leave a complete-looking sidecar
+        // over partial data.
         let index = DosIndex::new(groups, num_vertices, meta.num_edges);
-        index.save(&dir.join("index.tbl"), Arc::clone(&self.stats))?;
         let dos_meta = GraphMeta {
             num_vertices,
             num_edges: meta.num_edges,
             unique_degrees: index.unique_degrees(),
             max_degree: index.groups().first().map_or(0, |g| cast::widen_u32(g.degree)),
         };
-        let mut mf = MetaFile::new();
-        mf.set("format", "dos")
-            .set("weighted", if self.weight_fn.is_some() { 1 } else { 0 })
-            .set_graph_meta(&dos_meta);
-        mf.save(&dir.join("meta.txt"))?;
+        if stage_done(live, "emit", dir)?.is_none() {
+            {
+                let mut w =
+                    RecordWriter::<DegreeGroup, _>::from_writer(self.writer(&dir.join("index.tbl"))?);
+                w.push_all(index.groups().iter())?;
+                w.finish()?;
+            }
+            let mut mf = MetaFile::new();
+            mf.set("format", "dos")
+                .set("weighted", if self.weight_fn.is_some() { 1 } else { 0 })
+                .set_graph_meta(&dos_meta);
+            mf.save(&dir.join("meta.txt"))?;
 
-        // Integrity sidecar: length + CRC32 of every data file, checked by
-        // `verify_dos`. Written last, so an interrupted conversion cannot
-        // leave a complete-looking sidecar over partial data.
-        let mut sums = MetaFile::new();
-        sums.set("format", "dos-checksums");
-        let mut data_files = vec!["edges.bin", "index.tbl", "old2new.bin", "new2old.bin"];
-        if self.weight_fn.is_some() {
-            data_files.push("weights.bin");
+            let mut sums = MetaFile::new();
+            sums.set("format", "dos-checksums");
+            let mut data_files = vec!["edges.bin", "index.tbl", "old2new.bin", "new2old.bin"];
+            if self.weight_fn.is_some() {
+                data_files.push("weights.bin");
+            }
+            for name in data_files {
+                let reader =
+                    graphz_io::tracked::reader(&dir.join(name), Arc::clone(&self.stats))?;
+                let (len, crc) = graphz_io::crc32_stream(reader)?;
+                sums.set(&format!("file:{name}"), format!("{len},{crc:08x}"));
+            }
+            sums.save(&dir.join("checksums.txt"))?;
+
+            let mut m = StageManifest::new("emit");
+            m.record_file("index.tbl", &dir.join("index.tbl"))?;
+            m.record_file("meta.txt", &dir.join("meta.txt"))?;
+            m.record_file("checksums.txt", &dir.join("checksums.txt"))?;
+            m.commit(&manifest_path("emit"), &self.surface)?;
         }
-        for name in data_files {
-            let reader = graphz_io::tracked::reader(&dir.join(name), Arc::clone(&self.stats))?;
-            let (len, crc) = graphz_io::crc32_stream(reader)?;
-            sums.set(&format!("file:{name}"), format!("{len},{crc:08x}"));
+
+        // Everything durable: the scratch root (intermediate artifacts and
+        // stage manifests) has served its purpose.
+        if owns_root {
+            let _ = std::fs::remove_dir_all(&root);
         }
-        sums.save(&dir.join("checksums.txt"))?;
 
         Ok(DosGraph {
             dir: dir.to_path_buf(),
@@ -763,6 +989,32 @@ mod tests {
 
     fn stats() -> Arc<IoStats> {
         IoStats::new()
+    }
+
+    /// DESIGN.md §6h: the pre-stage disk check degrades to a single-pass
+    /// merge when only the pre-merge copy no longer fits, and fails with the
+    /// typed `StorageFull` when even the run files cannot fit.
+    #[test]
+    fn stage_fan_in_degrades_then_fails_as_the_budget_shrinks() {
+        use graphz_io::{DiskBudget, FaultSurface};
+        let no_budget =
+            DosConverter::builder().budget(MemoryBudget::from_kib(1)).stats(stats());
+        assert_eq!(no_budget.build().unwrap().stage_fan_in("x", 600).unwrap(), None);
+
+        let conv = DosConverter::builder()
+            .budget(MemoryBudget::from_kib(1))
+            .stats(stats())
+            .faults(FaultSurface::none().with_disk_budget(DiskBudget::new(1000)))
+            .build()
+            .unwrap();
+        // Roomy: input plus a full pre-merge copy both fit.
+        assert_eq!(conv.stage_fan_in("x", 400).unwrap(), None);
+        // Tight: runs fit but a second copy would not — degrade the merge.
+        assert_eq!(conv.stage_fan_in("x", 600).unwrap(), Some(DEGRADED_FAN_IN));
+        // Exhausted: not even the run files fit — typed failure up front.
+        let err = conv.stage_fan_in("x", 2000).unwrap_err();
+        assert!(matches!(err, GraphError::StorageFull(_)), "got {err:?}");
+        assert!(err.to_string().contains("stage `x`"), "{err}");
     }
 
     fn convert(edges: Vec<Edge>) -> (ScratchDir, DosGraph) {

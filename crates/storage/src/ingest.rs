@@ -29,11 +29,11 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use graphz_io::{IoStats, ScratchDir};
+use graphz_io::{FaultSurface, IoStats, StageManifest};
 use graphz_types::prelude::*;
 
-use crate::chunked::{self, DEFAULT_CHUNK_BYTES};
-use crate::dos::{DosConverter, DosGraph};
+use crate::chunked::{self, BadRecord, DEFAULT_CHUNK_BYTES};
+use crate::dos::{scratch_root_for, DosConverter, DosGraph};
 use crate::edgelist::EdgeListFile;
 
 /// How [`IngestPipeline::run`] interprets its source path.
@@ -64,6 +64,9 @@ pub struct IngestPipeline {
     threads: usize,
     chunk_bytes: u64,
     weight_fn: Option<fn(VertexId, VertexId) -> f32>,
+    surface: FaultSurface,
+    resume: bool,
+    max_bad_records: Option<u64>,
 }
 
 /// Builder for [`IngestPipeline`]: `XBuilder` + chainable setters +
@@ -74,6 +77,9 @@ pub struct IngestPipelineBuilder {
     threads: usize,
     chunk_bytes: u64,
     weight_fn: Option<fn(VertexId, VertexId) -> f32>,
+    surface: FaultSurface,
+    resume: bool,
+    max_bad_records: Option<u64>,
 }
 
 impl IngestPipelineBuilder {
@@ -110,6 +116,31 @@ impl IngestPipelineBuilder {
         self
     }
 
+    /// Fault surface gating every file op of the whole ingest (default:
+    /// inert). Chaos tests inject faults here; production callers attach a
+    /// retry policy and optionally a scratch disk budget.
+    pub fn faults(mut self, surface: FaultSurface) -> Self {
+        self.surface = surface;
+        self
+    }
+
+    /// Resume an interrupted ingest from the stage manifests left in the
+    /// stable scratch root `<dir>.scratch` (default: off — a fresh run
+    /// clears any leftover scratch first). A resumed run produces a DOS
+    /// directory byte-identical to an uninterrupted one (DESIGN.md §6h).
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Quarantine up to `n` malformed text lines into a `quarantine.txt`
+    /// sidecar (with 1-based line numbers) instead of aborting on the first
+    /// one. Default: strict — any malformed line fails the import.
+    pub fn max_bad_records(mut self, n: u64) -> Self {
+        self.max_bad_records = Some(n);
+        self
+    }
+
     /// Validate the configuration and produce the pipeline.
     pub fn build(self) -> Result<IngestPipeline> {
         let budget = self.budget.ok_or_else(|| {
@@ -130,6 +161,9 @@ impl IngestPipelineBuilder {
             threads: self.threads,
             chunk_bytes: self.chunk_bytes,
             weight_fn: self.weight_fn,
+            surface: self.surface,
+            resume: self.resume,
+            max_bad_records: self.max_bad_records,
         })
     }
 }
@@ -143,45 +177,129 @@ impl IngestPipeline {
             threads: 1,
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             weight_fn: None,
+            surface: FaultSurface::none(),
+            resume: false,
+            max_bad_records: None,
         }
+    }
+
+    /// Import a text source, quarantining malformed lines when a budget was
+    /// configured. Quarantined lines land in `dir/quarantine.txt` with
+    /// their global 1-based line numbers.
+    fn import_text(&self, src: &Path, imported: &Path, dir: &Path) -> Result<EdgeListFile> {
+        let Some(max_bad) = self.max_bad_records else {
+            return chunked::import_text_chunked(
+                src,
+                imported,
+                Arc::clone(&self.stats),
+                self.threads,
+                self.chunk_bytes,
+            );
+        };
+        let (file, bad) = chunked::import_text_quarantined(
+            src,
+            imported,
+            Arc::clone(&self.stats),
+            self.threads,
+            self.chunk_bytes,
+            max_bad,
+        )?;
+        if !bad.is_empty() {
+            graphz_io::write_atomic(&dir.join("quarantine.txt"), render_quarantine(&bad).as_bytes())?;
+        }
+        Ok(file)
     }
 
     /// Ingest `src` (binary edge list, `.mtx`, or SNAP-style text — detected
     /// automatically) into the DOS directory `dir`.
+    ///
+    /// The whole pipeline is staged and resumable (DESIGN.md §6h): the
+    /// import and each conversion stage commit a [`StageManifest`] into the
+    /// stable scratch root `<dir>.scratch`, and a pipeline built with
+    /// [`resume(true)`](IngestPipelineBuilder::resume) skips verified
+    /// stages. On success the scratch root is removed.
     pub fn run(&self, src: &Path, dir: &Path) -> Result<DosGraph> {
-        // The imported edge list lives in scratch until the conversion has
-        // fully consumed it.
-        let scratch = ScratchDir::new("ingest")?;
+        let root = scratch_root_for(dir);
+        if !self.resume {
+            match std::fs::remove_dir_all(&root) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        std::fs::create_dir_all(&root)?;
+        std::fs::create_dir_all(dir)?;
+
+        // Stage `import`: the imported edge list lives in scratch until the
+        // conversion has fully consumed it. A binary source needs no import
+        // (and no stage): the conversion reads it in place.
+        let imported = root.join("imported.bin");
+        let manifest = root.join("import.manifest");
         let edges = match detect(src) {
             SourceKind::Binary => EdgeListFile::open(src)?,
-            SourceKind::MatrixMarket => EdgeListFile::import_matrix_market(
-                src,
-                &scratch.file("imported.bin"),
-                Arc::clone(&self.stats),
-            )?,
-            SourceKind::Text => chunked::import_text_chunked(
-                src,
-                &scratch.file("imported.bin"),
-                Arc::clone(&self.stats),
-                self.threads,
-                self.chunk_bytes,
-            )?,
+            kind => {
+                let done = if self.resume {
+                    match StageManifest::load(&manifest)? {
+                        Some(m) if m.stage() == "import" => {
+                            let root = root.clone();
+                            m.verify_files(|name| root.join(name))?
+                        }
+                        _ => false,
+                    }
+                } else {
+                    false
+                };
+                if done {
+                    EdgeListFile::open(&imported)?
+                } else {
+                    let file = match kind {
+                        SourceKind::MatrixMarket => EdgeListFile::import_matrix_market(
+                            src,
+                            &imported,
+                            Arc::clone(&self.stats),
+                        )?,
+                        _ => self.import_text(src, &imported, dir)?,
+                    };
+                    let mut m = StageManifest::new("import");
+                    m.set("edges", file.meta().num_edges);
+                    m.record_file("imported.bin", &imported)?;
+                    m.record_file("imported.bin.meta.txt", &root.join("imported.bin.meta.txt"))?;
+                    m.commit(&manifest, &self.surface)?;
+                    file
+                }
+            }
         };
         let mut converter = DosConverter::builder()
             .budget(self.budget)
             .stats(Arc::clone(&self.stats))
-            .threads(self.threads);
+            .threads(self.threads)
+            .faults(self.surface.clone())
+            .resume(self.resume)
+            .scratch_root(&root);
         if let Some(f) = self.weight_fn {
             converter = converter.weights(f);
         }
-        converter.build()?.convert(&edges, dir)
+        let dos = converter.build()?.convert(&edges, dir)?;
+        let _ = std::fs::remove_dir_all(&root);
+        Ok(dos)
     }
+}
+
+/// Render quarantined records as the `quarantine.txt` sidecar: one line per
+/// bad record — `line <n> (byte <b>): <reason>: <text>`.
+fn render_quarantine(bad: &[BadRecord]) -> String {
+    let mut out = String::new();
+    for b in bad {
+        out.push_str(&format!("line {} (byte {}): {}: {}\n", b.line, b.byte, b.reason, b.text));
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dos::DosGraph;
+    use graphz_io::ScratchDir;
 
     fn stats() -> Arc<IoStats> {
         IoStats::new()
@@ -265,6 +383,63 @@ mod tests {
         // The produced directory reopens cleanly.
         let reopened = DosGraph::open(&dir.path().join("par"), stats()).unwrap();
         assert_eq!(reopened.meta(), serial.meta());
+    }
+
+    #[test]
+    fn quarantine_writes_sidecar_and_keeps_good_edges() {
+        let dir = ScratchDir::new("ingest-quar").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n1 oops\n1 2\n2 0\n").unwrap();
+        let out = dir.path().join("dos");
+        // Strict default: the malformed line aborts the ingest.
+        let err = pipeline(1).run(&txt, &out).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)), "got {err:?}");
+        // With a quarantine budget the good edges import and the sidecar
+        // names the bad line.
+        let dos = IngestPipeline::builder()
+            .budget(MemoryBudget::from_kib(64))
+            .stats(stats())
+            .max_bad_records(3)
+            .build()
+            .unwrap()
+            .run(&txt, &out)
+            .unwrap();
+        assert_eq!(dos.meta().num_edges, 3);
+        let sidecar = std::fs::read_to_string(out.join("quarantine.txt")).unwrap();
+        assert!(sidecar.contains("line 2"), "{sidecar}");
+        assert!(sidecar.contains("1 oops"), "{sidecar}");
+    }
+
+    #[test]
+    fn successful_ingest_removes_the_scratch_root() {
+        let dir = ScratchDir::new("ingest-clean").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n1 2\n").unwrap();
+        let out = dir.path().join("dos");
+        pipeline(1).run(&txt, &out).unwrap();
+        assert!(!scratch_root_for(&out).exists(), "scratch root must be cleaned up");
+    }
+
+    #[test]
+    fn resume_on_a_clean_slate_matches_a_fresh_run() {
+        let dir = ScratchDir::new("ingest-resume-fresh").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n1 2\n2 0\n0 2\n").unwrap();
+        let fresh = pipeline(1).run(&txt, &dir.path().join("fresh")).unwrap();
+        let resumed = IngestPipeline::builder()
+            .budget(MemoryBudget::from_kib(64))
+            .stats(stats())
+            .resume(true)
+            .build()
+            .unwrap()
+            .run(&txt, &dir.path().join("resumed"))
+            .unwrap();
+        assert_eq!(resumed.meta(), fresh.meta());
+        assert_eq!(resumed.index(), fresh.index());
+        assert_eq!(
+            std::fs::read(resumed.edges_path()).unwrap(),
+            std::fs::read(fresh.edges_path()).unwrap()
+        );
     }
 
     #[test]

@@ -32,9 +32,9 @@ pub mod meta;
 pub mod partition;
 pub mod verify;
 
-pub use chunked::import_text_chunked;
+pub use chunked::{import_text_chunked, import_text_quarantined, BadRecord};
 pub use csr::{CsrFiles, CsrGraph};
-pub use dos::{DosConverter, DosConverterBuilder, DosGraph, DosIndex};
+pub use dos::{scratch_root_for, DosConverter, DosConverterBuilder, DosGraph, DosIndex};
 pub use edgelist::EdgeListFile;
 pub use ingest::{IngestPipeline, IngestPipelineBuilder};
 pub use partition::{PartitionSet, Partitioner};

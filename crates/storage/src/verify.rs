@@ -23,6 +23,11 @@ pub enum Violation {
     BadIndex(String),
     /// `edges.bin` length disagrees with the index.
     BadEdges(String),
+    /// The adjacency slab (`edges.bin`) is *shorter* than the index
+    /// requires — the signature of a torn or interrupted write, reported
+    /// distinctly from a generic length mismatch so operators know resume
+    /// (not fsck) is the fix.
+    TruncatedSlab { expected_bytes: u64, actual_bytes: u64 },
     /// An edge points outside the vertex space.
     DanglingEdge { vertex: VertexId, target: VertexId },
     /// The id maps are not mutually inverse bijections.
@@ -30,6 +35,9 @@ pub enum Violation {
     /// A data file's content does not match the `checksums.txt` sidecar —
     /// silent bitrot that passes every structural check.
     BadChecksum(String),
+    /// A data file is present but `checksums.txt` has no entry for it, so
+    /// its content could rot undetected.
+    MissingChecksum { file: String },
 }
 
 impl std::fmt::Display for Violation {
@@ -38,11 +46,18 @@ impl std::fmt::Display for Violation {
             Violation::BadMeta(m) => write!(f, "meta: {m}"),
             Violation::BadIndex(m) => write!(f, "index: {m}"),
             Violation::BadEdges(m) => write!(f, "edges: {m}"),
+            Violation::TruncatedSlab { expected_bytes, actual_bytes } => write!(
+                f,
+                "edges: adjacency slab truncated to {actual_bytes} of {expected_bytes} bytes"
+            ),
             Violation::DanglingEdge { vertex, target } => {
                 write!(f, "edges: vertex {vertex} has out-neighbor {target} outside the graph")
             }
             Violation::BadIdMap(m) => write!(f, "id map: {m}"),
             Violation::BadChecksum(m) => write!(f, "checksum: {m}"),
+            Violation::MissingChecksum { file } => {
+                write!(f, "checksum: {file} has no checksums.txt entry")
+            }
         }
     }
 }
@@ -162,7 +177,12 @@ pub fn verify_dos(dir: &Path, stats: Arc<IoStats>) -> Result<VerifyReport> {
             // Saturating: a meta file claiming ~u64::MAX edges should report
             // a length mismatch, not crash the verifier.
             let expected = meta.num_edges.saturating_mul(4);
-            if md.len() != expected {
+            if md.len() < expected {
+                report.violations.push(Violation::TruncatedSlab {
+                    expected_bytes: expected,
+                    actual_bytes: md.len(),
+                });
+            } else if md.len() > expected {
                 report.violations.push(Violation::BadEdges(format!(
                     "edges.bin is {} bytes, expected {expected}",
                     md.len()
@@ -264,6 +284,14 @@ fn verify_checksums(dir: &Path, report: &mut VerifyReport, stats: &Arc<IoStats>)
             }
         }
     }
+
+    // The sidecar, when present, must cover every data file that actually
+    // exists — a file without an entry can rot undetected.
+    for name in ["edges.bin", "index.tbl", "old2new.bin", "new2old.bin", "weights.bin"] {
+        if dir.join(name).is_file() && sums.get(&format!("file:{name}")).is_none() {
+            report.violations.push(Violation::MissingChecksum { file: name.to_string() });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +330,53 @@ mod tests {
         let len = std::fs::metadata(&edges).unwrap().len();
         std::fs::OpenOptions::new().write(true).open(&edges).unwrap().set_len(len - 4).unwrap();
         let report = verify_dos(&dos_dir, stats()).unwrap();
+        let slab = report
+            .violations
+            .iter()
+            .find_map(|v| match v {
+                Violation::TruncatedSlab { expected_bytes, actual_bytes } => {
+                    Some((*expected_bytes, *actual_bytes))
+                }
+                _ => None,
+            })
+            .expect("truncation must report a TruncatedSlab violation");
+        assert_eq!(slab, (len, len - 4));
+        assert!(report.violations[0].to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn oversized_edges_are_still_a_generic_mismatch() {
+        let (_dir, dos_dir) = build();
+        let edges = dos_dir.join("edges.bin");
+        let len = std::fs::metadata(&edges).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&edges).unwrap().set_len(len + 4).unwrap();
+        let report = verify_dos(&dos_dir, stats()).unwrap();
         assert!(report.violations.iter().any(|v| matches!(v, Violation::BadEdges(_))));
+        assert!(
+            !report.violations.iter().any(|v| matches!(v, Violation::TruncatedSlab { .. })),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn missing_checksum_entry_is_detected() {
+        let (_dir, dos_dir) = build();
+        // Drop the edges.bin entry from the sidecar; the file itself is fine.
+        let sums_path = dos_dir.join("checksums.txt");
+        let text = std::fs::read_to_string(&sums_path).unwrap();
+        let filtered: String = text
+            .lines()
+            .filter(|l| !l.starts_with("file:edges.bin"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&sums_path, filtered).unwrap();
+        let report = verify_dos(&dos_dir, stats()).unwrap();
+        assert_eq!(
+            report.violations,
+            vec![Violation::MissingChecksum { file: "edges.bin".into() }]
+        );
+        assert!(report.violations[0].to_string().contains("edges.bin"));
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum GraphError {
     IndexExceedsMemory { index_bytes: u64, budget_bytes: u64 },
     /// An engine or converter was configured inconsistently.
     InvalidConfig(String),
+    /// The device ran out of space (ENOSPC, or a scratch disk budget was
+    /// exhausted). Distinct from [`GraphError::Io`] so ingest callers can
+    /// react — free space, shrink the budget, or point scratch elsewhere —
+    /// instead of treating a full disk as an unexplained IO failure.
+    StorageFull(String),
     /// An algorithm-level failure (e.g. source vertex out of range).
     Algorithm(String),
     /// Offset, length, or id arithmetic overflowed its integer type — e.g.
@@ -45,6 +50,7 @@ impl fmt::Display for GraphError {
                  ({budget_bytes} bytes); the engine cannot run out-of-core"
             ),
             GraphError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            GraphError::StorageFull(m) => write!(f, "storage full: {m}"),
             GraphError::Algorithm(m) => write!(f, "algorithm error: {m}"),
             GraphError::OffsetOverflow(m) => write!(f, "offset arithmetic overflow: {m}"),
         }
@@ -67,6 +73,10 @@ impl From<std::io::Error> for GraphError {
         // corruption error rather than a generic IO failure.
         if e.kind() == std::io::ErrorKind::InvalidData {
             GraphError::Corrupt(e.to_string())
+        } else if e.kind() == std::io::ErrorKind::StorageFull {
+            // ENOSPC from the OS, or a scratch disk budget tripping: either
+            // way the caller should see "storage full", not "io error".
+            GraphError::StorageFull(e.to_string())
         } else {
             GraphError::Io(e)
         }
@@ -155,6 +165,16 @@ mod tests {
         let e: GraphError = io.into();
         assert!(matches!(e, GraphError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn storage_full_becomes_typed_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::StorageFull, "scratch budget exhausted");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::StorageFull(_)), "got {e:?}");
+        let s = e.to_string();
+        assert!(s.contains("storage full"), "{s}");
+        assert!(s.contains("scratch budget exhausted"), "{s}");
     }
 
     #[test]

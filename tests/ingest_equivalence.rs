@@ -15,8 +15,8 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
-use graphz_io::{IoStats, ScratchDir};
-use graphz_storage::{verify_dos, IngestPipeline, IngestPipelineBuilder};
+use graphz_io::{FaultState, FaultSurface, IoStats, ScratchDir};
+use graphz_storage::{scratch_root_for, verify_dos, IngestPipeline, IngestPipelineBuilder};
 use graphz_types::MemoryBudget;
 
 const THREAD_COUNTS: &[usize] = &[1, 2, 8];
@@ -123,6 +123,69 @@ fn unweighted_graph_is_byte_identical_across_configurations() {
 #[test]
 fn weighted_graph_is_byte_identical_across_configurations() {
     assert_equivalent("weighted", &lcg_graph_text(11, 400, 60), true);
+}
+
+/// DESIGN.md §6h: kill the pipeline at *every* stage-commit point in turn,
+/// then rerun with `resume(true)` — the finished directory must be
+/// byte-identical to an uninterrupted run, `checksums.txt` included, and the
+/// scratch root must be gone afterwards.
+#[test]
+fn resume_after_a_kill_at_every_stage_is_byte_identical() {
+    let scratch = ScratchDir::new("ingest-kill-resume").unwrap();
+    let src = scratch.file("g.txt");
+    std::fs::write(&src, lcg_graph_text(31, 300, 50)).unwrap();
+
+    let clean_dir = scratch.path().join("clean");
+    builder(1, graphz_storage::chunked::DEFAULT_CHUNK_BYTES)
+        .build()
+        .unwrap()
+        .run(&src, &clean_dir)
+        .unwrap();
+    let want = dir_contents(&clean_dir);
+
+    // Every stage the pipeline commits, in order. A text source exercises
+    // the import stage too; binary sources simply have one fewer commit.
+    const STAGES: &[&str] = &["import", "triads", "old2new", "new2old", "adjacency", "emit"];
+    for stage in STAGES {
+        let dir = scratch.path().join(format!("kill-{stage}"));
+        let faults = FaultState::fail_at_label(&format!("commit-manifest:{stage}"));
+        let err = builder(1, graphz_storage::chunked::DEFAULT_CHUNK_BYTES)
+            .faults(FaultSurface::none().with_faults(Arc::clone(&faults)))
+            .build()
+            .unwrap()
+            .run(&src, &dir)
+            .unwrap_err();
+        assert!(
+            faults.fired(),
+            "kill at `{stage}`: the labeled commit never ran — stage renamed? ({err})"
+        );
+        assert!(
+            scratch_root_for(&dir).exists(),
+            "kill at `{stage}`: the scratch root must survive the crash for resume"
+        );
+
+        builder(1, graphz_storage::chunked::DEFAULT_CHUNK_BYTES)
+            .resume(true)
+            .build()
+            .unwrap()
+            .run(&src, &dir)
+            .unwrap();
+        let got = dir_contents(&dir);
+        assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            want.keys().collect::<Vec<_>>(),
+            "kill at `{stage}`: file set differs after resume"
+        );
+        for (name, bytes) in &got {
+            assert_eq!(bytes, &want[name], "kill at `{stage}`: {name} differs after resume");
+        }
+        assert!(
+            !scratch_root_for(&dir).exists(),
+            "kill at `{stage}`: resume must clean up the scratch root"
+        );
+        let report = verify_dos(&dir, stats()).unwrap();
+        assert!(report.is_clean(), "kill at `{stage}`: resumed directory fails verify");
+    }
 }
 
 #[test]
