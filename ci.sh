@@ -49,9 +49,21 @@ cargo run --release --offline -q -p graphz-bench --bin bench_throughput -- \
 
 echo "== bench: ingest throughput (serial vs sharded parallel) =="
 # Single-core machines will show speedup <= 1; the JSON records the core
-# count so readings are comparable across hosts.
+# count and marks the speedup verdict invalid there (speedup_valid: false).
 cargo run --release --offline -q -p graphz-bench --bin bench_ingest -- \
   --scale 9 --edges 120000 --budget-kib 256 --threads 1,2,4 \
   --out BENCH_ingest.json
+
+echo "== bench: core×scale grid (crossover) =="
+cargo run --release --offline -q -p graphz-bench --bin bench_grid -- \
+  --scales 8,10,12 --threads 1,2,4 --edges-factor 20 --iterations 5 \
+  --budget-kib 16 --out target/BENCH_grid.json > /dev/null
+
+echo "== bench gate =="
+# Fail on a >20% edges/sec regression at any grid point against the
+# committed baseline. The gate self-skips on single-core boxes and across
+# differing core counts, where wall-clock ratios are noise (DESIGN.md §6i).
+cargo run --release --offline -q -p graphz-bench --bin bench_gate -- \
+  --baseline BENCH_grid.json --current target/BENCH_grid.json --tolerance 0.20
 
 echo "CI gate passed."

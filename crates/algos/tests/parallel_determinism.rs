@@ -122,6 +122,56 @@ fn six_algorithms_bit_identical_across_threads_and_prefetch() {
     }
 }
 
+/// The adaptive cost model (`EngineOptions::adaptive`) rewrites the plan as
+/// a pure function of graph shape: a small graph degrades to the serial
+/// schedule (so it must match an explicitly-serial run bit for bit, at any
+/// pipeline width), and a large graph keeps its requested shards (so it
+/// must match the fixed-plan run bit for bit). Either way, nothing about
+/// thread count or timing may leak into the results.
+#[test]
+fn adaptive_plan_keeps_results_bit_identical() {
+    let none = CheckpointSpec::disabled();
+    let budget = MemoryBudget::from_kib(1);
+    let params = AlgoParams::new(Algorithm::Cc).with_max_iterations(300);
+    let run_opts = |fx: &Fixture, options: EngineOptions| {
+        runner::run_graphz_configured(&fx.dos, &params, budget, options, &none, Arc::clone(&fx.stats))
+            .unwrap()
+    };
+
+    // 1500 edges / 8 requested shards is far below the serial-degrade
+    // threshold: every adaptive run collapses to the serial schedule.
+    let fx = Fixture::new(symmetrized(power_law_graph(7, 1500)));
+    let serial = run_opts(&fx, EngineOptions::default());
+    for threads in [1usize, 2, 8] {
+        let mut options = EngineOptions::with_parallel_workers(threads);
+        options.adaptive = true;
+        let out = run_opts(&fx, options);
+        assert_eq!(serial.values, out.values, "degraded threads={threads}");
+        assert_eq!(serial.iterations, out.iterations, "degraded threads={threads}");
+        assert_eq!(serial.messages, out.messages, "degraded threads={threads}");
+        assert_eq!(serial.spilled, out.spilled, "degraded threads={threads}");
+    }
+
+    // A symmetrized 12_000-edge graph keeps all 8 shards busy above the
+    // threshold: adaptive must be a no-op against the fixed 8-shard plan.
+    let fx = Fixture::new(symmetrized(power_law_graph(7, 12_000)));
+    assert!(
+        fx.dos.meta().num_edges / 8 >= 1024,
+        "large fixture must stay above the serial-degrade threshold, got {}",
+        fx.dos.meta().num_edges
+    );
+    let baseline = fx.run(&params, budget, 8, true, &none);
+    for threads in [2usize, 8] {
+        let mut options = EngineOptions::with_parallel_workers(threads);
+        options.adaptive = true;
+        let out = run_opts(&fx, options);
+        assert_eq!(baseline.values, out.values, "parallel threads={threads}");
+        assert_eq!(baseline.iterations, out.iterations, "parallel threads={threads}");
+        assert_eq!(baseline.messages, out.messages, "parallel threads={threads}");
+        assert_eq!(baseline.spilled, out.spilled, "parallel threads={threads}");
+    }
+}
+
 /// A budget small enough to force many partitions *and* message spills:
 /// every partition still spans multiple shards, and the claimed-segment
 /// protocol (prefetcher pre-draining spilled runs) must not change results.

@@ -1,0 +1,139 @@
+//! CI bench gate: compare a fresh `BENCH_grid.json` against the committed
+//! baseline and fail on a >20% edges/sec regression at any grid point.
+//!
+//! The gate is deliberately narrow: it reads only the grid schema
+//! `bench_grid` emits (one `"scale": N` per row, one
+//! `{"threads": …, "edges_per_sec": …}` line per cell, a top-level
+//! `"cores": N`), so it needs no JSON dependency. Comparisons are
+//! per-(scale, threads) cell; a cell present in the baseline but missing
+//! from the current run fails the gate (a silently dropped cell is how
+//! coverage rots).
+//!
+//! The gate *skips itself* (exit 0) when either measurement ran on a single
+//! core or when the two files disagree on the core count: wall-clock ratios
+//! across different machines — or on a box that cannot run two threads at
+//! once — are noise, and a noisy gate gets deleted (DESIGN.md §6i).
+//!
+//! Usage:
+//!   bench_gate --baseline BENCH_grid.json --current target/BENCH_grid.json
+//!              [--tolerance 0.20]
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// One grid measurement keyed by (scale, threads).
+type Grid = BTreeMap<(u64, u64), f64>;
+
+/// Extract the number following `"<field>": ` on `line`, if present.
+fn field(line: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the grid schema: top-level cores plus every (scale, threads) cell.
+fn parse(path: &Path) -> Result<(u64, Grid), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut cores = None;
+    let mut scale = None;
+    let mut grid = Grid::new();
+    for line in text.lines() {
+        if cores.is_none() {
+            if let Some(c) = field(line, "cores") {
+                cores = Some(c as u64);
+            }
+        }
+        if let Some(s) = field(line, "scale") {
+            scale = Some(s as u64);
+        }
+        if let (Some(t), Some(r)) = (field(line, "threads"), field(line, "edges_per_sec")) {
+            let s = scale.ok_or_else(|| {
+                format!("{}: cell before any \"scale\" field", path.display())
+            })?;
+            grid.insert((s, t as u64), r);
+        }
+    }
+    let cores =
+        cores.ok_or_else(|| format!("{}: no \"cores\" field", path.display()))?;
+    if grid.is_empty() {
+        return Err(format!("{}: no grid cells found", path.display()));
+    }
+    Ok((cores, grid))
+}
+
+fn arg(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).cloned()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(baseline), Some(current)) =
+        (arg(&argv, "--baseline"), arg(&argv, "--current"))
+    else {
+        eprintln!("usage: bench_gate --baseline FILE --current FILE [--tolerance 0.20]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance: f64 = arg(&argv, "--tolerance").and_then(|t| t.parse().ok()).unwrap_or(0.20);
+
+    let parsed = parse(Path::new(&baseline)).and_then(|b| Ok((b, parse(Path::new(&current))?)));
+    let ((base_cores, base), (cur_cores, cur)) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if base_cores <= 1 || cur_cores <= 1 {
+        println!(
+            "bench gate: skipped (baseline on {base_cores} core(s), current on {cur_cores}); \
+             single-core wall clocks gate nothing"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if base_cores != cur_cores {
+        println!(
+            "bench gate: skipped (baseline measured on {base_cores} cores, current on \
+             {cur_cores}); cross-machine ratios are noise"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = Vec::new();
+    for (&(scale, threads), &want) in &base {
+        match cur.get(&(scale, threads)) {
+            None => failures.push(format!(
+                "cell scale={scale} threads={threads} missing from {current}"
+            )),
+            Some(&got) if got < want * (1.0 - tolerance) => failures.push(format!(
+                "cell scale={scale} threads={threads}: {got:.0} edges/s vs baseline \
+                 {want:.0} ({:.1}% regression, tolerance {:.0}%)",
+                (1.0 - got / want) * 100.0,
+                tolerance * 100.0
+            )),
+            Some(_) => {}
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench gate: {} cells within {:.0}% of baseline",
+            base.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench gate FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,214 @@
+//! Core×scale crossover benchmark: where does parallelism start to pay?
+//!
+//! Runs PageRank over a grid of {thread count} × {graph scale} — every cell
+//! on the *same* fixed 8-shard schedule, so cells differ only in execution
+//! parallelism — and writes `BENCH_grid.json`: edges/sec per cell, the best
+//! parallel-vs-serial speedup per scale, and the crossover scale (the
+//! smallest scale whose best parallel run meets the serial one). Small
+//! graphs are expected to lose to serial execution — that is the point of
+//! the adaptive plan (DESIGN.md §6i) — and the crossover pins down where
+//! the machine flips.
+//!
+//! On a 1-core box every cell still runs (the raw numbers feed the CI bench
+//! gate), but `"speedup_valid": false` and the crossover is `null`: a
+//! parallel-vs-serial ratio without a second core measures coordination
+//! overhead, not scaling.
+//!
+//! Usage:
+//!   bench_grid [--scales S,S,...] [--threads T,T,...] [--edges-factor F]
+//!              [--iterations I] [--budget-kib B] [--out PATH]
+//!
+//! A scale-`s` cell runs on an R-MAT graph with `2^s` vertex ids and
+//! `F · 2^s` edges, so the scale axis grows geometrically.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use graphz_algos::runner::{self, CheckpointSpec};
+use graphz_algos::{AlgoParams, Algorithm};
+use graphz_gen::rmat_edges;
+use graphz_io::{IoStats, ScratchDir};
+use graphz_storage::EdgeListFile;
+use graphz_types::{EngineOptions, MemoryBudget, Result};
+
+struct Args {
+    scales: Vec<u32>,
+    threads: Vec<usize>,
+    edges_factor: u64,
+    iterations: u32,
+    budget_kib: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<&str> {
+        argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).map(String::as_str)
+    };
+    let num = |flag: &str, default: u64| -> u64 {
+        get(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let list = |flag: &str, default: &[u64]| -> Vec<u64> {
+        get(flag)
+            .map(|l| l.split(',').filter_map(|t| t.parse().ok()).collect())
+            .unwrap_or_else(|| default.to_vec())
+    };
+    Args {
+        scales: list("--scales", &[8, 10, 12]).into_iter().map(|s| s as u32).collect(),
+        threads: list("--threads", &[1, 2, 4]).into_iter().map(|t| t as usize).collect(),
+        edges_factor: num("--edges-factor", 20),
+        iterations: num("--iterations", 5) as u32,
+        budget_kib: num("--budget-kib", 16),
+        out: get("--out").map(PathBuf::from).unwrap_or_else(|| "BENCH_grid.json".into()),
+    }
+}
+
+struct Cell {
+    threads: usize,
+    wall_s: f64,
+    edges_per_sec: f64,
+}
+
+struct Row {
+    scale: u32,
+    edges: u64,
+    cells: Vec<Cell>,
+}
+
+impl Row {
+    /// Best parallel edges/sec over the serial cell's; `None` without both.
+    fn best_speedup(&self) -> Option<f64> {
+        let serial = self
+            .cells
+            .iter()
+            .find(|c| c.threads == 1)
+            .map(|c| c.edges_per_sec)
+            .filter(|&r| r > 0.0)?;
+        self.cells
+            .iter()
+            .filter(|c| c.threads > 1)
+            .map(|c| c.edges_per_sec / serial)
+            .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
+    }
+}
+
+fn measure_row(args: &Args, scale: u32) -> Result<Row> {
+    let dir = ScratchDir::new(&format!("bench-grid-s{scale}"))?;
+    let stats = IoStats::new();
+    let edges = args.edges_factor << scale;
+    let el = EdgeListFile::create(
+        &dir.file("g.bin"),
+        Arc::clone(&stats),
+        rmat_edges(scale, edges, Default::default(), 42),
+    )?;
+    let num_edges = el.meta().num_edges;
+    let dos = runner::prepare_dos(
+        &el,
+        &dir.path().join("dos"),
+        MemoryBudget::from_mib(8),
+        Arc::clone(&stats),
+    )?;
+    let params = AlgoParams::new(Algorithm::PageRank).with_max_iterations(args.iterations);
+    let budget = MemoryBudget::from_kib(args.budget_kib);
+
+    let mut cells = Vec::new();
+    for &threads in &args.threads {
+        eprintln!("grid: scale={scale} threads={threads} ...");
+        let outcome = runner::run_graphz_configured(
+            &dos,
+            &params,
+            budget,
+            EngineOptions::with_parallel_workers(threads),
+            &CheckpointSpec::disabled(),
+            Arc::clone(&stats),
+        )?;
+        let processed = num_edges * outcome.iterations as u64;
+        let wall_s = outcome.wall.as_secs_f64().max(1e-9);
+        cells.push(Cell { threads, wall_s, edges_per_sec: processed as f64 / wall_s });
+    }
+    Ok(Row { scale, edges: num_edges, cells })
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("bench_grid failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let speedup_valid = cores > 1;
+
+    let mut rows = Vec::new();
+    for &scale in &args.scales {
+        rows.push(measure_row(&args, scale)?);
+    }
+
+    // Crossover: smallest scale whose best parallel run meets serial. Only
+    // a verdict when the box can actually run two threads at once.
+    let crossover = if speedup_valid {
+        rows.iter()
+            .find(|r| r.best_speedup().is_some_and(|s| s >= 1.0))
+            .map(|r| r.scale)
+    } else {
+        None
+    };
+    let crossover_json = crossover.map_or("null".into(), |s| s.to_string());
+
+    let grid = rows
+        .iter()
+        .map(|r| {
+            let cells = r
+                .cells
+                .iter()
+                .map(|c| {
+                    format!(
+                        "        {{\"threads\": {}, \"wall_s\": {:.6}, \"edges_per_sec\": {:.1}}}",
+                        c.threads, c.wall_s, c.edges_per_sec
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            let best = if speedup_valid {
+                r.best_speedup().map_or("null".into(), |s| format!("{s:.3}"))
+            } else {
+                "null".into()
+            };
+            format!(
+                "    {{\n      \"scale\": {},\n      \"edges\": {},\n      \"cells\": [\n{}\n      ],\n      \
+                 \"best_speedup\": {}\n    }}",
+                r.scale, r.edges, cells, best
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"core_scale_grid\",\n  \"cores\": {},\n  \"speedup_valid\": {},\n  \
+         \"worker_shards\": {},\n  \"iterations\": {},\n  \"budget_kib\": {},\n  \
+         \"grid\": [\n{}\n  ],\n  \"crossover_scale\": {}\n}}\n",
+        cores,
+        speedup_valid,
+        EngineOptions::PARALLEL_WORKER_SHARDS,
+        args.iterations,
+        args.budget_kib,
+        grid,
+        crossover_json,
+    );
+    std::fs::write(&args.out, &json)?;
+    match crossover {
+        Some(s) => eprintln!("wrote {} (crossover at scale {s})", args.out.display()),
+        None if speedup_valid => {
+            eprintln!("wrote {} (no crossover in the measured range)", args.out.display())
+        }
+        None => eprintln!(
+            "wrote {} (crossover not determinable on {cores} core(s))",
+            args.out.display()
+        ),
+    }
+    print!("{json}");
+    Ok(())
+}

@@ -3,10 +3,15 @@
 //! Generates a deterministic R-MAT graph, exports it to SNAP-style text,
 //! then runs the full [`IngestPipeline`] (chunked parse → pipelined DOS
 //! conversion) once per thread count and writes `BENCH_ingest.json` —
-//! edges/sec per configuration plus the parallel-vs-serial speedup. Every
-//! configuration produces byte-identical output (DESIGN.md §6g), which is
-//! re-checked here on the edges file so the benchmark cannot silently
-//! measure divergent work.
+//! edges/sec and a parse/sort/merge wall-time split per configuration, plus
+//! the parallel-vs-serial speedup. Every configuration produces
+//! byte-identical output (DESIGN.md §6g), which is re-checked here on the
+//! edges file so the benchmark cannot silently measure divergent work.
+//!
+//! On a single-core box a parallel-vs-serial ratio measures scheduling
+//! overhead, not scaling, so the output carries `"speedup_valid": false`
+//! and the speedup itself is `null` — consumers must not read a regression
+//! out of a box that cannot show a speedup (DESIGN.md §6i).
 //!
 //! Usage:
 //!   bench_ingest [--scale N] [--edges M] [--budget-kib B]
@@ -20,7 +25,7 @@ use std::time::Instant;
 
 use graphz_gen::rmat_edges;
 use graphz_io::{IoStats, ScratchDir};
-use graphz_storage::{EdgeListFile, IngestPipeline};
+use graphz_storage::{EdgeListFile, IngestPipeline, IngestTimings};
 use graphz_types::{GraphError, IoCtx, MemoryBudget, Result};
 
 struct Args {
@@ -55,6 +60,12 @@ struct Measurement {
     threads: usize,
     wall_s: f64,
     edges_per_sec: f64,
+    /// Stage attribution (DESIGN.md §6i): parse = source import, sort = run
+    /// formation inside the conversion, merge = the conversion's
+    /// merge-and-emit remainder.
+    parse_s: f64,
+    sort_s: f64,
+    merge_s: f64,
 }
 
 fn ingest_once(
@@ -64,15 +75,24 @@ fn ingest_once(
     threads: usize,
     num_edges: u64,
 ) -> Result<Measurement> {
+    let timings = IngestTimings::new();
     let pipeline = IngestPipeline::builder()
         .budget(MemoryBudget::from_kib(budget_kib))
         .stats(IoStats::new())
         .threads(threads)
+        .timings(Arc::clone(&timings))
         .build()?;
     let start = Instant::now();
     pipeline.run(src, dir)?;
     let wall_s = start.elapsed().as_secs_f64().max(1e-9);
-    Ok(Measurement { threads, wall_s, edges_per_sec: num_edges as f64 / wall_s })
+    Ok(Measurement {
+        threads,
+        wall_s,
+        edges_per_sec: num_edges as f64 / wall_s,
+        parse_s: timings.import().as_secs_f64(),
+        sort_s: timings.sort().form().as_secs_f64(),
+        merge_s: timings.merge_and_emit().as_secs_f64(),
+    })
 }
 
 fn main() {
@@ -129,26 +149,42 @@ fn run() -> Result<()> {
         .filter(|m| m.threads > 1)
         .map(|m| m.edges_per_sec)
         .fold(f64::MIN, f64::max);
-    let speedup = if serial > 0.0 { parallel / serial } else { 0.0 };
+    // A 1-core box cannot exhibit a parallel speedup; publish the raw
+    // numbers but withhold the verdict so downstream tooling does not brand
+    // scheduler overhead a regression.
+    let speedup_valid = cores > 1 && serial > 0.0 && parallel > f64::MIN;
+    let speedup = if speedup_valid {
+        format!("{:.3}", parallel / serial)
+    } else {
+        "null".into()
+    };
 
     let body = runs
         .iter()
         .map(|m| {
             format!(
-                "    {{\"threads\": {}, \"wall_s\": {:.6}, \"edges_per_sec\": {:.1}}}",
-                m.threads, m.wall_s, m.edges_per_sec
+                "    {{\"threads\": {}, \"wall_s\": {:.6}, \"edges_per_sec\": {:.1}, \
+                 \"stages\": {{\"parse_s\": {:.6}, \"sort_s\": {:.6}, \"merge_s\": {:.6}}}}}",
+                m.threads, m.wall_s, m.edges_per_sec, m.parse_s, m.sort_s, m.merge_s
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"ingest_throughput\",\n  \"graph\": {{\"scale\": {}, \"edges\": {}}},\n  \
-         \"budget_kib\": {},\n  \"cores\": {},\n  \"runs\": [\n{}\n  ],\n  \
-         \"speedup_parallel_vs_serial\": {:.3}\n}}\n",
-        args.scale, num_edges, args.budget_kib, cores, body, speedup,
+         \"budget_kib\": {},\n  \"cores\": {},\n  \"speedup_valid\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_parallel_vs_serial\": {}\n}}\n",
+        args.scale, num_edges, args.budget_kib, cores, speedup_valid, body, speedup,
     );
     std::fs::write(&args.out, &json).ctx("write", &args.out)?;
-    eprintln!("wrote {} (speedup {:.2}x)", args.out.display(), speedup);
+    if speedup_valid {
+        eprintln!("wrote {} (speedup {}x)", args.out.display(), speedup);
+    } else {
+        eprintln!(
+            "wrote {} (speedup not valid on {cores} core(s); raw numbers only)",
+            args.out.display()
+        );
+    }
     print!("{json}");
     Ok(())
 }

@@ -5,7 +5,9 @@
 //! 8-shard schedule (so every configuration does identical work), and
 //! writes `BENCH_throughput.json` — edges/sec, per-stage wall times, and
 //! prefetch counters — so the perf trajectory is machine-readable from this
-//! PR onward.
+//! PR onward. On a 1-core box the speedup verdict is withheld
+//! (`"speedup_valid": false`, speedup `null`): a multi-threaded run there
+//! measures coordination overhead, not scaling (DESIGN.md §6i).
 //!
 //! Usage:
 //!   bench_throughput [--scale N] [--edges M] [--iterations I]
@@ -184,31 +186,48 @@ fn run() -> Result<()> {
         .filter(|m| m.threads > 1)
         .map(|m| m.edges_per_sec)
         .fold(f64::MIN, f64::max);
-    let speedup = multi / single;
+    // On one core the multi-threaded run measures coordination overhead,
+    // not scaling: publish the raw rates, withhold the speedup verdict.
+    let speedup_valid = cores > 1 && single > 0.0;
+    let speedup = if speedup_valid { format!("{:.3}", multi / single) } else { "null".into() };
 
     let body = runs.iter().map(run_json).collect::<Vec<_>>().join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"pagerank_throughput\",\n  \"graph\": {{\"scale\": {}, \"edges\": {}}},\n  \
-         \"budget_kib\": {},\n  \"cores\": {},\n  \"worker_shards\": {},\n  \"runs\": [\n{}\n  ],\n  \
-         \"speedup_multi_vs_single\": {:.3}\n}}\n",
+         \"budget_kib\": {},\n  \"cores\": {},\n  \"worker_shards\": {},\n  \
+         \"speedup_valid\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_multi_vs_single\": {}\n}}\n",
         args.scale,
         num_edges,
         args.budget_kib,
         cores,
         EngineOptions::PARALLEL_WORKER_SHARDS,
+        speedup_valid,
         body,
         speedup,
     );
     std::fs::write(&args.out, &json)?;
-    println!(
-        "single-threaded: {:.0} edges/s; {}-thread: {:.0} edges/s; speedup {:.2}x ({} cores)\n\
-         wrote {}",
-        single,
-        args.threads.max(2),
-        multi,
-        speedup,
-        cores,
-        args.out.display(),
-    );
+    if speedup_valid {
+        println!(
+            "single-threaded: {:.0} edges/s; {}-thread: {:.0} edges/s; speedup {}x ({} cores)\n\
+             wrote {}",
+            single,
+            args.threads.max(2),
+            multi,
+            speedup,
+            cores,
+            args.out.display(),
+        );
+    } else {
+        println!(
+            "single-threaded: {:.0} edges/s; {}-thread: {:.0} edges/s; \
+             speedup not valid on {} core(s)\nwrote {}",
+            single,
+            args.threads.max(2),
+            multi,
+            cores,
+            args.out.display(),
+        );
+    }
     Ok(())
 }

@@ -78,6 +78,9 @@ pub const RULES: &[Rule] = &[
             // double-buffered run reader, and chunked text parse workers all
             // follow the deterministic-schedule rule (DESIGN.md §6g).
             "crates/extsort/src/shard.rs",
+            // Key-partitioned parallel merge (PR 7): scoped range workers
+            // whose output is byte-identical for any worker count.
+            "crates/extsort/src/pmerge.rs",
             "crates/io/src/readahead.rs",
             "crates/storage/src/chunked.rs",
         ],

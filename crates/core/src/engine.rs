@@ -207,6 +207,10 @@ pub struct IterationStats {
     pub dynamic_applied: u64,
     /// Engine-thread wall time per pipeline stage this iteration.
     pub stages: StageTimes,
+    /// Cumulative batch-pool counters at the end of this iteration. A
+    /// steady-state run shows `fresh` flat after the first iteration: every
+    /// adjacency batch is a recycled buffer.
+    pub pool: sio::PoolCounters,
 }
 
 /// What one [`Engine::run`] did.
@@ -238,6 +242,11 @@ pub struct RunSummary {
     pub wall: Duration,
     /// Engine-thread wall time per pipeline stage, summed over the run.
     pub stages: StageTimes,
+    /// Batch-pool allocation/reuse counters over the whole run.
+    pub pool: sio::PoolCounters,
+    /// The execution plan the run resolved to (adaptive degrade, prefetch
+    /// gating) — a pure function of graph shape and options.
+    pub plan: graphz_types::ExecutionPlan,
     /// Per-iteration progress (one entry per executed iteration).
     pub per_iteration: Vec<IterationStats>,
 }
@@ -353,38 +362,59 @@ impl<P: VertexProgram> Engine<P> {
         let mut dynamic_applied: u64 = 0;
         let mut per_iteration: Vec<IterationStats> = Vec::new();
         let mut stages_total = StageTimes::default();
+        let mut pool_counters = sio::PoolCounters::default();
+
+        // Resolve the execution plan once per run: a pure function of the
+        // graph's shape and the options (never thread availability or
+        // timing), so the logical schedule — and with it the result bits —
+        // is a constant of the configuration.
+        let plan_cfg = self
+            .config
+            .options
+            .plan_execution(self.store.num_edges(), self.partitions.num_partitions());
 
         if num_vertices > 0 {
             let mut vfile = TrackedFile::open_rw(&self.vertices_path, Arc::clone(&self.stats))?;
             let mut slab_bytes: Vec<u8> = Vec::new();
             let dynamic = self.config.options.dynamic_messages;
-            let max_shards = self.config.options.worker_shards;
+            let max_shards = plan_cfg.worker_shards;
+            let pipeline_threads = plan_cfg.pipeline_threads;
+            let per_partition = self.partitions.per_partition();
 
             // The Worker stage: a persistent pool when pipelined, the same
             // sharded schedule run inline otherwise. Lives for the whole
             // run — no per-batch or per-partition spawns.
+            //
+            // The batch pool persists across partitions *and* iterations,
+            // pre-warmed to the pipeline's maximum in-flight batch count
+            // (producer hand + Sio queue + straddler slices in the engine's
+            // hand + every worker queue slot + every worker's hand): after
+            // the buffers grow to their working size in iteration 1, no
+            // take() ever mints a fresh batch again.
             let queue_cap = self.config.options.queue_cap;
-            let batch_pool = sio::BatchPool::new(queue_cap.unwrap_or(8));
+            let sio_cap = queue_cap.unwrap_or(sio::DEFAULT_SIO_QUEUE_CAP).max(1);
+            let job_cap = queue_cap.unwrap_or(worker::DEFAULT_JOB_QUEUE_CAP).max(1);
+            let pool_cap = 2 + sio_cap + max_shards + pipeline_threads * (job_cap + 1);
+            let batch_pool = sio::BatchPool::prewarmed(pool_cap);
             let mut executor: Executor<P> = Executor::new(
-                self.config.options.pipeline_threads,
+                pipeline_threads,
                 max_shards,
                 queue_cap,
                 Arc::clone(&self.program),
                 Arc::clone(&batch_pool),
             )?;
 
-            // Double-buffered partition prefetcher: pointless with a single
-            // partition (the fast path covers that case instead).
-            let mut prefetcher: Option<Prefetcher<P>> =
-                if self.config.options.prefetch && self.partitions.num_partitions() > 1 {
-                    Some(Prefetcher::spawn(
-                        Arc::clone(&self.store),
-                        &self.vertices_path,
-                        Arc::clone(&self.stats),
-                    )?)
-                } else {
-                    None
-                };
+            // Double-buffered partition prefetcher; the plan enables it only
+            // when enough partitions exist to hide a load behind compute.
+            let mut prefetcher: Option<Prefetcher<P>> = if plan_cfg.prefetch {
+                Some(Prefetcher::spawn(
+                    Arc::clone(&self.store),
+                    &self.vertices_path,
+                    Arc::clone(&self.stats),
+                )?)
+            } else {
+                None
+            };
 
             // §VI-E future work, opt-in: when the whole graph is a single
             // partition, keep the vertex array resident across iterations
@@ -491,6 +521,7 @@ impl<P: VertexProgram> Engine<P> {
                             iteration: iter,
                             num_vertices,
                             dynamic,
+                            per_partition,
                         })?;
                     }
                     iter_stages.replay += t_replay.elapsed();
@@ -505,43 +536,52 @@ impl<P: VertexProgram> Engine<P> {
                         degrees,
                         self.config.batch_edges,
                         Arc::clone(&self.stats),
-                        self.config.options.pipeline_threads > 1,
+                        pipeline_threads > 1,
                         Some(Arc::clone(&batch_pool)),
                         queue_cap,
                     )?;
                     for batch in stream {
-                        for (shard, piece) in worker::split_batch(batch?, &plan) {
+                        for (shard, piece) in worker::split_batch(batch?, &plan, &batch_pool) {
                             executor.feed(shard, piece)?;
                         }
                     }
 
-                    // Partition barrier: reassemble the slab and merge the
-                    // shards' deferred messages in (shard, send order)
-                    // sequence — a fixed order, independent of thread
-                    // count and completion timing. In-partition dynamic
-                    // destinations apply now (they are resident); the rest
-                    // go to the MsgManager (paper Alg. 7).
+                    // Partition barrier, streamed: each shard's slab slice
+                    // and coalesced message groups merge the moment shards
+                    // `0..=s` have all reported — the emission order is a
+                    // constant of the plan, so the merge is bit-identical to
+                    // a full collect-then-sort while overlapping the
+                    // still-running shards. Cross-partition groups append to
+                    // the MsgManager in bulk (one hop per group, not per
+                    // message). In-partition dynamic destinations may live
+                    // in shards that have not reported yet, so their applies
+                    // park until the slab is whole (paper Alg. 7).
                     let mut slab: Vec<P::VertexData> = rest; // empty, keeps capacity
-                    let mut deferred: Vec<(VertexId, P::Message)> = Vec::new();
-                    for result in executor.finish(plan.len())? {
+                    let mut pending_local: Vec<(VertexId, P::Message)> = Vec::new();
+                    let msgs = &mut self.msgs;
+                    executor.finish_with(plan.len(), |result| {
                         slab.extend(result.data);
                         changed += result.changed;
                         messages_sent += result.sent;
                         dynamic_applied += result.dynamic_applied;
-                        deferred.extend(result.deferred);
-                    }
-                    debug_assert_eq!(slab.len(), count);
-                    for (dst, msg) in deferred {
-                        if dynamic && dst >= a && dst < b {
-                            self.program.apply_message(
-                                dst,
-                                &mut slab[(dst - a) as usize],
-                                &msg,
-                            );
-                            dynamic_applied += 1;
-                        } else {
-                            self.msgs.enqueue(self.partitions.partition_of(dst), dst, msg)?;
+                        for (p, mut group) in result.deferred {
+                            if dynamic && p == part {
+                                // audit:allow(dropped-result) — Vec::append returns ()
+                                pending_local.append(&mut group);
+                            } else {
+                                msgs.enqueue_bulk(p, group)?;
+                            }
                         }
+                        Ok(())
+                    })?;
+                    debug_assert_eq!(slab.len(), count);
+                    for (dst, msg) in pending_local {
+                        self.program.apply_message(
+                            dst,
+                            &mut slab[(dst - a) as usize],
+                            &msg,
+                        );
+                        dynamic_applied += 1;
                     }
                     iter_stages.compute += t_compute.elapsed();
                     let t_flush = Instant::now();
@@ -568,6 +608,7 @@ impl<P: VertexProgram> Engine<P> {
                     messages_sent: messages_sent - sent_before,
                     dynamic_applied: dynamic_applied - dynamic_before,
                     stages: iter_stages,
+                    pool: batch_pool.counters(),
                 });
 
                 // Periodic crash-safe checkpoint. The generation number is
@@ -599,6 +640,7 @@ impl<P: VertexProgram> Engine<P> {
                 }
             }
             self.next_iteration += iterations;
+            pool_counters = batch_pool.counters();
             // The fast path writes the final state exactly once.
             if let Some(slab) = resident {
                 slab_bytes.resize(slab.len() * P::VertexData::SIZE, 0);
@@ -627,6 +669,8 @@ impl<P: VertexProgram> Engine<P> {
             prefetch: self.stats.prefetch_snapshot() - prefetch_before,
             wall: start.elapsed(),
             stages: stages_total,
+            pool: pool_counters,
+            plan: plan_cfg,
             per_iteration,
         })
     }
@@ -1224,11 +1268,49 @@ mod tests {
     }
 
     #[test]
+    fn batch_pool_reuses_buffers_across_iterations() {
+        // The engine prewarms the pool to the structural in-flight bound, so
+        // every take() is a recycle: `fresh` stays zero for the whole run —
+        // not just after iteration 1 — at any thread count, and the pooled
+        // pipeline visibly recycles buffers each iteration.
+        let edges: Vec<Edge> = (0..96u32)
+            .flat_map(|i| (0..4u32).map(move |j| Edge::new(i, (i * 7 + j * 13) % 96)))
+            .collect();
+        let budget = MemoryBudget(8 * 48);
+        for threads in [1usize, 2, 8] {
+            let (_d, mut engine) = dos_engine(
+                edges.clone(),
+                budget,
+                EngineOptions {
+                    worker_shards: 8,
+                    pipeline_threads: threads,
+                    ..EngineOptions::full()
+                },
+                4,
+            );
+            let s = engine.run(10).unwrap();
+            assert!(s.iterations >= 2, "need multiple iterations, got {}", s.iterations);
+            assert_eq!(s.pool.fresh, 0, "threads={threads}: prewarmed pool must never miss");
+            assert!(s.pool.reused > 0, "threads={threads}: pooled pipeline must recycle");
+            let mut prev = 0u64;
+            for (i, it) in s.per_iteration.iter().enumerate() {
+                assert_eq!(it.pool.fresh, 0, "threads={threads} iteration {i}");
+                assert!(
+                    it.pool.reused > prev,
+                    "threads={threads} iteration {i}: no buffers recycled this iteration"
+                );
+                prev = it.pool.reused;
+            }
+        }
+    }
+
+    #[test]
     fn prefetch_counters_track_activity() {
-        let budget = MemoryBudget(32); // several partitions
+        let budget = MemoryBudget(16); // one vertex per partition: 4 partitions
         let (_d1, mut on) = dos_engine(test_graph(), budget, EngineOptions::full(), 3);
         let s_on = on.run(10).unwrap();
-        assert!(s_on.partitions > 1);
+        assert!(s_on.partitions >= EngineOptions::MIN_PREFETCH_PARTITIONS);
+        assert!(s_on.plan.prefetch, "enough partitions: the plan keeps prefetch");
         assert!(
             s_on.prefetch.hits + s_on.prefetch.stalls > 0,
             "multi-partition run with prefetch must request loads: {:?}",
@@ -1244,6 +1326,30 @@ mod tests {
         assert_eq!(s_off.prefetch, graphz_io::PrefetchSnapshot::default());
         assert_eq!(
             on.values_by_original_id().unwrap(),
+            off.values_by_original_id().unwrap()
+        );
+    }
+
+    #[test]
+    fn prefetch_auto_disables_below_three_partitions() {
+        // Budget 32 → two partitions: the plan refuses the prefetcher even
+        // though the options request it (it is pure overhead there), and the
+        // results are identical to an explicit prefetch=false run.
+        let budget = MemoryBudget(32);
+        let (_d1, mut auto_off) = dos_engine(test_graph(), budget, EngineOptions::full(), 3);
+        let s = auto_off.run(10).unwrap();
+        assert_eq!(s.partitions, 2);
+        assert!(!s.plan.prefetch, "two partitions cannot hide a load: plan must refuse");
+        assert_eq!(s.prefetch, graphz_io::PrefetchSnapshot::default());
+        let (_d2, mut off) = dos_engine(
+            test_graph(),
+            budget,
+            EngineOptions { prefetch: false, ..EngineOptions::full() },
+            3,
+        );
+        off.run(10).unwrap();
+        assert_eq!(
+            auto_off.values_by_original_id().unwrap(),
             off.values_by_original_id().unwrap()
         );
     }

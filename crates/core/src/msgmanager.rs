@@ -239,6 +239,31 @@ impl<M: FixedCodec> MsgManager<M> {
         Ok(())
     }
 
+    /// Queue a whole batch of messages for `partition` in one hop: the
+    /// buffer grows once and the spill check runs once, instead of once per
+    /// message. `msgs` must already be in send order; the resulting buffer
+    /// contents — and therefore the spill files and replay order — are
+    /// byte-identical to enqueueing each message individually.
+    pub fn enqueue_bulk(&mut self, partition: u32, mut msgs: Vec<(VertexId, M)>) -> Result<()> {
+        let n = msgs.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let buf = &mut self.buffers[partition as usize];
+        if buf.is_empty() {
+            *buf = msgs; // adopt the sender's allocation outright
+        } else {
+            // audit:allow(dropped-result) — Vec::append returns ()
+            buf.append(&mut msgs);
+        }
+        self.resident += n;
+        self.counters.buffered += n as u64;
+        if self.resident > self.cap {
+            self.spill_all()?;
+        }
+        Ok(())
+    }
+
     /// Write every in-memory buffer to its partition's open spill segment, in
     /// order (directly, or via the background writer when configured).
     fn spill_all(&mut self) -> Result<()> {

@@ -12,6 +12,7 @@
 
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -74,22 +75,64 @@ pub const DEFAULT_BATCH_EDGES: usize = 64 * 1024;
 pub struct BatchPool {
     tx: Sender<AdjBatch>,
     rx: Receiver<AdjBatch>,
+    fresh: AtomicU64,
+    reused: AtomicU64,
+}
+
+/// Point-in-time counters from a [`BatchPool`]; `fresh` counts `take` calls
+/// that had to allocate, `reused` counts takes served by a recycled batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    pub fresh: u64,
+    pub reused: u64,
 }
 
 impl BatchPool {
     pub fn new(capacity: usize) -> Arc<Self> {
         let (tx, rx) = bounded(capacity.max(1));
-        Arc::new(BatchPool { tx, rx })
+        Arc::new(BatchPool { tx, rx, fresh: AtomicU64::new(0), reused: AtomicU64::new(0) })
+    }
+
+    /// A pool pre-filled with `capacity` empty batches. Sized to the
+    /// pipeline's maximum in-flight batch count, this makes `take` hit the
+    /// pool from the first block on: the buffers grow to their working size
+    /// during the first iteration and recirculate for the rest of the run,
+    /// so the `fresh` counter staying at zero is exactly the "no fresh
+    /// allocations after warm-up" property the reuse tests assert.
+    pub fn prewarmed(capacity: usize) -> Arc<Self> {
+        let pool = Self::new(capacity);
+        for _ in 0..capacity.max(1) {
+            pool.put(AdjBatch::default());
+        }
+        pool
     }
 
     /// An empty batch, recycled if one is available.
     pub fn take(&self) -> AdjBatch {
-        self.rx.try_recv().unwrap_or_default()
+        match self.rx.try_recv() {
+            Ok(batch) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                batch
+            }
+            Err(_) => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                AdjBatch::default()
+            }
+        }
     }
 
     /// Return a finished batch for reuse (contents are cleared on refill).
     pub fn put(&self, batch: AdjBatch) {
         let _ = self.tx.try_send(batch); // full pool: just drop the buffers
+    }
+
+    /// Lifetime allocation/reuse counters (monotonic; counters only — the
+    /// numbers never influence scheduling, so determinism is untouched).
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            fresh: self.fresh.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use graphz_types::{GraphError, Result, VertexId};
+use graphz_types::{cast, GraphError, Result, VertexId};
 
 use crate::program::{UpdateContext, VertexProgram};
 use crate::sio::{AdjBatch, BatchPool};
@@ -59,14 +59,18 @@ pub fn shard_of(plan: &[(VertexId, VertexId)], v: VertexId) -> usize {
 
 /// Route one Dispatcher batch to the shards it overlaps. The common case —
 /// the batch lies inside a single shard — moves the batch without copying;
-/// only batches straddling a shard boundary are sliced.
+/// only batches straddling a shard boundary are sliced, and the slices are
+/// carved into recycled buffers from `pool` (the straddler itself goes back
+/// into the pool) so the steady state allocates nothing.
 pub fn split_batch(
     batch: AdjBatch,
     plan: &[(VertexId, VertexId)],
+    pool: &BatchPool,
 ) -> Vec<(usize, AdjBatch)> {
     let lo = batch.first_vertex;
     let hi = lo + batch.degrees.len() as VertexId;
     if lo >= hi {
+        pool.put(batch);
         return Vec::new();
     }
     let s0 = shard_of(plan, lo);
@@ -80,21 +84,29 @@ pub fn split_batch(
     while v < hi {
         let end = plan[s].1.min(hi);
         let vi = (v - lo) as usize;
-        let degrees = batch.degrees[vi..vi + (end - v) as usize].to_vec();
-        let edge_count: usize = degrees.iter().map(|&d| d as usize).sum();
-        let edges = batch.edges[edge_at..edge_at + edge_count].to_vec();
-        let weights = if batch.weights.is_empty() {
-            Vec::new()
-        } else {
-            batch.weights[edge_at..edge_at + edge_count].to_vec()
-        };
-        out.push((s, AdjBatch { first_vertex: v, degrees, edges, weights }));
+        let mut piece = pool.take();
+        piece.first_vertex = v;
+        piece.degrees.clear();
+        piece.degrees.extend_from_slice(&batch.degrees[vi..vi + (end - v) as usize]);
+        let edge_count: usize = piece.degrees.iter().map(|&d| d as usize).sum();
+        piece.edges.clear();
+        piece.edges.extend_from_slice(&batch.edges[edge_at..edge_at + edge_count]);
+        piece.weights.clear();
+        if !batch.weights.is_empty() {
+            piece.weights.extend_from_slice(&batch.weights[edge_at..edge_at + edge_count]);
+        }
+        out.push((s, piece));
         edge_at += edge_count;
         v = end;
         s += 1;
     }
+    pool.put(batch);
     out
 }
+
+/// Messages grouped by destination partition (first-touch group order; each
+/// group in shard-local send order).
+pub type DeferredGroups<M> = Vec<(u32, Vec<(VertexId, M)>)>;
 
 /// One shard's owned slice of the partition, plus everything its updates
 /// produced. The same struct runs inline (1 thread) and on the pool (N
@@ -103,15 +115,22 @@ pub struct ShardState<P: VertexProgram> {
     first: VertexId,
     end: VertexId,
     data: Vec<P::VertexData>,
-    /// Messages leaving this shard, in shard-local send order; merged at the
-    /// partition barrier in `(shard, send order)` sequence.
-    deferred: Vec<(VertexId, P::Message)>,
+    /// Messages leaving this shard, coalesced into per-destination-partition
+    /// buffers (first-touch group order; each group in shard-local send
+    /// order). The barrier appends whole groups to the MsgManager instead of
+    /// hopping once per message; per-destination order — the only order the
+    /// replay contract observes — is exactly the old `(shard, send order)`
+    /// sequence projected onto that destination.
+    deferred: DeferredGroups<P::Message>,
     changed: u64,
     sent: u64,
     dynamic_applied: u64,
     iteration: u32,
     num_vertices: u64,
     dynamic: bool,
+    /// Uniform partition width, for routing deferred messages to their
+    /// destination partition without a barrier-side pass.
+    per_partition: u64,
     outbox: Vec<(VertexId, P::Message)>,
 }
 
@@ -128,6 +147,7 @@ impl<P: VertexProgram> ShardState<P> {
             iteration: job.iteration,
             num_vertices: job.num_vertices,
             dynamic: job.dynamic,
+            per_partition: job.per_partition.max(1),
             outbox: Vec::new(),
         };
         // Replay this shard's pending messages before any update runs.
@@ -155,7 +175,8 @@ impl<P: VertexProgram> ShardState<P> {
                 self.changed += 1;
             }
             self.sent += self.outbox.len() as u64;
-            for (dst, msg) in self.outbox.drain(..) {
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for (dst, msg) in outbox.drain(..) {
                 if self.dynamic && dst >= self.first && dst < self.end {
                     // Intra-shard dynamic fast path: the destination is
                     // owned by this shard, so the apply races with nothing.
@@ -166,9 +187,29 @@ impl<P: VertexProgram> ShardState<P> {
                     );
                     self.dynamic_applied += 1;
                 } else {
-                    self.deferred.push((dst, msg));
+                    self.defer(dst, msg);
                 }
             }
+            self.outbox = outbox; // hand the drained buffer back for reuse
+        }
+    }
+
+    /// Append a cross-shard message to its destination partition's buffer.
+    /// Group membership is a pure function of `dst` and the partition width,
+    /// so the grouping is identical for every thread count.
+    fn defer(&mut self, dst: VertexId, msg: P::Message) {
+        let p = cast::to_u32(cast::widen_u32(dst) / self.per_partition, "partition of vertex")
+            .unwrap_or(u32::MAX); // quotient <= dst, which already fits u32
+        // Hot case: consecutive sends land in the partition touched last.
+        if let Some(last) = self.deferred.last_mut() {
+            if last.0 == p {
+                last.1.push((dst, msg));
+                return;
+            }
+        }
+        match self.deferred.iter_mut().find(|(gp, _)| *gp == p) {
+            Some((_, group)) => group.push((dst, msg)),
+            None => self.deferred.push((p, vec![(dst, msg)])),
         }
     }
 
@@ -195,13 +236,17 @@ pub struct ShardStart<P: VertexProgram> {
     pub iteration: u32,
     pub num_vertices: u64,
     pub dynamic: bool,
+    /// Uniform partition width of the engine's partition set.
+    pub per_partition: u64,
 }
 
 /// What a shard hands back at the partition barrier.
 pub struct ShardResult<P: VertexProgram> {
     pub shard: usize,
     pub data: Vec<P::VertexData>,
-    pub deferred: Vec<(VertexId, P::Message)>,
+    /// Cross-shard messages grouped by destination partition (first-touch
+    /// group order; each group in shard-local send order).
+    pub deferred: DeferredGroups<P::Message>,
     pub changed: u64,
     pub sent: u64,
     pub dynamic_applied: u64,
@@ -301,6 +346,14 @@ impl<P: VertexProgram> Drop for WorkerPool<P> {
     fn drop(&mut self) {
         self.txs.clear(); // close every job queue; workers drain and exit
         for h in self.handles.drain(..) {
+            // A barrier abandoned mid-stream (an emit error) can leave
+            // results published — and workers blocked publishing more into a
+            // full results queue. Keep draining while waiting so every
+            // worker can finish its queue and observe the closed channel.
+            while !h.is_finished() {
+                while self.results.try_recv().is_ok() {}
+                std::thread::yield_now();
+            }
             let _ = h.join();
         }
     }
@@ -363,8 +416,25 @@ impl<P: VertexProgram> Executor<P> {
         }
     }
 
-    /// Barrier: collect every shard's result, returned sorted by shard so
-    /// the merge order never depends on completion timing.
+    /// Barrier: collect every shard's result, returned sorted by shard.
+    /// Thin wrapper over [`finish_with`](Self::finish_with) for callers that
+    /// want the whole partition at once.
+    pub fn finish(&mut self, shards: usize) -> Result<Vec<ShardResult<P>>> {
+        let mut out: Vec<ShardResult<P>> = Vec::with_capacity(shards);
+        self.finish_with(shards, |r| {
+            out.push(r);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Streaming barrier: invoke `emit` on every shard's result in strict
+    /// shard order, releasing each result *as soon as its shard's order is
+    /// settled* — i.e. the moment shards `0..=s` have all reported — instead
+    /// of waiting for the whole partition and sorting. The emission order is
+    /// a constant of the plan, so the merge stays bit-identical to the old
+    /// collect-then-sort barrier while the engine's merge work (slab
+    /// reassembly, message enqueue) overlaps still-running shards.
     ///
     /// Finish jobs are dispatched with `try_send`, draining any already-
     /// available results whenever a job queue is full. A blocking send here
@@ -373,43 +443,75 @@ impl<P: VertexProgram> Executor<P> {
     /// blocked publishing `result(s₀)` into the full results queue — a
     /// two-party wait cycle the model checker's wait-for graph catches, and
     /// this loop structurally avoids.
-    pub fn finish(&mut self, shards: usize) -> Result<Vec<ShardResult<P>>> {
-        let mut out: Vec<ShardResult<P>> = Vec::with_capacity(shards);
+    pub fn finish_with<F>(&mut self, shards: usize, mut emit: F) -> Result<()>
+    where
+        F: FnMut(ShardResult<P>) -> Result<()>,
+    {
         match self {
             Executor::Inline { states, .. } => {
                 for (shard, slot) in states.iter_mut().enumerate().take(shards) {
                     let state = slot.take().ok_or_else(|| {
                         GraphError::InvalidConfig(format!("finish for un-started shard {shard}"))
                     })?;
-                    out.push(state.finish(shard));
+                    emit(state.finish(shard))?;
                 }
             }
             Executor::Pooled(pool) => {
-                let mut next = 0usize;
-                while next < shards {
-                    match pool.tx(next).try_send(Job::Finish { shard: next }) {
-                        Ok(()) => next += 1,
+                // Out-of-order arrivals park in their shard's slot; the
+                // settled prefix is emitted eagerly.
+                let mut slots: Vec<Option<ShardResult<P>>> = Vec::new();
+                slots.resize_with(shards, || None);
+                let mut next_emit = 0usize;
+                let mut received = 0usize;
+                let mut dispatched = 0usize;
+                while dispatched < shards {
+                    match pool.tx(dispatched).try_send(Job::Finish { shard: dispatched }) {
+                        Ok(()) => dispatched += 1,
                         Err(TrySendError::Full(_)) => {
                             // Unblock workers stuck publishing results, then
                             // retry the same shard.
                             while let Ok(r) = pool.results.try_recv() {
-                                out.push(r);
+                                received += 1;
+                                let s = r.shard;
+                                slots[s] = Some(r);
+                            }
+                            while next_emit < shards {
+                                match slots[next_emit].take() {
+                                    Some(r) => {
+                                        emit(r)?;
+                                        next_emit += 1;
+                                    }
+                                    None => break,
+                                }
                             }
                             std::thread::yield_now();
                         }
                         Err(TrySendError::Disconnected(_)) => return Err(worker_died()),
                     }
                 }
-                while out.len() < shards {
+                while received < shards {
                     match pool.results.recv() {
-                        Ok(r) => out.push(r),
+                        Ok(r) => {
+                            received += 1;
+                            let s = r.shard;
+                            slots[s] = Some(r);
+                        }
                         Err(_) => return Err(worker_died()),
                     }
+                    while next_emit < shards {
+                        match slots[next_emit].take() {
+                            Some(r) => {
+                                emit(r)?;
+                                next_emit += 1;
+                            }
+                            None => break,
+                        }
+                    }
                 }
-                out.sort_by_key(|r| r.shard);
+                debug_assert_eq!(next_emit, shards, "all results received implies all emitted");
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -444,6 +546,7 @@ mod tests {
 
     #[test]
     fn split_batch_moves_single_shard_batches_and_slices_straddlers() {
+        let pool = BatchPool::new(4);
         let plan = vec![(0u32, 32u32), (32, 64)];
         // Entirely inside shard 0: moved, not copied.
         let whole = AdjBatch {
@@ -452,7 +555,7 @@ mod tests {
             edges: vec![9, 8, 7],
             weights: vec![],
         };
-        let parts = split_batch(whole.clone(), &plan);
+        let parts = split_batch(whole.clone(), &plan, &pool);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].0, 0);
         assert_eq!(parts[0].1, whole);
@@ -463,7 +566,7 @@ mod tests {
             edges: vec![0, 1, 2, 3, 4, 5, 6],
             weights: (0..7).map(|i| i as f32).collect(),
         };
-        let parts = split_batch(straddler, &plan);
+        let parts = split_batch(straddler.clone(), &plan, &pool);
         assert_eq!(parts.len(), 2);
         let (s_a, a) = &parts[0];
         let (s_b, b) = &parts[1];
@@ -473,5 +576,32 @@ mod tests {
         assert_eq!((*s_b, b.first_vertex, b.degrees.clone()), (1, 32, vec![3, 1]));
         assert_eq!(b.edges, vec![3, 4, 5, 6]);
         assert_eq!(b.weights, vec![3.0, 4.0, 5.0, 6.0]);
+        // The sliced straddler was recycled into the pool, not dropped.
+        assert_eq!(pool.take(), straddler);
+    }
+
+    #[test]
+    fn split_batch_reuses_pooled_buffers_for_straddler_pieces() {
+        let pool = BatchPool::new(8);
+        let plan = vec![(0u32, 2u32), (2, 4)];
+        let straddler = AdjBatch {
+            first_vertex: 0,
+            degrees: vec![1, 1, 1, 1],
+            edges: vec![10, 11, 12, 13],
+            weights: vec![],
+        };
+        // First split mints fresh pieces (pool empty) and recycles the
+        // original; from then on pieces come from the pool.
+        let first = split_batch(straddler.clone(), &plan, &pool);
+        assert_eq!(first.len(), 2);
+        for (_, piece) in first {
+            pool.put(piece);
+        }
+        let before = pool.counters();
+        let again = split_batch(straddler, &plan, &pool);
+        assert_eq!(again.len(), 2);
+        let after = pool.counters();
+        assert_eq!(after.fresh, before.fresh, "steady-state split must not allocate");
+        assert_eq!(after.reused, before.reused + 2);
     }
 }

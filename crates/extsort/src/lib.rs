@@ -31,22 +31,74 @@
 #![forbid(unsafe_code)]
 
 mod losertree;
+mod pmerge;
 mod shard;
 mod stream;
 
 use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use graphz_io::{FaultSurface, IoStats, ReadAheadReader, RecordReader, RecordWriter, ScratchDir};
 use graphz_types::{cast, FixedCodec, GraphError, MemoryBudget, Result};
 
+pub use pmerge::PARALLEL_MERGE_MIN_RECORDS;
 pub use stream::SortedStream;
 use stream::RunSource;
 
 /// Maximum number of runs merged at once. 64 open files keeps well under any
 /// fd limit while making multi-pass merges rare for our graph sizes.
 pub const DEFAULT_FAN_IN: usize = 64;
+
+/// Wall-time attribution for external sorts, shared across any number of
+/// sorters via `Arc` (the ingest pipeline hands one sink to all five DOS
+/// stage sorters). Two buckets of *eager* sorter work:
+///
+/// * `form` — run formation: reading input, in-memory sorts, spilling runs;
+/// * `merge` — eager merge work: pre-merge passes and the file-output final
+///   merge of `sort_file`/`sort_iter` (serial drain or parallel key-range
+///   merge alike).
+///
+/// Lazy [`sort_stream`](ExternalSorter::sort_stream) drains happen on the
+/// consumer's clock and are deliberately uncounted: per-record timing there
+/// would distort the very numbers a benchmark wants. Consumers attribute
+/// that remainder as merge+emit time (see `bench_ingest`).
+#[derive(Debug, Default)]
+pub struct SortTimings {
+    form_ns: AtomicU64,
+    merge_ns: AtomicU64,
+}
+
+impl SortTimings {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn add(counter: &AtomicU64, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        counter.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn add_form(&self, d: Duration) {
+        Self::add(&self.form_ns, d);
+    }
+
+    fn add_merge(&self, d: Duration) {
+        Self::add(&self.merge_ns, d);
+    }
+
+    /// Total wall time spent forming runs.
+    pub fn form(&self) -> Duration {
+        Duration::from_nanos(self.form_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total wall time spent in eager merge work.
+    pub fn merge(&self) -> Duration {
+        Duration::from_nanos(self.merge_ns.load(Ordering::Relaxed))
+    }
+}
 
 /// Configuration for an external sort.
 ///
@@ -64,6 +116,7 @@ where
     threads: usize,
     stats: Arc<IoStats>,
     surface: FaultSurface,
+    timings: Option<Arc<SortTimings>>,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -81,6 +134,7 @@ where
     threads: usize,
     stats: Option<Arc<IoStats>>,
     surface: FaultSurface,
+    timings: Option<Arc<SortTimings>>,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -129,6 +183,13 @@ where
         self
     }
 
+    /// Optional wall-time attribution sink (see [`SortTimings`]); share one
+    /// sink across sorters to accumulate a pipeline-wide total.
+    pub fn timings(mut self, timings: Arc<SortTimings>) -> Self {
+        self.timings = Some(timings);
+        self
+    }
+
     /// Validate the configuration and produce the sorter.
     pub fn build(self) -> Result<ExternalSorter<T, K, F>> {
         let budget = self
@@ -153,6 +214,7 @@ where
             threads: self.threads,
             stats,
             surface: self.surface,
+            timings: self.timings,
             _marker: Default::default(),
         })
     }
@@ -174,6 +236,7 @@ where
             threads: 1,
             stats: None,
             surface: FaultSurface::none(),
+            timings: None,
             _marker: Default::default(),
         }
     }
@@ -189,6 +252,7 @@ where
             threads: 1,
             stats,
             surface: FaultSurface::none(),
+            timings: None,
             _marker: Default::default(),
         }
     }
@@ -227,10 +291,7 @@ where
         F: Sync,
     {
         let reader = RecordReader::<T>::open(input, Arc::clone(&self.stats))?;
-        let mut sorted = self.sort_stream(reader, scratch)?;
-        let total = sorted.total_records();
-        self.write_all(&mut sorted, output)?;
-        Ok(total)
+        self.sort_to_file(reader, output, scratch)
     }
 
     /// Sort records from an iterator into `output`.
@@ -244,9 +305,43 @@ where
         T: Send,
         F: Sync,
     {
-        let mut sorted = self.sort_stream(input.into_iter().map(Ok), scratch)?;
-        let total = sorted.total_records();
-        self.write_all(&mut sorted, output)?;
+        self.sort_to_file(input.into_iter().map(Ok), output, scratch)
+    }
+
+    /// Shared tail of [`sort_file`](Self::sort_file) and
+    /// [`sort_iter`](Self::sort_iter): collapse the input to ≤ fan-in runs,
+    /// then merge them into `output`. When the sorter is multi-threaded,
+    /// everything is on disk (sharded run formation spills every chunk), the
+    /// fault surface is inert, and the merge is large enough, the final
+    /// merge takes the key-partitioned parallel path instead of the serial
+    /// loser-tree drain — same bytes either way (see [`pmerge`]).
+    fn sort_to_file<I>(&self, input: I, output: &Path, scratch: &ScratchDir) -> Result<u64>
+    where
+        I: IntoIterator<Item = Result<T>>,
+        T: Send,
+        F: Sync,
+    {
+        let plan = self.collapse_runs(input, scratch)?;
+        let total = plan.total;
+        let started = std::time::Instant::now();
+        let parallel = self.threads > 1
+            && plan.files.len() > 1
+            && plan.tail.is_empty()
+            && !self.surface.is_active()
+            && pmerge::merge_runs_parallel::<T, K, F>(
+                &self.key,
+                &self.stats,
+                self.threads,
+                &plan.files,
+                output,
+            )?;
+        if !parallel {
+            let mut sorted = self.open_merge_stream(plan)?;
+            self.write_all(&mut sorted, output)?;
+        }
+        if let Some(t) = &self.timings {
+            t.add_merge(started.elapsed());
+        }
         Ok(total)
     }
 
@@ -267,7 +362,20 @@ where
         T: Send,
         F: Sync,
     {
+        let plan = self.collapse_runs(input, scratch)?;
+        self.open_merge_stream(plan)
+    }
+
+    /// Run formation plus pre-merge passes: consume the input and leave at
+    /// most a final-merge's worth (≤ fan-in) of sorted runs behind.
+    fn collapse_runs<I>(&self, input: I, scratch: &ScratchDir) -> Result<shard::RunPlan<T>>
+    where
+        I: IntoIterator<Item = Result<T>>,
+        T: Send,
+        F: Sync,
+    {
         let chunk_records = self.chunk_records();
+        let started = std::time::Instant::now();
         let plan = if self.threads > 1 {
             shard::form_runs_parallel(
                 &self.key,
@@ -288,10 +396,14 @@ where
                 input.into_iter(),
             )?
         };
+        if let Some(t) = &self.timings {
+            t.add_form(started.elapsed());
+        }
         let shard::RunPlan { mut files, tail, total } = plan;
 
         // Pre-merge passes until the remaining file runs (plus the tail run)
         // fit one final merge.
+        let started = std::time::Instant::now();
         let max_file_sources = if tail.is_empty() { self.fan_in } else { self.fan_in - 1 };
         let mut pass = 0;
         while files.len() > max_file_sources.max(1) {
@@ -311,7 +423,15 @@ where
             files = next;
             pass += 1;
         }
+        if let Some(t) = &self.timings {
+            t.add_merge(started.elapsed());
+        }
+        Ok(shard::RunPlan { files, tail, total })
+    }
 
+    /// Open the collapsed runs as a lazy final merge.
+    fn open_merge_stream(&self, plan: shard::RunPlan<T>) -> Result<SortedStream<'_, T, K, F>> {
+        let shard::RunPlan { files, tail, total } = plan;
         let mut sources = Vec::with_capacity(files.len() + usize::from(!tail.is_empty()));
         for f in &files {
             sources.push(RunSource::File(self.open_run(f)?));
@@ -337,8 +457,27 @@ where
         }
     }
 
-    /// Merge already-sorted run files into `output`.
-    fn merge_files(&self, runs: &[PathBuf], output: &Path) -> Result<()> {
+    /// Merge already-sorted run files into `output`. Multi-threaded sorters
+    /// with an inert fault surface take the key-partitioned parallel path
+    /// for large merges (byte-identical by construction, see [`pmerge`]);
+    /// chaos runs stay serial so the gated op sequence is deterministic.
+    fn merge_files(&self, runs: &[PathBuf], output: &Path) -> Result<()>
+    where
+        F: Sync,
+    {
+        if self.threads > 1
+            && runs.len() > 1
+            && !self.surface.is_active()
+            && pmerge::merge_runs_parallel::<T, K, F>(
+                &self.key,
+                &self.stats,
+                self.threads,
+                runs,
+                output,
+            )?
+        {
+            return Ok(());
+        }
         let mut sources = Vec::with_capacity(runs.len());
         for r in runs {
             sources.push(RunSource::File(self.open_run(r)?));
@@ -552,6 +691,34 @@ mod tests {
         expected.sort_unstable();
         let out = sort_roundtrip_threads(values, MemoryBudget(256), 2, 4);
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_merge_byte_identical_under_heavy_ties() {
+        // Above PARALLEL_MERGE_MIN_RECORDS with only a handful of distinct
+        // keys: every candidate splitter collides, ranges are wildly uneven,
+        // and equal keys span every run — the lower-bound cut must keep each
+        // tie group in one range and reproduce the serial tie-break exactly.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = cast::clamp_usize(2 * PARALLEL_MERGE_MIN_RECORDS);
+        let values: Vec<u64> = (0..n).map(|_| rng.random_range(0..5)).collect();
+        let serial = sort_roundtrip_threads(values.clone(), MemoryBudget(4096), 8, 1);
+        for threads in [2, 4] {
+            let par = sort_roundtrip_threads(values.clone(), MemoryBudget(4096), 8, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_constant_key_collapses_to_one_range() {
+        // All keys equal: every splitter is the same value, all but one
+        // range is empty, and the single worker must still reproduce the
+        // serial merge (which here is just run concatenation in spill order).
+        let n = cast::clamp_usize(2 * PARALLEL_MERGE_MIN_RECORDS);
+        let values: Vec<u64> = vec![7; n];
+        let serial = sort_roundtrip_threads(values.clone(), MemoryBudget(4096), 8, 1);
+        let par = sort_roundtrip_threads(values, MemoryBudget(4096), 8, 4);
+        assert_eq!(par, serial);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use graphz_extsort::ExternalSorter;
+use graphz_extsort::{ExternalSorter, SortTimings};
 use graphz_io::{
     FaultSurface, IoStats, RecordReader, RecordWriter, ScratchDir, StageManifest, TrackedFile,
 };
@@ -221,6 +221,8 @@ pub struct DosConverter {
     /// Stable scratch root shared with a caller-level pipeline; `None` means
     /// the converter owns (and cleans up) a sibling `<dir>.scratch`.
     scratch_root: Option<PathBuf>,
+    /// Optional wall-time sink shared by every stage sorter.
+    timings: Option<Arc<SortTimings>>,
 }
 
 /// Builder for [`DosConverter`]: `XBuilder` + chainable setters + fallible
@@ -233,6 +235,7 @@ pub struct DosConverterBuilder {
     surface: FaultSurface,
     resume: bool,
     scratch_root: Option<PathBuf>,
+    timings: Option<Arc<SortTimings>>,
 }
 
 impl DosConverterBuilder {
@@ -283,6 +286,13 @@ impl DosConverterBuilder {
         self
     }
 
+    /// Attach a shared sort-timing sink: every stage sorter accumulates its
+    /// run-formation and eager-merge wall time there (benchmark attribution).
+    pub fn timings(mut self, timings: Arc<SortTimings>) -> Self {
+        self.timings = Some(timings);
+        self
+    }
+
     /// Validate the configuration and produce the converter.
     pub fn build(self) -> Result<DosConverter> {
         let budget = self.budget.ok_or_else(|| {
@@ -302,6 +312,7 @@ impl DosConverterBuilder {
             surface: self.surface,
             resume: self.resume,
             scratch_root: self.scratch_root,
+            timings: self.timings,
         })
     }
 }
@@ -455,6 +466,7 @@ impl DosConverter {
             surface: FaultSurface::none(),
             resume: false,
             scratch_root: None,
+            timings: None,
         }
     }
 
@@ -469,6 +481,7 @@ impl DosConverter {
             surface: FaultSurface::none(),
             resume: false,
             scratch_root: None,
+            timings: None,
         }
     }
 
@@ -494,6 +507,9 @@ impl DosConverter {
             .stats(Arc::clone(&self.stats))
             .threads(self.threads)
             .faults(self.surface.clone());
+        if let Some(t) = &self.timings {
+            b = b.timings(Arc::clone(t));
+        }
         if let Some(f) = fan_in {
             b = b.fan_in(f);
         }

@@ -27,8 +27,11 @@
 //! wall-clock grounds.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use graphz_extsort::SortTimings;
 use graphz_io::{FaultSurface, IoStats, StageManifest};
 use graphz_types::prelude::*;
 
@@ -57,6 +60,57 @@ fn detect(src: &Path) -> SourceKind {
     }
 }
 
+/// Wall-time attribution for one ingest, filled in by
+/// [`IngestPipeline::run`] when attached via
+/// [`timings`](IngestPipelineBuilder::timings):
+///
+/// * `import` — source parsing (text/Matrix Market → binary edge list);
+/// * `convert` — the whole DOS conversion (all five stages);
+/// * `sort` — the [`SortTimings`] sink shared by every conversion-stage
+///   sorter, so `sort.form()` isolates run formation *within* `convert`.
+///
+/// Benchmarks attribute `convert − sort.form()` to merge + emit work: the
+/// conversion's lazy merge drains happen on stage-writer clocks and cannot
+/// be separated from emission without per-record timing overhead.
+#[derive(Debug, Default)]
+pub struct IngestTimings {
+    import_ns: AtomicU64,
+    convert_ns: AtomicU64,
+    sort: Arc<SortTimings>,
+}
+
+impl IngestTimings {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn add(counter: &AtomicU64, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        counter.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total wall time spent importing the source into a binary edge list.
+    pub fn import(&self) -> Duration {
+        Duration::from_nanos(self.import_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total wall time of the DOS conversion (includes the sort time).
+    pub fn convert(&self) -> Duration {
+        Duration::from_nanos(self.convert_ns.load(Ordering::Relaxed))
+    }
+
+    /// Per-sort attribution accumulated by the conversion's stage sorters.
+    pub fn sort(&self) -> &SortTimings {
+        &self.sort
+    }
+
+    /// Wall time of the conversion *after* run formation is subtracted —
+    /// the merge-and-emit remainder benchmarks report as "merge".
+    pub fn merge_and_emit(&self) -> Duration {
+        self.convert().saturating_sub(self.sort.form())
+    }
+}
+
 /// One-call ingest: source file → DOS directory.
 pub struct IngestPipeline {
     budget: MemoryBudget,
@@ -67,6 +121,7 @@ pub struct IngestPipeline {
     surface: FaultSurface,
     resume: bool,
     max_bad_records: Option<u64>,
+    timings: Option<Arc<IngestTimings>>,
 }
 
 /// Builder for [`IngestPipeline`]: `XBuilder` + chainable setters +
@@ -80,6 +135,7 @@ pub struct IngestPipelineBuilder {
     surface: FaultSurface,
     resume: bool,
     max_bad_records: Option<u64>,
+    timings: Option<Arc<IngestTimings>>,
 }
 
 impl IngestPipelineBuilder {
@@ -141,6 +197,13 @@ impl IngestPipelineBuilder {
         self
     }
 
+    /// Attach a wall-time attribution sink (see [`IngestTimings`]); used by
+    /// benchmarks to split the ingest into parse/sort/merge stages.
+    pub fn timings(mut self, timings: Arc<IngestTimings>) -> Self {
+        self.timings = Some(timings);
+        self
+    }
+
     /// Validate the configuration and produce the pipeline.
     pub fn build(self) -> Result<IngestPipeline> {
         let budget = self.budget.ok_or_else(|| {
@@ -164,6 +227,7 @@ impl IngestPipelineBuilder {
             surface: self.surface,
             resume: self.resume,
             max_bad_records: self.max_bad_records,
+            timings: self.timings,
         })
     }
 }
@@ -180,6 +244,7 @@ impl IngestPipeline {
             surface: FaultSurface::none(),
             resume: false,
             max_bad_records: None,
+            timings: None,
         }
     }
 
@@ -235,6 +300,7 @@ impl IngestPipeline {
         // (and no stage): the conversion reads it in place.
         let imported = root.join("imported.bin");
         let manifest = root.join("import.manifest");
+        let import_started = std::time::Instant::now();
         let edges = match detect(src) {
             SourceKind::Binary => EdgeListFile::open(src)?,
             kind => {
@@ -269,6 +335,9 @@ impl IngestPipeline {
                 }
             }
         };
+        if let Some(t) = &self.timings {
+            IngestTimings::add(&t.import_ns, import_started.elapsed());
+        }
         let mut converter = DosConverter::builder()
             .budget(self.budget)
             .stats(Arc::clone(&self.stats))
@@ -279,7 +348,14 @@ impl IngestPipeline {
         if let Some(f) = self.weight_fn {
             converter = converter.weights(f);
         }
+        if let Some(t) = &self.timings {
+            converter = converter.timings(Arc::clone(&t.sort));
+        }
+        let convert_started = std::time::Instant::now();
         let dos = converter.build()?.convert(&edges, dir)?;
+        if let Some(t) = &self.timings {
+            IngestTimings::add(&t.convert_ns, convert_started.elapsed());
+        }
         let _ = std::fs::remove_dir_all(&root);
         Ok(dos)
     }

@@ -36,6 +36,6 @@ pub use chunked::{import_text_chunked, import_text_quarantined, BadRecord};
 pub use csr::{CsrFiles, CsrGraph};
 pub use dos::{scratch_root_for, DosConverter, DosConverterBuilder, DosGraph, DosIndex};
 pub use edgelist::EdgeListFile;
-pub use ingest::{IngestPipeline, IngestPipelineBuilder};
+pub use ingest::{IngestPipeline, IngestPipelineBuilder, IngestTimings};
 pub use partition::{PartitionSet, Partitioner};
 pub use verify::{verify_dos, VerifyReport, Violation};

@@ -118,6 +118,13 @@ pub struct EngineOptions {
     /// which the capacity-1 regression suite and the model checker both
     /// enforce.
     pub queue_cap: Option<usize>,
+    /// Let the engine degrade `worker_shards` (and with it the pooled
+    /// executor) to the serial path when the graph is too small for the
+    /// coordination to pay — see [`plan_execution`](Self::plan_execution).
+    /// The decision is a pure function of graph shape and these options, so
+    /// determinism across thread counts is untouched; it does change *which*
+    /// fixed schedule runs, which is why it is opt-in rather than default.
+    pub adaptive: bool,
 }
 
 impl Default for EngineOptions {
@@ -131,7 +138,64 @@ impl Default for EngineOptions {
             prefetch: true,
             worker_shards: 1,
             queue_cap: None,
+            adaptive: false,
         }
+    }
+}
+
+/// The execution plan the engine actually runs: [`EngineOptions`] resolved
+/// against the shape of the graph by
+/// [`EngineOptions::plan_execution`]. Every field is a pure function of
+/// `(options, num_edges, num_partitions)` — never of detected cores, load,
+/// or timing — so two runs over the same graph with the same options always
+/// execute the same logical schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionPlan {
+    /// Effective logical Worker shards per partition. Differs from
+    /// `options.worker_shards` only when `adaptive` degraded a too-small
+    /// graph to the serial single-shard schedule.
+    pub worker_shards: usize,
+    /// Effective pipeline thread count. Pure scheduling: any value yields
+    /// bit-identical results for a fixed `worker_shards`.
+    pub pipeline_threads: usize,
+    /// Whether the partition prefetcher runs. Pure scheduling; disabled when
+    /// the partition count cannot hide a load.
+    pub prefetch: bool,
+}
+
+impl EngineOptions {
+    /// Adaptive-plan threshold: with fewer edges per shard than this, the
+    /// per-shard work is smaller than the hand-off + barrier coordination it
+    /// buys (tuned against `BENCH_grid.json`'s crossover — batches of this
+    /// size stream in microseconds), so the plan degrades to the serial
+    /// schedule.
+    pub const MIN_EDGES_PER_SHARD: u64 = 1024;
+
+    /// Prefetch pays only when a *third* partition exists: with ≤2 the
+    /// "next" partition is the one the barrier is about to need anyway, and
+    /// the measured effect is pure overhead (`BENCH_throughput.json`).
+    pub const MIN_PREFETCH_PARTITIONS: u32 = 3;
+
+    /// Resolve these options against the graph's shape. The inputs are
+    /// deliberately limited to the graph shape (`num_edges`, the partition
+    /// count the memory budget produced) and the options themselves —
+    /// **never** thread availability or timing — so the returned plan, and
+    /// therefore the result bits, are identical on every machine and for
+    /// every `pipeline_threads` value.
+    pub fn plan_execution(&self, num_edges: u64, num_partitions: u32) -> ExecutionPlan {
+        let mut worker_shards = self.worker_shards.max(1);
+        let mut pipeline_threads = self.pipeline_threads.max(1);
+        if self.adaptive
+            && worker_shards > 1
+            && num_edges / (worker_shards as u64) < Self::MIN_EDGES_PER_SHARD
+        {
+            // Too little work per shard for the hand-off to pay: run the
+            // serial schedule (single shard, inline executor).
+            worker_shards = 1;
+            pipeline_threads = 1;
+        }
+        let prefetch = self.prefetch && num_partitions >= Self::MIN_PREFETCH_PARTITIONS;
+        ExecutionPlan { worker_shards, pipeline_threads, prefetch }
     }
 }
 
@@ -249,6 +313,13 @@ impl EngineOptionsBuilder {
         self
     }
 
+    /// Toggle the adaptive execution plan (serial degrade for small graphs;
+    /// see [`EngineOptions::plan_execution`]).
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.opts.adaptive = on;
+        self
+    }
+
     /// Validate and produce the options.
     pub fn build(self) -> crate::error::Result<EngineOptions> {
         use crate::error::GraphError;
@@ -315,6 +386,49 @@ mod tests {
         assert!(EngineOptions::builder().threads(0).build().is_err());
         assert!(EngineOptions::builder().worker_shards(0).build().is_err());
         assert!(EngineOptions::builder().queue_cap(0).build().is_err());
+    }
+
+    #[test]
+    fn adaptive_plan_is_pure_and_degrades_small_graphs() {
+        let opts = EngineOptions::builder()
+            .threads(8)
+            .worker_shards(8)
+            .adaptive(true)
+            .build()
+            .unwrap();
+        // Plenty of work per shard: the parallel schedule stands.
+        let big = opts.plan_execution(8 * EngineOptions::MIN_EDGES_PER_SHARD, 4);
+        assert_eq!(big.worker_shards, 8);
+        assert_eq!(big.pipeline_threads, 8);
+        // One edge short of the threshold per shard: serial degrade.
+        let small = opts.plan_execution(8 * EngineOptions::MIN_EDGES_PER_SHARD - 1, 4);
+        assert_eq!(small.worker_shards, 1);
+        assert_eq!(small.pipeline_threads, 1);
+        // The shard decision never depends on pipeline_threads: every thread
+        // count resolves to the same worker_shards.
+        for threads in [1, 2, 8, 64] {
+            let o = EngineOptions { pipeline_threads: threads, ..opts };
+            assert_eq!(o.plan_execution(100, 4).worker_shards, 1);
+            assert_eq!(o.plan_execution(1 << 20, 4).worker_shards, 8);
+        }
+        // Without adaptive, the requested schedule always stands.
+        let fixed = EngineOptions { adaptive: false, ..opts };
+        assert_eq!(fixed.plan_execution(1, 4).worker_shards, 8);
+        assert_eq!(fixed.plan_execution(1, 4).pipeline_threads, 8);
+    }
+
+    #[test]
+    fn prefetch_plan_requires_three_partitions() {
+        let opts = EngineOptions::full();
+        assert!(opts.prefetch, "full options request prefetch");
+        // ≤2 partitions cannot hide a load behind compute: auto-disabled.
+        assert!(!opts.plan_execution(1 << 20, 1).prefetch);
+        assert!(!opts.plan_execution(1 << 20, 2).prefetch);
+        assert!(opts.plan_execution(1 << 20, 3).prefetch);
+        assert!(opts.plan_execution(1 << 20, 64).prefetch);
+        // An explicit prefetch=false is never overridden back on.
+        let off = EngineOptions { prefetch: false, ..opts };
+        assert!(!off.plan_execution(1 << 20, 64).prefetch);
     }
 
     #[test]
