@@ -39,6 +39,20 @@ echo "== audit (dataflow/protocol analyses, DESIGN.md §6f) =="
 # machine-readable findings artifact either way.
 cargo run --offline -q -p graphz-check --bin graphz-audit -- --json audit_findings.json
 
+echo "== flow (CFG path-sensitive dataflow, DESIGN.md §6j) =="
+# Fault-surface coverage of every write path, path-complete must-consume,
+# determinism taint, and error-context — over per-function CFGs. Also
+# self-applied to crates/check.
+cargo run --offline -q -p graphz-check --bin graphz-flow -- --json flow_findings.json
+
+echo "== combined analysis artifact =="
+# One document answering "is the tree clean" across lint + audit + flow.
+cargo run --offline -q -p graphz-check --bin graphz-report -- \
+  --out analysis_findings.json \
+  graphz-lint=lint_findings.json \
+  graphz-audit=audit_findings.json \
+  graphz-flow=flow_findings.json
+
 echo "== model check (schedule exploration + deadlock analysis) =="
 cargo test --offline -q -p graphz-check --test model_check
 

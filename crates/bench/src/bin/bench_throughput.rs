@@ -190,13 +190,23 @@ fn run() -> Result<()> {
     // not scaling: publish the raw rates, withhold the speedup verdict.
     let speedup_valid = cores > 1 && single > 0.0;
     let speedup = if speedup_valid { format!("{:.3}", multi / single) } else { "null".into() };
+    // A `null` verdict must say *why* it was withheld — a consumer seeing
+    // a bare null cannot tell a skipped measurement from a broken one.
+    let skip_reason = if speedup_valid {
+        "null".to_string()
+    } else if cores <= 1 {
+        "\"single-core machine: multi-thread run measures coordination overhead, not scaling\""
+            .to_string()
+    } else {
+        "\"single-thread baseline rate is not positive\"".to_string()
+    };
 
     let body = runs.iter().map(run_json).collect::<Vec<_>>().join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"pagerank_throughput\",\n  \"graph\": {{\"scale\": {}, \"edges\": {}}},\n  \
          \"budget_kib\": {},\n  \"cores\": {},\n  \"worker_shards\": {},\n  \
          \"speedup_valid\": {},\n  \"runs\": [\n{}\n  ],\n  \
-         \"speedup_multi_vs_single\": {}\n}}\n",
+         \"speedup_multi_vs_single\": {},\n  \"speedup_skip_reason\": {}\n}}\n",
         args.scale,
         num_edges,
         args.budget_kib,
@@ -205,6 +215,7 @@ fn run() -> Result<()> {
         speedup_valid,
         body,
         speedup,
+        skip_reason,
     );
     std::fs::write(&args.out, &json)?;
     if speedup_valid {

@@ -1,0 +1,100 @@
+//! `graphz-flow`: CFG-based path-sensitive dataflow analysis.
+//!
+//! ```text
+//! cargo run -p graphz-check --bin graphz-flow                 # analyze the repo
+//! cargo run -p graphz-check --bin graphz-flow -- --root DIR   # analyze another tree
+//! cargo run -p graphz-check --bin graphz-flow -- --json OUT   # emit findings JSON
+//! cargo run -p graphz-check --bin graphz-flow -- --list-rules
+//! ```
+//!
+//! Exit code 0 when the tree is clean, 1 on any finding (the CI gate),
+//! 2 on usage or IO errors. `--json` writes the machine-readable report
+//! whether or not the tree is clean.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphz_check::flow::{flow_tree, FLOW_RULES};
+use graphz_check::json::write_report;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(out) => json_out = Some(PathBuf::from(out)),
+                None => {
+                    eprintln!("--json needs an output file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "graphz-flow [--root DIR] [--json OUT] [--list-rules]\n\
+                     Path-sensitive dataflow analyses over per-function CFGs:\n\
+                     fault-surface coverage of every write path, path-complete\n\
+                     must-consume for staged resources, determinism taint, and\n\
+                     error-context on fallible IO. Documented in DESIGN.md §6j.\n\
+                     Suppress one site with `// flow:allow(<rule>)` on the line\n\
+                     or the line above."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in FLOW_RULES {
+            println!("{:<24} {}", rule.name, rule.why);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = match flow_tree(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("graphz-flow: cannot analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(out) = &json_out {
+        if let Err(e) = write_report(out, "graphz-flow", FLOW_RULES, &findings) {
+            eprintln!("graphz-flow: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if findings.is_empty() {
+        println!("graphz-flow: clean ({} rules)", FLOW_RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for v in &findings {
+        println!("{v}");
+        println!(
+            "    to suppress: add `// flow:allow({})` at {}:{} (same line or the line above)",
+            v.rule,
+            v.path.display(),
+            v.line
+        );
+    }
+    println!("graphz-flow: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

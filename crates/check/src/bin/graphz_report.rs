@@ -1,0 +1,84 @@
+//! `graphz-report`: merge per-tool findings JSON into one artifact.
+//!
+//! ```text
+//! cargo run -p graphz-check --bin graphz-report -- \
+//!     --out analysis_findings.json \
+//!     graphz-lint=lint_findings.json \
+//!     graphz-audit=audit_findings.json \
+//!     graphz-flow=flow_findings.json
+//! ```
+//!
+//! Each positional argument is `tool=path`; the per-tool documents are
+//! embedded verbatim (they are already valid JSON from the shared
+//! renderer) and the top-level `count` sums their finding counts, so a
+//! single artifact answers "is the tree clean" across every analysis.
+//! Exit 0 on success, 2 on usage or IO errors — the gate decision stays
+//! with the individual tools.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphz_check::json::render_combined;
+
+fn main() -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<(String, PathBuf)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--out needs an output file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "graphz-report --out FILE tool=findings.json [tool=findings.json …]\n\
+                     Merges findings reports from graphz-lint/-audit/-flow into one\n\
+                     combined analysis_findings.json artifact."
+                );
+                return ExitCode::SUCCESS;
+            }
+            spec => match spec.split_once('=') {
+                Some((tool, path)) if !tool.is_empty() && !path.is_empty() => {
+                    inputs.push((tool.to_string(), PathBuf::from(path)));
+                }
+                _ => {
+                    eprintln!("expected tool=path, got: {spec}");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("graphz-report: --out FILE is required");
+        return ExitCode::from(2);
+    };
+    if inputs.is_empty() {
+        eprintln!("graphz-report: at least one tool=path input is required");
+        return ExitCode::from(2);
+    }
+
+    let mut docs: Vec<(String, String)> = Vec::with_capacity(inputs.len());
+    for (tool, path) in &inputs {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => docs.push((tool.clone(), doc)),
+            Err(e) => {
+                eprintln!("graphz-report: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let borrowed: Vec<(&str, &str)> =
+        docs.iter().map(|(t, d)| (t.as_str(), d.as_str())).collect();
+    if let Err(e) = std::fs::write(&out, render_combined(&borrowed)) {
+        eprintln!("graphz-report: cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    println!("graphz-report: merged {} report(s) into {}", docs.len(), out.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,117 @@
+//! `error-context`: fallible raw `std::fs` calls must not `?`-propagate
+//! without a `.ctx(op, path)` site.
+//!
+//! The typed-error contract (`GraphError` + `IoCtx`) promises that every
+//! IO failure names the operation and path that failed. A raw
+//! `std::fs::…(…)?` loses both: the error that reaches the caller is a
+//! bare os error. In CFG terms this is the degenerate single-edge case of
+//! the path analysis — the `?` raises straight to the error exit, so the
+//! check reduces to the method chain between the call's closing paren and
+//! its `?`: if no contextualizing call appears there, the path to the
+//! error exit is context-free. Calls whose result is bound or matched
+//! (no `?` in the chain) are out of scope — the caller is handling the
+//! error explicitly.
+
+use crate::lint::Violation;
+use crate::parser::{SourceFile, Token};
+
+/// Fallible filesystem entry points (`seg::method(`) worth context.
+const FS_CALLS: &[(&str, &str)] = &[
+    ("fs", "write"),
+    ("fs", "read"),
+    ("fs", "read_to_string"),
+    ("fs", "rename"),
+    ("fs", "copy"),
+    ("fs", "remove_file"),
+    ("fs", "remove_dir"),
+    ("fs", "remove_dir_all"),
+    ("fs", "create_dir"),
+    ("fs", "create_dir_all"),
+    ("fs", "metadata"),
+    ("fs", "read_dir"),
+    ("fs", "canonicalize"),
+    ("fs", "hard_link"),
+    ("File", "open"),
+    ("File", "create"),
+];
+
+/// Chain calls that attach context or deliberately reshape the error.
+const CTX_CALLS: &[&str] = &["ctx", "map_err", "with_context", "ok"];
+
+fn tx(t: &[Token], k: usize) -> &str {
+    t.get(k).map(|x| x.text.as_str()).unwrap_or("")
+}
+
+/// Index just past the `)` matching the `(` at `open`.
+fn close_paren(t: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < t.len() {
+        match t[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    t.len()
+}
+
+pub(super) fn analyze(files: &[SourceFile], out: &mut Vec<Violation>) {
+    for file in files {
+        if !super::in_scope("error-context", &file.rel) {
+            continue;
+        }
+        let t = &file.tokens;
+        for func in &file.functions {
+            for g in func.body.clone() {
+                let Some(call) = FS_CALLS.iter().find_map(|&(a, b)| {
+                    (t[g].text == a && tx(t, g + 1) == "::" && tx(t, g + 2) == b && tx(t, g + 3) == "(")
+                        .then(|| format!("{a}::{b}"))
+                }) else {
+                    continue;
+                };
+                // Walk the method chain after the call's arguments.
+                let mut pos = close_paren(t, g + 3);
+                let mut contextual = false;
+                loop {
+                    if tx(t, pos) == "?" {
+                        if !contextual {
+                            super::finding(
+                                file,
+                                "error-context",
+                                t[g].line,
+                                format!(
+                                    "`{call}` in `{}` propagates via `?` with no \
+                                     .ctx(op, path) on the chain; the caller sees a \
+                                     bare os error with no file or stage named",
+                                    func.name
+                                ),
+                                out,
+                            );
+                        }
+                        break;
+                    }
+                    if tx(t, pos) == "."
+                        && t.get(pos + 1).is_some_and(Token::is_name)
+                        && tx(t, pos + 2) == "("
+                    {
+                        if CTX_CALLS.contains(&tx(t, pos + 1)) {
+                            contextual = true;
+                        }
+                        pos = close_paren(t, pos + 2);
+                        continue;
+                    }
+                    // Chain ends without `?`: bound, matched, or returned —
+                    // the caller is handling the error some other way.
+                    break;
+                }
+            }
+        }
+    }
+}

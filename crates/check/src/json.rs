@@ -1,9 +1,10 @@
-//! Hand-rolled JSON emission for lint/audit findings.
+//! Hand-rolled JSON emission for lint/audit/flow findings.
 //!
 //! The workspace is offline (no serde); the schema is small and stable, so
 //! a ~60-line serializer keeps the machine-readable artifact contract
-//! (`audit_findings.json` / `lint_findings.json` in CI) without a
-//! dependency. Schema:
+//! (`lint_findings.json` / `audit_findings.json` / `flow_findings.json`
+//! in CI, merged into `analysis_findings.json` by `graphz-report`) without
+//! a dependency. Schema:
 //!
 //! ```json
 //! {
@@ -53,6 +54,46 @@ pub fn write_report(
     std::fs::write(path, render(tool, rules, findings))
 }
 
+/// Merge per-tool reports (each a complete [`render`]-shaped document)
+/// into one combined artifact. Each input document is embedded verbatim
+/// under its tool name; the top-level `count` is the sum of the embedded
+/// `"count":` fields, recovered by a string scan so the merge needs no
+/// JSON parser. Input documents end in a newline ([`render`] guarantees
+/// it), which is trimmed before embedding.
+pub fn render_combined(reports: &[(&str, &str)]) -> String {
+    let mut total = 0u64;
+    for (_, doc) in reports {
+        total += embedded_count(doc).unwrap_or(0);
+    }
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"count\": {total},\n"));
+    let tools: Vec<String> = reports.iter().map(|(t, _)| quote(t)).collect();
+    s.push_str(&format!("  \"tools\": [{}],\n", tools.join(", ")));
+    s.push_str("  \"reports\": {\n");
+    for (i, (tool, doc)) in reports.iter().enumerate() {
+        // Re-indent the embedded document so the artifact stays readable.
+        let body: Vec<String> =
+            doc.trim_end().lines().map(|l| format!("    {l}")).collect();
+        s.push_str(&format!("    {}: {}{}\n", quote(tool), body.join("\n").trim_start(), {
+            if i + 1 == reports.len() {
+                ""
+            } else {
+                ","
+            }
+        }));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// The `"count": N` field of a [`render`]-shaped document.
+fn embedded_count(doc: &str) -> Option<u64> {
+    let at = doc.find("\"count\":")?;
+    let rest = doc[at + "\"count\":".len()..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
 fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -99,5 +140,23 @@ mod tests {
         let json = render("graphz-lint", &[], &[]);
         assert!(json.contains("\"count\": 0"));
         assert!(json.contains("\"findings\": [\n  ]"));
+    }
+
+    #[test]
+    fn combined_report_sums_counts_and_embeds_documents() {
+        let v = Violation {
+            rule: "fault-surface-bypass",
+            path: PathBuf::from("crates/io/src/x.rs"),
+            line: 3,
+            snippet: "File::create(p)?".to_string(),
+            message: "bypass".to_string(),
+        };
+        let a = render("graphz-lint", &[], &[]);
+        let b = render("graphz-flow", crate::flow::FLOW_RULES, &[v.clone(), v]);
+        let combined = render_combined(&[("graphz-lint", &a), ("graphz-flow", &b)]);
+        assert!(combined.starts_with("{\n  \"count\": 2,\n"), "{combined}");
+        assert!(combined.contains("\"tools\": [\"graphz-lint\", \"graphz-flow\"]"));
+        assert!(combined.contains("\"graphz-flow\": {"));
+        assert!(combined.contains("\"rule\": \"fault-surface-bypass\""));
     }
 }

@@ -17,10 +17,16 @@
 //!   must-consume protocols for atomic writes and message claims. Built on
 //!   [`parser`], a lightweight token/item parser, with machine-readable
 //!   reports from [`json`].
+//! * [`flow`] — the path-sensitive dataflow analyses behind the
+//!   `graphz-flow` binary (DESIGN.md §6j): per-function control-flow
+//!   graphs ([`flow::cfg`]) plus a generic worklist solver
+//!   ([`flow::solver`]) driving fault-surface coverage, path-complete
+//!   must-consume, determinism taint, and error-context rules.
 
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod flow;
 pub mod json;
 pub mod lint;
 pub mod parser;

@@ -235,7 +235,10 @@ pub fn sanitize(source: &str) -> Vec<String> {
             }
             St::Str => {
                 if c == '\\' {
-                    i += 2;
+                    // An escaped newline (string continuation) must stay
+                    // visible to the top-of-loop line handling, or every
+                    // later line number in the file shifts by one.
+                    i += if chars.get(i + 1) == Some(&'\n') { 1 } else { 2 };
                 } else if c == '"' {
                     st = St::Code;
                     i += 1;
@@ -576,6 +579,16 @@ mod tests {
         assert!(!clean[0].contains("unwrap") && !clean[0].contains("expect"), "{:?}", clean[0]);
         assert!(!clean[1].contains("panic") && clean[1].contains("let z"), "{:?}", clean[1]);
         assert!(!clean[2].contains("unwrap"), "{:?}", clean[2]);
+    }
+
+    #[test]
+    fn sanitize_keeps_lines_across_string_continuations() {
+        // A `\`-newline continuation inside a string must not collapse the
+        // two source lines into one, or every later line number shifts.
+        let src = "let s = \"first \\\n    second\";\nafter();";
+        let clean = sanitize(src);
+        assert_eq!(clean.len(), 3, "{clean:?}");
+        assert!(clean[2].contains("after"), "{clean:?}");
     }
 
     #[test]

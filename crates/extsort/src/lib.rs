@@ -331,6 +331,7 @@ where
             && pmerge::merge_runs_parallel::<T, K, F>(
                 &self.key,
                 &self.stats,
+                &self.surface,
                 self.threads,
                 &plan.files,
                 output,
@@ -471,6 +472,7 @@ where
             && pmerge::merge_runs_parallel::<T, K, F>(
                 &self.key,
                 &self.stats,
+                &self.surface,
                 self.threads,
                 runs,
                 output,
@@ -487,8 +489,9 @@ where
     }
 
     fn write_all(&self, sorted: &mut SortedStream<'_, T, K, F>, output: &Path) -> Result<()> {
-        let inner = graphz_io::tracked::writer(output, Arc::clone(&self.stats))?;
-        let mut w = RecordWriter::<T, _>::from_writer(self.surface.wrap(inner));
+        let mut w = RecordWriter::<T, _>::from_writer(
+            self.surface.wrap(graphz_io::tracked::writer(output, Arc::clone(&self.stats))?),
+        );
         while let Some(rec) = sorted.next_record()? {
             w.push(&rec)?;
         }

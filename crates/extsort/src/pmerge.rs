@@ -29,7 +29,7 @@ use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use graphz_io::{IoStats, RecordReader, RecordWriter, TrackedFile};
+use graphz_io::{FaultSurface, IoStats, RecordReader, RecordWriter, TrackedFile};
 use graphz_types::{cast, FixedCodec, GraphError, Result};
 
 use crate::stream::{RunSource, SortedStream};
@@ -78,6 +78,7 @@ where
 pub(crate) fn merge_runs_parallel<T, K, F>(
     key: &F,
     stats: &Arc<IoStats>,
+    surface: &FaultSurface,
     workers: usize,
     runs: &[PathBuf],
     output: &Path,
@@ -164,6 +165,11 @@ where
     }
     debug_assert_eq!(rank, total, "ranges must partition the merge input");
 
+    // Callers take this path only with an inert surface (chaos runs stay
+    // serial), so the gates are pass-throughs today — but routing keeps the
+    // structural invariant that every output-file operation is gated, and
+    // makes any future active-surface use chaos-covered by construction.
+    surface.op("pmerge:create-output")?;
     let out = TrackedFile::create(output, Arc::clone(stats))?;
     out.set_len(cast::mul_u64(total, size, "merged output bytes")?)?;
     drop(out);
@@ -179,7 +185,7 @@ where
             let handle = std::thread::Builder::new()
                 .name(format!("graphz-merge-{r}"))
                 .spawn_scoped(scope, move || {
-                    merge_range::<T, K, F>(key, stats, runs, lo, hi, n, start, output)
+                    merge_range::<T, K, F>(key, stats, surface, runs, lo, hi, n, start, output)
                 })?;
             handles.push(handle);
         }
@@ -202,6 +208,7 @@ where
 fn merge_range<T, K, F>(
     key: &F,
     stats: Arc<IoStats>,
+    surface: &FaultSurface,
     runs: &[PathBuf],
     lo: &[u64],
     hi: &[u64],
@@ -232,12 +239,12 @@ where
     }
     let mut merged = SortedStream::new(sources, key, records)?;
 
+    surface.op("pmerge:open-output-region")?;
     let mut out = TrackedFile::open_rw(output, stats)?;
     out.seek(SeekFrom::Start(cast::mul_u64(start, size, "output region start")?))?;
-    let mut w = RecordWriter::<T, _>::from_writer(std::io::BufWriter::with_capacity(
-        SEGMENT_BUF_BYTES,
-        out,
-    ));
+    let mut w = RecordWriter::<T, _>::from_writer(
+        surface.wrap(std::io::BufWriter::with_capacity(SEGMENT_BUF_BYTES, out)),
+    );
     let mut drained = 0u64;
     while let Some(rec) = merged.next_record()? {
         w.push(&rec)?;

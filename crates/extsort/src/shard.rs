@@ -50,8 +50,9 @@ where
 {
     buf.sort_by_key(|r| key(r));
     let path = scratch.file(&format!("run-{idx:06}.bin"));
-    let inner = graphz_io::tracked::writer(&path, Arc::clone(stats))?;
-    let mut w = RecordWriter::<T, _>::from_writer(surface.wrap(inner));
+    let mut w = RecordWriter::<T, _>::from_writer(
+        surface.wrap(graphz_io::tracked::writer(&path, Arc::clone(stats))?),
+    );
     w.push_all(buf.iter())?;
     w.finish()?;
     buf.clear();

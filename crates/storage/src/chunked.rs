@@ -77,7 +77,7 @@ fn parse_line(line: &str, where_: &dyn Fn() -> String) -> Result<Option<Edge>> {
 /// Parse the lines a single span owns (see the module docs for the
 /// ownership rule).
 fn parse_span(text_path: &Path, span: ChunkSpan) -> Result<Vec<Edge>> {
-    let mut file = std::fs::File::open(text_path)?;
+    let mut file = std::fs::File::open(text_path).ctx("open", text_path)?;
     let mut skew = 0u64; // bytes consumed before the first owned line
     if span.start > 0 {
         file.seek(SeekFrom::Start(span.start - 1))?;
@@ -143,7 +143,7 @@ struct LenientSpan {
 /// non-numeric ids, invalid UTF-8) are collected instead of aborting. IO
 /// errors still abort — they say nothing about the input's content.
 fn parse_span_lenient(text_path: &Path, span: ChunkSpan) -> Result<LenientSpan> {
-    let mut file = std::fs::File::open(text_path)?;
+    let mut file = std::fs::File::open(text_path).ctx("open", text_path)?;
     let mut skew = 0u64;
     if span.start > 0 {
         file.seek(SeekFrom::Start(span.start - 1))?;
@@ -215,7 +215,7 @@ pub fn import_text_quarantined(
     chunk_bytes: u64,
     max_bad_records: u64,
 ) -> Result<(EdgeListFile, Vec<BadRecord>)> {
-    let total_bytes = std::fs::metadata(text_path)?.len();
+    let total_bytes = std::fs::metadata(text_path).ctx("stat", text_path)?.len();
     let plan = plan_chunks(total_bytes, chunk_bytes);
 
     let spans: Vec<LenientSpan> = if threads <= 1 || plan.len() <= 1 {
@@ -321,7 +321,7 @@ pub fn import_text_chunked(
     if threads <= 1 {
         return EdgeListFile::import_text(text_path, bin_path, stats);
     }
-    let total_bytes = std::fs::metadata(text_path)?.len();
+    let total_bytes = std::fs::metadata(text_path).ctx("stat", text_path)?.len();
     let plan = plan_chunks(total_bytes, chunk_bytes);
     if plan.len() <= 1 {
         return EdgeListFile::import_text(text_path, bin_path, stats);

@@ -180,6 +180,10 @@ impl DosIndex {
     }
 
     pub fn save(&self, path: &Path, stats: Arc<IoStats>) -> Result<()> {
+        // Test/tooling helper: the DOS pipeline writes index.tbl through
+        // DosConverter::writer (surface-routed) in the emit stage, so this
+        // raw writer is never on a chaos-covered path.
+        // flow:allow(fault-surface-bypass)
         let mut w = RecordWriter::<DegreeGroup>::create(path, stats)?;
         w.push_all(self.groups.iter())?;
         w.finish()?;
@@ -561,7 +565,7 @@ impl DosConverter {
     /// stage is a deterministic function of the previous stage's files, the
     /// resumed directory is byte-identical to a clean run's.
     pub fn convert(&self, input: &EdgeListFile, dir: &Path) -> Result<DosGraph> {
-        std::fs::create_dir_all(dir)?;
+        std::fs::create_dir_all(dir).ctx("create-dir", dir)?;
         let owns_root = self.scratch_root.is_none();
         let root = self.scratch_root.clone().unwrap_or_else(|| scratch_root_for(dir));
         if owns_root && !self.resume {
@@ -571,7 +575,7 @@ impl DosConverter {
                 Err(e) => return Err(e.into()),
             }
         }
-        std::fs::create_dir_all(&root)?;
+        std::fs::create_dir_all(&root).ctx("create-dir", &root)?;
         let meta = input.meta();
         let num_vertices = meta.num_vertices;
 
@@ -847,7 +851,7 @@ impl DosConverter {
             mf.set("format", "dos")
                 .set("weighted", if self.weight_fn.is_some() { 1 } else { 0 })
                 .set_graph_meta(&dos_meta);
-            mf.save(&dir.join("meta.txt"))?;
+            mf.save_with(&dir.join("meta.txt"), &self.surface)?;
 
             let mut sums = MetaFile::new();
             sums.set("format", "dos-checksums");
@@ -861,7 +865,7 @@ impl DosConverter {
                 let (len, crc) = graphz_io::crc32_stream(reader)?;
                 sums.set(&format!("file:{name}"), format!("{len},{crc:08x}"));
             }
-            sums.save(&dir.join("checksums.txt"))?;
+            sums.save_with(&dir.join("checksums.txt"), &self.surface)?;
 
             let mut m = StageManifest::new("emit");
             m.record_file("index.tbl", &dir.join("index.tbl"))?;

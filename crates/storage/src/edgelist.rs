@@ -47,6 +47,9 @@ impl EdgeListFile {
     where
         I: IntoIterator<Item = Edge>,
     {
+        // Input-fixture constructor (tests/benches/baselines build edge
+        // lists with it); the ingest fault boundary starts at import.
+        // flow:allow(fault-surface-bypass)
         let mut w = RecordWriter::<Edge>::create(path, Arc::clone(&stats))?;
         let mut max_id: Option<VertexId> = None;
         let mut degrees: HashMap<VertexId, u64> = HashMap::new();
@@ -100,7 +103,7 @@ impl EdgeListFile {
     /// Import a SNAP-style text file: whitespace-separated `src dst` pairs,
     /// `#`-prefixed comment lines ignored.
     pub fn import_text(text_path: &Path, bin_path: &Path, stats: Arc<IoStats>) -> Result<Self> {
-        let file = std::fs::File::open(text_path)?;
+        let file = std::fs::File::open(text_path).ctx("open", text_path)?;
         let reader = BufReader::new(file);
         let mut edges = Vec::new();
         for (lineno, line) in reader.lines().enumerate() {
@@ -142,7 +145,7 @@ impl EdgeListFile {
         bin_path: &Path,
         stats: Arc<IoStats>,
     ) -> Result<Self> {
-        let file = std::fs::File::open(mm_path)?;
+        let file = std::fs::File::open(mm_path).ctx("open", mm_path)?;
         let reader = BufReader::new(file);
         let mut lines = reader.lines();
         let header = lines
@@ -217,7 +220,10 @@ impl EdgeListFile {
 
     /// Export to SNAP-style text.
     pub fn export_text(&self, text_path: &Path, stats: Arc<IoStats>) -> Result<()> {
-        let mut out = std::io::BufWriter::new(std::fs::File::create(text_path)?);
+        // Debug/interchange export, not an ingest artifact — no surface in
+        // reach and nothing downstream verifies it, so a raw create is fine.
+        // flow:allow(fault-surface-bypass)
+        let mut out = std::io::BufWriter::new(std::fs::File::create(text_path).ctx("create", text_path)?);
         writeln!(out, "# GraphZ edge list: {} vertices, {} edges", self.meta.num_vertices, self.meta.num_edges)?;
         for e in self.reader(stats)? {
             let e = e?;
@@ -237,6 +243,9 @@ impl EdgeListFile {
         let scratch = ScratchDir::new("symmetrize")?;
         let doubled = scratch.file("doubled.bin");
         {
+            // Scratch intermediate of an input-preparation utility, outside
+            // the ingest fault boundary (see `create` above).
+            // flow:allow(fault-surface-bypass)
             let mut w = RecordWriter::<Edge>::create(&doubled, Arc::clone(&stats))?;
             for e in self.reader(Arc::clone(&stats))? {
                 let e = e?;

@@ -292,8 +292,8 @@ impl IngestPipeline {
                 Err(e) => return Err(e.into()),
             }
         }
-        std::fs::create_dir_all(&root)?;
-        std::fs::create_dir_all(dir)?;
+        std::fs::create_dir_all(&root).ctx("create-dir", &root)?;
+        std::fs::create_dir_all(dir).ctx("create-dir", dir)?;
 
         // Stage `import`: the imported edge list lives in scratch until the
         // conversion has fully consumed it. A binary source needs no import

@@ -47,9 +47,7 @@ impl MetaFile {
             .map_err(|_| GraphError::Corrupt(format!("meta key `{key}` is not a u64: `{raw}`")))
     }
 
-    /// Write atomically (tmp + fsync + rename): a crash mid-save leaves the
-    /// previous metadata, never a half-written file.
-    pub fn save(&self, path: &Path) -> Result<()> {
+    fn render(&self) -> String {
         let mut out = String::from("# GraphZ metadata\n");
         for (k, v) in &self.entries {
             out.push_str(k);
@@ -57,7 +55,34 @@ impl MetaFile {
             out.push_str(v);
             out.push('\n');
         }
-        graphz_io::atomic::write_atomic(path, out.as_bytes()).ctx("write", path)?;
+        out
+    }
+
+    /// Write atomically (tmp + fsync + rename): a crash mid-save leaves the
+    /// previous metadata, never a half-written file.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        // For callers with no surface in reach (baseline converters, CSR,
+        // engine run manifests), all outside the ingest fault boundary; the
+        // DOS pipeline saves its sidecars through `save_with` instead.
+        // flow:allow(fault-surface-bypass)
+        graphz_io::atomic::write_atomic(path, self.render().as_bytes()).ctx("write", path)?;
+        Ok(())
+    }
+
+    /// [`save`](Self::save) routed through a [`FaultSurface`]: the write is
+    /// gated as `save-meta:<file>` and streamed through the surface, so the
+    /// chaos sweeps can kill exactly this sidecar write (mirroring
+    /// `StageManifest::commit`). An inert surface degrades to `save`.
+    pub fn save_with(&self, path: &Path, surface: &graphz_io::FaultSurface) -> Result<()> {
+        use std::io::Write;
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        surface.op(&format!("save-meta:{name}")).ctx("gate", path)?;
+        let mut file = graphz_io::atomic::AtomicFile::create(path).ctx("stage", path)?;
+        {
+            let mut w = surface.wrap(&mut file);
+            w.write_all(self.render().as_bytes()).ctx("write", path)?;
+        }
+        file.commit().ctx("commit", path)?;
         Ok(())
     }
 

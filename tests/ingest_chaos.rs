@@ -116,8 +116,11 @@ fn fault_sweep_across_the_whole_pipeline() {
     assert!(ops > 20, "probe saw only {ops} gated ops — surface unthreaded?");
     let want = dir_contents(&clean);
 
-    // ~10 evenly-spaced injection points, endpoints included.
-    let points: Vec<u64> = (0..10).map(|i| i * (ops - 1) / 9).collect();
+    // ~12 evenly-spaced injection points, endpoints included. The tail
+    // points now land inside the surface-routed sidecar saves
+    // (`save-meta:meta.txt` / `save-meta:checksums.txt`) and the emit-stage
+    // writes that used to bypass the surface.
+    let points: Vec<u64> = (0..12).map(|i| i * (ops - 1) / 11).collect();
     let dir = scratch.path().join("dos");
 
     let mut hard = 0u32;
@@ -150,6 +153,21 @@ fn fault_sweep_across_the_whole_pipeline() {
         assert!(faults.fired(), "transient@{at}: planted fault never fired");
         assert_identical(&dir, &want, &format!("transient@{at}"));
         transient += 1;
+    }
+
+    // Label-targeted faults at the sidecar gates added when meta/checksum
+    // saves were routed through the surface: killing exactly those writes
+    // must still leave the run resumable to a byte-identical directory.
+    for label in ["save-meta:meta.txt", "save-meta:checksums.txt"] {
+        let faults = FaultState::fail_at_label(label);
+        let surface = FaultSurface::none()
+            .with_faults(Arc::clone(&faults))
+            .with_retry(RetryPolicy::none());
+        let err = builder().faults(surface).build().unwrap().run(&src, &dir).unwrap_err();
+        assert!(faults.fired(), "{label}: labeled fault never fired ({err})");
+        builder().resume(true).build().unwrap().run(&src, &dir).unwrap();
+        assert_identical(&dir, &want, label);
+        hard += 1;
     }
 
     // The CI chaos step collects this as an artifact.
