@@ -3,81 +3,125 @@
 #
 # The workspace builds fully offline (path-shimmed deps under shims/), so
 # --offline both documents and enforces that no network fetch is needed.
+# Each step prints its wall time; an analyzer-gate failure tails the
+# offending findings JSON so the log alone names every violation.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
-echo "== build (release) =="
+STEP_T0=0
+step() {
+    STEP_T0=$SECONDS
+    echo "== $* =="
+}
+step_done() {
+    echo "   (step took $((SECONDS - STEP_T0))s)"
+}
+
+# Run an analyzer binary with --json OUT; on failure, tail the findings
+# artifact before propagating the exit code.
+analyzer() {
+    local bin=$1 out=$2
+    if ! cargo run --offline -q -p graphz-check --bin "$bin" -- --json "$out"; then
+        echo "-- $bin failed; tail of $out:" >&2
+        tail -n 40 "$out" >&2 || true
+        return 1
+    fi
+}
+
+step "build (release)"
 cargo build --release --offline
+step_done
 
-echo "== test =="
+step "test"
 cargo test -q --offline
+step_done
 
-echo "== ingest equivalence (parallel == serial, byte-for-byte) =="
+step "ingest equivalence (parallel == serial, byte-for-byte)"
 # Part of the tier-1 gate: the sharded ingest pipeline must produce DOS
 # directories byte-identical to the serial build at every thread count and
 # chunk size (DESIGN.md §6g).
 cargo test -q --offline -p graphz-bench --test ingest_equivalence
+step_done
 
-echo "== ingest chaos (fault sweep + resume, DESIGN.md §6h) =="
+step "ingest chaos (fault sweep + resume, DESIGN.md §6h)"
 # A fault planted at every sampled file operation — hard, torn, transient,
 # disk-full — must either retry to success or fail typed with the scratch
 # root resumable to a byte-identical directory. The sweep summary lands in
 # chaos_ingest.json.
 CHAOS_INGEST_OUT="$PWD/chaos_ingest.json" \
   cargo test -q --offline -p graphz-bench --test ingest_chaos
+step_done
 
-echo "== clippy (warnings are errors) =="
+step "clippy (warnings are errors)"
 cargo clippy --offline --all-targets -- -D warnings
+step_done
 
-echo "== lint (repo invariants, DESIGN.md §6e) =="
-cargo run --offline -q -p graphz-check --bin graphz-lint -- --json lint_findings.json
+step "lint (repo invariants, DESIGN.md §6e)"
+analyzer graphz-lint lint_findings.json
+step_done
 
-echo "== audit (dataflow/protocol analyses, DESIGN.md §6f) =="
+step "audit (dataflow/protocol analyses, DESIGN.md §6f)"
 # Covers crates/check itself (the tools are self-gated) and emits the
 # machine-readable findings artifact either way.
-cargo run --offline -q -p graphz-check --bin graphz-audit -- --json audit_findings.json
+analyzer graphz-audit audit_findings.json
+step_done
 
-echo "== flow (CFG path-sensitive dataflow, DESIGN.md §6j) =="
+step "flow (CFG path-sensitive dataflow, DESIGN.md §6j)"
 # Fault-surface coverage of every write path, path-complete must-consume,
 # determinism taint, and error-context — over per-function CFGs. Also
 # self-applied to crates/check.
-cargo run --offline -q -p graphz-check --bin graphz-flow -- --json flow_findings.json
+analyzer graphz-flow flow_findings.json
+step_done
 
-echo "== combined analysis artifact =="
-# One document answering "is the tree clean" across lint + audit + flow.
+step "ipa (interprocedural call-graph analyses, DESIGN.md §6k)"
+# The Worker hot path stays allocation-, lock-, and IO-free; the compute
+# phase stays panic-free; every file-creating sink is fault-gated on all
+# call paths; fs errors crossing crates carry .ctx context.
+analyzer graphz-ipa ipa_findings.json
+step_done
+
+step "combined analysis artifact"
+# One document answering "is the tree clean" across lint + audit + flow + ipa.
 cargo run --offline -q -p graphz-check --bin graphz-report -- \
   --out analysis_findings.json \
   graphz-lint=lint_findings.json \
   graphz-audit=audit_findings.json \
-  graphz-flow=flow_findings.json
+  graphz-flow=flow_findings.json \
+  graphz-ipa=ipa_findings.json
+step_done
 
-echo "== model check (schedule exploration + deadlock analysis) =="
+step "model check (schedule exploration + deadlock analysis)"
 cargo test --offline -q -p graphz-check --test model_check
+step_done
 
-echo "== bench: pagerank throughput (small graph) =="
+step "bench: pagerank throughput (small graph)"
 cargo run --release --offline -q -p graphz-bench --bin bench_throughput -- \
   --scale 10 --edges 20000 --iterations 5 --budget-kib 8 \
   --out BENCH_throughput.json
+step_done
 
-echo "== bench: ingest throughput (serial vs sharded parallel) =="
+step "bench: ingest throughput (serial vs sharded parallel)"
 # Single-core machines will show speedup <= 1; the JSON records the core
 # count and marks the speedup verdict invalid there (speedup_valid: false).
 cargo run --release --offline -q -p graphz-bench --bin bench_ingest -- \
   --scale 9 --edges 120000 --budget-kib 256 --threads 1,2,4 \
   --out BENCH_ingest.json
+step_done
 
-echo "== bench: core×scale grid (crossover) =="
+step "bench: core×scale grid (crossover)"
 cargo run --release --offline -q -p graphz-bench --bin bench_grid -- \
   --scales 8,10,12 --threads 1,2,4 --edges-factor 20 --iterations 5 \
   --budget-kib 16 --out target/BENCH_grid.json > /dev/null
+step_done
 
-echo "== bench gate =="
+step "bench gate"
 # Fail on a >20% edges/sec regression at any grid point against the
 # committed baseline. The gate self-skips on single-core boxes and across
 # differing core counts, where wall-clock ratios are noise (DESIGN.md §6i).
 cargo run --release --offline -q -p graphz-bench --bin bench_gate -- \
   --baseline BENCH_grid.json --current target/BENCH_grid.json --tolerance 0.20
+step_done
 
 echo "CI gate passed."

@@ -1,0 +1,112 @@
+//! `graphz-ipa`: interprocedural analysis over the workspace call graph.
+//!
+//! ```text
+//! cargo run -p graphz-check --bin graphz-ipa                  # analyze the repo
+//! cargo run -p graphz-check --bin graphz-ipa -- --root DIR    # analyze another tree
+//! cargo run -p graphz-check --bin graphz-ipa -- --json OUT    # emit findings JSON
+//! cargo run -p graphz-check --bin graphz-ipa -- --list-rules
+//! cargo run -p graphz-check --bin graphz-ipa -- --dump-callgraph
+//! ```
+//!
+//! Exit code 0 when the tree is clean, 1 on any finding (the CI gate),
+//! 2 on usage or IO errors. `--json` writes the machine-readable report
+//! whether or not the tree is clean.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphz_check::ipa::{dump_callgraph, ipa_files, IPA_RULES};
+use graphz_check::json::write_report;
+use graphz_check::parser::parse_tree;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut dump = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(out) => json_out = Some(PathBuf::from(out)),
+                None => {
+                    eprintln!("--json needs an output file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "--dump-callgraph" => dump = true,
+            "--help" | "-h" => {
+                println!(
+                    "graphz-ipa [--root DIR] [--json OUT] [--list-rules] [--dump-callgraph]\n\
+                     Interprocedural analyses over the workspace call graph:\n\
+                     the Worker hot path stays allocation-, lock-, and IO-free,\n\
+                     the compute phase stays panic-free, every file-creating\n\
+                     sink is fault-gated on all call paths, and fs errors\n\
+                     crossing crates carry .ctx context. DESIGN.md §6k.\n\
+                     Suppress one site with `// ipa:allow(<rule>)` on the line\n\
+                     or the line above."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in IPA_RULES {
+            println!("{:<24} {}", rule.name, rule.why);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let files = match parse_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("graphz-ipa: cannot analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if dump {
+        print!("{}", dump_callgraph(&files));
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = ipa_files(&files);
+
+    if let Some(out) = &json_out {
+        if let Err(e) = write_report(out, "graphz-ipa", IPA_RULES, &findings) {
+            eprintln!("graphz-ipa: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if findings.is_empty() {
+        println!("graphz-ipa: clean ({} rules)", IPA_RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for v in &findings {
+        println!("{v}");
+        println!(
+            "    to suppress: add `// ipa:allow({})` at {}:{} (same line or the line above)",
+            v.rule,
+            v.path.display(),
+            v.line
+        );
+    }
+    println!("graphz-ipa: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -64,13 +64,23 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let violations = match lint_tree(&root) {
+    let mut violations = match lint_tree(&root) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("graphz-lint: cannot lint {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    // stale-suppression re-runs every analyzer with markers neutralized,
+    // so it lives outside lint_tree; its findings join the lint report.
+    match graphz_check::stale::stale_tree(&root) {
+        Ok(stale) => violations.extend(stale),
+        Err(e) => {
+            eprintln!("graphz-lint: cannot run stale-suppression on {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    }
+    violations.sort_by_key(|v| (v.path.clone(), v.line));
 
     if let Some(out) = &json_out {
         if let Err(e) = write_report(out, "graphz-lint", RULES, &violations) {

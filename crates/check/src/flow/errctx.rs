@@ -16,7 +16,7 @@ use crate::lint::Violation;
 use crate::parser::{SourceFile, Token};
 
 /// Fallible filesystem entry points (`seg::method(`) worth context.
-const FS_CALLS: &[(&str, &str)] = &[
+pub(crate) const FS_CALLS: &[(&str, &str)] = &[
     ("fs", "write"),
     ("fs", "read"),
     ("fs", "read_to_string"),

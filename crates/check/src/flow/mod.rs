@@ -26,8 +26,8 @@ pub mod cfg;
 pub mod solver;
 
 mod consume;
-mod errctx;
-mod surface;
+pub(crate) mod errctx;
+pub(crate) mod surface;
 mod taint;
 
 use std::path::{Path, PathBuf};

@@ -34,7 +34,7 @@ const SINK_PATHS: &[(&str, &str)] = &[
 
 /// The call at token `g`, if it is a sink. A turbofish segment between the
 /// type and the method (`RecordWriter::<u64>::create`) is skipped.
-fn sink_at(t: &[Token], g: usize) -> Option<String> {
+pub(crate) fn sink_at(t: &[Token], g: usize) -> Option<String> {
     let tx = |k: usize| t.get(k).map(|x| x.text.as_str()).unwrap_or("");
     for &(a, b) in SINK_PATHS {
         if t[g].text != a || tx(g + 1) != "::" {
@@ -71,12 +71,22 @@ fn sink_at(t: &[Token], g: usize) -> Option<String> {
     None
 }
 
-/// True when token `g` is a `.op(` or `.wrap(` surface gate.
-fn gate_at(t: &[Token], g: usize) -> bool {
-    (t[g].text == "op" || t[g].text == "wrap")
+/// True when token `g` applies a surface gate: a `.op(`/`.wrap(`/`.op_gate(`
+/// method, or a call to the `gated(faults, retry, what, op)` helper that
+/// runs its closure through the gate (the `AtomicFile` plumbing's local
+/// spelling of the same thing).
+pub(crate) fn gate_at(t: &[Token], g: usize) -> bool {
+    let opens_call = t.get(g + 1).is_some_and(|n| n.text == "(");
+    let method = (t[g].text == "op" || t[g].text == "wrap" || t[g].text == "op_gate")
         && g > 0
         && t[g - 1].text == "."
-        && t.get(g + 1).is_some_and(|n| n.text == "(")
+        && opens_call;
+    let helper = t[g].text == "gated"
+        && opens_call
+        && g > 0
+        && t[g - 1].text != "fn"
+        && t[g - 1].text != ".";
+    method || helper
 }
 
 pub(super) fn analyze(files: &[SourceFile], out: &mut Vec<Violation>) {

@@ -1,0 +1,487 @@
+//! graphz-ipa: interprocedural analysis over the workspace call graph.
+//!
+//! lint (§6e) sees lines, audit (§6f) sees token adjacency, flow (§6j)
+//! sees paths *within* one function. This pass sees **call chains**: a
+//! workspace call graph ([`callgraph`]) plus bottom-up effect summaries
+//! ([`summary`]) let four rules reason about what a function does
+//! *transitively* (DESIGN.md §6k):
+//!
+//! * `hot-path-alloc` — nothing reachable from the Worker per-message
+//!   compute loop (`ShardState::process`) or the shard-local outbox send
+//!   path (`ShardState::defer`) may allocate, take a lock, touch a file,
+//!   or spawn. BatchPool reuse stops being a bench anecdote and becomes a
+//!   checked invariant.
+//! * `panic-freedom` — no unwrap/expect, release-enabled assert,
+//!   non-literal index/slice, or non-literal division reachable from the
+//!   compute phase entry points `Engine::run` drives (`ShardState::*`,
+//!   `Executor::*`, the shard-plan free functions).
+//! * `fault-surface-reach` — every file-creating sink in io/extsort/storage
+//!   is FaultSurface-gated on **all call paths**. Closes the two holes in
+//!   flow's intraprocedural `fault-surface-bypass`: mechanism files were
+//!   exempt wholesale, and a helper whose caller gates was invisible.
+//! * `error-context-prop` — an fs error that `?`-crosses a crate boundary
+//!   must have met a `.ctx(…)` (or deliberate reshaping) somewhere on the
+//!   chain at or below the crossing.
+//!
+//! Findings reuse the lint [`Violation`] shape; `// ipa:allow(<rule>)` on
+//! the offending line or the line above suppresses one rule at one site.
+
+pub mod callgraph;
+pub mod summary;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::flow::cfg::build as build_cfg;
+use crate::flow::solver::{solve, Direction};
+use crate::flow::surface::gate_at;
+use crate::lint::{Rule, Violation};
+use crate::parser::{parse_tree, Function, SourceFile, Token};
+
+use callgraph::{build, CallGraph};
+use summary::{local_sites, Effect, Site};
+
+/// Every ipa rule, in reporting order. Scopes bound where a rule *reports*
+/// (the site's file); reachability itself is workspace-wide.
+pub const IPA_RULES: &[Rule] = &[
+    Rule {
+        name: "hot-path-alloc",
+        why: "one heap allocation, lock, or file touch per message erases \
+              the small-machine win the bench gate protects; everything the \
+              Worker compute loop and outbox send path reach must run on \
+              pooled, prewarmed memory",
+        scope: &[],
+        allow: &[],
+    },
+    Rule {
+        name: "panic-freedom",
+        why: "a panic anywhere the compute phase reaches poisons worker \
+              queues instead of surfacing a typed GraphError; unwraps, \
+              release asserts, non-literal indexing, and non-literal \
+              division must not be transitively reachable",
+        scope: &[],
+        allow: &[],
+    },
+    Rule {
+        name: "fault-surface-reach",
+        why: "a file-creating sink reachable over any ungated call path \
+              never sees injected faults, so the chaos sweeps certify a \
+              write path production does not take — including paths through \
+              the surface's own plumbing files that the intraprocedural \
+              flow pass exempts wholesale",
+        scope: &["crates/io/src/", "crates/extsort/src/", "crates/storage/src/"],
+        allow: &[],
+    },
+    Rule {
+        name: "error-context-prop",
+        why: "an fs error that ?-crosses a crate boundary with no .ctx on \
+              the chain below surfaces to the caller crate as a bare os \
+              error with no file or stage named",
+        scope: &[],
+        allow: &[],
+    },
+];
+
+/// Crates outside the interprocedural contract: reference baselines, bench
+/// and codegen harnesses, the analyzers themselves, and the CLI front end.
+/// Keeping them out of the graph also keeps resolution honest — `update`,
+/// `run`, `next` are common method names there and every edge to them
+/// would be noise.
+const EXCLUDED: &[&str] = &[
+    "crates/baselines/",
+    "crates/bench/",
+    "crates/check/",
+    "crates/cli/",
+    "crates/energy/",
+    "crates/gen/",
+];
+
+/// Hot-path entries: the per-message compute loop and the shard-local
+/// outbox send path (DESIGN.md §6d/§6i).
+const HOT_ENTRIES: &[(&str, &str)] = &[("ShardState", "process"), ("ShardState", "defer")];
+
+/// Compute-phase entries: everything `Engine::run`'s iteration loop drives
+/// per batch — the shard plan, the executor feed/finish protocol, and the
+/// per-shard state machine (which fans out into every algorithm kernel).
+const PANIC_ENTRIES: &[(&str, &str)] = &[
+    ("ShardState", "start"),
+    ("ShardState", "process"),
+    ("ShardState", "defer"),
+    ("ShardState", "finish"),
+    ("Executor", "start"),
+    ("Executor", "feed"),
+    ("Executor", "finish"),
+    ("Executor", "finish_with"),
+    ("", "plan_shards"),
+    ("", "shard_of"),
+    ("", "split_batch"),
+];
+
+pub(crate) fn ipa_rule(name: &str) -> &'static Rule {
+    IPA_RULES
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or(&IPA_RULES[0]) // names are compile-time constants; unreachable
+}
+
+pub(crate) fn in_scope(name: &str, rel: &str) -> bool {
+    let r = ipa_rule(name);
+    (r.scope.is_empty() || r.scope.iter().any(|s| rel.contains(s)))
+        && !r.allow.iter().any(|a| rel.contains(a))
+}
+
+/// Record a finding unless the rule is out of scope for the site's file or
+/// an `ipa:allow(<rule>)` marker on the line (or the line above)
+/// suppresses it.
+pub(crate) fn finding(
+    file: &SourceFile,
+    rule: &'static str,
+    line: usize,
+    message: String,
+    out: &mut Vec<Violation>,
+) {
+    if !in_scope(rule, &file.rel) {
+        return;
+    }
+    let raw = file.raw.get(line.wrapping_sub(1)).map(String::as_str).unwrap_or("");
+    let prev = line.checked_sub(2).and_then(|p| file.raw.get(p)).map(String::as_str);
+    let marker = format!("ipa:allow({rule})");
+    if raw.contains(&marker) || prev.is_some_and(|p| p.contains(&marker)) {
+        return;
+    }
+    out.push(Violation { rule, path: PathBuf::from(&file.rel), line, snippet: raw.to_string(), message });
+}
+
+/// Token indices dominated by a FaultSurface gate on every path from the
+/// function entry (the gate token itself counts as gated — a `.op(` call
+/// site carries its own gate). Same forward-must analysis as flow's
+/// `fault-surface-bypass`, but returning the full dominated set so the
+/// interprocedural rules can ask about arbitrary call/sink sites.
+pub(crate) fn gate_dominated(t: &[Token], func: &Function) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    if !func.body.clone().any(|g| gate_at(t, g)) {
+        return out;
+    }
+    let cfg = build_cfg(t, func);
+    let (input, _) = solve(
+        &cfg,
+        Direction::Forward,
+        false,
+        true,
+        |a: &bool, b: &bool| *a && *b,
+        |b, inp| {
+            let mut gated = *inp;
+            for &g in &cfg.blocks[b].tokens {
+                if gate_at(t, g) {
+                    gated = true;
+                }
+            }
+            gated
+        },
+    );
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut gated = input[b];
+        for &g in &block.tokens {
+            if gate_at(t, g) {
+                gated = true;
+            }
+            if gated {
+                out.insert(g);
+            }
+        }
+    }
+    out
+}
+
+/// The analysis bundle rules run over: the scoped files, their call graph,
+/// and per-node local effect sites.
+pub struct Analysis<'f> {
+    pub files: Vec<&'f SourceFile>,
+    pub graph: CallGraph,
+    pub sites: Vec<Vec<Site>>,
+}
+
+/// Build the call graph and local sites over the in-scope subset of
+/// `files`.
+pub fn analyze(files: &[SourceFile]) -> Analysis<'_> {
+    let scoped: Vec<&SourceFile> =
+        files.iter().filter(|f| !EXCLUDED.iter().any(|e| f.rel.contains(e))).collect();
+    let graph = build(&scoped);
+    let sites = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            let file = scoped[n.file];
+            local_sites(file, &file.functions[n.func])
+        })
+        .collect();
+    Analysis { files: scoped, graph, sites }
+}
+
+/// Entry node ids for a `(owner, name)` spec list (missing entries — e.g.
+/// fixture trees exercising other rules — contribute nothing).
+fn entry_nodes(graph: &CallGraph, specs: &[(&str, &str)]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for &(owner, name) in specs {
+        out.extend(graph.lookup(owner, name));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// BFS over call edges from `entries`; returns the parent map
+/// (`usize::MAX` = unreached, self-parent = entry).
+fn reach(graph: &CallGraph, entries: &[usize]) -> Vec<usize> {
+    let mut parent = vec![usize::MAX; graph.nodes.len()];
+    let mut queue: std::collections::VecDeque<usize> = entries.iter().copied().collect();
+    for &e in entries {
+        parent[e] = e;
+    }
+    while let Some(v) = queue.pop_front() {
+        for c in &graph.nodes[v].calls {
+            for &t in &c.targets {
+                if parent[t] == usize::MAX {
+                    parent[t] = v;
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    parent
+}
+
+/// `entry → … → node` as display names, following the parent map.
+fn chain(graph: &CallGraph, parent: &[usize], mut node: usize) -> String {
+    let mut names = vec![graph.nodes[node].qname()];
+    while parent[node] != node {
+        node = parent[node];
+        names.push(graph.nodes[node].qname());
+    }
+    names.reverse();
+    names.join(" → ")
+}
+
+/// `hot-path-alloc` and `panic-freedom` share one shape: BFS from an entry
+/// set, report every local site of the offending effect class in every
+/// reached function.
+fn reachability_rule(
+    a: &Analysis<'_>,
+    rule: &'static str,
+    entries: &[(&str, &str)],
+    offends: fn(Effect) -> bool,
+    describe: &str,
+    out: &mut Vec<Violation>,
+) {
+    let entries = entry_nodes(&a.graph, entries);
+    if entries.is_empty() {
+        return;
+    }
+    let parent = reach(&a.graph, &entries);
+    for (id, node) in a.graph.nodes.iter().enumerate() {
+        if parent[id] == usize::MAX {
+            continue;
+        }
+        for site in &a.sites[id] {
+            if !offends(site.effect) {
+                continue;
+            }
+            let verb = match site.effect {
+                Effect::Alloc => "allocates",
+                Effect::Lock => "takes a lock",
+                Effect::FileIo | Effect::SinkIo => "touches the filesystem",
+                Effect::Panic => "can panic",
+                Effect::Spawn => "spawns a thread",
+            };
+            finding(
+                a.files[node.file],
+                rule,
+                site.line,
+                format!("`{}` {verb} {describe}: {}", site.what, chain(&a.graph, &parent, id)),
+                out,
+            );
+        }
+    }
+}
+
+/// `fault-surface-reach`: propagate "enterable with no gate established"
+/// from the graph's roots through ungated call sites; report every local
+/// sink that is not locally gate-dominated in an openly-enterable function.
+fn fault_surface_reach(a: &Analysis<'_>, out: &mut Vec<Violation>) {
+    let n = a.graph.nodes.len();
+    // Roots: no resolved callers (public API, bin/test entry points).
+    let mut open: Vec<bool> = (0..n).map(|id| a.graph.callers[id].is_empty()).collect();
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&id| open[id]).collect();
+    while let Some(v) = queue.pop_front() {
+        for c in &a.graph.nodes[v].calls {
+            if c.gated {
+                continue;
+            }
+            for &t in &c.targets {
+                if !open[t] {
+                    open[t] = true;
+                    parent[t] = v;
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    for (id, node) in a.graph.nodes.iter().enumerate() {
+        if !open[id] || !a.sites[id].iter().any(|s| s.effect == Effect::SinkIo) {
+            continue;
+        }
+        let file = a.files[node.file];
+        let dominated = gate_dominated(&file.tokens, &file.functions[node.func]);
+        for site in &a.sites[id] {
+            if site.effect != Effect::SinkIo || dominated.contains(&site.token) {
+                continue;
+            }
+            finding(
+                file,
+                "fault-surface-reach",
+                site.line,
+                format!(
+                    "`{}` is reachable with no FaultSurface gate on the call path {}; \
+                     this write path is invisible to the chaos sweeps",
+                    site.what,
+                    chain(&a.graph, &parent, id)
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// `error-context-prop`: bottom-up "can surface a bare fs error" bit, then
+/// report `?`-without-ctx call sites that cross a crate boundary into a
+/// bare-raising callee.
+fn error_context_prop(a: &Analysis<'_>, out: &mut Vec<Violation>) {
+    let n = a.graph.nodes.len();
+    let mut bare: Vec<bool> = (0..n)
+        .map(|id| a.sites[id].iter().any(|s| {
+            matches!(s.effect, Effect::FileIo | Effect::SinkIo) && s.bare_question
+        }))
+        .collect();
+    // Propagate up through `?`-without-ctx call sites to a fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..n {
+            if bare[id] {
+                continue;
+            }
+            let raises = a.graph.nodes[id].calls.iter().any(|c| {
+                c.question && !c.ctx_on_chain && c.targets.iter().any(|&t| bare[t])
+            });
+            if raises {
+                bare[id] = true;
+                changed = true;
+            }
+        }
+    }
+    for node in &a.graph.nodes {
+        for c in &node.calls {
+            if !c.question || c.ctx_on_chain {
+                continue;
+            }
+            let Some(&culprit) = c
+                .targets
+                .iter()
+                .find(|&&t| bare[t] && a.graph.nodes[t].krate != node.krate)
+            else {
+                continue;
+            };
+            finding(
+                a.files[node.file],
+                "error-context-prop",
+                c.line,
+                format!(
+                    "`{}` can surface a bare fs error from `{}` across the {}→{} crate \
+                     boundary; add .ctx(op, path) on this chain or below",
+                    c.label,
+                    a.graph.nodes[culprit].qname(),
+                    a.graph.nodes[culprit].krate,
+                    node.krate
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Run every ipa rule over already-parsed files; findings are sorted by
+/// path and line and deduplicated.
+pub fn ipa_files(files: &[SourceFile]) -> Vec<Violation> {
+    let a = analyze(files);
+    let mut out = Vec::new();
+    reachability_rule(
+        &a,
+        "hot-path-alloc",
+        HOT_ENTRIES,
+        |e| matches!(e, Effect::Alloc | Effect::Lock | Effect::FileIo | Effect::SinkIo | Effect::Spawn),
+        "on the Worker hot path",
+        &mut out,
+    );
+    reachability_rule(
+        &a,
+        "panic-freedom",
+        PANIC_ENTRIES,
+        |e| matches!(e, Effect::Panic),
+        "in the compute phase",
+        &mut out,
+    );
+    fault_surface_reach(&a, &mut out);
+    error_context_prop(&a, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out.dedup_by(|a, b| (&a.path, a.line, a.rule, &a.message) == (&b.path, b.line, b.rule, &b.message));
+    out
+}
+
+/// Parse and analyze the tree rooted at `root` (see [`parse_tree`] for the
+/// file scope).
+pub fn ipa_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    Ok(ipa_files(&parse_tree(root)?))
+}
+
+/// Human-readable call-graph dump for `--dump-callgraph`: one line per
+/// function with its transitive summary bits, then its resolved calls.
+pub fn dump_callgraph(files: &[SourceFile]) -> String {
+    let a = analyze(files);
+    let summaries = summary::summarize(&a.graph, &a.sites);
+    let mut s = String::new();
+    for (id, node) in a.graph.nodes.iter().enumerate() {
+        let m = summaries[id];
+        let bits: Vec<&str> = [
+            (m.allocates, "alloc"),
+            (m.locks, "lock"),
+            (m.file_io, "io"),
+            (m.may_panic, "panic"),
+            (m.spawns, "spawn"),
+        ]
+        .iter()
+        .filter_map(|&(on, name)| on.then_some(name))
+        .collect();
+        s.push_str(&format!(
+            "{} [{}] ({}:{})\n",
+            node.qname(),
+            bits.join(","),
+            a.files[node.file].rel,
+            a.files[node.file].functions[node.func].line,
+        ));
+        for c in &node.calls {
+            let targets: Vec<String> =
+                c.targets.iter().map(|&t| a.graph.nodes[t].qname()).collect();
+            s.push_str(&format!(
+                "  {}:{} {}{} -> [{}]\n",
+                c.line,
+                c.label,
+                if c.gated { "gated " } else { "" },
+                if c.question { "?" } else { "" },
+                targets.join(", ")
+            ));
+        }
+    }
+    s
+}

@@ -21,9 +21,15 @@ use std::path::Path;
 
 use crate::lint::{Rule, Violation};
 
+/// Schema version stamped into every document this module renders. Bump on
+/// any shape change; the gate tests pin it so downstream consumers get a
+/// stable contract.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// Render a findings report as a JSON document.
 pub fn render(tool: &str, rules: &[Rule], findings: &[Violation]) -> String {
     let mut s = String::from("{\n");
+    s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
     s.push_str(&format!("  \"tool\": {},\n", quote(tool)));
     let names: Vec<String> = rules.iter().map(|r| quote(r.name)).collect();
     s.push_str(&format!("  \"rules\": [{}],\n", names.join(", ")));
@@ -66,6 +72,7 @@ pub fn render_combined(reports: &[(&str, &str)]) -> String {
         total += embedded_count(doc).unwrap_or(0);
     }
     let mut s = String::from("{\n");
+    s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
     s.push_str(&format!("  \"count\": {total},\n"));
     let tools: Vec<String> = reports.iter().map(|(t, _)| quote(t)).collect();
     s.push_str(&format!("  \"tools\": [{}],\n", tools.join(", ")));
@@ -128,6 +135,7 @@ mod tests {
             message: "cycle a -> b".to_string(),
         };
         let json = render("graphz-audit", AUDIT_RULES, &[v]);
+        assert!(json.starts_with("{\n  \"schema_version\": 1,\n"), "{json}");
         assert!(json.contains("\"tool\": \"graphz-audit\""));
         assert!(json.contains("\"count\": 1"));
         assert!(json.contains("\"line\": 7"));
@@ -154,7 +162,10 @@ mod tests {
         let a = render("graphz-lint", &[], &[]);
         let b = render("graphz-flow", crate::flow::FLOW_RULES, &[v.clone(), v]);
         let combined = render_combined(&[("graphz-lint", &a), ("graphz-flow", &b)]);
-        assert!(combined.starts_with("{\n  \"count\": 2,\n"), "{combined}");
+        assert!(
+            combined.starts_with("{\n  \"schema_version\": 1,\n  \"count\": 2,\n"),
+            "{combined}"
+        );
         assert!(combined.contains("\"tools\": [\"graphz-lint\", \"graphz-flow\"]"));
         assert!(combined.contains("\"graphz-flow\": {"));
         assert!(combined.contains("\"rule\": \"fault-surface-bypass\""));

@@ -22,12 +22,22 @@
 //!   graphs ([`flow::cfg`]) plus a generic worklist solver
 //!   ([`flow::solver`]) driving fault-surface coverage, path-complete
 //!   must-consume, determinism taint, and error-context rules.
+//! * [`ipa`] — the interprocedural analyses behind the `graphz-ipa` binary
+//!   (DESIGN.md §6k): a workspace call graph ([`ipa::callgraph`]) with
+//!   bottom-up effect summaries ([`ipa::summary`]) proving the Worker hot
+//!   path allocation-, lock-, and panic-free and every file-creating sink
+//!   fault-gated on all call paths.
+//! * [`stale`] — the `stale-suppression` lint: re-runs every analyzer with
+//!   suppression markers neutralized and flags `<tool>:allow(<rule>)`
+//!   comments that no longer suppress any finding.
 
 #![forbid(unsafe_code)]
 
 pub mod audit;
 pub mod flow;
+pub mod ipa;
 pub mod json;
 pub mod lint;
 pub mod parser;
 pub mod pipeline;
+pub mod stale;

@@ -121,6 +121,17 @@ pub const RULES: &[Rule] = &[
         scope: &[],
         allow: &[],
     },
+    Rule {
+        // Detection lives in crate::stale (it must re-run every analyzer);
+        // the rule is registered here so --list-rules, the JSON rules
+        // array, and suppression-name validation see one namespace.
+        name: "stale-suppression",
+        why: "a lint:/audit:/flow:/ipa:allow marker that no longer \
+              suppresses any finding silently waives the next violation \
+              introduced on its line; remove markers when the code is fixed",
+        scope: &[],
+        allow: &[],
+    },
 ];
 
 fn rule(name: &'static str) -> &'static Rule {
@@ -137,8 +148,9 @@ fn in_scope(r: &Rule, rel: &str) -> bool {
 
 /// Strip comments and string/char literals from a source file, preserving
 /// line structure (stripped spans become spaces). Handles nested block
-/// comments, escapes inside strings, raw strings (`r"…"`, `r#"…"#`, …),
-/// and distinguishes char literals from lifetimes.
+/// comments, escapes inside strings, raw and byte-raw strings (`r"…"`,
+/// `r##"…"##`, `br#"…"#`, …), and distinguishes char literals from
+/// lifetimes.
 pub fn sanitize(source: &str) -> Vec<String> {
     #[derive(PartialEq)]
     enum St {
@@ -179,7 +191,10 @@ pub fn sanitize(source: &str) -> Vec<String> {
                     i += 1;
                 } else if c == 'r'
                     && (next == Some('"') || next == Some('#'))
-                    && !prev_is_ident(&chars, i)
+                    && (!prev_is_ident(&chars, i)
+                        // Byte raw strings: the `b` of `br#"…"#` is an
+                        // identifier char, but not an identifier tail.
+                        || (chars[i - 1] == 'b' && !prev_is_ident(&chars, i - 1)))
                 {
                     // Raw string: r"…" or r#…#"…"#…#
                     let mut hashes = 0u32;
@@ -579,6 +594,32 @@ mod tests {
         assert!(!clean[0].contains("unwrap") && !clean[0].contains("expect"), "{:?}", clean[0]);
         assert!(!clean[1].contains("panic") && clean[1].contains("let z"), "{:?}", clean[1]);
         assert!(!clean[2].contains("unwrap"), "{:?}", clean[2]);
+    }
+
+    #[test]
+    fn sanitize_raw_string_edge_cases() {
+        // Multi-hash raw strings close only on the matching hash count: the
+        // embedded `"#` must not end an `r##"…"##` literal early.
+        let clean = sanitize("let s = r##\"has \"# inside .unwrap()\"##; x.trim();");
+        assert!(!clean[0].contains("unwrap"), "{:?}", clean[0]);
+        assert!(clean[0].contains("trim"), "{:?}", clean[0]);
+
+        // Byte raw strings: the `b` prefix must not read as an identifier
+        // tail that disables raw-string scanning.
+        let clean = sanitize("let b = br#\"bytes .expect( \"#; y.len();");
+        assert!(!clean[0].contains("expect"), "{:?}", clean[0]);
+        assert!(clean[0].contains("len"), "{:?}", clean[0]);
+
+        // `//` inside a raw string is content, not a comment: code after
+        // the literal on the same line must survive.
+        let clean = sanitize("let url = r\"scheme://host\"; z.shrink();");
+        assert!(clean[0].contains("shrink"), "{:?}", clean[0]);
+
+        // An identifier ending in `r` followed by `#` is not a raw string
+        // (`attr` before an attribute-like token stays code).
+        let clean = sanitize("let attr\"x\" = 1; w.purge();");
+        assert!(clean[0].contains("attr"), "{:?}", clean[0]);
+        assert!(clean[0].contains("purge"), "{:?}", clean[0]);
     }
 
     #[test]

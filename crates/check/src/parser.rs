@@ -156,6 +156,97 @@ fn extract_fn(tokens: &[Token], at: usize) -> Option<Function> {
     Some(Function { name, line, sig: sig_start..open, body: open + 1..k - 1 })
 }
 
+/// The `impl` blocks of a token stream: each body's token range paired with
+/// the name of the *implemented type* (for `impl Trait for Type`, the type —
+/// the interprocedural pass resolves `Type::method` and `self.method`
+/// against the Self type, never the trait). Generic parameters on the type
+/// (`ShardState<P>`) are dropped; only the head identifier is kept.
+pub fn impl_owners(tokens: &[Token]) -> Vec<(Range<usize>, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "impl" {
+            i += 1;
+            continue;
+        }
+        // Header: `impl` [<…>] Path [<…>] [for Path [<…>]] [where …] `{`.
+        // The owner is the last path-head identifier seen at angle-depth 0
+        // before the body opens, restarting the scan after `for`.
+        let mut owner: Option<String> = None;
+        let mut angle = 0i64;
+        let mut j = i + 1;
+        let open = loop {
+            let Some(t) = tokens.get(j) else { break None };
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "{" if angle <= 0 => break Some(j),
+                ";" if angle <= 0 => break None, // `impl Trait for Type;` — malformed, skip
+                "for" if angle <= 0 => owner = None,
+                "where" if angle <= 0 => {
+                    // The where-clause can mention other types; stop updating.
+                    let close = loop {
+                        let Some(w) = tokens.get(j) else { break None };
+                        if w.text == "{" {
+                            break Some(j);
+                        }
+                        j += 1;
+                    };
+                    break close;
+                }
+                _ if angle <= 0 && t.is_name() && owner.is_none() => {
+                    owner = Some(t.text.clone());
+                }
+                // `impl module::Type {` — keep the last segment.
+                "::" if angle <= 0 && tokens.get(j + 1).is_some_and(Token::is_name) => {
+                    owner = Some(tokens[j + 1].text.clone());
+                    j += 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        // Body extent: matched braces.
+        let mut depth = 0i64;
+        let mut k = open;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(name) = owner {
+            out.push((open + 1..k, name));
+        }
+        i = open + 1; // nested impls are not a thing; resume inside anyway
+    }
+    out
+}
+
+/// The crate a repo-relative path belongs to (`crates/<name>/src/…` →
+/// `<name>`); files outside the `crates/` layout (fixture trees) fall back
+/// to the first path component.
+pub fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        (Some(first), _) => first.to_string(),
+        _ => String::new(),
+    }
+}
+
 /// Sort every `fn` name into two sets by return type: `result` when the
 /// return type mentions `Result`, `plain` otherwise. Scans at any nesting
 /// level (the dropped-result analysis needs nested helpers too, which

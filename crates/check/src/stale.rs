@@ -1,0 +1,202 @@
+//! `stale-suppression`: flag `<tool>:allow(<rule>)` markers that no longer
+//! suppress any finding.
+//!
+//! Suppression markers are point-in-time waivers; when the code under one
+//! is fixed or moves, the marker stays behind and silently waives the
+//! *next* violation introduced on that line. This pass re-runs every
+//! analyzer (lint, audit, flow, ipa) over sources with the markers
+//! neutralized (`:allow(` → `:a11ow(`, same length, so line/column
+//! structure is untouched), then checks each real marker against the
+//! unsuppressed findings: a `tool:allow(rule)` on line L is *live* iff the
+//! tool reports that rule at line L or L+1 of the same file — exactly the
+//! span the marker suppresses. Everything else is stale.
+//!
+//! Marker recognition is deliberately strict: only inside a comment (after
+//! `//` in Rust — doc comments `///`/`//!` document syntax, never carry
+//! markers — after `#` in Cargo.toml, before the first `#[cfg(test)]`),
+//! and only when the rule name is a plain `[a-z0-9-]+` token — so format
+//! strings that *build* markers (`format!("flow:allow({rule})")`) and help
+//! text (`flow:allow(<rule>)`) never match. A marker naming a rule the
+//! tool does not define suppresses nothing by construction and is reported
+//! stale with that explanation. The `stale-suppression` rule itself is
+//! exempt from staleness (its own waivers are suppressed the normal lint
+//! way, not re-judged here).
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::lint::{lint_manifest, lint_rust_source, sanitize, Violation};
+use crate::parser::parse_source;
+
+/// The four analyzer prefixes and their rule tables.
+fn tools() -> [(&'static str, Vec<&'static str>); 4] {
+    [
+        ("lint", crate::lint::RULES.iter().map(|r| r.name).collect()),
+        ("audit", crate::audit::AUDIT_RULES.iter().map(|r| r.name).collect()),
+        ("flow", crate::flow::FLOW_RULES.iter().map(|r| r.name).collect()),
+        ("ipa", crate::ipa::IPA_RULES.iter().map(|r| r.name).collect()),
+    ]
+}
+
+/// Disable every suppression marker without moving a single byte.
+fn neutralize(source: &str) -> String {
+    source.replace(":allow(", ":a11ow(")
+}
+
+/// One recognized marker occurrence.
+struct Marker {
+    rel: String,
+    line: usize,
+    tool: &'static str,
+    rule: String,
+    known_rule: bool,
+    snippet: String,
+}
+
+/// Scan one file's comment text for markers. `comment` is the comment
+/// opener for this file kind (`//` or `#`); `code_end` bounds the non-test
+/// region (1-based line count).
+fn collect_markers(rel: &str, raw: &[&str], comment: &str, code_end: usize, out: &mut Vec<Marker>) {
+    for (idx, line) in raw.iter().enumerate().take(code_end) {
+        let Some(at) = line.find(comment) else { continue };
+        let text = &line[at..];
+        // Doc comments document marker syntax; they never carry markers.
+        if comment == "//" && (text.starts_with("///") || text.starts_with("//!")) {
+            continue;
+        }
+        for (tool, rules) in tools() {
+            let needle = format!("{tool}:allow(");
+            let mut from = 0;
+            while let Some(pos) = text[from..].find(&needle) {
+                let start = from + pos + needle.len();
+                from = start;
+                let rest = &text[start..];
+                let Some(close) = rest.find(')') else { continue };
+                let rule = &rest[..close];
+                if rule.is_empty()
+                    || !rule.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                {
+                    continue; // format-string or help-text shape, not a marker
+                }
+                if rule == "stale-suppression" {
+                    continue;
+                }
+                out.push(Marker {
+                    rel: rel.to_string(),
+                    line: idx + 1,
+                    tool,
+                    rule: rule.to_string(),
+                    known_rule: rules.contains(&rule),
+                    snippet: line.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Run the stale-suppression analysis over the tree at `root`. Findings
+/// carry the `stale-suppression` rule and point at the marker line; a
+/// `lint:allow(stale-suppression)` marker there (or the line above)
+/// suppresses them like any other lint.
+pub fn stale_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    // File walk mirrors the union of the analyzers' scopes: lint sees
+    // crates/ + shims/ (.rs and Cargo.toml); audit/flow/ipa see non-test
+    // .rs under crates/. Fixture trees without crates/ scan the root.
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let shims = root.join("shims");
+    if crates.is_dir() || shims.is_dir() {
+        for base in [crates, shims] {
+            if base.is_dir() {
+                crate::lint::collect_files(&base, &mut files)?;
+            }
+        }
+    } else {
+        crate::lint::collect_files(root, &mut files)?;
+    }
+    files.sort();
+
+    let mut markers: Vec<Marker> = Vec::new();
+    let mut lint_unsup: Vec<Violation> = Vec::new();
+    let mut parsed = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let source = std::fs::read_to_string(path)?;
+        let neutral = neutralize(&source);
+        let raw: Vec<&str> = source.lines().collect();
+        if rel.ends_with("Cargo.toml") {
+            collect_markers(&rel, &raw, "#", raw.len(), &mut markers);
+            lint_manifest(&rel, &neutral, &mut lint_unsup);
+            continue;
+        }
+        let in_test_dir = ["/tests/", "/benches/", "/examples/"].iter().any(|d| rel.contains(d));
+        if in_test_dir {
+            continue; // analyzers never report here; markers are fixture text
+        }
+        let code_end = sanitize(&source)
+            .iter()
+            .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+            .unwrap_or(raw.len());
+        collect_markers(&rel, &raw, "//", code_end, &mut markers);
+        lint_rust_source(&rel, &neutral, &mut lint_unsup);
+        // audit/flow/ipa scope: non-test .rs under crates/ (or the whole
+        // fixture root), same filter as parser::parse_tree.
+        if rel.contains("shims/") {
+            continue;
+        }
+        parsed.push(parse_source(&rel, &neutral));
+    }
+
+    let audit_unsup = crate::audit::audit_files(&parsed);
+    let flow_unsup = crate::flow::flow_files(&parsed);
+    let ipa_unsup = crate::ipa::ipa_files(&parsed);
+
+    // Index unsuppressed findings by (tool, rule, rel, line).
+    let mut live: BTreeSet<(&str, String, String, usize)> = BTreeSet::new();
+    for (tool, found) in [
+        ("lint", &lint_unsup),
+        ("audit", &audit_unsup),
+        ("flow", &flow_unsup),
+        ("ipa", &ipa_unsup),
+    ] {
+        for v in found {
+            live.insert((tool, v.rule.to_string(), v.path.to_string_lossy().replace('\\', "/"), v.line));
+        }
+    }
+
+    let mut out = Vec::new();
+    for m in markers {
+        let used = m.known_rule
+            && (live.contains(&(m.tool, m.rule.clone(), m.rel.clone(), m.line))
+                || live.contains(&(m.tool, m.rule.clone(), m.rel.clone(), m.line + 1)));
+        if used {
+            continue;
+        }
+        let why = if m.known_rule {
+            "no finding of that rule on this line or the next"
+        } else {
+            "the tool defines no such rule"
+        };
+        // Standard lint suppression applies to the stale finding itself.
+        let raw_line = m.snippet.as_str();
+        let source_above = std::fs::read_to_string(root.join(&m.rel)).unwrap_or_default();
+        let prev = m
+            .line
+            .checked_sub(2)
+            .and_then(|p| source_above.lines().nth(p))
+            .unwrap_or("");
+        let sup = "lint:allow(stale-suppression)";
+        if raw_line.contains(sup) || prev.contains(sup) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "stale-suppression",
+            path: PathBuf::from(&m.rel),
+            line: m.line,
+            snippet: m.snippet,
+            message: format!("`{}:allow({})` suppresses nothing ({why}); remove it", m.tool, m.rule),
+        });
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}

@@ -192,6 +192,7 @@ fn audit_binary_exit_codes_and_json() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("clean"), "{stdout}");
     let json = fs::read_to_string(&json_clean).expect("json artifact");
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
     assert!(json.contains("\"count\": 0"), "{json}");
     assert!(json.contains("\"tool\": \"graphz-audit\""));
 
@@ -238,5 +239,6 @@ fn lint_binary_emits_json() {
     assert!(out.status.success(), "{out:?}");
     let json = fs::read_to_string(&json_path).expect("json artifact");
     assert!(json.contains("\"tool\": \"graphz-lint\""), "{json}");
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
     assert!(json.contains("\"count\": 0"), "{json}");
 }

@@ -201,6 +201,7 @@ fn flow_binary_exit_codes_and_json() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("clean"), "{stdout}");
     let json = fs::read_to_string(&json_clean).expect("json artifact");
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
     assert!(json.contains("\"count\": 0"), "{json}");
     assert!(json.contains("\"tool\": \"graphz-flow\""));
 
@@ -254,6 +255,7 @@ fn report_binary_merges_artifacts() {
         .expect("run graphz-report");
     assert!(out.status.success(), "{out:?}");
     let json = fs::read_to_string(&out_path).expect("combined artifact");
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
     assert!(json.contains("\"count\": 5"), "{json}");
     assert!(json.contains("\"graphz-lint\""), "{json}");
     assert!(json.contains("\"graphz-flow\""), "{json}");

@@ -8,6 +8,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use graphz_check::lint::{lint_tree, RULES};
+use graphz_check::stale::stale_tree;
 
 /// A scratch directory under the target dir, wiped per test.
 fn scratch(name: &str) -> PathBuf {
@@ -32,7 +33,8 @@ fn repository_lints_clean() {
         .parent()
         .and_then(Path::parent)
         .expect("workspace root");
-    let violations = lint_tree(repo).expect("lint repo");
+    let mut violations = lint_tree(repo).expect("lint repo");
+    violations.extend(stale_tree(repo).expect("stale-suppression scan"));
     assert!(
         violations.is_empty(),
         "repository must lint clean, got:\n{}",
@@ -86,8 +88,15 @@ fn seeded_fixture_trips_every_rule() {
         "crates/io/src/lib.rs",
         "pub fn p(x: *const u8) -> u8 { unsafe { *x } }\n",
     );
+    // stale-suppression: a marker with nothing underneath it to suppress.
+    write(
+        &root,
+        "crates/io/src/clean.rs",
+        "// lint:allow(no-unwrap)\npub fn q() -> u8 { 0 }\n",
+    );
 
-    let violations = lint_tree(&root).expect("lint fixture");
+    let mut violations = lint_tree(&root).expect("lint fixture");
+    violations.extend(stale_tree(&root).expect("stale-suppression scan"));
     let tripped: BTreeSet<&str> = violations.iter().map(|v| v.rule).collect();
     let all: BTreeSet<&str> = RULES.iter().map(|r| r.name).collect();
     assert_eq!(

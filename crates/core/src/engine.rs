@@ -276,7 +276,7 @@ impl<P: VertexProgram> Engine<P> {
         stats: Arc<IoStats>,
     ) -> Result<Self> {
         let scratch = match &config.scratch_base {
-            Some(base) => ScratchDir::new_in(base, "graphz-engine")?,
+            Some(base) => ScratchDir::new_in(base, "graphz-engine").ctx("scratch", base)?,
             None => ScratchDir::new("graphz-engine")?,
         };
         let partitions = Partitioner::new(config.budget)
@@ -329,7 +329,8 @@ impl<P: VertexProgram> Engine<P> {
 
     /// Write the initial vertex array (called automatically by `run`).
     pub fn initialize(&mut self) -> Result<()> {
-        let mut w = RecordWriter::<P::VertexData>::create(&self.vertices_path, Arc::clone(&self.stats))?;
+        let mut w = RecordWriter::<P::VertexData>::create(&self.vertices_path, Arc::clone(&self.stats))
+            .ctx("create", &self.vertices_path)?;
         for (_, a, b) in self.partitions.iter() {
             let (_, degrees) = self.store.partition_index(a, b, &self.stats)?;
             for (i, &d) in degrees.iter().enumerate() {
@@ -374,7 +375,8 @@ impl<P: VertexProgram> Engine<P> {
             .plan_execution(self.store.num_edges(), self.partitions.num_partitions());
 
         if num_vertices > 0 {
-            let mut vfile = TrackedFile::open_rw(&self.vertices_path, Arc::clone(&self.stats))?;
+            let mut vfile = TrackedFile::open_rw(&self.vertices_path, Arc::clone(&self.stats))
+                .ctx("open-rw", &self.vertices_path)?;
             let mut slab_bytes: Vec<u8> = Vec::new();
             let dynamic = self.config.options.dynamic_messages;
             let max_shards = plan_cfg.worker_shards;

@@ -23,7 +23,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use crossbeam::channel::{bounded, Sender};
 use graphz_io::{IoStats, RecordReader, RecordWriter, TrackedFile};
-use graphz_types::{FixedCodec, GraphError, Result, VertexId};
+use graphz_types::{FixedCodec, GraphError, IoCtx, Result, VertexId};
 
 /// A message in flight: destination storage id plus payload.
 type Envelope<M> = (VertexId, M);
@@ -96,7 +96,8 @@ impl BackgroundWriter {
             .spawn(move || {
                 for job in rx {
                     let result = (|| -> Result<()> {
-                        let mut f = TrackedFile::append(&job.path, Arc::clone(&stats))?;
+                        let mut f = TrackedFile::append(&job.path, Arc::clone(&stats))
+                            .ctx("append", &job.path)?;
                         f.write_all(&job.bytes)?;
                         Ok(())
                     })();
@@ -182,7 +183,7 @@ impl<M: FixedCodec> MsgManager<M> {
     /// `cap_bytes` bounds the total in-memory message bytes (the budget share
     /// the engine grants the MsgManager).
     pub fn new(dir: PathBuf, partitions: u32, cap_bytes: u64, stats: Arc<IoStats>) -> Result<Self> {
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(&dir).ctx("create-dir", &dir)?;
         let env_size = 4 + M::SIZE;
         let cap = ((cap_bytes as usize) / env_size).max(1);
         Ok(MsgManager {
@@ -283,7 +284,8 @@ impl<M: FixedCodec> MsgManager<M> {
                 }
                 writer.submit(SpillJob { path, bytes })?;
             } else {
-                let file = TrackedFile::append(&path, Arc::clone(&self.stats))?;
+                let file =
+                    TrackedFile::append(&path, Arc::clone(&self.stats)).ctx("append", &path)?;
                 let mut w =
                     RecordWriter::<Envelope<M>>::from_writer(std::io::BufWriter::new(file));
                 for env in self.buffers[p].drain(..) {
@@ -330,7 +332,8 @@ impl<M: FixedCodec> MsgManager<M> {
         );
         let retired: Vec<u32> = self.segments[p].drain(..claim.count).collect();
         for seg in retired {
-            std::fs::remove_file(self.seg_path(claim.partition, seg))?;
+            let path = self.seg_path(claim.partition, seg);
+            std::fs::remove_file(&path).ctx("remove", &path)?;
         }
         self.counters.replayed += replayed;
         Ok(())
@@ -356,7 +359,7 @@ impl<M: FixedCodec> MsgManager<M> {
                 apply(dst, msg);
                 replayed += 1;
             }
-            std::fs::remove_file(&path)?;
+            std::fs::remove_file(&path).ctx("remove", &path)?;
         }
         self.open_seg[p] = None;
         let tail = std::mem::take(&mut self.buffers[p]);

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use graphz_io::{IoStats, RecordReader, TrackedFile};
-use graphz_types::{FixedCodec, Result, VertexId};
+use graphz_types::{FixedCodec, IoCtx, Result, VertexId};
 
 use crate::msgmanager::ClaimedSegments;
 use crate::program::VertexProgram;
@@ -76,7 +76,8 @@ impl<P: VertexProgram> Prefetcher<P> {
         let (resp_tx, rx) = bounded::<Response<P>>(1);
         // A dedicated read handle: the engine's write handle and this one
         // only ever touch disjoint partition regions.
-        let mut vfile = TrackedFile::open(vertices_path, Arc::clone(&stats))?;
+        let mut vfile =
+            TrackedFile::open(vertices_path, Arc::clone(&stats)).ctx("open", vertices_path)?;
         let thread_stats = Arc::clone(&stats);
         let handle = std::thread::Builder::new()
             .name("graphz-prefetch".into())

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use graphz_io::{IoStats, TrackedFile};
-use graphz_types::{GraphError, Result, VertexId};
+use graphz_types::{GraphError, IoCtx, Result, VertexId};
 
 /// A parsed block: consecutive vertices with their concatenated adjacency.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -50,8 +50,10 @@ impl AdjBatch {
         let weighted = !self.weights.is_empty();
         let mut cursor = 0usize;
         self.degrees.iter().enumerate().map(move |(i, &d)| {
+            // ipa:allow(panic-freedom) — batch invariant: edges.len() == sum(degrees)
             let edges = &self.edges[cursor..cursor + d as usize];
             let ws: &[f32] =
+                // ipa:allow(panic-freedom) — weights.len() == edges.len() when weighted
                 if weighted { &self.weights[cursor..cursor + d as usize] } else { &[] };
             cursor += d as usize;
             (self.first_vertex + i as VertexId, edges, ws)
@@ -271,11 +273,12 @@ impl InlineStream {
         pool: Option<Arc<BatchPool>>,
     ) -> Result<Self> {
         assert!(batch_edges > 0);
-        let mut file = TrackedFile::open(edges_path, Arc::clone(&stats))?;
+        let mut file =
+            TrackedFile::open(edges_path, Arc::clone(&stats)).ctx("open", edges_path)?;
         file.seek(SeekFrom::Start(start_edge * 4))?;
         let weights_file = match weights_path {
             Some(p) => {
-                let mut f = TrackedFile::open(p, stats)?;
+                let mut f = TrackedFile::open(p, stats).ctx("open", p)?;
                 f.seek(SeekFrom::Start(start_edge * 4))?;
                 Some(f)
             }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use graphz_io::{IoStats, TrackedFile};
 use graphz_storage::{CsrFiles, DosGraph};
-use graphz_types::{GraphError, MemoryBudget, Result, VertexId};
+use graphz_types::{GraphError, IoCtx, MemoryBudget, Result, VertexId};
 
 /// Source of adjacency data and vertex-index lookups for the engine.
 pub trait GraphStore: Send + Sync {
@@ -98,7 +98,8 @@ impl GraphStore for DosStore {
         if original as u64 >= self.num_vertices() {
             return Err(GraphError::NotFound(format!("vertex {original} out of range")));
         }
-        let mut f = TrackedFile::open(&self.graph.old2new_path(), Arc::clone(stats))?;
+        let old2new = self.graph.old2new_path();
+        let mut f = TrackedFile::open(&old2new, Arc::clone(stats)).ctx("open", &old2new)?;
         f.seek(SeekFrom::Start(original as u64 * 4))?;
         let mut buf = [0u8; 4];
         f.read_exact(&mut buf)?;
@@ -179,7 +180,9 @@ impl GraphStore for DenseStore {
                 // partition to fetch the offset slice (paper §III-A: "an
                 // index larger than memory requires two disk accesses per
                 // vertex access").
-                let mut f = TrackedFile::open(&self.csr.offsets_path(), Arc::clone(stats))?;
+                let offsets = self.csr.offsets_path();
+                let mut f =
+                    TrackedFile::open(&offsets, Arc::clone(stats)).ctx("open", &offsets)?;
                 f.seek(SeekFrom::Start(a as u64 * 8))?;
                 let n = (b - a + 1) as usize;
                 let mut buf = vec![0u8; n * 8];

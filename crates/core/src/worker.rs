@@ -74,6 +74,7 @@ pub fn split_batch(
         return Vec::new();
     }
     let s0 = shard_of(plan, lo);
+    // ipa:allow(panic-freedom) — shard_of returns an index into plan by construction
     if hi <= plan[s0].1 {
         return vec![(s0, batch)];
     }
@@ -82,17 +83,21 @@ pub fn split_batch(
     let mut edge_at = 0usize;
     let mut s = s0;
     while v < hi {
+        // ipa:allow(panic-freedom) — plan covers [0, num_vertices): s stays in range while v < hi
         let end = plan[s].1.min(hi);
         let vi = (v - lo) as usize;
         let mut piece = pool.take();
         piece.first_vertex = v;
         piece.degrees.clear();
+        // ipa:allow(panic-freedom) — vi + (end - v) <= degrees.len(): end <= hi == lo + degrees.len()
         piece.degrees.extend_from_slice(&batch.degrees[vi..vi + (end - v) as usize]);
         let edge_count: usize = piece.degrees.iter().map(|&d| d as usize).sum();
         piece.edges.clear();
+        // ipa:allow(panic-freedom) — batch invariant: edges.len() == sum(degrees) >= edge_at + edge_count
         piece.edges.extend_from_slice(&batch.edges[edge_at..edge_at + edge_count]);
         piece.weights.clear();
         if !batch.weights.is_empty() {
+            // ipa:allow(panic-freedom) — weights.len() == edges.len() when weighted
             piece.weights.extend_from_slice(&batch.weights[edge_at..edge_at + edge_count]);
         }
         out.push((s, piece));
@@ -116,12 +121,14 @@ pub struct ShardState<P: VertexProgram> {
     end: VertexId,
     data: Vec<P::VertexData>,
     /// Messages leaving this shard, coalesced into per-destination-partition
-    /// buffers (first-touch group order; each group in shard-local send
-    /// order). The barrier appends whole groups to the MsgManager instead of
-    /// hopping once per message; per-destination order — the only order the
+    /// buffers indexed by partition id (each bucket in shard-local send
+    /// order). Sized once in [`ShardState::start`], so the per-message
+    /// [`ShardState::defer`] is an O(1) push with no allocation and no
+    /// group scan. [`ShardState::finish`] converts the non-empty buckets to
+    /// [`DeferredGroups`]; per-destination order — the only order the
     /// replay contract observes — is exactly the old `(shard, send order)`
     /// sequence projected onto that destination.
-    deferred: DeferredGroups<P::Message>,
+    deferred: Vec<Vec<(VertexId, P::Message)>>,
     changed: u64,
     sent: u64,
     dynamic_applied: u64,
@@ -136,18 +143,22 @@ pub struct ShardState<P: VertexProgram> {
 
 impl<P: VertexProgram> ShardState<P> {
     fn start(job: ShardStart<P>, program: &P) -> Self {
+        let per_partition = job.per_partition.max(1);
+        // One bucket per destination partition, allocated here (outside the
+        // per-message path) so `defer` never allocates or scans.
+        let partitions = job.num_vertices.div_ceil(per_partition) as usize;
         let mut state = ShardState {
             first: job.first,
             end: job.end,
             data: job.data,
-            deferred: Vec::new(),
+            deferred: (0..partitions).map(|_| Vec::new()).collect(),
             changed: 0,
             sent: 0,
             dynamic_applied: 0,
             iteration: job.iteration,
             num_vertices: job.num_vertices,
             dynamic: job.dynamic,
-            per_partition: job.per_partition.max(1),
+            per_partition,
             outbox: Vec::new(),
         };
         // Replay this shard's pending messages before any update runs.
@@ -155,6 +166,7 @@ impl<P: VertexProgram> ShardState<P> {
         // order (each vertex lives in exactly one shard), so the result is
         // identical to the sequential replay.
         for (dst, msg) in job.replay {
+            // ipa:allow(panic-freedom) — replay is routed per shard: first <= dst < end
             program.apply_message(dst, &mut state.data[(dst - state.first) as usize], &msg);
         }
         state
@@ -170,6 +182,7 @@ impl<P: VertexProgram> ShardState<P> {
                 outbox: &mut self.outbox,
                 changed: false,
             };
+            // ipa:allow(panic-freedom) — the batch was split on shard bounds: first <= v < end
             program.update(v, &mut self.data[(v - self.first) as usize], &mut ctx);
             if ctx.changed {
                 self.changed += 1;
@@ -182,6 +195,7 @@ impl<P: VertexProgram> ShardState<P> {
                     // owned by this shard, so the apply races with nothing.
                     program.apply_message(
                         dst,
+                        // ipa:allow(panic-freedom) — guarded by first <= dst < end just above
                         &mut self.data[(dst - self.first) as usize],
                         &msg,
                     );
@@ -194,22 +208,22 @@ impl<P: VertexProgram> ShardState<P> {
         }
     }
 
-    /// Append a cross-shard message to its destination partition's buffer.
-    /// Group membership is a pure function of `dst` and the partition width,
-    /// so the grouping is identical for every thread count.
+    /// Append a cross-shard message to its destination partition's bucket.
+    /// Bucket membership is a pure function of `dst` and the partition
+    /// width, so the grouping is identical for every thread count; the
+    /// bucket vector is pre-sized in [`ShardState::start`], making this an
+    /// O(1) push with no allocation and no group scan.
     fn defer(&mut self, dst: VertexId, msg: P::Message) {
-        let p = cast::to_u32(cast::widen_u32(dst) / self.per_partition, "partition of vertex")
-            .unwrap_or(u32::MAX); // quotient <= dst, which already fits u32
-        // Hot case: consecutive sends land in the partition touched last.
-        if let Some(last) = self.deferred.last_mut() {
-            if last.0 == p {
-                last.1.push((dst, msg));
-                return;
-            }
+        // ipa:allow(panic-freedom) — per_partition is clamped to >= 1 in start
+        let p = (cast::widen_u32(dst) / self.per_partition) as usize;
+        if p >= self.deferred.len() {
+            // Unreachable while dst < num_vertices (p <= num_vertices /
+            // per_partition rounds into the last bucket); grow rather than
+            // panic or misroute if a caller ever violates that.
+            self.deferred.resize_with(p + 1, Vec::new);
         }
-        match self.deferred.iter_mut().find(|(gp, _)| *gp == p) {
-            Some((_, group)) => group.push((dst, msg)),
-            None => self.deferred.push((p, vec![(dst, msg)])),
+        if let Some(bucket) = self.deferred.get_mut(p) {
+            bucket.push((dst, msg));
         }
     }
 
@@ -217,7 +231,13 @@ impl<P: VertexProgram> ShardState<P> {
         ShardResult {
             shard,
             data: self.data,
-            deferred: self.deferred,
+            deferred: self
+                .deferred
+                .into_iter()
+                .enumerate()
+                .filter(|(_, bucket)| !bucket.is_empty())
+                .map(|(p, bucket)| (p as u32, bucket))
+                .collect(),
             changed: self.changed,
             sent: self.sent,
             dynamic_applied: self.dynamic_applied,
@@ -338,6 +358,7 @@ impl<P: VertexProgram> WorkerPool<P> {
     }
 
     fn tx(&self, shard: usize) -> &Sender<Job<P>> {
+        // ipa:allow(panic-freedom) — spawn() rejects zero workers: nonzero divisor, in-range index
         &self.txs[shard % self.txs.len()]
     }
 }
@@ -390,6 +411,7 @@ impl<P: VertexProgram> Executor<P> {
                 if states.len() <= shard {
                     states.resize_with(shard + 1, || None);
                 }
+                // ipa:allow(panic-freedom) — resized to shard + 1 just above
                 states[shard] = Some(ShardState::start(job, program));
                 Ok(())
             }
@@ -473,9 +495,11 @@ impl<P: VertexProgram> Executor<P> {
                             while let Ok(r) = pool.results.try_recv() {
                                 received += 1;
                                 let s = r.shard;
+                                // ipa:allow(panic-freedom) — workers echo job.shard < shards == slots.len()
                                 slots[s] = Some(r);
                             }
                             while next_emit < shards {
+                                // ipa:allow(panic-freedom) — next_emit < shards == slots.len()
                                 match slots[next_emit].take() {
                                     Some(r) => {
                                         emit(r)?;
@@ -494,11 +518,13 @@ impl<P: VertexProgram> Executor<P> {
                         Ok(r) => {
                             received += 1;
                             let s = r.shard;
+                            // ipa:allow(panic-freedom) — workers echo job.shard < shards == slots.len()
                             slots[s] = Some(r);
                         }
                         Err(_) => return Err(worker_died()),
                     }
                     while next_emit < shards {
+                        // ipa:allow(panic-freedom) — next_emit < shards == slots.len()
                         match slots[next_emit].take() {
                             Some(r) => {
                                 emit(r)?;

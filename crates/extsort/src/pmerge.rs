@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use graphz_io::{FaultSurface, IoStats, RecordReader, RecordWriter, TrackedFile};
-use graphz_types::{cast, FixedCodec, GraphError, Result};
+use graphz_types::{cast, FixedCodec, GraphError, IoCtx, Result};
 
 use crate::stream::{RunSource, SortedStream};
 
@@ -95,7 +95,7 @@ where
     let mut lens = Vec::with_capacity(runs.len());
     let mut total = 0u64;
     for path in runs {
-        let file = TrackedFile::open(path, Arc::clone(stats))?;
+        let file = TrackedFile::open(path, Arc::clone(stats)).ctx("open", path)?;
         let bytes = file.len()?;
         if bytes % size != 0 {
             return Err(GraphError::Corrupt(format!(
@@ -170,7 +170,7 @@ where
     // structural invariant that every output-file operation is gated, and
     // makes any future active-surface use chaos-covered by construction.
     surface.op("pmerge:create-output")?;
-    let out = TrackedFile::create(output, Arc::clone(stats))?;
+    let out = TrackedFile::create(output, Arc::clone(stats)).ctx("create", output)?;
     out.set_len(cast::mul_u64(total, size, "merged output bytes")?)?;
     drop(out);
 
@@ -230,7 +230,7 @@ where
         if seg == 0 {
             continue;
         }
-        let mut file = TrackedFile::open(path, Arc::clone(&stats))?;
+        let mut file = TrackedFile::open(path, Arc::clone(&stats)).ctx("open", path)?;
         file.seek(SeekFrom::Start(cast::mul_u64(lo[i], size, "segment start")?))?;
         let limited = BufReader::with_capacity(SEGMENT_BUF_BYTES, file)
             .take(cast::mul_u64(seg, size, "segment bytes")?);
@@ -240,7 +240,7 @@ where
     let mut merged = SortedStream::new(sources, key, records)?;
 
     surface.op("pmerge:open-output-region")?;
-    let mut out = TrackedFile::open_rw(output, stats)?;
+    let mut out = TrackedFile::open_rw(output, stats).ctx("open-rw", output)?;
     out.seek(SeekFrom::Start(cast::mul_u64(start, size, "output region start")?))?;
     let mut w = RecordWriter::<T, _>::from_writer(
         surface.wrap(std::io::BufWriter::with_capacity(SEGMENT_BUF_BYTES, out)),

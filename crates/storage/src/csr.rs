@@ -165,10 +165,14 @@ impl CsrFiles {
         // Baseline CSR converter (GraphChi-style reference rows): it has no
         // FaultSurface in its API and sits outside the ingest fault
         // boundary, so its writers are deliberately raw (DESIGN.md §6j).
-        // flow:allow(fault-surface-bypass)
-        let mut offsets = RecordWriter::<u64>::create(&dir.join("offsets.bin"), Arc::clone(&stats))?;
-        // flow:allow(fault-surface-bypass)
-        let mut edges = RecordWriter::<VertexId>::create(&dir.join("edges.bin"), Arc::clone(&stats))?;
+        let offsets_path = dir.join("offsets.bin");
+        let mut offsets =
+            // flow:allow(fault-surface-bypass) ipa:allow(fault-surface-reach)
+            RecordWriter::<u64>::create(&offsets_path, Arc::clone(&stats)).ctx("create", &offsets_path)?;
+        let edges_path = dir.join("edges.bin");
+        // flow:allow(fault-surface-bypass) ipa:allow(fault-surface-reach)
+        let mut edges = RecordWriter::<VertexId>::create(&edges_path, Arc::clone(&stats))
+            .ctx("create", &edges_path)?;
         let mut next_vertex: u64 = 0;
         let mut written_edges: u64 = 0;
         for e in RecordReader::<Edge>::open(&sorted, Arc::clone(&stats))? {

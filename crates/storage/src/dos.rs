@@ -183,8 +183,8 @@ impl DosIndex {
         // Test/tooling helper: the DOS pipeline writes index.tbl through
         // DosConverter::writer (surface-routed) in the emit stage, so this
         // raw writer is never on a chaos-covered path.
-        // flow:allow(fault-surface-bypass)
-        let mut w = RecordWriter::<DegreeGroup>::create(path, stats)?;
+        // flow:allow(fault-surface-bypass) ipa:allow(fault-surface-reach)
+        let mut w = RecordWriter::<DegreeGroup>::create(path, stats).ctx("create", path)?;
         w.push_all(self.groups.iter())?;
         w.finish()?;
         Ok(())
@@ -635,8 +635,8 @@ impl DosConverter {
                 // requires anyway.
                 let by_deg_sorter =
                     self.sorter(|t: &Triad| (std::cmp::Reverse(t.0), t.1, t.2), fan_in)?;
-                let by_src_runs = ScratchDir::new_in(&root, "by-src")?;
-                let by_deg_runs = ScratchDir::new_in(&root, "by-deg")?;
+                let by_src_runs = ScratchDir::new_in(&root, "by-src").ctx("scratch", &root)?;
+                let by_deg_runs = ScratchDir::new_in(&root, "by-deg").ctx("scratch", &root)?;
                 let by_src = by_src_sorter
                     .sort_stream(input.reader(Arc::clone(&self.stats))?, &by_src_runs)?;
                 let mut by_deg =
@@ -678,9 +678,9 @@ impl DosConverter {
             }
             let mut m = StageManifest::new("triads");
             m.set("assigned", assigned);
-            m.record_file("half-relabeled.bin", &half)?;
-            m.record_file("assign.bin", &assign)?;
-            m.record_file("groups.bin", &groups_path)?;
+            m.record_file("half-relabeled.bin", &half).ctx("record", &half)?;
+            m.record_file("assign.bin", &assign).ctx("record", &assign)?;
+            m.record_file("groups.bin", &groups_path).ctx("record", &groups_path)?;
             m.commit(&manifest_path("triads"), &self.surface)?;
         }
 
@@ -703,7 +703,7 @@ impl DosConverter {
             let fan_in = self.stage_fan_in("old2new", assigned.saturating_mul(16))?;
             {
                 let by_old_sorter = self.sorter(|p: &(u32, u32)| p.0, fan_in)?;
-                let by_old_runs = ScratchDir::new_in(&root, "assign")?;
+                let by_old_runs = ScratchDir::new_in(&root, "assign").ctx("scratch", &root)?;
                 let mut by_old = by_old_sorter.sort_stream(
                     RecordReader::<(u32, u32)>::open(&assign, Arc::clone(&self.stats))?,
                     &by_old_runs,
@@ -731,7 +731,7 @@ impl DosConverter {
                 w.finish()?;
             }
             let mut m = StageManifest::new("old2new");
-            m.record_file("old2new.bin", &old2new_path)?;
+            m.record_file("old2new.bin", &old2new_path).ctx("record", &old2new_path)?;
             m.commit(&manifest_path("old2new"), &self.surface)?;
         }
 
@@ -743,7 +743,7 @@ impl DosConverter {
             let fan_in = self.stage_fan_in("new2old", num_vertices.saturating_mul(16))?;
             {
                 let by_new_sorter = self.sorter(|p: &(u32, u32)| p.0, fan_in)?;
-                let by_new_runs = ScratchDir::new_in(&root, "pairs")?;
+                let by_new_runs = ScratchDir::new_in(&root, "pairs").ctx("scratch", &root)?;
                 let olds = RecordReader::<u32>::open(&old2new_path, Arc::clone(&self.stats))?;
                 let pairs = olds.enumerate().map(|(old, new)| -> Result<(u32, u32)> {
                     // Pass 4 already proved num_vertices fits u32.
@@ -757,7 +757,7 @@ impl DosConverter {
                 w.finish()?;
             }
             let mut m = StageManifest::new("new2old");
-            m.record_file("new2old.bin", &new2old_path)?;
+            m.record_file("new2old.bin", &new2old_path).ctx("record", &new2old_path)?;
             m.commit(&manifest_path("new2old"), &self.surface)?;
         }
 
@@ -778,8 +778,8 @@ impl DosConverter {
                 let by_dst_sorter = self.sorter(|p: &(u32, u32, u32)| (p.1, p.0, p.2), fan_in)?;
                 let final_sorter =
                     self.sorter(|p: &(u32, u32, u32, u32)| (p.0, p.1, p.2, p.3), fan_in)?;
-                let by_dst_runs = ScratchDir::new_in(&root, "half-by-dst")?;
-                let final_runs = ScratchDir::new_in(&root, "final")?;
+                let by_dst_runs = ScratchDir::new_in(&root, "half-by-dst").ctx("scratch", &root)?;
+                let final_runs = ScratchDir::new_in(&root, "final").ctx("scratch", &root)?;
                 let by_dst = by_dst_sorter.sort_stream(
                     RecordReader::<(u32, u32, u32)>::open(&half, Arc::clone(&self.stats))?,
                     &by_dst_runs,
@@ -821,9 +821,10 @@ impl DosConverter {
             }
             let mut m = StageManifest::new("adjacency");
             m.set("written", written);
-            m.record_file("edges.bin", &edges_path)?;
+            m.record_file("edges.bin", &edges_path).ctx("record", &edges_path)?;
             if self.weight_fn.is_some() {
-                m.record_file("weights.bin", &dir.join("weights.bin"))?;
+                let weights = dir.join("weights.bin");
+                m.record_file("weights.bin", &weights).ctx("record", &weights)?;
             }
             m.commit(&manifest_path("adjacency"), &self.surface)?;
         }
@@ -868,9 +869,12 @@ impl DosConverter {
             sums.save_with(&dir.join("checksums.txt"), &self.surface)?;
 
             let mut m = StageManifest::new("emit");
-            m.record_file("index.tbl", &dir.join("index.tbl"))?;
-            m.record_file("meta.txt", &dir.join("meta.txt"))?;
-            m.record_file("checksums.txt", &dir.join("checksums.txt"))?;
+            let index_tbl = dir.join("index.tbl");
+            m.record_file("index.tbl", &index_tbl).ctx("record", &index_tbl)?;
+            let meta_txt = dir.join("meta.txt");
+            m.record_file("meta.txt", &meta_txt).ctx("record", &meta_txt)?;
+            let checksums = dir.join("checksums.txt");
+            m.record_file("checksums.txt", &checksums).ctx("record", &checksums)?;
             m.commit(&manifest_path("emit"), &self.surface)?;
         }
 
@@ -957,7 +961,8 @@ impl DosGraph {
         let (deg, offset) = self.index.lookup(v)?;
         let byte_offset = cast::mul_u64(offset, 4, "dos adjacency byte offset")?;
         let byte_len = cast::mul_usize(cast::degree_index(deg), 4, "dos adjacency length")?;
-        let mut f = TrackedFile::open(&self.edges_path(), stats)?;
+        let edges_path = self.edges_path();
+        let mut f = TrackedFile::open(&edges_path, stats).ctx("open", &edges_path)?;
         f.seek(SeekFrom::Start(byte_offset))?;
         let mut buf = vec![0u8; byte_len];
         f.read_exact(&mut buf)?;
@@ -978,11 +983,13 @@ impl DosGraph {
         let (deg, offset) = self.index.lookup(v)?;
         let byte_offset = cast::mul_u64(offset, 4, "dos adjacency byte offset")?;
         let byte_len = cast::mul_usize(cast::degree_index(deg), 4, "dos adjacency length")?;
-        let mut ef = TrackedFile::open(&self.edges_path(), Arc::clone(&stats))?;
+        let edges_path = self.edges_path();
+        let mut ef =
+            TrackedFile::open(&edges_path, Arc::clone(&stats)).ctx("open", &edges_path)?;
         ef.seek(SeekFrom::Start(byte_offset))?;
         let mut ebuf = vec![0u8; byte_len];
         ef.read_exact(&mut ebuf)?;
-        let mut wf = TrackedFile::open(&weights_path, stats)?;
+        let mut wf = TrackedFile::open(&weights_path, stats).ctx("open", &weights_path)?;
         wf.seek(SeekFrom::Start(byte_offset))?;
         let mut wbuf = vec![0u8; byte_len];
         wf.read_exact(&mut wbuf)?;

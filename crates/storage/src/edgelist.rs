@@ -49,8 +49,8 @@ impl EdgeListFile {
     {
         // Input-fixture constructor (tests/benches/baselines build edge
         // lists with it); the ingest fault boundary starts at import.
-        // flow:allow(fault-surface-bypass)
-        let mut w = RecordWriter::<Edge>::create(path, Arc::clone(&stats))?;
+        // flow:allow(fault-surface-bypass) ipa:allow(fault-surface-reach)
+        let mut w = RecordWriter::<Edge>::create(path, Arc::clone(&stats)).ctx("create", path)?;
         let mut max_id: Option<VertexId> = None;
         let mut degrees: HashMap<VertexId, u64> = HashMap::new();
         for e in edges {
@@ -222,7 +222,7 @@ impl EdgeListFile {
     pub fn export_text(&self, text_path: &Path, stats: Arc<IoStats>) -> Result<()> {
         // Debug/interchange export, not an ingest artifact — no surface in
         // reach and nothing downstream verifies it, so a raw create is fine.
-        // flow:allow(fault-surface-bypass)
+        // flow:allow(fault-surface-bypass) ipa:allow(fault-surface-reach)
         let mut out = std::io::BufWriter::new(std::fs::File::create(text_path).ctx("create", text_path)?);
         writeln!(out, "# GraphZ edge list: {} vertices, {} edges", self.meta.num_vertices, self.meta.num_edges)?;
         for e in self.reader(stats)? {
@@ -245,8 +245,9 @@ impl EdgeListFile {
         {
             // Scratch intermediate of an input-preparation utility, outside
             // the ingest fault boundary (see `create` above).
-            // flow:allow(fault-surface-bypass)
-            let mut w = RecordWriter::<Edge>::create(&doubled, Arc::clone(&stats))?;
+            let mut w =
+                // flow:allow(fault-surface-bypass) ipa:allow(fault-surface-reach)
+                RecordWriter::<Edge>::create(&doubled, Arc::clone(&stats)).ctx("create", &doubled)?;
             for e in self.reader(Arc::clone(&stats))? {
                 let e = e?;
                 if e.src == e.dst {

@@ -270,6 +270,9 @@ impl IngestPipeline {
             max_bad,
         )?;
         if !bad.is_empty() {
+            // The quarantine report is part of the pipeline's fault surface:
+            // chaos sweeps can fail it like any other staged write.
+            self.surface.op("quarantine")?;
             graphz_io::write_atomic(&dir.join("quarantine.txt"), render_quarantine(&bad).as_bytes())?;
         }
         Ok(file)
@@ -328,8 +331,9 @@ impl IngestPipeline {
                     };
                     let mut m = StageManifest::new("import");
                     m.set("edges", file.meta().num_edges);
-                    m.record_file("imported.bin", &imported)?;
-                    m.record_file("imported.bin.meta.txt", &root.join("imported.bin.meta.txt"))?;
+                    m.record_file("imported.bin", &imported).ctx("record", &imported)?;
+                    let meta_txt = root.join("imported.bin.meta.txt");
+                    m.record_file("imported.bin.meta.txt", &meta_txt).ctx("record", &meta_txt)?;
                     m.commit(&manifest, &self.surface)?;
                     file
                 }

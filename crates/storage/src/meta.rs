@@ -64,7 +64,7 @@ impl MetaFile {
         // For callers with no surface in reach (baseline converters, CSR,
         // engine run manifests), all outside the ingest fault boundary; the
         // DOS pipeline saves its sidecars through `save_with` instead.
-        // flow:allow(fault-surface-bypass)
+        // flow:allow(fault-surface-bypass) ipa:allow(fault-surface-reach)
         graphz_io::atomic::write_atomic(path, self.render().as_bytes()).ctx("write", path)?;
         Ok(())
     }
