@@ -96,6 +96,22 @@ step "model check (schedule exploration + deadlock analysis)"
 cargo test --offline -q -p graphz-check --test model_check
 step_done
 
+step "serve (golden transcript + concurrent readers, DESIGN.md §6l)"
+# Boots a real server on a scratch image twice: a scripted TCP session is
+# diffed byte-for-byte against the committed golden transcript, then four
+# readers replay a mixed query script against a pinned snapshot while the
+# engine commits new checkpoint generations mid-flight.
+cargo test -q --offline -p graphz-serve --test golden --test concurrent
+step_done
+
+step "bench: serve queries/sec (1/2/4 reader threads)"
+# Lockstep TCP clients measure full round-trip latency; single-core boxes
+# record scaling_valid: false (same contract as bench_ingest).
+cargo run --release --offline -q -p graphz-bench --bin bench_serve -- \
+  --scale 10 --edges 60000 --queries 4000 --threads 1,2,4 \
+  --out BENCH_serve.json > /dev/null
+step_done
+
 step "bench: pagerank throughput (small graph)"
 cargo run --release --offline -q -p graphz-bench --bin bench_throughput -- \
   --scale 10 --edges 20000 --iterations 5 --budget-kib 8 \

@@ -1,0 +1,222 @@
+//! Serve-throughput benchmark: queries/sec through the `graphz serve`
+//! protocol at 1, 2, and 4 reader threads.
+//!
+//! Generates a deterministic R-MAT graph, converts it to DOS, lays down a
+//! BFS checkpoint generation (so `value` queries hit the snapshot path),
+//! then boots a real [`Server`] once per thread count. Each configuration
+//! drives as many lockstep TCP clients as the server has reader threads,
+//! every client replaying the same mixed point/k-hop/value query cycle,
+//! and records aggregate queries/sec into `BENCH_serve.json`.
+//!
+//! Lockstep clients measure full round-trip request/response latency —
+//! parse, view lookup, render, and the socket — which is what a serve
+//! deployment sees. On a single-core box the thread sweep measures
+//! scheduling overhead, not scaling, so the output carries the core count
+//! and `"scaling_valid"` the same way `bench_ingest` does (DESIGN.md §6i).
+//!
+//! Usage:
+//!   bench_serve [--scale N] [--edges M] [--queries Q]
+//!               [--threads T,T,...] [--out PATH]
+
+#![forbid(unsafe_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use graphz_algos::common::{AlgoParams, Algorithm};
+use graphz_algos::runner::{self, CheckpointSpec};
+use graphz_gen::rmat_edges;
+use graphz_io::{IoStats, ScratchDir};
+use graphz_serve::{ServeOptions, Server};
+use graphz_storage::EdgeListFile;
+use graphz_types::{GraphError, IoCtx, MemoryBudget, Result};
+
+struct Args {
+    scale: u32,
+    edges: u64,
+    queries: u64,
+    threads: Vec<usize>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<&str> {
+        argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).map(String::as_str)
+    };
+    let num = |flag: &str, default: u64| -> u64 {
+        get(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let threads = get("--threads")
+        .map(|list| list.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    Args {
+        scale: num("--scale", 10) as u32,
+        edges: num("--edges", 60_000),
+        queries: num("--queries", 4_000),
+        threads,
+        out: get("--out").map(PathBuf::from).unwrap_or_else(|| "BENCH_serve.json".into()),
+    }
+}
+
+struct Measurement {
+    threads: usize,
+    conns: usize,
+    queries: u64,
+    wall_s: f64,
+    queries_per_sec: f64,
+}
+
+/// One client: `queries` lockstep requests cycling degree → neighbors →
+/// khop → value over a per-client stride of vertex ids.
+fn drive_client(
+    addr: std::net::SocketAddr,
+    client: usize,
+    queries: u64,
+    num_vertices: u64,
+) -> Result<()> {
+    let mut stream = TcpStream::connect(addr).ctx("connect", &PathBuf::from(addr.to_string()))?;
+    stream.set_nodelay(true).ctx("nodelay", &PathBuf::from(addr.to_string()))?;
+    let mut reader =
+        BufReader::new(stream.try_clone().ctx("clone", &PathBuf::from(addr.to_string()))?);
+    let mut req = String::new();
+    let mut resp = String::new();
+    for i in 0..queries {
+        let v = (i.wrapping_mul(7).wrapping_add(client as u64 * 13)) % num_vertices;
+        req.clear();
+        match i % 4 {
+            0 => {
+                req.push_str("degree ");
+                req.push_str(&v.to_string());
+            }
+            1 => {
+                req.push_str("neighbors ");
+                req.push_str(&v.to_string());
+            }
+            2 => {
+                req.push_str("khop ");
+                req.push_str(&v.to_string());
+                req.push_str(" 2");
+            }
+            _ => {
+                req.push_str("value ");
+                req.push_str(&v.to_string());
+            }
+        }
+        req.push('\n');
+        stream.write_all(req.as_bytes()).ctx("write", &PathBuf::from(addr.to_string()))?;
+        resp.clear();
+        reader.read_line(&mut resp).ctx("read", &PathBuf::from(addr.to_string()))?;
+        if !resp.starts_with("OK ") {
+            return Err(GraphError::Algorithm(format!(
+                "client {client} got a non-OK answer to {req:?}: {resp:?}"
+            )));
+        }
+    }
+    stream.write_all(b"quit\n").ctx("write", &PathBuf::from(addr.to_string()))?;
+    resp.clear();
+    reader.read_line(&mut resp).ctx("read", &PathBuf::from(addr.to_string()))?;
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("bench_serve failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let scratch = ScratchDir::new("bench-serve")?;
+    let stats = IoStats::new();
+
+    eprintln!("generating R-MAT scale {} with {} edges ...", args.scale, args.edges);
+    let el = EdgeListFile::create(
+        &scratch.file("g.bin"),
+        Arc::clone(&stats),
+        rmat_edges(args.scale, args.edges, Default::default(), 42),
+    )?;
+    let dos_dir = scratch.path().join("dos");
+    let dos = runner::prepare_dos(&el, &dos_dir, MemoryBudget::from_mib(8), Arc::clone(&stats))?;
+    let num_vertices = dos.index().num_vertices();
+
+    eprintln!("laying down a BFS checkpoint generation ...");
+    let gens = scratch.path().join("gens");
+    let ckpt = CheckpointSpec { dir: Some(gens.clone()), every: 1, resume: false };
+    let params = AlgoParams::new(Algorithm::Bfs).with_source(0).with_max_iterations(50);
+    runner::run_graphz_checkpointed(
+        &dos,
+        &params,
+        MemoryBudget::from_mib(8),
+        &ckpt,
+        Arc::clone(&stats),
+    )?;
+
+    let mut runs: Vec<Measurement> = Vec::new();
+    for &threads in &args.threads {
+        if threads == 0 {
+            continue;
+        }
+        eprintln!("serve: threads={threads} ...");
+        let options = ServeOptions::builder(&dos_dir)
+            .threads(threads)
+            .checkpoint_dir(&gens)
+            .max_conns(threads as u64)
+            .stats(Arc::clone(&stats))
+            .build()?;
+        let server = Server::start(options)?;
+        let addr = server.addr();
+        let start = Instant::now();
+        let clients: Vec<_> = (0..threads)
+            .map(|c| {
+                let queries = args.queries;
+                std::thread::spawn(move || drive_client(addr, c, queries, num_vertices))
+            })
+            .collect();
+        for client in clients {
+            client
+                .join()
+                .map_err(|_| GraphError::Algorithm("bench client panicked".into()))??;
+        }
+        let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+        server.wait()?;
+        let total = args.queries * threads as u64;
+        runs.push(Measurement {
+            threads,
+            conns: threads,
+            queries: total,
+            wall_s,
+            queries_per_sec: total as f64 / wall_s,
+        });
+    }
+
+    // A 1-core box cannot exhibit reader scaling; publish raw numbers but
+    // withhold the verdict (same contract as bench_ingest).
+    let scaling_valid = cores > 1;
+    let body = runs
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"threads\": {}, \"conns\": {}, \"queries\": {}, \"wall_s\": {:.6}, \
+                 \"queries_per_sec\": {:.1}}}",
+                m.threads, m.conns, m.queries, m.wall_s, m.queries_per_sec
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"serve_qps\",\n  \"graph\": {{\"scale\": {}, \"edges\": {}}},\n  \
+         \"queries_per_conn\": {},\n  \"cores\": {},\n  \"scaling_valid\": {},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        args.scale, args.edges, args.queries, cores, scaling_valid, body,
+    );
+    std::fs::write(&args.out, &json).ctx("write", &args.out)?;
+    eprintln!("wrote {}", args.out.display());
+    print!("{json}");
+    Ok(())
+}

@@ -80,6 +80,16 @@ pub const IPA_RULES: &[Rule] = &[
         scope: &[],
         allow: &[],
     },
+    Rule {
+        name: "serve-read-alloc",
+        why: "a serve point query runs once per request across N reader \
+              threads; an allocation, lock, or spawn reachable from the \
+              GraphView hot methods turns concurrent readers into an \
+              allocator/lock convoy (file reads are allowed — out-of-core \
+              adjacency is the design)",
+        scope: &[],
+        allow: &[],
+    },
 ];
 
 /// Crates outside the interprocedural contract: reference baselines, bench
@@ -115,6 +125,15 @@ const PANIC_ENTRIES: &[(&str, &str)] = &[
     ("", "plan_shards"),
     ("", "shard_of"),
     ("", "split_batch"),
+];
+
+/// Serve read-path entries: the four GraphView point-query methods every
+/// protocol request dispatches to (DESIGN.md §6l).
+const SERVE_ENTRIES: &[(&str, &str)] = &[
+    ("GraphView", "degree"),
+    ("GraphView", "neighbors_into"),
+    ("GraphView", "khop_into"),
+    ("GraphView", "value_bytes"),
 ];
 
 pub(crate) fn ipa_rule(name: &str) -> &'static Rule {
@@ -430,6 +449,17 @@ pub fn ipa_files(files: &[SourceFile]) -> Vec<Violation> {
         PANIC_ENTRIES,
         |e| matches!(e, Effect::Panic),
         "in the compute phase",
+        &mut out,
+    );
+    // FileIo is deliberately absent from the offends set: the read path is
+    // out-of-core, so adjacency reads through the reusable cursor are the
+    // point — but allocation, locks, sink creation, and spawns are not.
+    reachability_rule(
+        &a,
+        "serve-read-alloc",
+        SERVE_ENTRIES,
+        |e| matches!(e, Effect::Alloc | Effect::Lock | Effect::SinkIo | Effect::Spawn),
+        "on the serve read path",
         &mut out,
     );
     fault_surface_reach(&a, &mut out);

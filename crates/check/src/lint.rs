@@ -61,7 +61,9 @@ pub const RULES: &[Rule] = &[
         name: "no-unwrap",
         why: "pipeline crates return typed GraphError; a panic in a worker \
               thread poisons queues instead of surfacing an error",
-        scope: &["crates/core/src/", "crates/io/src/"],
+        // serve is in scope: a panic in a reader thread would take down the
+        // whole serving fleet for one bad query.
+        scope: &["crates/core/src/", "crates/io/src/", "crates/serve/src/"],
         allow: &[],
     },
     Rule {
@@ -83,6 +85,13 @@ pub const RULES: &[Rule] = &[
             "crates/extsort/src/pmerge.rs",
             "crates/io/src/readahead.rs",
             "crates/storage/src/chunked.rs",
+            // Serve fleet (PR 10): one accept thread + N reader threads,
+            // joined in Server::shutdown/wait; queries themselves never spawn
+            // (enforced by the serve-read-alloc ipa rule).
+            "crates/serve/src/server.rs",
+            // bench_serve's lockstep TCP clients: one joined driver thread
+            // per connection, measurement harness only — never engine code.
+            "crates/bench/src/bin/bench_serve.rs",
         ],
     },
     Rule {

@@ -4,7 +4,8 @@
 //! *call chain*: an allocation in a helper the Worker loop calls, an
 //! unchecked index behind the Executor feed path, an ungated file-creating
 //! sink reached through a mechanism file the flow pass exempts wholesale,
-//! and a bare fs error `?`-crossing a crate boundary. Fixture trees are
+//! a bare fs error `?`-crossing a crate boundary, and an allocation behind
+//! a GraphView point query on the serve read path. Fixture trees are
 //! *scanned*, not compiled, so they only need to be token-plausible Rust.
 
 use std::collections::BTreeSet;
@@ -105,6 +106,26 @@ fn seed_fixture(root: &Path, suppress: bool) {
         root,
         "crates/storage/src/pipe.rs",
         "pub fn emit(path: &Path) {\n    let _w = raw_writer(path);\n}\n",
+    );
+
+    // serve-read-alloc: a GraphView point query calls a helper that
+    // allocates per request.
+    write(
+        root,
+        "crates/serve/src/view.rs",
+        &format!(
+            "pub struct GraphView {{ hits: u64 }}\n\
+             impl GraphView {{\n\
+             \x20   pub fn degree(&mut self, v: u32) -> u64 {{\n\
+             \x20       label(v)\n\
+             \x20   }}\n\
+             }}\n\
+             fn label(v: u32) -> u64 {{\n\
+             {}    let s = format!(\"v{{v}}\");\n\
+             \x20   s.len() as u64\n\
+             }}\n",
+            allow("serve-read-alloc"),
+        ),
     );
 
     // error-context-prop: a bare fs error `?`-crossing io → core.
@@ -212,6 +233,42 @@ fn helper_chain_cases_flow_misses() {
         "finding must show the call chain: {}",
         sink.message
     );
+}
+
+/// The serve rule's offends set deliberately admits file reads — adjacency
+/// stays out-of-core, so `File::open`/`fs::read` behind a point query are
+/// the design — while an allocation one call away still trips, with the
+/// chain named from the `GraphView` entry method.
+#[test]
+fn serve_read_path_allows_file_io_but_not_alloc() {
+    let root = scratch("ipa_fixture_serve");
+    write(
+        &root,
+        "crates/serve/src/view.rs",
+        "pub struct GraphView { hits: u64 }\n\
+         impl GraphView {\n\
+         \x20   pub fn neighbors_into(&mut self, v: u32) -> u64 {\n\
+         \x20       page_in(v) + label(v)\n\
+         \x20   }\n\
+         }\n\
+         fn page_in(v: u32) -> u64 {\n\
+         \x20   let _f = File::open(\"edges.bin\");\n\
+         \x20   v as u64\n\
+         }\n\
+         fn label(v: u32) -> u64 {\n\
+         \x20   let s = format!(\"v{v}\");\n\
+         \x20   s.len() as u64\n\
+         }\n",
+    );
+    let findings = ipa_tree(&root).expect("analyze fixture");
+    let serve: Vec<_> = findings.iter().filter(|v| v.rule == "serve-read-alloc").collect();
+    assert_eq!(serve.len(), 1, "only the alloc helper must trip:\n{findings:?}");
+    assert!(
+        serve[0].message.contains("serve::GraphView::neighbors_into → serve::label"),
+        "finding must show the call chain: {}",
+        serve[0].message
+    );
+    assert!(serve[0].snippet.contains("format!"), "{:?}", serve[0]);
 }
 
 #[test]

@@ -12,14 +12,15 @@
 
 #![forbid(unsafe_code)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use graphz_algos::runner;
 use graphz_algos::{AlgoParams, Algorithm, AlgoValues};
 use graphz_io::IoStats;
+use graphz_serve::GraphView;
 use graphz_storage::{DosGraph, EdgeListFile, IngestPipeline};
-use graphz_types::{EngineOptions, GraphError, MemoryBudget, Result};
+use graphz_types::{EngineOptions, GraphError, IoCtx, MemoryBudget, Result};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +38,18 @@ pub enum Command {
     },
     Info { path: PathBuf },
     Verify { dos_dir: PathBuf },
-    Stats { edges: PathBuf },
+    Stats { path: PathBuf },
+    Islands { dos_dir: PathBuf, emit: bool },
+    Export { dos_dir: PathBuf, format: String, out: Option<PathBuf>, original: bool },
+    Serve {
+        dos_dir: PathBuf,
+        addr: String,
+        threads: usize,
+        checkpoint_dir: Option<PathBuf>,
+        generation: Option<u32>,
+        max_conns: Option<u64>,
+        port_file: Option<PathBuf>,
+    },
     Run {
         algo: Algorithm,
         dos_dir: PathBuf,
@@ -167,10 +179,68 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "stats",
         aliases: &[],
-        positionals: &["<edges.bin>"],
+        positionals: &["<edges.bin | dos-dir>"],
         flags: &[],
         summary: "degree distribution and unique-degree analysis (paper \u{a7}III-D)",
+        details: "Accepts either a raw edge list (full degree histogram from one\n\
+                  sequential scan) or a converted DOS directory, where the same\n\
+                  numbers come straight from the in-memory degree-group index via\n\
+                  the GraphView read API — no edge scan at all.",
+    },
+    CommandSpec {
+        name: "islands",
+        aliases: &[],
+        positionals: &["<dos-dir>"],
+        flags: &[FlagSpec {
+            name: "--emit",
+            value: None,
+            help: "also print one `storage-id component-label` line per vertex",
+        }],
+        summary: "weakly-connected components from one sequential edge scan",
+        details: "Components are labeled by their smallest storage id, so output is\n\
+                  stable across runs. Uses the GraphView scan tier (union-find over\n\
+                  edges.bin in storage order).",
+    },
+    CommandSpec {
+        name: "export",
+        aliases: &[],
+        positionals: &["<dos-dir>"],
+        flags: &[
+            FlagSpec { name: "--format", value: Some("F"), help: "output format; only `dot` today (default dot)" },
+            FlagSpec { name: "--out", value: Some("FILE"), help: "write to FILE instead of stdout" },
+            FlagSpec {
+                name: "--original",
+                value: None,
+                help: "emit original vertex ids (loads the new2old map) instead of storage ids",
+            },
+        ],
+        summary: "stream the graph as Graphviz DOT",
         details: "",
+    },
+    CommandSpec {
+        name: "serve",
+        aliases: &[],
+        positionals: &["<dos-dir>"],
+        flags: &[
+            FlagSpec { name: "--addr", value: Some("A"), help: "listen address (default 127.0.0.1:0 = OS-assigned port)" },
+            FlagSpec { name: "--threads", value: Some("N"), help: "reader threads, each with its own GraphView (default 4)" },
+            FlagSpec { name: "--checkpoint-dir", value: Some("D"), help: "pin a checkpoint snapshot from D (enables value queries)" },
+            FlagSpec { name: "--generation", value: Some("G"), help: "pin generation G instead of the newest usable one" },
+            FlagSpec { name: "--max-conns", value: Some("N"), help: "exit after serving N connections (scripted sessions)" },
+            FlagSpec { name: "--port-file", value: Some("FILE"), help: "write the bound address to FILE once listening" },
+        ],
+        summary: "serve point queries over a live DOS image (line protocol over TCP)",
+        details: "Requests are single lines: ping, stats, snapshot, degree <v>,\n\
+                  neighbors <v>, khop <v> <k>, value <v>, resolve <orig>,\n\
+                  original <storage>, quit. Responses are one `OK ...` or\n\
+                  `ERR <kind> ...` line each. All ids are storage ids except\n\
+                  resolve's argument; `value` returns the pinned checkpoint's raw\n\
+                  record in hex plus u32/f32 readings of its first word.\n\
+                  \n\
+                  Isolation: the snapshot is pinned (manifest + CRC verified, loaded\n\
+                  into memory) before the listener accepts anything, so every\n\
+                  connection sees one generation; a concurrent `run --checkpoint-dir`\n\
+                  writer is never observed mid-write (DESIGN.md \u{a7}6l).",
     },
     CommandSpec {
         name: "run",
@@ -385,7 +455,45 @@ pub fn parse(args: &[String]) -> Result<Command> {
         }),
         "info" => Ok(Command::Info { path: p.pos(0)? }),
         "verify" => Ok(Command::Verify { dos_dir: p.pos(0)? }),
-        "stats" => Ok(Command::Stats { edges: p.pos(0)? }),
+        "stats" => Ok(Command::Stats { path: p.pos(0)? }),
+        "islands" => Ok(Command::Islands { dos_dir: p.pos(0)?, emit: p.switch("--emit") }),
+        "export" => {
+            let format = p.value("--format").unwrap_or("dot").to_string();
+            if format != "dot" {
+                return Err(GraphError::InvalidConfig(format!(
+                    "unknown export format `{format}` — only `dot` is supported"
+                )));
+            }
+            Ok(Command::Export {
+                dos_dir: p.pos(0)?,
+                format,
+                out: p.value("--out").map(PathBuf::from),
+                original: p.switch("--original"),
+            })
+        }
+        "serve" => Ok(Command::Serve {
+            dos_dir: p.pos(0)?,
+            addr: p.value("--addr").unwrap_or("127.0.0.1:0").to_string(),
+            threads: p.parse_value("--threads", 4usize)?.max(1),
+            checkpoint_dir: p.value("--checkpoint-dir").map(PathBuf::from),
+            generation: p
+                .value("--generation")
+                .map(|raw| {
+                    raw.parse().map_err(|_| {
+                        GraphError::InvalidConfig(format!("bad value for --generation: `{raw}`"))
+                    })
+                })
+                .transpose()?,
+            max_conns: p
+                .value("--max-conns")
+                .map(|raw| {
+                    raw.parse().map_err(|_| {
+                        GraphError::InvalidConfig(format!("bad value for --max-conns: `{raw}`"))
+                    })
+                })
+                .transpose()?,
+            port_file: p.value("--port-file").map(PathBuf::from),
+        }),
         "run" => {
             let algo_raw = p.pos(0)?;
             let algo = match algo_raw.to_string_lossy().to_lowercase().as_str() {
@@ -506,8 +614,10 @@ pub fn execute(cmd: Command) -> Result<String> {
         }
         Command::Info { path } => {
             if path.is_dir() {
-                let dos = DosGraph::open(&path, Arc::clone(&stats))?;
-                let m = dos.meta();
+                // Read through GraphView, like every other interactive
+                // consumer of a converted image.
+                let view = GraphView::open(&path, Arc::clone(&stats))?;
+                let m = view.graph().meta();
                 Ok(format!(
                     "degree-ordered storage at {}\n\
                      vertices: {}\nedges: {}\nunique degrees: {}\nmax degree: {}\n\
@@ -517,7 +627,7 @@ pub fn execute(cmd: Command) -> Result<String> {
                     m.num_edges,
                     m.unique_degrees,
                     m.max_degree,
-                    dos.index().index_bytes()
+                    view.stats().index_bytes
                 ))
             } else {
                 let el = EdgeListFile::open(&path)?;
@@ -553,9 +663,72 @@ pub fn execute(cmd: Command) -> Result<String> {
                 Err(GraphError::Corrupt(out))
             }
         }
-        Command::Stats { edges } => {
-            let el = EdgeListFile::open(&edges)?;
-            Ok(degree_stats(&el, &stats)?)
+        Command::Stats { path } => {
+            if path.is_dir() {
+                // A converted image: everything comes from the degree-group
+                // index through the unified GraphView read API.
+                let view = GraphView::open(&path, Arc::clone(&stats))?;
+                Ok(dos_stats(&view, &path))
+            } else {
+                let el = EdgeListFile::open(&path)?;
+                Ok(degree_stats(&el, &stats)?)
+            }
+        }
+        Command::Islands { dos_dir, emit } => {
+            let view = GraphView::open(&dos_dir, Arc::clone(&stats))?;
+            let islands = view.islands()?;
+            let mut out = format!(
+                "{}: {} component(s), largest {} vertices, {} isolated\n",
+                dos_dir.display(),
+                islands.components(),
+                islands.largest(),
+                islands.isolated()
+            );
+            if emit {
+                for (v, label) in islands.labels().iter().enumerate() {
+                    out.push_str(&format!("{v} {label}\n"));
+                }
+            }
+            Ok(out)
+        }
+        Command::Export { dos_dir, format: _, out, original } => {
+            let view = GraphView::open(&dos_dir, Arc::clone(&stats))?;
+            let mut buf = Vec::new();
+            let edges = view.export_dot(&mut buf, original)?;
+            let rendered = String::from_utf8(buf)
+                .map_err(|_| GraphError::Corrupt("export produced non-UTF-8 output".into()))?;
+            match out {
+                Some(file) => {
+                    std::fs::write(&file, rendered).ctx("write", &file)?;
+                    Ok(format!("wrote {} edges as dot to {}\n", edges, file.display()))
+                }
+                None => Ok(rendered),
+            }
+        }
+        Command::Serve { dos_dir, addr, threads, checkpoint_dir, generation, max_conns, port_file } => {
+            let mut builder = graphz_serve::ServeOptions::builder(&dos_dir)
+                .addr(&addr)
+                .threads(threads)
+                .stats(Arc::clone(&stats));
+            if let Some(dir) = &checkpoint_dir {
+                builder = builder.checkpoint_dir(dir);
+            }
+            if let Some(g) = generation {
+                builder = builder.generation(g);
+            }
+            if let Some(n) = max_conns {
+                builder = builder.max_conns(n);
+            }
+            let server = graphz_serve::Server::start(builder.build()?)?;
+            let bound = server.addr();
+            if let Some(file) = &port_file {
+                std::fs::write(file, format!("{bound}\n")).map_err(GraphError::Io)?;
+            }
+            // Status goes to stderr immediately — the returned string is only
+            // printed after the server exits.
+            eprintln!("graphz serve: listening on {bound} ({threads} reader threads)");
+            let served = server.wait()?;
+            Ok(format!("served {served} connection(s) on {bound}\n"))
         }
         Command::Run {
             algo,
@@ -628,6 +801,38 @@ pub fn execute(cmd: Command) -> Result<String> {
             Ok(out)
         }
     }
+}
+
+/// The stats page for a converted DOS image: the same §III-D numbers as the
+/// edge-list path, but read straight off the degree-group index (one entry
+/// per unique degree) through [`GraphView`] — no edge scan at all.
+fn dos_stats(view: &GraphView, path: &Path) -> String {
+    let st = view.stats();
+    let bound = graphz_storage::dos::unique_degree_bound(st.num_edges);
+    let mut out = format!(
+        "{}\nvertices: {}\nedges: {}\n\
+         unique out-degrees: {} (Claim-1 bound 2*sqrt(E) = {})\n\
+         max out-degree: {}\nindex bytes: {}\n",
+        path.display(),
+        st.num_vertices,
+        st.num_edges,
+        st.unique_degrees,
+        bound,
+        st.max_degree,
+        st.index_bytes,
+    );
+    // The index *is* the histogram: each group covers the vertices
+    // `first_id .. next.first_id`, all with the same degree. Groups are
+    // stored by descending degree; print ascending like the edge-list path.
+    let groups = view.graph().index().groups();
+    let n = st.num_vertices;
+    out.push_str("degree histogram (first 10 buckets):\n");
+    for (gi, g) in groups.iter().enumerate().rev().take(10) {
+        let end = groups.get(gi + 1).map_or(n, |ng| u64::from(ng.first_id));
+        let count = end - u64::from(g.first_id);
+        out.push_str(&format!("  degree {:>6}: {count} vertices\n", g.degree));
+    }
+    out
 }
 
 /// The §III-D analysis as a tool: degree distribution, unique-degree count
@@ -911,6 +1116,144 @@ mod tests {
         // A value-taking flag at the end of the line is an error.
         let err = parse(&args("generate g.bin --scale")).unwrap_err();
         assert!(err.to_string().contains("--scale"), "{err}");
+        // The new read-API rows reject strangers too, naming themselves.
+        let err = parse(&args("serve dos --checkpoint-every 2")).unwrap_err();
+        assert!(err.to_string().contains("graphz serve"), "{err}");
+        let err = parse(&args("islands dos --format dot")).unwrap_err();
+        assert!(err.to_string().contains("graphz islands"), "{err}");
+        let err = parse(&args("export dos --emit")).unwrap_err();
+        assert!(err.to_string().contains("graphz export"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_with_flags_and_defaults() {
+        assert_eq!(
+            parse(&args("serve dos")).unwrap(),
+            Command::Serve {
+                dos_dir: "dos".into(),
+                addr: "127.0.0.1:0".into(),
+                threads: 4,
+                checkpoint_dir: None,
+                generation: None,
+                max_conns: None,
+                port_file: None,
+            }
+        );
+        match parse(&args(
+            "serve dos --addr 127.0.0.1:4167 --threads 2 --checkpoint-dir ck \
+             --generation 3 --max-conns 10 --port-file p.txt",
+        ))
+        .unwrap()
+        {
+            Command::Serve { addr, threads, checkpoint_dir, generation, max_conns, port_file, .. } => {
+                assert_eq!(addr, "127.0.0.1:4167");
+                assert_eq!(threads, 2);
+                assert_eq!(checkpoint_dir, Some("ck".into()));
+                assert_eq!(generation, Some(3));
+                assert_eq!(max_conns, Some(10));
+                assert_eq!(port_file, Some("p.txt".into()));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // --threads 0 is clamped like run's.
+        match parse(&args("serve dos --threads 0")).unwrap() {
+            Command::Serve { threads, .. } => assert_eq!(threads, 1),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("serve dos --generation nope")).is_err());
+        assert!(parse(&args("serve dos --max-conns many")).is_err());
+    }
+
+    #[test]
+    fn parses_islands_and_export() {
+        assert_eq!(
+            parse(&args("islands dos --emit")).unwrap(),
+            Command::Islands { dos_dir: "dos".into(), emit: true }
+        );
+        assert_eq!(
+            parse(&args("export dos --out g.dot --original")).unwrap(),
+            Command::Export {
+                dos_dir: "dos".into(),
+                format: "dot".into(),
+                out: Some("g.dot".into()),
+                original: true,
+            }
+        );
+        let err = parse(&args("export dos --format gexf")).unwrap_err();
+        assert!(err.to_string().contains("gexf"), "{err}");
+    }
+
+    #[test]
+    fn stats_islands_export_read_through_graphview() {
+        let dir = graphz_io::ScratchDir::new("cli-view").unwrap();
+        let txt = dir.file("g.txt");
+        // Two 3-cycles, disjoint: components {0,1,2} and {3,4,5}.
+        std::fs::write(&txt, "0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n").unwrap();
+        let dos = dir.path().join("dos").display().to_string();
+        execute(parse(&args(&format!("convert {} {dos}", txt.display()))).unwrap()).unwrap();
+
+        let out = execute(parse(&args(&format!("stats {dos}"))).unwrap()).unwrap();
+        assert!(out.contains("vertices: 6"), "{out}");
+        assert!(out.contains("unique out-degrees: 1"), "{out}");
+        assert!(out.contains("degree histogram"), "{out}");
+
+        let out = execute(parse(&args(&format!("islands {dos} --emit"))).unwrap()).unwrap();
+        assert!(out.contains("2 component(s), largest 3 vertices, 0 isolated"), "{out}");
+        // --emit prints a line per vertex.
+        assert_eq!(out.lines().count(), 1 + 6, "{out}");
+
+        let dot = dir.file("g.dot");
+        let out = execute(
+            parse(&args(&format!("export {dos} --out {} --original", dot.display()))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("wrote 6 edges"), "{out}");
+        let text = std::fs::read_to_string(&dot).unwrap();
+        assert!(text.contains("0 -> 1;"), "{text}");
+        assert!(text.contains("5 -> 3;"), "{text}");
+        // Without --out the DOT text itself is the command output.
+        let inline = execute(parse(&args(&format!("export {dos}"))).unwrap()).unwrap();
+        assert!(inline.starts_with("digraph graphz {"), "{inline}");
+    }
+
+    #[test]
+    fn serve_command_answers_queries_end_to_end() {
+        use std::io::{BufRead, BufReader, Write};
+        let dir = graphz_io::ScratchDir::new("cli-serve").unwrap();
+        let txt = dir.file("g.txt");
+        std::fs::write(&txt, "0 1\n1 2\n2 0\n").unwrap();
+        let dos = dir.path().join("dos").display().to_string();
+        execute(parse(&args(&format!("convert {} {dos}", txt.display()))).unwrap()).unwrap();
+
+        let port_file = dir.file("port.txt");
+        let line = format!(
+            "serve {dos} --threads 2 --max-conns 1 --port-file {}",
+            port_file.display()
+        );
+        let cmd = parse(&args(&line)).unwrap();
+        let server = std::thread::spawn(move || execute(cmd));
+        // The port file appears once the listener is bound.
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if s.ends_with('\n') {
+                    break s.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut resp = String::new();
+        for (req, want) in [("ping", "OK pong"), ("degree 0", "OK 1"), ("quit", "OK bye")] {
+            conn.write_all(req.as_bytes()).unwrap();
+            conn.write_all(b"\n").unwrap();
+            resp.clear();
+            reader.read_line(&mut resp).unwrap();
+            assert_eq!(resp.trim_end(), want);
+        }
+        drop(conn);
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("served 1 connection(s)"), "{out}");
     }
 
     #[test]

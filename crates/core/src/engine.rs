@@ -15,8 +15,10 @@ use graphz_types::{
     EngineOptions, FixedCodec, GraphError, IoCtx, MemoryBudget, Result, VertexId,
 };
 
-/// On-disk checkpoint layout version (`manifest.txt` + framed files).
-const CHECKPOINT_VERSION: u64 = 2;
+/// On-disk checkpoint layout version (`manifest.txt` + framed files) —
+/// defined once in [`crate::generations`], shared with every non-engine
+/// consumer of a checkpoint root (the serving layer's snapshot pinning).
+use crate::generations::{self, CHECKPOINT_VERSION};
 
 /// Copy `src` into `dst` wrapped in a checksummed frame, returning the
 /// payload length and CRC32 recorded in the checkpoint manifest. Writes pass
@@ -55,27 +57,6 @@ fn copy_from_frame(src: &Path, dst: &Path, stats: &Arc<IoStats>) -> Result<()> {
     let mut out = TrackedFile::create(dst, Arc::clone(stats)).ctx("create", dst)?;
     std::io::copy(&mut framed, &mut out).map_err(GraphError::from).ctx("restore", src)?;
     Ok(())
-}
-
-/// Parse a `file:<rel>` manifest value of the form `<len>,<crc-hex>`.
-fn parse_manifest_entry(rel: &str, value: &str) -> Result<(u64, u32)> {
-    value
-        .split_once(',')
-        .and_then(|(len, crc)| Some((len.parse().ok()?, u32::from_str_radix(crc, 16).ok()?)))
-        .ok_or_else(|| {
-            GraphError::Corrupt(format!("manifest entry for `{rel}` is malformed: `{value}`"))
-        })
-}
-
-/// Parse a `gen-NNNNNNNN` checkpoint directory name. Anything else — staging
-/// leftovers (`.tmp`), displaced old generations (`.old`), stray files —
-/// returns `None`.
-fn parse_generation_name(name: &str) -> Option<u32> {
-    let digits = name.strip_prefix("gen-")?;
-    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
-        return None;
-    }
-    digits.parse().ok()
 }
 
 use crate::msgmanager::MsgManager;
@@ -632,7 +613,7 @@ impl<P: VertexProgram> Engine<P> {
                         vfile.flush()?;
                         self.msgs.flush()?;
                         let next = iter + 1;
-                        self.write_checkpoint(&Self::generation_path(&root, next), next)?;
+                        self.write_checkpoint(&generations::generation_path(&root, next), next)?;
                     }
                 }
 
@@ -763,27 +744,12 @@ impl<P: VertexProgram> Engine<P> {
     /// [`GraphError::Corrupt`] (or [`GraphError::NotFound`] for a missing
     /// checkpoint), never as silently wrong values.
     pub fn restore(&mut self, dir: &Path) -> Result<()> {
-        let manifest_path = dir.join("manifest.txt");
-        if !manifest_path.is_file() {
-            return Err(GraphError::NotFound(format!(
-                "no checkpoint manifest at {}",
-                manifest_path.display()
-            )));
-        }
-        let mf = graphz_storage::meta::MetaFile::load(&manifest_path)?;
-        if mf.get("format") != Some("graphz-checkpoint") {
-            return Err(GraphError::Corrupt(format!(
-                "{} is not a GraphZ checkpoint",
-                dir.display()
-            )));
-        }
-        let version = mf.get_u64("version")?;
-        if version != CHECKPOINT_VERSION {
-            return Err(GraphError::Corrupt(format!(
-                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
-            )));
-        }
-        let partitions = mf.get_u64("partitions")? as u32;
+        // Structural validation + checksum verification live in the shared
+        // generations module (the serving layer pins generations through
+        // the same code); the partition-compatibility check and the apply
+        // pass are engine-specific.
+        let manifest = generations::load_manifest(dir)?;
+        let partitions = manifest.partitions()?;
         if partitions != self.partitions.num_partitions() {
             return Err(GraphError::InvalidConfig(format!(
                 "checkpoint has {partitions} partitions, engine has {} — graph or budget mismatch",
@@ -794,45 +760,13 @@ impl<P: VertexProgram> Engine<P> {
         // Verification pass: every manifest-listed file must exist and match
         // its recorded length + checksum. Nothing is modified yet, so a
         // corrupt generation leaves the engine untouched.
-        let mut files: Vec<(&str, u64, u32)> = Vec::new();
-        for (key, value) in mf.entries() {
-            let Some(rel) = key.strip_prefix("file:") else { continue };
-            let (len, crc) = parse_manifest_entry(rel, value)?;
-            files.push((rel, len, crc));
-        }
-        if !files.iter().any(|(rel, _, _)| *rel == "vertices.bin") {
-            return Err(GraphError::Corrupt(format!(
-                "checkpoint manifest at {} lists no vertices.bin",
-                dir.display()
-            )));
-        }
-        for &(rel, want_len, want_crc) in &files {
-            let path = dir.join(rel);
-            let reader = graphz_io::tracked::reader(&path, Arc::clone(&self.stats))
-                .map_err(|e| match e.kind() {
-                    std::io::ErrorKind::NotFound => GraphError::Corrupt(format!(
-                        "checkpoint file {} listed in manifest is missing",
-                        path.display()
-                    )),
-                    _ => GraphError::Io(e),
-                })?;
-            let (len, crc) = graphz_io::framed::verify_stream(reader)
-                .map_err(GraphError::from)
-                .ctx("verify", &path)?;
-            if len != want_len || crc != want_crc {
-                return Err(GraphError::Corrupt(format!(
-                    "checkpoint file {} does not match its manifest entry: \
-                     len {len} vs {want_len}, crc {crc:08x} vs {want_crc:08x}",
-                    path.display()
-                )));
-            }
-        }
+        manifest.verify_files(&self.stats)?;
 
         // Apply pass: unframe into engine scratch.
         for entry in std::fs::read_dir(self.msgs.dir()).ctx("read-dir", self.msgs.dir())? {
             let _ = std::fs::remove_file(entry.ctx("read-dir", self.msgs.dir())?.path());
         }
-        for &(rel, _, _) in &files {
+        for (rel, _, _) in manifest.files() {
             let src = dir.join(rel);
             let dst = if rel == "vertices.bin" {
                 self.vertices_path.clone()
@@ -846,12 +780,13 @@ impl<P: VertexProgram> Engine<P> {
             copy_from_frame(&src, &dst, &self.stats)?;
         }
 
+        let mf = manifest.meta();
         self.msgs.restore(crate::msgmanager::MsgCounters {
             buffered: mf.get_u64("msg_buffered")?,
             spilled: mf.get_u64("msg_spilled")?,
             replayed: mf.get_u64("msg_replayed")?,
         });
-        self.next_iteration = mf.get_u64("next_iteration")? as u32;
+        self.next_iteration = manifest.next_iteration()?;
         self.initialized = true;
         Ok(())
     }
@@ -867,22 +802,9 @@ impl<P: VertexProgram> Engine<P> {
     /// incompatible engine layout still fails with
     /// [`GraphError::InvalidConfig`].
     pub fn resume_latest(&mut self, root: &Path) -> Result<Option<u32>> {
-        let entries = match std::fs::read_dir(root) {
-            Ok(e) => e,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(GraphError::Io(e)).ctx("read-dir", root),
-        };
-        let mut gens: Vec<(u32, PathBuf)> = Vec::new();
-        for entry in entries {
-            let entry = entry.ctx("read-dir", root)?;
-            let name = entry.file_name();
-            let Some(gen) = parse_generation_name(&name.to_string_lossy()) else { continue };
-            gens.push((gen, entry.path()));
-        }
-        gens.sort_by_key(|g| std::cmp::Reverse(g.0));
-        for (gen, path) in gens {
-            match self.restore(&path) {
-                Ok(()) => return Ok(Some(gen)),
+        for generation in generations::list_generations(root)? {
+            match self.restore(&generation.path) {
+                Ok(()) => return Ok(Some(generation.number)),
                 // Crash damage: skip to the next older generation.
                 Err(GraphError::Corrupt(_) | GraphError::NotFound(_) | GraphError::Io(_)) => {
                     continue
@@ -891,11 +813,6 @@ impl<P: VertexProgram> Engine<P> {
             }
         }
         Ok(None)
-    }
-
-    /// Path of generation `n` under the configured checkpoint root.
-    fn generation_path(root: &Path, next_iteration: u32) -> PathBuf {
-        root.join(format!("gen-{next_iteration:08}"))
     }
 
     /// Final vertex values in storage order.

@@ -1,0 +1,266 @@
+//! Checkpoint generation discovery and verification, factored out of the
+//! engine so it can be shared by every consumer of a checkpoint root:
+//! [`crate::engine::Engine::resume_latest`] (restore-into-engine), the
+//! serving layer's `Snapshot` (pin-and-read without an engine), and any
+//! tooling that needs to enumerate what generations exist.
+//!
+//! A checkpoint root holds `gen-NNNNNNNN/` directories (one per completed
+//! generation, named by the iteration the run would continue from), each
+//! written atomically via a staged rename and described by a `manifest.txt`
+//! recording the payload length and CRC32 of every framed file. The
+//! functions here only ever *read*: listing is one `read_dir`, and
+//! verification replays each file's frame against the manifest entry
+//! without touching the files' contents on disk — which is what makes a
+//! pinned generation safe to serve from while a writer lays down newer
+//! ones next to it (DESIGN.md §6l).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use graphz_io::IoStats;
+use graphz_storage::meta::MetaFile;
+use graphz_types::{GraphError, IoCtx, Result};
+
+/// On-disk checkpoint layout version (`manifest.txt` + framed files).
+pub const CHECKPOINT_VERSION: u64 = 2;
+
+/// Parse a `gen-NNNNNNNN` checkpoint directory name. Anything else — staging
+/// leftovers (`.tmp`), displaced old generations (`.old`), stray files —
+/// returns `None`.
+pub fn parse_generation_name(name: &str) -> Option<u32> {
+    let digits = name.strip_prefix("gen-")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Path of generation `n` under a checkpoint root.
+pub fn generation_path(root: &Path, n: u32) -> PathBuf {
+    root.join(format!("gen-{n:08}"))
+}
+
+/// One discovered generation directory (not yet verified).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generation {
+    /// The `next_iteration` the directory name encodes.
+    pub number: u32,
+    pub path: PathBuf,
+}
+
+/// Enumerate the generation directories under `root`, newest first. A
+/// missing root is an empty listing (a run that never checkpointed), not an
+/// error; names that are not `gen-NNNNNNNN` (staging leftovers, displaced
+/// `.old` trees) are skipped. No manifest is opened — pair with
+/// [`load_manifest`] / [`GenerationManifest::verify_files`] to find the
+/// newest *usable* one.
+pub fn list_generations(root: &Path) -> Result<Vec<Generation>> {
+    let entries = match std::fs::read_dir(root) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(GraphError::Io(e)).ctx("read-dir", root),
+    };
+    let mut gens: Vec<Generation> = Vec::new();
+    for entry in entries {
+        let entry = entry.ctx("read-dir", root)?;
+        let name = entry.file_name();
+        let Some(number) = parse_generation_name(&name.to_string_lossy()) else { continue };
+        gens.push(Generation { number, path: entry.path() });
+    }
+    gens.sort_by_key(|g| std::cmp::Reverse(g.number));
+    Ok(gens)
+}
+
+/// A parsed (and structurally validated) checkpoint manifest: the layout
+/// version and format markers checked, the file table decoded, and
+/// `vertices.bin` confirmed present. Contents are *not* yet checked against
+/// the recorded checksums — that is [`verify_files`].
+///
+/// [`verify_files`]: GenerationManifest::verify_files
+#[derive(Debug)]
+pub struct GenerationManifest {
+    dir: PathBuf,
+    meta: MetaFile,
+    /// `(relative path, payload length, payload crc32)` per manifest entry.
+    files: Vec<(String, u64, u32)>,
+}
+
+/// Parse a `file:<rel>` manifest value of the form `<len>,<crc-hex>`.
+fn parse_manifest_entry(rel: &str, value: &str) -> Result<(u64, u32)> {
+    value
+        .split_once(',')
+        .and_then(|(len, crc)| Some((len.parse().ok()?, u32::from_str_radix(crc, 16).ok()?)))
+        .ok_or_else(|| {
+            GraphError::Corrupt(format!("manifest entry for `{rel}` is malformed: `{value}`"))
+        })
+}
+
+/// Load and structurally validate the manifest of one generation directory.
+/// A missing manifest is [`GraphError::NotFound`] (torn rename / not a
+/// checkpoint); a wrong format marker, unsupported version, or missing
+/// `vertices.bin` entry is [`GraphError::Corrupt`].
+pub fn load_manifest(dir: &Path) -> Result<GenerationManifest> {
+    let manifest_path = dir.join("manifest.txt");
+    if !manifest_path.is_file() {
+        return Err(GraphError::NotFound(format!(
+            "no checkpoint manifest at {}",
+            manifest_path.display()
+        )));
+    }
+    let mf = MetaFile::load(&manifest_path)?;
+    if mf.get("format") != Some("graphz-checkpoint") {
+        return Err(GraphError::Corrupt(format!("{} is not a GraphZ checkpoint", dir.display())));
+    }
+    let version = mf.get_u64("version")?;
+    if version != CHECKPOINT_VERSION {
+        return Err(GraphError::Corrupt(format!(
+            "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+        )));
+    }
+    let mut files: Vec<(String, u64, u32)> = Vec::new();
+    for (key, value) in mf.entries() {
+        let Some(rel) = key.strip_prefix("file:") else { continue };
+        let (len, crc) = parse_manifest_entry(rel, value)?;
+        files.push((rel.to_string(), len, crc));
+    }
+    if !files.iter().any(|(rel, _, _)| rel == "vertices.bin") {
+        return Err(GraphError::Corrupt(format!(
+            "checkpoint manifest at {} lists no vertices.bin",
+            dir.display()
+        )));
+    }
+    Ok(GenerationManifest { dir: dir.to_path_buf(), meta: mf, files })
+}
+
+impl GenerationManifest {
+    /// The generation directory this manifest describes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The iteration a resumed run continues from.
+    pub fn next_iteration(&self) -> Result<u32> {
+        Ok(self.meta.get_u64("next_iteration")? as u32)
+    }
+
+    /// The partition count the checkpoint was written under.
+    pub fn partitions(&self) -> Result<u32> {
+        Ok(self.meta.get_u64("partitions")? as u32)
+    }
+
+    /// Raw access to the manifest key/value table (engine-specific fields
+    /// such as message counters).
+    pub fn meta(&self) -> &MetaFile {
+        &self.meta
+    }
+
+    /// `(relative path, payload length, payload crc32)` per manifest entry.
+    pub fn files(&self) -> &[(String, u64, u32)] {
+        &self.files
+    }
+
+    /// Verify every manifest-listed file against its recorded length and
+    /// CRC32 by replaying the frames. Nothing is modified; damage surfaces
+    /// as typed [`GraphError::Corrupt`] so a caller scanning newest-first
+    /// can skip to the next older generation.
+    pub fn verify_files(&self, stats: &Arc<IoStats>) -> Result<()> {
+        for (rel, want_len, want_crc) in &self.files {
+            let path = self.dir.join(rel);
+            let reader =
+                graphz_io::tracked::reader(&path, Arc::clone(stats)).map_err(|e| match e.kind() {
+                    std::io::ErrorKind::NotFound => GraphError::Corrupt(format!(
+                        "checkpoint file {} listed in manifest is missing",
+                        path.display()
+                    )),
+                    _ => GraphError::Io(e),
+                })?;
+            let (len, crc) = graphz_io::framed::verify_stream(reader)
+                .map_err(GraphError::from)
+                .ctx("verify", &path)?;
+            if len != *want_len || crc != *want_crc {
+                return Err(GraphError::Corrupt(format!(
+                    "checkpoint file {} does not match its manifest entry: \
+                     len {len} vs {want_len}, crc {crc:08x} vs {want_crc:08x}",
+                    path.display()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Unframe one manifest-listed file fully into memory (the serving
+    /// layer's way to read `vertices.bin` from a pinned generation without
+    /// an engine scratch directory). The frame's own trailer checksum is
+    /// verified by the reader as a side effect of draining it.
+    pub fn read_file(&self, rel: &str, stats: &Arc<IoStats>) -> Result<Vec<u8>> {
+        if !self.files.iter().any(|(r, _, _)| r == rel) {
+            return Err(GraphError::NotFound(format!(
+                "checkpoint manifest at {} lists no `{rel}`",
+                self.dir.display()
+            )));
+        }
+        let path = self.dir.join(rel);
+        let reader = graphz_io::tracked::reader(&path, Arc::clone(stats)).ctx("read", &path)?;
+        let mut framed =
+            graphz_io::FramedReader::new(reader).map_err(GraphError::from).ctx("read", &path)?;
+        let mut out = Vec::new();
+        std::io::Read::read_to_end(&mut framed, &mut out)
+            .map_err(GraphError::from)
+            .ctx("read", &path)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphz_io::ScratchDir;
+
+    #[test]
+    fn parses_generation_names_strictly() {
+        assert_eq!(parse_generation_name("gen-00000012"), Some(12));
+        assert_eq!(parse_generation_name("gen-0"), Some(0));
+        assert_eq!(parse_generation_name("gen-"), None);
+        assert_eq!(parse_generation_name("gen-12.tmp"), None);
+        assert_eq!(parse_generation_name("gen-12.old"), None);
+        assert_eq!(parse_generation_name("snapshot"), None);
+    }
+
+    #[test]
+    fn generation_path_round_trips_through_the_parser() {
+        let p = generation_path(Path::new("/ck"), 7);
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert_eq!(parse_generation_name(&name), Some(7));
+    }
+
+    #[test]
+    fn listing_is_newest_first_and_skips_leftovers() {
+        let dir = ScratchDir::new("generations-list").unwrap();
+        for name in ["gen-00000002", "gen-00000010", "gen-00000001", "gen-3.tmp", "junk"] {
+            std::fs::create_dir(dir.path().join(name)).unwrap();
+        }
+        std::fs::write(dir.path().join("stray.txt"), b"x").unwrap();
+        let gens = list_generations(dir.path()).unwrap();
+        let numbers: Vec<u32> = gens.iter().map(|g| g.number).collect();
+        assert_eq!(numbers, vec![10, 2, 1]);
+    }
+
+    #[test]
+    fn missing_root_lists_empty() {
+        let dir = ScratchDir::new("generations-missing").unwrap();
+        let gens = list_generations(&dir.path().join("never-created")).unwrap();
+        assert!(gens.is_empty());
+    }
+
+    #[test]
+    fn manifest_of_a_non_checkpoint_is_typed() {
+        let dir = ScratchDir::new("generations-nonckpt").unwrap();
+        // No manifest at all: NotFound (torn rename / empty dir).
+        assert!(matches!(load_manifest(dir.path()), Err(GraphError::NotFound(_))));
+        // A manifest with the wrong format marker: Corrupt.
+        let mut mf = MetaFile::new();
+        mf.set("format", "something-else");
+        mf.save(&dir.path().join("manifest.txt")).unwrap();
+        assert!(matches!(load_manifest(dir.path()), Err(GraphError::Corrupt(_))));
+    }
+}

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod generations;
 pub mod graphchi_compat;
 #[cfg(feature = "model")]
 pub mod model_hooks;
@@ -42,5 +43,9 @@ pub mod store;
 pub mod worker;
 
 pub use engine::{Engine, EngineConfig, RunSummary, StageTimes};
+pub use generations::{
+    generation_path, list_generations, load_manifest, parse_generation_name, Generation,
+    GenerationManifest,
+};
 pub use program::{UpdateContext, VertexProgram};
 pub use store::{DenseStore, DosStore, GraphStore};

@@ -1,0 +1,29 @@
+//! `graphz serve` — a concurrent query layer over live DOS images.
+//!
+//! The engine crates answer "run this algorithm over the whole graph"; this
+//! crate answers "what is *this vertex's* degree / neighborhood / current
+//! PageRank" while the image (and its checkpoint directory) sits on disk.
+//! Three layers (DESIGN.md §6l):
+//!
+//! * [`GraphView`] — the unified read API every interactive consumer uses:
+//!   point queries (degree, neighbors, k-hop, checkpoint values) on an
+//!   allocation-free hot path, plus whole-graph scans (stats, islands, DOT
+//!   export) for the CLI.
+//! * [`Snapshot`] — snapshot isolation for algorithm-result reads: one
+//!   checkpoint generation, CRC-verified and pinned in memory, immune to
+//!   concurrent checkpoint writers by construction.
+//! * [`Server`] — the `graphz serve` subcommand's line-delimited protocol
+//!   ([`protocol`]) over a local TCP socket, N reader threads, zero locks
+//!   per query.
+
+#![forbid(unsafe_code)]
+
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod view;
+
+pub use protocol::{parse_request, Request, Session, MAX_K, MAX_LIST};
+pub use server::{ServeOptions, ServeOptionsBuilder, Server};
+pub use snapshot::Snapshot;
+pub use view::{GraphView, Islands, ViewStats};

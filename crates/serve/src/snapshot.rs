@@ -1,0 +1,139 @@
+//! Snapshot pinning: one checkpoint generation, verified and loaded into
+//! memory, immutable for the snapshot's lifetime.
+//!
+//! The isolation argument (DESIGN.md §6l) is structural rather than
+//! lock-based. A generation directory is only ever *created* — staged under
+//! a temporary name, fsynced, then renamed into place by the engine's
+//! checkpoint writer — and never modified afterwards, so the only unsafe
+//! window is an in-progress generation, which either has no `gen-NNNNNNNN`
+//! name yet (staged dirs are skipped by the lister) or fails manifest/CRC
+//! verification and is skipped by [`Snapshot::pin_latest`] exactly like
+//! `Engine::resume_latest` skips crash damage. Once pinned, the vertex
+//! values live in this struct's own buffer: a reader can never observe a
+//! newer or partial generation because it never goes back to disk.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use graphz_core::generations::{self, GenerationManifest};
+use graphz_io::IoStats;
+use graphz_types::{cast, GraphError, Result, VertexId};
+
+/// One pinned checkpoint generation: the vertex-value records of
+/// `vertices.bin`, verified against the generation manifest and held in
+/// memory in storage order.
+///
+/// Records are opaque fixed-width byte strings here — the engine's
+/// `VertexData` layout is algorithm-specific ((dist, pending) `u32` pairs
+/// for BFS, (value, votes) `f32` pairs for PageRank, …) — so the snapshot
+/// exposes raw bytes per vertex and the protocol layer renders typed
+/// interpretations alongside the hex.
+pub struct Snapshot {
+    generation: u32,
+    next_iteration: u32,
+    num_vertices: u64,
+    record_size: usize,
+    values: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Pin generation `number` under `root`, verifying the manifest and
+    /// every recorded checksum before loading `vertices.bin`.
+    pub fn pin(
+        root: &Path,
+        number: u32,
+        num_vertices: u64,
+        stats: &Arc<IoStats>,
+    ) -> Result<Snapshot> {
+        let dir = generations::generation_path(root, number);
+        let manifest = generations::load_manifest(&dir)?;
+        Self::from_manifest(&manifest, number, num_vertices, stats)
+    }
+
+    /// Pin the newest *usable* generation under `root`: generations are
+    /// scanned newest-first and any that fail verification (torn rename,
+    /// truncated file, checksum mismatch — i.e. a writer mid-flight or
+    /// crash damage) are skipped, so a concurrent checkpoint writer can
+    /// never be observed half-written. [`GraphError::NotFound`] if no
+    /// generation verifies.
+    pub fn pin_latest(root: &Path, num_vertices: u64, stats: &Arc<IoStats>) -> Result<Snapshot> {
+        for generation in generations::list_generations(root)? {
+            let manifest = match generations::load_manifest(&generation.path) {
+                Ok(m) => m,
+                Err(GraphError::Corrupt(_) | GraphError::NotFound(_) | GraphError::Io(_)) => {
+                    continue
+                }
+                Err(other) => return Err(other),
+            };
+            match Self::from_manifest(&manifest, generation.number, num_vertices, stats) {
+                Ok(snap) => return Ok(snap),
+                Err(GraphError::Corrupt(_) | GraphError::NotFound(_) | GraphError::Io(_)) => {
+                    continue
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(GraphError::NotFound(format!(
+            "no usable checkpoint generation under {}",
+            root.display()
+        )))
+    }
+
+    fn from_manifest(
+        manifest: &GenerationManifest,
+        number: u32,
+        num_vertices: u64,
+        stats: &Arc<IoStats>,
+    ) -> Result<Snapshot> {
+        manifest.verify_files(stats)?;
+        let values = manifest.read_file("vertices.bin", stats)?;
+        let bytes = cast::len_u64(values.len());
+        // checked_div covers the empty graph; the multiply-back check
+        // rejects a vertices.bin that is not a whole number of records
+        // (including any bytes at all when there are zero vertices).
+        let per = bytes.checked_div(num_vertices).unwrap_or(0);
+        if cast::mul_u64(per, num_vertices, "snapshot record size")? != bytes {
+            return Err(GraphError::Corrupt(format!(
+                "checkpoint vertices.bin at {} is {} bytes — not a whole number of \
+                 records for {num_vertices} vertices",
+                manifest.dir().display(),
+                values.len()
+            )));
+        }
+        let record_size = cast::to_usize(per, "snapshot record size")?;
+        Ok(Snapshot {
+            generation: number,
+            next_iteration: manifest.next_iteration()?,
+            num_vertices,
+            record_size,
+            values,
+        })
+    }
+
+    /// The pinned generation number.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The iteration a resumed run would continue from.
+    pub fn next_iteration(&self) -> u32 {
+        self.next_iteration
+    }
+
+    /// Bytes per vertex record in this generation.
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// The raw vertex-value record of storage id `v` — a borrowed slice of
+    /// the pinned in-memory buffer; no disk access and no allocation
+    /// (`serve-read-alloc`). Out-of-range ids are the typed
+    /// [`GraphError::UnknownVertex`].
+    pub fn value_bytes(&self, v: VertexId) -> Result<&[u8]> {
+        if cast::widen_u32(v) >= self.num_vertices || self.record_size == 0 {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        let start = cast::vertex_index(v) * self.record_size;
+        self.values.get(start..start + self.record_size).ok_or(GraphError::UnknownVertex(v))
+    }
+}

@@ -1,0 +1,135 @@
+//! Golden-transcript gate for the serve protocol (ISSUE 10 acceptance):
+//! a hand-written graph is converted to DOS, BFS lays down checkpoint
+//! generations, a real server is booted with `max_conns = 1`, and a
+//! scripted TCP session's full request/response transcript is diffed
+//! byte-for-byte against the committed `golden_transcript.txt`.
+//!
+//! Everything on the wire is deterministic: DOS ordering is degree-major
+//! with ascending-first-id tie-breaks, BFS values are engine-deterministic,
+//! and generation numbering is a function of the iteration count. To
+//! regenerate after an intentional protocol change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p graphz-serve --test golden
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::Arc;
+
+use graphz_algos::common::{AlgoParams, Algorithm};
+use graphz_algos::runner::{self, CheckpointSpec};
+use graphz_io::{IoStats, ScratchDir};
+use graphz_serve::{ServeOptions, Server};
+use graphz_types::{Edge, MemoryBudget};
+
+/// A fixed 8-vertex graph: a 2-wide diamond feeding a 4-vertex chain, every
+/// edge listed in both directions so BFS walks it level by level
+/// (distances from original vertex 0 are 0,1,1,2,3,4,5,6).
+fn golden_edges() -> Vec<Edge> {
+    let one_way =
+        [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)];
+    let mut edges = Vec::new();
+    for (a, b) in one_way {
+        edges.push(Edge::new(a, b));
+        edges.push(Edge::new(b, a));
+    }
+    edges.sort();
+    edges
+}
+
+/// The scripted session: topology point queries, k-hop expansions,
+/// checkpoint-value reads, id translation, and every error kind.
+const SCRIPT: &[&str] = &[
+    "ping",
+    "stats",
+    "snapshot",
+    "degree 0",
+    "degree 1",
+    "degree 7",
+    "neighbors 0",
+    "neighbors 3",
+    "neighbors 7",
+    "khop 0 1",
+    "khop 0 2",
+    "khop 7 3",
+    "value 0",
+    "value 1",
+    "value 2",
+    "value 3",
+    "value 4",
+    "value 5",
+    "value 6",
+    "value 7",
+    "resolve 0",
+    "resolve 7",
+    "original 0",
+    "degree 99",
+    "value 99",
+    "khop 0 9",
+    "degree",
+    "frobnicate 1",
+    "quit",
+];
+
+#[test]
+fn scripted_session_matches_committed_transcript() {
+    let dir = ScratchDir::new("serve-golden").unwrap();
+    let stats = IoStats::new();
+    let el = graphz_storage::EdgeListFile::create(
+        &dir.file("g.bin"),
+        Arc::clone(&stats),
+        golden_edges(),
+    )
+    .unwrap();
+    let dos_dir = dir.path().join("dos");
+    let dos = runner::prepare_dos(&el, &dos_dir, MemoryBudget::from_mib(1), Arc::clone(&stats))
+        .unwrap();
+
+    let gens = dir.path().join("gens");
+    let ckpt = CheckpointSpec { dir: Some(gens.clone()), every: 1, resume: false };
+    let params = AlgoParams::new(Algorithm::Bfs).with_source(0).with_max_iterations(50);
+    let out = runner::run_graphz_checkpointed(&dos, &params, MemoryBudget::from_mib(1), &ckpt, stats.clone())
+        .unwrap();
+    assert!(out.converged, "golden BFS must converge: {out:?}");
+
+    let options = ServeOptions::builder(&dos_dir)
+        .threads(2)
+        .checkpoint_dir(&gens)
+        .max_conns(1)
+        .stats(Arc::clone(&stats))
+        .build()
+        .unwrap();
+    let server = Server::start(options).unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut transcript = String::new();
+    for line in SCRIPT {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        transcript.push_str("> ");
+        transcript.push_str(line);
+        transcript.push('\n');
+        transcript.push_str("< ");
+        transcript.push_str(resp.trim_end_matches(['\r', '\n']));
+        transcript.push('\n');
+    }
+    assert_eq!(server.wait().unwrap(), 1);
+
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_transcript.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden, &transcript).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .expect("committed golden transcript (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        transcript, want,
+        "serve transcript drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        golden.display()
+    );
+}

@@ -153,15 +153,33 @@ impl DosIndex {
         cast::add_u64(g.offset, span, "dos eq1: group offset + span")
     }
 
-    /// Edge-record offset of `v`'s adjacency list — paper Eq. 1.
+    /// Typed out-of-range check shared by the fallible lookups. A release
+    /// build used to fall through `group_of`'s `debug_assert` and compute a
+    /// garbage offset for an out-of-range id; now every user-facing path
+    /// (CLI, serve protocol) gets [`GraphError::UnknownVertex`] instead.
+    /// Constructing the error does not allocate, so the serve read path
+    /// stays within the `serve-read-alloc` ipa gate.
+    #[inline]
+    fn check_range(&self, v: VertexId) -> Result<()> {
+        if cast::widen_u32(v) >= self.num_vertices {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        Ok(())
+    }
+
+    /// Edge-record offset of `v`'s adjacency list — paper Eq. 1. An id at
+    /// or beyond `num_vertices` is [`GraphError::UnknownVertex`].
     #[inline]
     pub fn offset_of(&self, v: VertexId) -> Result<u64> {
+        self.check_range(v)?;
         Self::eq1_offset(self.group_of(v), v)
     }
 
-    /// `(degree, offset)` with one search.
+    /// `(degree, offset)` with one search. An id at or beyond
+    /// `num_vertices` is [`GraphError::UnknownVertex`].
     #[inline]
     pub fn lookup(&self, v: VertexId) -> Result<(Degree, u64)> {
+        self.check_range(v)?;
         let g = self.group_of(v);
         Ok((g.degree, Self::eq1_offset(g, v)?))
     }
@@ -954,19 +972,27 @@ impl DosGraph {
         self.dir.join("old2new.bin")
     }
 
+    /// Open a reusable random-access cursor over `edges.bin` — the shared
+    /// point-lookup surface for the serving layer, the CLI topology
+    /// commands, and [`DosGraph::adjacency`]. The file handle and scratch
+    /// buffer are opened/allocated once here, so each subsequent
+    /// [`AdjCursor::read_into`] is one seek plus one sequential read with
+    /// no per-query allocation (ipa `serve-read-alloc`).
+    pub fn cursor(&self, stats: Arc<IoStats>) -> Result<AdjCursor> {
+        let edges_path = self.edges_path();
+        let file = TrackedFile::open(&edges_path, stats).ctx("open", &edges_path)?;
+        Ok(AdjCursor { file, buf: Vec::new() })
+    }
+
     /// Random-access read of one vertex's adjacency list (new ids). One seek
     /// plus one sequential read — the access pattern DOS is designed for.
+    /// One-shot convenience over [`DosGraph::cursor`]; repeated point
+    /// lookups should hold a cursor instead of reopening the file per call.
     pub fn adjacency(&self, v: VertexId, stats: Arc<IoStats>) -> Result<Vec<VertexId>> {
-        use std::io::{Read, Seek, SeekFrom};
-        let (deg, offset) = self.index.lookup(v)?;
-        let byte_offset = cast::mul_u64(offset, 4, "dos adjacency byte offset")?;
-        let byte_len = cast::mul_usize(cast::degree_index(deg), 4, "dos adjacency length")?;
-        let edges_path = self.edges_path();
-        let mut f = TrackedFile::open(&edges_path, stats).ctx("open", &edges_path)?;
-        f.seek(SeekFrom::Start(byte_offset))?;
-        let mut buf = vec![0u8; byte_len];
-        f.read_exact(&mut buf)?;
-        Ok(graphz_types::codec::decode_slice(&buf))
+        let mut cursor = self.cursor(stats)?;
+        let mut out = Vec::new();
+        cursor.read_into(&self.index, v, &mut out)?;
+        Ok(out)
     }
 
     /// Random-access read of one vertex's adjacency list together with the
@@ -1006,6 +1032,48 @@ impl DosGraph {
     /// Load the old→new id map (4 bytes per vertex).
     pub fn load_old2new(&self, stats: Arc<IoStats>) -> Result<Vec<VertexId>> {
         RecordReader::<u32>::open(&self.old2new_path(), stats)?.read_all()
+    }
+}
+
+/// A reusable read-only cursor over a DOS `edges.bin`: one open file handle
+/// plus one scratch byte buffer, shared by every point lookup issued
+/// through it. This is the allocation-disciplined adjacency read primitive
+/// the serving layer's `GraphView` is built on — each [`read_into`] call
+/// does one Eq. 1 index lookup, one seek, and one sequential read, reusing
+/// both the handle and the buffer (checked by the `serve-read-alloc` ipa
+/// rule).
+///
+/// A cursor is single-threaded by construction (`&mut self` on every read);
+/// concurrent readers each open their own via [`DosGraph::cursor`], which
+/// is cheap (one `open(2)`), instead of sharing one handle behind a lock.
+///
+/// [`read_into`]: AdjCursor::read_into
+pub struct AdjCursor {
+    file: TrackedFile,
+    buf: Vec<u8>,
+}
+
+impl AdjCursor {
+    /// Read the adjacency list of new-id `v` into `out` (cleared first),
+    /// returning the out-degree. Out-of-range ids are the typed
+    /// [`GraphError::UnknownVertex`].
+    pub fn read_into(
+        &mut self,
+        index: &DosIndex,
+        v: VertexId,
+        out: &mut Vec<VertexId>,
+    ) -> Result<Degree> {
+        use std::io::{Read, Seek, SeekFrom};
+        let (deg, offset) = index.lookup(v)?;
+        let byte_offset = cast::mul_u64(offset, 4, "dos adjacency byte offset")?;
+        let byte_len = cast::mul_usize(cast::degree_index(deg), 4, "dos adjacency length")?;
+        if self.buf.len() < byte_len {
+            self.buf.resize(byte_len, 0);
+        }
+        self.file.seek(SeekFrom::Start(byte_offset))?;
+        self.file.read_exact(&mut self.buf[..byte_len])?;
+        graphz_types::codec::decode_into(&self.buf[..byte_len], out);
+        Ok(deg)
     }
 }
 

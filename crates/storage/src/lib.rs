@@ -34,7 +34,7 @@ pub mod verify;
 
 pub use chunked::{import_text_chunked, import_text_quarantined, BadRecord};
 pub use csr::{CsrFiles, CsrGraph};
-pub use dos::{scratch_root_for, DosConverter, DosConverterBuilder, DosGraph, DosIndex};
+pub use dos::{scratch_root_for, AdjCursor, DosConverter, DosConverterBuilder, DosGraph, DosIndex};
 pub use edgelist::EdgeListFile;
 pub use ingest::{IngestPipeline, IngestPipelineBuilder, IngestTimings};
 pub use partition::{PartitionSet, Partitioner};

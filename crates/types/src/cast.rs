@@ -82,6 +82,7 @@ pub fn clamp_usize(n: u64) -> usize {
 #[inline]
 pub fn add_u64(a: u64, b: u64, what: &str) -> Result<u64> {
     a.checked_add(b)
+        // ipa:allow(serve-read-alloc) — allocates only on the overflow error path, which aborts the query
         .ok_or_else(|| GraphError::OffsetOverflow(format!("{what}: {a} + {b} overflows u64")))
 }
 
@@ -98,6 +99,7 @@ pub fn sub_u64(a: u64, b: u64, what: &str) -> Result<u64> {
 #[inline]
 pub fn mul_u64(a: u64, b: u64, what: &str) -> Result<u64> {
     a.checked_mul(b)
+        // ipa:allow(serve-read-alloc) — allocates only on the overflow error path, which aborts the query
         .ok_or_else(|| GraphError::OffsetOverflow(format!("{what}: {a} * {b} overflows u64")))
 }
 
@@ -105,6 +107,7 @@ pub fn mul_u64(a: u64, b: u64, what: &str) -> Result<u64> {
 #[inline]
 pub fn sub_u32(a: u32, b: u32, what: &str) -> Result<u32> {
     a.checked_sub(b)
+        // ipa:allow(serve-read-alloc) — allocates only on the overflow error path, which aborts the query
         .ok_or_else(|| GraphError::OffsetOverflow(format!("{what}: {a} - {b} underflows u32")))
 }
 
@@ -120,6 +123,7 @@ pub fn add_usize(a: usize, b: usize, what: &str) -> Result<usize> {
 #[inline]
 pub fn mul_usize(a: usize, b: usize, what: &str) -> Result<usize> {
     a.checked_mul(b)
+        // ipa:allow(serve-read-alloc) — allocates only on the overflow error path, which aborts the query
         .ok_or_else(|| GraphError::OffsetOverflow(format!("{what}: {a} * {b} overflows usize")))
 }
 

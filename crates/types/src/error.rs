@@ -29,6 +29,12 @@ pub enum GraphError {
     StorageFull(String),
     /// An algorithm-level failure (e.g. source vertex out of range).
     Algorithm(String),
+    /// A point query named a vertex id outside the graph — the serving
+    /// layer's typed "no such vertex" answer. Carries the raw id (not a
+    /// formatted string) so the read path can construct it without
+    /// allocating and the protocol layer can render it as a structured
+    /// `unknown-vertex` response instead of a debug dump.
+    UnknownVertex(crate::VertexId),
     /// Offset, length, or id arithmetic overflowed its integer type — e.g.
     /// the DOS Eq. 1 byte offset exceeding `u64`, or a `u64` file length
     /// that does not fit this platform's `usize`. Surfacing this as a typed
@@ -52,6 +58,7 @@ impl fmt::Display for GraphError {
             GraphError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             GraphError::StorageFull(m) => write!(f, "storage full: {m}"),
             GraphError::Algorithm(m) => write!(f, "algorithm error: {m}"),
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
             GraphError::OffsetOverflow(m) => write!(f, "offset arithmetic overflow: {m}"),
         }
     }
